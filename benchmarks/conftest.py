@@ -1,0 +1,26 @@
+"""Shared fixtures and scales for the benchmark suite.
+
+Each benchmark regenerates (a scaled-down slice of) one table/figure of
+the paper through ``pytest-benchmark``, so the suite doubles as a
+performance regression harness for the simulator and a smoke-level
+shape check for every experiment.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+#: Scale for benchmarked experiment slices: one seed, short horizon —
+#: enough for shapes, small enough to iterate.
+BENCH_SCALE = ExperimentScale(horizon=2_000.0, num_seeds=1)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):  # pragma: no cover
+    machine_info["experiment_suite"] = "icpp2005-hybrid-scheduling"

@@ -1,0 +1,41 @@
+"""Benchmark E9 — online cut-off adaptation vs a static cut-off (§3).
+
+Under a drifting workload (flat demand → concentrated demand) the
+adaptive controller must end on a smaller cut-off than it started with
+and beat the static configuration on overall delay.
+"""
+
+from repro.core import HybridConfig
+from repro.sim import HybridSystem, build_adaptive_system
+from repro.workload import WorkloadPhase
+
+HORIZON = 3_000.0
+
+
+def run(scale):
+    config = HybridConfig(cutoff=40, theta=0.60)
+    phases = [
+        WorkloadPhase(duration=HORIZON / 2, theta=0.20),
+        WorkloadPhase(duration=HORIZON / 2, theta=1.40),
+    ]
+    static = HybridSystem(config, seed=7, warmup=scale.warmup).run(HORIZON)
+    system, controller = build_adaptive_system(
+        config,
+        seed=7,
+        warmup=scale.warmup,
+        period=HORIZON / 10,
+        candidates=[10, 25, 40, 55, 70],
+        phases=phases,
+    )
+    adaptive = system.run(HORIZON)
+    return static, adaptive, controller, system
+
+
+def test_adaptive_cutoff(benchmark, bench_scale):
+    static, adaptive, controller, system = benchmark.pedantic(
+        run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    assert any(d.changed for d in controller.decisions)
+    # Concentrated demand phase drives the cut-off down.
+    assert system.server.cutoff < 40
+    assert adaptive.overall_delay < static.overall_delay

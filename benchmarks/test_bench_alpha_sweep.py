@@ -1,0 +1,21 @@
+"""Benchmark E2b — the Figs. 3–4 text sweep: delay vs α at fixed K.
+
+Checks the monotone narrative of §5.2: the premium class's pull-side
+advantage over the basic class shrinks as α grows (priority influence
+fades).
+"""
+
+from repro.experiments import delay_vs_alpha
+
+
+def run(scale):
+    return delay_vs_alpha(theta=0.60, alphas=(0.0, 0.5, 1.0), cutoff=40, scale=scale)
+
+
+def test_alpha_sweep(benchmark, bench_scale):
+    fig = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    a = fig.series_by_label("Class-A").y
+    c = fig.series_by_label("Class-C").y
+    spread_alpha0 = c[0] - a[0]
+    spread_alpha1 = c[-1] - a[-1]
+    assert spread_alpha0 > spread_alpha1

@@ -1,0 +1,34 @@
+"""Benchmark E8 — substrate validation benches.
+
+* push baselines: popularity-aware broadcast programs (disks, SRR) beat
+  the flat schedule under skewed access on a push-only system;
+* the §4.1 birth-death solver agrees with the paper's closed forms and
+  is fast enough to sweep.
+"""
+
+import pytest
+
+from repro.analysis import HybridBirthDeathChain
+from repro.experiments import push_policy_comparison
+
+
+def test_push_baselines(benchmark, bench_scale):
+    def run(scale):
+        _, results = push_policy_comparison(theta=1.0, scale=scale)
+        return results
+
+    results = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    # Under theta=1 skew, both popularity-aware programs beat flat.
+    assert results["srr"] < results["flat"]
+    assert results["disks"] < results["flat"] * 1.1
+
+
+def test_birth_death_solver(benchmark):
+    def solve():
+        chain = HybridBirthDeathChain(lam=1.0, mu1=4.0, mu2=3.0, truncation=300)
+        return chain, chain.solve()
+
+    chain, solution = benchmark(solve)
+    assert solution.idle_probability == pytest.approx(
+        chain.idle_probability_closed_form(), abs=1e-6
+    )

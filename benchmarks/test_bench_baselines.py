@@ -1,0 +1,24 @@
+"""Benchmark E7 — pull-policy ablation on a common trace (§3's argument).
+
+The importance factor must (a) serve premium clients much better than
+FCFS, and (b) stay close to pure-priority for premium while not
+starving the basic class worse than pure priority does.
+"""
+
+from repro.experiments import pull_policy_comparison
+
+
+def run(scale):
+    _, results = pull_policy_comparison(
+        policies=("importance", "priority", "stretch", "fcfs", "mrf", "rxw"),
+        alpha=0.25,
+        scale=scale,
+    )
+    return results
+
+
+def test_pull_policy_ablation(benchmark, bench_scale):
+    results = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    assert results["importance"]["A"] < results["fcfs"]["A"]
+    assert results["importance"]["A"] <= results["priority"]["A"] * 1.25
+    assert results["importance"]["C"] <= results["priority"]["C"] * 1.10

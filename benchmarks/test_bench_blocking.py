@@ -1,0 +1,32 @@
+"""Benchmark E6 — blocking vs bandwidth partition (abstract/§5).
+
+Sweeps the premium bandwidth share and checks the claim that proper
+allocation minimises premium drops: analytic premium blocking is
+monotone non-increasing in the premium share, and the optimised
+partition beats the uniform one on priority-weighted blocking.
+"""
+
+import numpy as np
+
+from repro.core import HybridConfig, blocking_probabilities, optimize_shares
+from repro.experiments import blocking_vs_share
+
+SHARES = (0.15, 0.4, 0.65)
+
+
+def run(scale):
+    return blocking_vs_share(shares_a=SHARES, scale=scale)
+
+
+def test_blocking_sweep(benchmark, bench_scale):
+    fig = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    ana = fig.series_by_label("ana-A").y
+    assert all(b2 <= b1 + 1e-12 for b1, b2 in zip(ana, ana[1:]))
+
+    config = HybridConfig()
+    allocation = optimize_shares(config, resolution=12)
+    uniform = blocking_probabilities(
+        np.full(3, 1 / 3), config.total_bandwidth, config.bandwidth_demand_mean
+    )
+    weights = config.class_priorities()
+    assert allocation.weighted_blocking <= float(weights @ uniform) + 1e-12

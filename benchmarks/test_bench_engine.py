@@ -1,0 +1,82 @@
+"""Performance benchmarks for the DES engine and the full simulator.
+
+Not a paper figure — a performance-regression harness: raw event
+throughput of the calendar, process-switching overhead, and end-to-end
+simulated-time-per-wall-second of the hybrid system at the paper's load.
+"""
+
+from repro.core import HybridConfig
+from repro.des import Environment
+from repro.sim import HybridSystem
+
+
+def test_event_calendar_throughput(benchmark):
+    """Schedule + process 20k bare timeouts."""
+
+    def run():
+        env = Environment()
+        for i in range(20_000):
+            env.timeout(i % 100)
+        env.run()
+        return env.now
+
+    final = benchmark(run)
+    assert final == 99
+
+
+def test_process_switch_throughput(benchmark):
+    """Two processes ping-pong 5k times through events."""
+
+    def run():
+        env = Environment()
+        counter = {"n": 0}
+
+        def ping(env, peer_event_box):
+            for _ in range(5_000):
+                yield env.timeout(1)
+                counter["n"] += 1
+
+        env.process(ping(env, None))
+        env.process(ping(env, None))
+        env.run()
+        return counter["n"]
+
+    assert benchmark(run) == 10_000
+
+
+def test_store_pipeline_throughput(benchmark):
+    """Producer/consumer through a Store, 5k items."""
+    from repro.des import Store
+
+    def run():
+        env = Environment()
+        store = Store(env, capacity=16)
+        got = []
+
+        def producer(env):
+            for i in range(5_000):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(5_000):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        return len(got)
+
+    assert benchmark(run) == 5_000
+
+
+def test_hybrid_simulator_throughput(benchmark):
+    """Simulated broadcast units per call at the paper's nominal load."""
+
+    def run():
+        system = HybridSystem(HybridConfig(), seed=0)
+        result = system.run(horizon=1_000.0)
+        return result.satisfied_requests
+
+    satisfied = benchmark(run)
+    assert satisfied > 1_000

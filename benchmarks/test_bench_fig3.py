@@ -1,0 +1,24 @@
+"""Benchmark E1 — Figure 3: per-class delay vs cutoff at α = 0.
+
+Regenerates the pure-priority delay curves and asserts the paper's two
+shape claims: class ordering (A < C) and the small-K penalty.
+"""
+
+from repro.experiments import delay_vs_cutoff
+
+CUTOFFS = (10, 40, 70)
+
+
+def run(scale):
+    return delay_vs_cutoff(alpha=0.0, theta=0.60, cutoffs=CUTOFFS, scale=scale)
+
+
+def test_fig3_delay_curves(benchmark, bench_scale):
+    fig = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    a = fig.series_by_label("Class-A").y
+    c = fig.series_by_label("Class-C").y
+    # Premium class never slower than basic at alpha = 0.
+    assert all(ai <= ci * 1.05 for ai, ci in zip(a, c))
+    # Small push set penalised (overloaded pull system) — visible on the
+    # basic class, which absorbs the pull congestion.
+    assert c[0] > min(c)

@@ -1,0 +1,24 @@
+"""Benchmark E2 — Figure 4: per-class delay vs cutoff at α = 1.
+
+At α = 1 the importance factor degenerates to stretch-optimal scheduling
+and ignores priorities: the per-class curves must collapse onto each
+other (no differentiation), unlike Figure 3.
+"""
+
+import numpy as np
+
+from repro.experiments import delay_vs_cutoff
+
+CUTOFFS = (10, 40, 70)
+
+
+def run(scale):
+    return delay_vs_cutoff(alpha=1.0, theta=0.60, cutoffs=CUTOFFS, scale=scale)
+
+
+def test_fig4_delay_curves(benchmark, bench_scale):
+    fig = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    a = np.array(fig.series_by_label("Class-A").y)
+    c = np.array(fig.series_by_label("Class-C").y)
+    # No priority differentiation: curves within noise of each other.
+    assert np.all(np.abs(c - a) / a < 0.25)

@@ -1,0 +1,27 @@
+"""Benchmark E3 — Figure 5: prioritized cost vs cutoff (θ = 0.60).
+
+Cost of class j is q_j · E[T_j].  Checks the total column is the class
+sum and that the small-K corner is penalised, giving the interior
+optimum the paper picks.
+"""
+
+import numpy as np
+
+from repro.experiments import cost_vs_cutoff
+
+CUTOFFS = (10, 40, 70)
+
+
+def run(scale):
+    return cost_vs_cutoff(alpha=0.25, theta=0.60, cutoffs=CUTOFFS, scale=scale)
+
+
+def test_fig5_cost_curves(benchmark, bench_scale):
+    fig = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    total = np.array(fig.series_by_label("Total").y)
+    parts = sum(
+        np.array(fig.series_by_label(f"Class-{c}").y) for c in ("A", "B", "C")
+    )
+    assert np.allclose(total, parts)
+    # K=10 (degenerate hybrid) costs more than the best candidate.
+    assert total[0] > total.min()

@@ -1,0 +1,23 @@
+"""Benchmark E4 — Figure 6: total optimal prioritized cost vs α.
+
+The paper's claim: with decreasing α the influence of priority increases
+and the (K-optimised) prioritized cost falls.  Checked per θ curve.
+"""
+
+from repro.experiments import optimal_cost_vs_alpha
+
+ALPHAS = (0.0, 0.5, 1.0)
+CUTOFFS = (20, 40, 60)
+
+
+def run(scale):
+    return optimal_cost_vs_alpha(
+        thetas=(0.20, 0.60), alphas=ALPHAS, cutoffs=CUTOFFS, scale=scale
+    )
+
+
+def test_fig6_optimal_cost(benchmark, bench_scale):
+    fig = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    for series in fig.series:
+        # Cost at alpha=0 below cost at alpha=1 (priority helps).
+        assert series.y[0] < series.y[-1], series.label

@@ -1,0 +1,23 @@
+"""Benchmark E5 — Figure 7: analytical vs simulation results.
+
+Regenerates the comparison at θ = 0.60, α = 0.75 and holds the corrected
+model's mean deviation under a bound in the spirit of the paper's
+"minor 10 % deviation" (loosened for the benchmark's short horizon).
+"""
+
+from repro.experiments import analytical_vs_simulation
+
+CUTOFFS = (40, 70)
+
+
+def run(scale):
+    return analytical_vs_simulation(theta=0.60, alpha=0.75, cutoffs=CUTOFFS, scale=scale)
+
+
+def test_fig7_agreement(benchmark, bench_scale):
+    fig, deviation = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    assert deviation < 0.35
+    # Analytic and simulated class-A curves share the x axis and are positive.
+    ana = fig.series_by_label("ana-A").y
+    sim = fig.series_by_label("sim-A").y
+    assert all(v > 0 for v in ana + sim)

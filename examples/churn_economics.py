@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Churn economics: what differentiated scheduling is worth in revenue.
+
+The paper's introduction motivates service classification economically:
+dissatisfied clients churn, and "the more important the client is, the
+more adverse is the corresponding effect of churning".  This example
+puts numbers on that story:
+
+* each class has a delay tolerance and a monthly revenue per client;
+* a client's churn probability rises once its mean delay exceeds the
+  tolerance (logistic response);
+* expected revenue loss = Σ_class population · churn(delay) · revenue.
+
+We compare the loss under three pull policies — FCFS (class-blind),
+stretch-optimal (throughput-fair, class-blind) and the paper's
+importance factor — on the same workload.
+
+Run:  python examples/churn_economics.py
+"""
+
+import dataclasses
+import math
+
+from repro import HybridConfig, simulate_hybrid
+
+HORIZON = 4_000.0
+
+#: Per-class economic model: (delay tolerance, monthly revenue per client).
+ECONOMICS = {
+    "A": {"tolerance": 60.0, "revenue": 100.0},
+    "B": {"tolerance": 90.0, "revenue": 40.0},
+    "C": {"tolerance": 120.0, "revenue": 15.0},
+}
+
+
+def churn_probability(delay: float, tolerance: float, steepness: float = 0.08) -> float:
+    """Logistic churn response: ~5 % below tolerance, rising past it."""
+    return 1.0 / (1.0 + math.exp(-steepness * (delay - tolerance)))
+
+
+def revenue_loss(config: HybridConfig, policy: str) -> tuple[float, dict]:
+    cfg = dataclasses.replace(config, pull_scheduler=policy)
+    result = simulate_hybrid(cfg, seed=21, horizon=HORIZON)
+    population = cfg.build_population()
+    loss = 0.0
+    detail = {}
+    for spec, count in zip(cfg.class_specs, population.class_counts):
+        delay = result.per_class_delay[spec.name]
+        economics = ECONOMICS[spec.name]
+        churn = churn_probability(delay, economics["tolerance"])
+        class_loss = count * churn * economics["revenue"]
+        loss += class_loss
+        detail[spec.name] = (delay, churn, class_loss)
+    return loss, detail
+
+
+def main() -> None:
+    config = HybridConfig(theta=0.60, alpha=0.25, cutoff=40, num_clients=300)
+    print(
+        f"{config.num_clients} clients, cutoff K={config.cutoff}, "
+        f"alpha={config.alpha} (priority-leaning)\n"
+    )
+    losses = {}
+    for policy in ("fcfs", "stretch", "importance"):
+        loss, detail = revenue_loss(config, policy)
+        losses[policy] = loss
+        print(f"policy: {policy}")
+        for name, (delay, churn, class_loss) in detail.items():
+            print(
+                f"  class {name}: delay {delay:7.2f}  churn {churn:6.2%}  "
+                f"expected loss {class_loss:9.2f}/month"
+            )
+        print(f"  total expected revenue loss: {loss:9.2f}/month\n")
+
+    print("summary (lower is better):")
+    for policy, loss in sorted(losses.items(), key=lambda kv: kv[1]):
+        print(f"  {policy:<11} {loss:9.2f}/month")
+
+    # The differentiated policy should protect revenue better than the
+    # class-blind FCFS baseline.
+    assert losses["importance"] < losses["fcfs"]
+    saved = losses["fcfs"] - losses["importance"]
+    print(f"\nimportance-factor scheduling saves {saved:.2f}/month vs FCFS")
+
+
+if __name__ == "__main__":
+    main()

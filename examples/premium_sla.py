@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Premium SLA engineering: tune α and bandwidth for Class-A guarantees.
+
+Scenario (the paper's motivation): a wireless carrier offers a premium
+tier and loses money when premium clients churn.  The operator wants
+
+* premium (Class-A) delay as low as the scheduler can make it, and
+* premium blocking (dropped requests) near zero,
+
+without regressing the basic tier into starvation.  This script:
+
+1. classifies a raw client base into A/B/C tiers by spend quantiles,
+2. sweeps the importance-factor weight α to pick the priority/stretch
+   trade-off,
+3. optimises the per-class bandwidth partition for premium protection,
+4. verifies the final design by simulation.
+
+Run:  python examples/premium_sla.py
+"""
+
+import numpy as np
+
+from repro import HybridConfig, optimize_bandwidth, simulate_hybrid
+from repro.core import classify_by_quantiles
+
+HORIZON = 3_000.0
+
+
+def classify_clients() -> None:
+    """Step 1 — derive service classes from raw importance scores."""
+    rng = np.random.default_rng(7)
+    monthly_spend = rng.lognormal(mean=3.0, sigma=1.0, size=300)
+    assignment = classify_by_quantiles(
+        monthly_spend, fractions=(0.1, 0.3, 0.6)
+    )
+    counts = assignment.class_counts()
+    print("client classification by spend quantiles:")
+    for svc, count in zip(assignment.classes, counts):
+        print(f"  class {svc.name}: {count:4d} clients  (priority weight {svc.priority})")
+    print()
+
+
+def pick_alpha(base: HybridConfig) -> float:
+    """Step 2 — smallest premium delay without wrecking the basic tier."""
+    print("alpha sweep (delay per class):")
+    best_alpha, best_score = None, float("inf")
+    for alpha in (0.0, 0.25, 0.5, 0.75, 1.0):
+        result = simulate_hybrid(base.with_alpha(alpha), seed=1, horizon=HORIZON)
+        d = result.per_class_delay
+        # Score: premium delay, with a guard against Class-C starvation.
+        score = d["A"] + 0.2 * d["C"]
+        marker = ""
+        if score < best_score:
+            best_alpha, best_score, marker = alpha, score, "  <- best"
+        print(
+            f"  alpha={alpha:4.2f}: A={d['A']:7.2f}  B={d['B']:7.2f}  "
+            f"C={d['C']:7.2f}{marker}"
+        )
+    print(f"selected alpha = {best_alpha}\n")
+    return best_alpha
+
+
+def plan_bandwidth(config: HybridConfig) -> HybridConfig:
+    """Step 3 — premium-weighted bandwidth partition."""
+    allocation = optimize_bandwidth(config, resolution=20)
+    print("optimised bandwidth partition:")
+    for spec, share, blocking in zip(
+        config.class_specs, allocation.shares, allocation.blocking
+    ):
+        print(
+            f"  class {spec.name}: share {share:5.2f}  "
+            f"predicted blocking {blocking:7.4f}"
+        )
+    print()
+    return allocation.apply(config)
+
+
+def main() -> None:
+    classify_clients()
+
+    base = HybridConfig(theta=0.60, cutoff=40, arrival_rate=5.0)
+    alpha = pick_alpha(base)
+    tuned = plan_bandwidth(base.with_alpha(alpha))
+
+    print("verification run of the tuned design:")
+    result = simulate_hybrid(tuned, seed=99, horizon=HORIZON)
+    print(result.summary())
+
+    blocking_a = result.per_class_blocking["A"]
+    print(f"\npremium blocking achieved: {blocking_a:.3%}")
+    assert blocking_a < 0.05, "premium blocking SLA violated"
+    assert result.per_class_delay["A"] <= result.per_class_delay["C"]
+    print("premium SLA satisfied.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""``repro.analysis`` — queueing-theoretic models from the paper's §4.
+
+Exact and closed-form stationary analysis: M/M/1 basics, the §4.1 hybrid
+birth-death chain (numeric), the §4.2.1 two-class priority queue (exact
+CTMC instead of z-transforms), Cobham's multi-class formula (Eq. 18),
+Eq. 19 hybrid access time, Little's-law helpers and the analytic-vs-sim
+comparator behind Fig. 7.
+"""
+
+from .birth_death import BirthDeathSolution, HybridBirthDeathChain
+from .erlang import concurrent_blocking_estimate, erlang_b, erlang_c
+from .hybrid_delay import AnalysisMode, AnalyticalResult, analyze_hybrid
+from .littles import (
+    littles_consistency,
+    littles_l,
+    littles_lambda,
+    littles_w,
+    relative_error,
+)
+from .mg1 import MG1, mg1_priority_waits, pull_service_moments
+from .mm1 import MM1, mm1_queue_length, mm1_waiting_time
+from .preemptive import PreemptiveResult, preemption_gain, preemptive_sojourn_times
+from .priority_mm1 import (
+    NonPreemptivePriorityQueue,
+    PriorityQueueResult,
+    cobham_waiting_times,
+)
+from .transforms import GeneratingFunctions, from_chain
+from .two_class import TwoClassPriorityQueue, TwoClassSolution
+from .validate import ComparisonRow, compare_results, max_deviation
+
+__all__ = [
+    "BirthDeathSolution",
+    "HybridBirthDeathChain",
+    "AnalysisMode",
+    "erlang_b",
+    "erlang_c",
+    "concurrent_blocking_estimate",
+    "AnalyticalResult",
+    "analyze_hybrid",
+    "littles_consistency",
+    "littles_l",
+    "littles_lambda",
+    "littles_w",
+    "relative_error",
+    "MM1",
+    "mm1_queue_length",
+    "mm1_waiting_time",
+    "MG1",
+    "mg1_priority_waits",
+    "pull_service_moments",
+    "PreemptiveResult",
+    "preemption_gain",
+    "preemptive_sojourn_times",
+    "NonPreemptivePriorityQueue",
+    "PriorityQueueResult",
+    "cobham_waiting_times",
+    "GeneratingFunctions",
+    "from_chain",
+    "TwoClassPriorityQueue",
+    "TwoClassSolution",
+    "ComparisonRow",
+    "compare_results",
+    "max_deviation",
+]

@@ -1,0 +1,55 @@
+"""Little's law utilities (``L = λ·W``) and consistency checks.
+
+The paper invokes Little's formula twice (end of §4.2.1 and via Eq. 18);
+these helpers also serve the test suite, which checks the *simulator*
+against Little's law — a strong end-to-end invariant: time-average queue
+length must equal arrival rate times mean wait, no matter the policy.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["littles_l", "littles_w", "littles_lambda", "relative_error", "littles_consistency"]
+
+
+def littles_l(lam: float, w: float) -> float:
+    """Mean number in system from arrival rate and mean sojourn (``L = λW``)."""
+    if lam < 0 or w < 0:
+        raise ValueError(f"negative inputs: lam={lam}, w={w}")
+    return lam * w
+
+
+def littles_w(l: float, lam: float) -> float:
+    """Mean sojourn from mean number in system (``W = L/λ``)."""
+    if lam <= 0:
+        raise ValueError(f"lam must be > 0, got {lam}")
+    if l < 0:
+        raise ValueError(f"L must be >= 0, got {l}")
+    return l / lam
+
+
+def littles_lambda(l: float, w: float) -> float:
+    """Effective arrival rate from L and W (``λ = L/W``)."""
+    if w <= 0:
+        raise ValueError(f"W must be > 0, got {w}")
+    if l < 0:
+        raise ValueError(f"L must be >= 0, got {l}")
+    return l / w
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """``|measured − reference| / |reference|`` (``nan`` if reference is 0/nan)."""
+    if reference == 0 or math.isnan(reference) or math.isnan(measured):
+        return math.nan
+    return abs(measured - reference) / abs(reference)
+
+
+def littles_consistency(l: float, lam: float, w: float) -> float:
+    """Relative gap between observed ``L`` and ``λ·W``.
+
+    Small values (a few percent on a well-warmed-up run) certify that the
+    simulator's queue accounting, arrival thinning and delay measurement
+    agree with each other.
+    """
+    return relative_error(l, littles_l(lam, w))

@@ -1,0 +1,158 @@
+"""M/G/1 queueing with the *actual* item-length distribution.
+
+The paper's §4 assumes exponential service — and attributes its ~10 %
+analytic/simulation gap to "the memory-less assumption in the system
+modelling".  But the hybrid system's pull service time is not
+exponential at all: it is the item length (discrete, 1..5) drawn under
+the conditional pull-popularity law, plus the interleaved push slot.
+This module provides the general-service counterparts:
+
+* :class:`MG1` — Pollaczek–Khinchine mean waiting time,
+  ``Wq = λ·E[S²] / (2·(1 − ρ))``;
+* :func:`mg1_priority_waits` — Cobham's non-preemptive priority result
+  in its general-service form,
+  ``W_i = W₀ / ((1 − σ_{i−1})(1 − σ_i))`` with
+  ``W₀ = Σ_j λ_j·E[S_j²]/2``;
+* :func:`pull_service_moments` — the first two moments of the hybrid
+  pull service time straight from an :class:`ItemCatalog`.
+
+With exponential service (``E[S²] = 2/μ²``) these collapse to the
+Eq. 18 formulas in :mod:`repro.analysis.priority_mm1` — pinned by test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workload.items import ItemCatalog
+from .priority_mm1 import PriorityQueueResult
+
+__all__ = ["MG1", "mg1_priority_waits", "pull_service_moments"]
+
+
+@dataclass(frozen=True)
+class MG1:
+    """An M/G/1 queue described by its service moments.
+
+    Parameters
+    ----------
+    lam:
+        Poisson arrival rate.
+    service_mean:
+        ``E[S]``.
+    service_second_moment:
+        ``E[S²]`` (must satisfy ``E[S²] >= E[S]²``).
+    """
+
+    lam: float
+    service_mean: float
+    service_second_moment: float
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0:
+            raise ValueError(f"lam must be > 0, got {self.lam}")
+        if self.service_mean <= 0:
+            raise ValueError(f"service mean must be > 0, got {self.service_mean}")
+        if self.service_second_moment < self.service_mean**2 - 1e-12:
+            raise ValueError(
+                f"E[S^2]={self.service_second_moment} < E[S]^2="
+                f"{self.service_mean ** 2} is impossible"
+            )
+        if self.rho >= 1.0:
+            raise ValueError(f"unstable queue: rho={self.rho:.4f} >= 1")
+
+    @property
+    def rho(self) -> float:
+        """Utilisation ``λ·E[S]``."""
+        return self.lam * self.service_mean
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation ``Var(S)/E[S]²``."""
+        var = self.service_second_moment - self.service_mean**2
+        return var / self.service_mean**2
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Pollaczek–Khinchine: ``Wq = λ·E[S²] / (2(1 − ρ))``."""
+        return self.lam * self.service_second_moment / (2.0 * (1.0 - self.rho))
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """``W = Wq + E[S]``."""
+        return self.mean_waiting_time + self.service_mean
+
+    @property
+    def mean_number_in_queue(self) -> float:
+        """``Lq = λ·Wq`` (Little)."""
+        return self.lam * self.mean_waiting_time
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """``L = λ·W`` (Little)."""
+        return self.lam * self.mean_sojourn_time
+
+
+def mg1_priority_waits(
+    lambdas: np.ndarray | list[float],
+    service_means: np.ndarray | list[float],
+    service_second_moments: np.ndarray | list[float],
+) -> PriorityQueueResult:
+    """Non-preemptive priority M/G/1 waits (general-service Cobham).
+
+    Classes ordered most important first; each class has its own service
+    moment pair.  Returns the same result type as
+    :func:`repro.analysis.priority_mm1.cobham_waiting_times`.
+    """
+    lam = np.asarray(lambdas, dtype=float)
+    means = np.asarray(service_means, dtype=float)
+    seconds = np.asarray(service_second_moments, dtype=float)
+    if not (lam.shape == means.shape == seconds.shape) or lam.ndim != 1 or lam.size == 0:
+        raise ValueError("need three aligned 1-D vectors")
+    if np.any(lam <= 0) or np.any(means <= 0) or np.any(seconds <= 0):
+        raise ValueError("all rates and moments must be > 0")
+    rho = lam * means
+    sigma = np.concatenate([[0.0], np.cumsum(rho)])
+    if sigma[-1] >= 1.0:
+        raise ValueError(f"unstable queue: total occupancy {sigma[-1]:.4f} >= 1")
+    w0 = float(np.sum(lam * seconds) / 2.0)
+    waits = w0 / ((1.0 - sigma[:-1]) * (1.0 - sigma[1:]))
+    total_lam = float(lam.sum())
+    return PriorityQueueResult(
+        waiting_times=waits,
+        sojourn_times=waits + means,
+        mean_waiting_time=float(lam @ waits / total_lam),
+        residual=w0,
+        occupancies=rho,
+    )
+
+
+def pull_service_moments(
+    catalog: ItemCatalog, cutoff: int, slot: float = 0.0
+) -> tuple[float, float]:
+    """First two moments of the hybrid pull service time.
+
+    The served item's length is distributed over the pull set under the
+    *conditional* access law; ``slot`` adds the deterministic interleaved
+    push-broadcast time (alternation adjustment), shifting the
+    distribution: ``S = L + slot``.
+
+    Returns
+    -------
+    (mean, second_moment):
+        ``E[S]`` and ``E[S²]``.  ``(nan, nan)`` for an all-push split.
+    """
+    if not 0 <= cutoff <= len(catalog):
+        raise ValueError(f"cutoff {cutoff} outside [0, {len(catalog)}]")
+    if slot < 0:
+        raise ValueError(f"slot must be >= 0, got {slot}")
+    mass = catalog.pull_probability(cutoff)
+    if mass <= 1e-15 or cutoff >= len(catalog):
+        return (float("nan"), float("nan"))
+    probs = catalog.probabilities[cutoff:] / mass
+    lengths = catalog.lengths[cutoff:] + slot
+    mean = float(probs @ lengths)
+    second = float(probs @ (lengths * lengths))
+    return (mean, second)

@@ -1,0 +1,78 @@
+"""Elementary M/M/1 queueing formulas (analysis building block).
+
+Used as a sanity substrate: the §4.1 birth-death chain degenerates to an
+M/M/1 queue when the push phase vanishes (``μ₁ → ∞``), which gives an
+exact cross-check for both the chain solver and the DES engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["MM1", "mm1_waiting_time", "mm1_queue_length"]
+
+
+@dataclass(frozen=True)
+class MM1:
+    """An M/M/1 queue with arrival rate ``lam`` and service rate ``mu``.
+
+    All classic stationary quantities as properties; raises on
+    construction if the queue is unstable (``lam >= mu``).
+    """
+
+    lam: float
+    mu: float
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0 or self.mu <= 0:
+            raise ValueError(f"rates must be > 0, got lam={self.lam}, mu={self.mu}")
+        if self.lam >= self.mu:
+            raise ValueError(f"unstable queue: lam={self.lam} >= mu={self.mu}")
+
+    @property
+    def rho(self) -> float:
+        """Utilisation ``λ/μ``."""
+        return self.lam / self.mu
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """``L = ρ/(1−ρ)``."""
+        return self.rho / (1.0 - self.rho)
+
+    @property
+    def mean_number_in_queue(self) -> float:
+        """``Lq = ρ²/(1−ρ)``."""
+        return self.rho * self.rho / (1.0 - self.rho)
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """``W = 1/(μ−λ)`` (waiting + service)."""
+        return 1.0 / (self.mu - self.lam)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """``Wq = ρ/(μ−λ)`` (queueing delay only)."""
+        return self.rho / (self.mu - self.lam)
+
+    def prob_n_in_system(self, n: int) -> float:
+        """``P[N = n] = (1−ρ)ρⁿ``."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        return (1.0 - self.rho) * self.rho**n
+
+    def prob_wait_exceeds(self, t: float) -> float:
+        """``P[W > t] = e^{−(μ−λ)t}`` for the sojourn time."""
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        return math.exp(-(self.mu - self.lam) * t)
+
+
+def mm1_waiting_time(lam: float, mu: float) -> float:
+    """Shortcut for :attr:`MM1.mean_waiting_time`."""
+    return MM1(lam, mu).mean_waiting_time
+
+
+def mm1_queue_length(lam: float, mu: float) -> float:
+    """Shortcut for :attr:`MM1.mean_number_in_queue`."""
+    return MM1(lam, mu).mean_number_in_queue

@@ -1,0 +1,101 @@
+"""Preemptive-resume priority queue — the road not taken by the paper.
+
+§4.2.1 assumes "the most important items have the right to get service
+before the second important item *without preemption*".  This module
+provides the preemptive-resume counterpart (Gross & Harris, the paper's
+own reference [4]) so the design choice can be quantified: how much
+premium delay does non-preemption cost, and what would preemption do to
+the basic classes?
+
+For M/M/1 with classes ``1..n`` (most important first), exponential
+service at per-class rates ``μ_j``, the preemptive-resume *sojourn* time
+of class ``i`` depends only on classes ``1..i``:
+
+    E[T_i] = (1/μ_i) / (1 − σ_{i−1})
+             + (Σ_{j≤i} ρ_j/μ_j) / ((1 − σ_{i−1})(1 − σ_i))
+
+with ``ρ_j = λ_j/μ_j`` and ``σ_i = Σ_{j≤i} ρ_j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .priority_mm1 import cobham_waiting_times
+
+__all__ = ["PreemptiveResult", "preemptive_sojourn_times", "preemption_gain"]
+
+
+@dataclass(frozen=True)
+class PreemptiveResult:
+    """Per-class stationary times under preemptive-resume priority.
+
+    Attributes
+    ----------
+    sojourn_times:
+        ``E[T_i]`` including service, most important class first.
+    waiting_times:
+        ``E[T_i] − 1/μ_i``.
+    occupancies:
+        ``ρ_j`` per class.
+    """
+
+    sojourn_times: np.ndarray
+    waiting_times: np.ndarray
+    occupancies: np.ndarray
+
+
+def preemptive_sojourn_times(
+    lambdas: np.ndarray | list[float],
+    mus: np.ndarray | list[float],
+) -> PreemptiveResult:
+    """Preemptive-resume per-class sojourn times (Gross & Harris).
+
+    Parameters
+    ----------
+    lambdas, mus:
+        Per-class arrival and service rates, most important first.
+
+    Raises
+    ------
+    ValueError
+        On malformed inputs or instability (``σ_n >= 1``).
+    """
+    lam = np.asarray(lambdas, dtype=float)
+    mu = np.asarray(mus, dtype=float)
+    if lam.shape != mu.shape or lam.ndim != 1 or lam.size == 0:
+        raise ValueError(f"need matching 1-D rate vectors, got {lam.shape} and {mu.shape}")
+    if np.any(lam <= 0) or np.any(mu <= 0):
+        raise ValueError("all rates must be > 0")
+    rho = lam / mu
+    sigma = np.concatenate([[0.0], np.cumsum(rho)])
+    if sigma[-1] >= 1.0:
+        raise ValueError(f"unstable queue: total occupancy {sigma[-1]:.4f} >= 1")
+
+    partial_residual = np.cumsum(rho / mu)  # Σ_{j<=i} rho_j/mu_j
+    sojourn = (1.0 / mu) / (1.0 - sigma[:-1]) + partial_residual / (
+        (1.0 - sigma[:-1]) * (1.0 - sigma[1:])
+    )
+    return PreemptiveResult(
+        sojourn_times=sojourn,
+        waiting_times=sojourn - 1.0 / mu,
+        occupancies=rho,
+    )
+
+
+def preemption_gain(
+    lambdas: np.ndarray | list[float],
+    mus: np.ndarray | list[float],
+) -> np.ndarray:
+    """Per-class sojourn ratio non-preemptive / preemptive (>1 = preemption wins).
+
+    The top class always gains from preemption (ratios > 1); the bottom
+    class always loses (ratio < 1) — quantifying the §4.2.1 trade-off.
+    """
+    lam = np.asarray(lambdas, dtype=float)
+    mu = np.asarray(mus, dtype=float)
+    non_preemptive = cobham_waiting_times(lam, mu).sojourn_times
+    preemptive = preemptive_sojourn_times(lam, mu).sojourn_times
+    return np.asarray(non_preemptive) / preemptive

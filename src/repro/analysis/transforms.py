@@ -1,0 +1,91 @@
+"""Numerical z-transform machinery for the §4.1 chain.
+
+The paper derives its §4.1 results through probability generating
+functions:
+
+    P₁(z) = Σ_i z^i · p(i, 0)       (push phase, including idle at i=0)
+    P₂(z) = Σ_i z^i · p(i, 1)       (pull phase)
+
+and the balance equations collapse to the identity (paper Eq. 4):
+
+    P₂(z) = f · [P₁(z) − p(0,0)] / (1 + ρ − ρz),   ρ = λ/μ₂, f = μ₁/μ₂
+
+with the boundary values ``P₂(1) = ρ`` and ``P₁(1) = 1 − ρ``, from which
+``p(0,0) = 1 − ρ − ρ/f`` and the mean queue length (Eq. 5) follow.
+
+Solving the chain numerically (``repro.analysis.birth_death``) gives the
+stationary vector directly, so here the generating functions are
+*evaluated* from that vector — which lets the test suite verify the
+paper's Eq. 4 identity, boundary conditions and derivative relations to
+machine precision instead of taking the algebra on faith.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .birth_death import BirthDeathSolution, HybridBirthDeathChain
+
+__all__ = ["GeneratingFunctions", "from_chain"]
+
+
+class GeneratingFunctions:
+    """PGF evaluations of a solved §4.1 chain.
+
+    Parameters
+    ----------
+    solution:
+        Stationary distribution from :meth:`HybridBirthDeathChain.solve`.
+    rho, f:
+        The paper's load parameters ``λ/μ₂`` and ``μ₁/μ₂``.
+    """
+
+    def __init__(self, solution: BirthDeathSolution, rho: float, f: float) -> None:
+        self.solution = solution
+        self.rho = float(rho)
+        self.f = float(f)
+        self._powers_cache: dict[float, np.ndarray] = {}
+
+    def _powers(self, z: float) -> np.ndarray:
+        powers = self._powers_cache.get(z)
+        if powers is None:
+            powers = z ** np.arange(len(self.solution.pi_push), dtype=float)
+            self._powers_cache[z] = powers
+        return powers
+
+    def p1(self, z: float) -> float:
+        """``P₁(z) = Σ_i z^i p(i, 0)`` (push/idle phase PGF)."""
+        return float(self._powers(z) @ self.solution.pi_push)
+
+    def p2(self, z: float) -> float:
+        """``P₂(z) = Σ_i z^i p(i, 1)`` (pull phase PGF)."""
+        return float(self._powers(z) @ self.solution.pi_pull)
+
+    def p2_from_identity(self, z: float) -> float:
+        """The paper's Eq. 4 right-hand side, ``f·[P₁(z) − p(0,0)] / (1 + ρ − ρz)``.
+
+        Must equal :meth:`p2` for every ``z`` — the §4.1 algebra check.
+        """
+        denominator = 1.0 + self.rho - self.rho * z
+        return self.f * (self.p1(z) - self.solution.idle_probability) / denominator
+
+    def identity_residual(self, zs: np.ndarray | list[float]) -> float:
+        """Max |P₂(z) − Eq.4(z)| over the probe points ``zs``."""
+        return max(abs(self.p2(z) - self.p2_from_identity(z)) for z in zs)
+
+    def p1_derivative(self, z: float = 1.0, eps: float = 1e-6) -> float:
+        """Numerical ``dP₁/dz`` — the paper's ``N`` at ``z = 1``."""
+        return (self.p1(z + eps) - self.p1(z - eps)) / (2 * eps)
+
+    def p2_derivative(self, z: float = 1.0, eps: float = 1e-6) -> float:
+        """Numerical ``dP₂/dz`` — ``E[L_pull]``'s pull-phase component at 1."""
+        return (self.p2(z + eps) - self.p2(z - eps)) / (2 * eps)
+
+    def mean_queue_length(self) -> float:
+        """``E[L_pull] = P₁'(1) + P₂'(1)`` (matches the direct expectation)."""
+        return self.p1_derivative() + self.p2_derivative()
+
+
+def from_chain(chain: HybridBirthDeathChain) -> GeneratingFunctions:
+    """Solve ``chain`` and wrap its PGFs."""
+    return GeneratingFunctions(chain.solve(), rho=chain.rho, f=chain.f)

@@ -1,0 +1,59 @@
+"""Analytic-vs-simulation comparison (the Fig. 7 machinery).
+
+Pairs an :class:`~repro.analysis.hybrid_delay.AnalyticalResult` with a
+:class:`~repro.sim.metrics.SimulationResult` (or replication aggregate)
+and reports per-class deviations — the quantity the paper summarises as
+"a minor 10 % deviation".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..sim.metrics import SimulationResult
+from ..sim.runner import ReplicatedResult
+from .hybrid_delay import AnalyticalResult
+from .littles import relative_error
+
+__all__ = ["ComparisonRow", "compare_results"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One class's analytic vs simulated delay."""
+
+    class_name: str
+    analytical: float
+    simulated: float
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation ``|analytic − sim| / sim``."""
+        return relative_error(self.analytical, self.simulated)
+
+
+def compare_results(
+    analytical: AnalyticalResult,
+    simulated: SimulationResult | ReplicatedResult,
+) -> list[ComparisonRow]:
+    """Per-class comparison rows, most important class first."""
+    if isinstance(simulated, ReplicatedResult):
+        sim_delays: Mapping[str, float] = simulated.per_class_delays()
+    else:
+        sim_delays = simulated.per_class_delay
+    rows = []
+    for name, value in analytical.per_class_delay.items():
+        if name not in sim_delays:
+            raise KeyError(f"class {name!r} missing from simulation result")
+        rows.append(
+            ComparisonRow(class_name=name, analytical=value, simulated=sim_delays[name])
+        )
+    return rows
+
+
+def max_deviation(rows: list[ComparisonRow]) -> float:
+    """Largest finite per-class deviation (``nan`` if none are finite)."""
+    finite = [r.deviation for r in rows if not math.isnan(r.deviation)]
+    return max(finite) if finite else math.nan

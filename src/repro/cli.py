@@ -1,0 +1,121 @@
+"""Command-line interface: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro fig3                 # quick-scale run of Figure 3
+    python -m repro fig7 --full          # publication-scale run
+    python -m repro all --quick          # every experiment
+
+Also installed as the ``repro-experiments`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from .experiments.specs import FULL, QUICK, ExperimentScale
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation figures of 'A New Service Classification "
+            "Strategy in Hybrid Scheduling to Support Differentiated QoS in "
+            "Wireless Data Networks' (ICPP 2005)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', 'export', or 'list'",
+    )
+    parser.add_argument(
+        "--out",
+        default="figures",
+        help="output directory for 'export' (default: ./figures)",
+    )
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--quick",
+        action="store_true",
+        help="short horizons / single seed (default)",
+    )
+    scale.add_argument(
+        "--full",
+        action="store_true",
+        help="publication-scale horizons and replications",
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=None, help="override the simulated horizon"
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=None, help="override the number of replications"
+    )
+    return parser
+
+
+def _resolve_scale(args: argparse.Namespace) -> ExperimentScale:
+    scale = FULL if args.full else QUICK
+    if args.horizon is not None or args.seeds is not None:
+        scale = ExperimentScale(
+            horizon=args.horizon if args.horizon is not None else scale.horizon,
+            num_seeds=args.seeds if args.seeds is not None else scale.num_seeds,
+        )
+    return scale
+
+
+def _render_listing() -> str:
+    lines = ["available experiments:"]
+    for experiment in EXPERIMENTS.values():
+        lines.append(
+            f"  {experiment.experiment_id:<16} {experiment.paper_reference:<22} "
+            f"{experiment.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        print(_render_listing())
+        return 0
+
+    scale = _resolve_scale(args)
+
+    if args.experiment == "export":
+        from .experiments.export import export_all_figures
+
+        written = export_all_figures(args.out, scale=scale)
+        for path in written:
+            print(path)
+        print(f"exported {len(written)} files to {args.out}/")
+        return 0
+    targets = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for target in targets:
+        if target not in EXPERIMENTS:
+            print(f"error: unknown experiment {target!r}", file=sys.stderr)
+            print(_render_listing(), file=sys.stderr)
+            return 2
+    for target in targets:
+        experiment = EXPERIMENTS[target]
+        started = time.perf_counter()
+        print(f"=== {experiment.experiment_id} ({experiment.paper_reference}) ===")
+        print(experiment.description)
+        print()
+        print(run_experiment(target, scale))
+        print(f"\n[{experiment.experiment_id} done in {time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

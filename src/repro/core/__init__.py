@@ -1,0 +1,47 @@
+"""``repro.core`` — the paper's contribution as a clean public API.
+
+Importance-factor math (Eqs. 1 and 6), client service classification,
+cut-off point optimisation, per-class bandwidth partitioning and the
+configuration object tying the system together.
+"""
+
+from .api import analyze_hybrid, optimize_bandwidth, optimize_cutoff, simulate_hybrid
+from .bandwidth import (
+    BandwidthAllocation,
+    blocking_probabilities,
+    optimize_shares,
+    poisson_tail,
+)
+from .classifier import ClassAssignment, classify_by_quantiles, classify_by_thresholds
+from .config import ClassSpec, HybridConfig, ServiceRateConvention
+from .cutoff import CutoffSweep, optimize_cutoff_analytical, optimize_cutoff_simulated
+from .importance import (
+    equivalence_weight,
+    expected_importance,
+    importance_factor,
+    stretch,
+)
+
+__all__ = [
+    "simulate_hybrid",
+    "analyze_hybrid",
+    "optimize_cutoff",
+    "optimize_bandwidth",
+    "BandwidthAllocation",
+    "blocking_probabilities",
+    "optimize_shares",
+    "poisson_tail",
+    "ClassAssignment",
+    "classify_by_quantiles",
+    "classify_by_thresholds",
+    "ClassSpec",
+    "HybridConfig",
+    "ServiceRateConvention",
+    "CutoffSweep",
+    "optimize_cutoff_analytical",
+    "optimize_cutoff_simulated",
+    "equivalence_weight",
+    "expected_importance",
+    "importance_factor",
+    "stretch",
+]

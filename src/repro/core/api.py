@@ -1,0 +1,79 @@
+"""Top-level convenience API — the four calls most users need.
+
+These wrap the simulator, the analytical models and the optimisers with
+the paper's defaults; everything they return is also reachable through
+the underlying packages for finer control.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.hybrid_delay import AnalysisMode, AnalyticalResult, analyze_hybrid
+from .bandwidth import BandwidthAllocation, optimize_shares
+from .config import HybridConfig
+from .cutoff import (
+    CutoffSweep,
+    Objective,
+    optimize_cutoff_analytical,
+    optimize_cutoff_simulated,
+)
+
+__all__ = ["simulate_hybrid", "analyze_hybrid", "optimize_cutoff", "optimize_bandwidth"]
+
+
+def simulate_hybrid(
+    config: HybridConfig,
+    seed: int = 0,
+    horizon: float = 5_000.0,
+    warmup: float | None = None,
+    pull_mode: str = "serial",
+):
+    """Run one simulation of ``config`` and return its summary.
+
+    Thin wrapper over :func:`repro.sim.runner.run_single`; see there for
+    parameter semantics.  Returns a
+    :class:`~repro.sim.metrics.SimulationResult`.
+    """
+    from ..sim.runner import run_single  # deferred: sim imports core
+
+    return run_single(
+        config, seed=seed, horizon=horizon, warmup=warmup, pull_mode=pull_mode
+    )
+
+
+def optimize_cutoff(
+    config: HybridConfig,
+    objective: Objective = "delay",
+    method: str = "analytical",
+    candidates: Sequence[int] | None = None,
+    mode: AnalysisMode = "corrected",
+    **sim_kwargs,
+) -> CutoffSweep:
+    """Sweep the cut-off point ``K`` and return the optimum.
+
+    ``method`` selects the analytical model (fast, default) or the
+    simulator (``"simulated"``, forwards ``sim_kwargs`` such as
+    ``horizon``/``seed``/``num_runs``).
+    """
+    if method == "analytical":
+        return optimize_cutoff_analytical(
+            config, objective=objective, candidates=candidates, mode=mode
+        )
+    if method == "simulated":
+        return optimize_cutoff_simulated(
+            config, objective=objective, candidates=candidates, **sim_kwargs
+        )
+    raise ValueError(f"unknown method {method!r}; use 'analytical' or 'simulated'")
+
+
+def optimize_bandwidth(
+    config: HybridConfig,
+    weights: Sequence[float] | None = None,
+    resolution: int = 20,
+) -> BandwidthAllocation:
+    """Optimise the per-class bandwidth partition for minimal blocking.
+
+    Alias of :func:`repro.core.bandwidth.optimize_shares`.
+    """
+    return optimize_shares(config, weights=weights, resolution=resolution)

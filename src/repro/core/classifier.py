@@ -1,0 +1,129 @@
+"""Service classification of clients (§3: "the server first classifies
+the clients into different service classes").
+
+The paper takes the classes as given; an operator deploying the system
+must actually derive them from a raw importance score (spend, tenure,
+contract tier...).  This module provides the two standard derivations:
+
+* :func:`classify_by_thresholds` — fixed score boundaries;
+* :func:`classify_by_quantiles` — population quantiles, which directly
+  yields the paper's "few premium clients, many basic clients" shape.
+
+Both return a :class:`ClassAssignment` that can build the
+:class:`~repro.workload.clients.ClientPopulation` consumed everywhere
+else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..workload.clients import ClientPopulation, ServiceClass
+
+__all__ = ["ClassAssignment", "classify_by_thresholds", "classify_by_quantiles"]
+
+
+@dataclass(frozen=True)
+class ClassAssignment:
+    """Result of classifying a scored client population.
+
+    Attributes
+    ----------
+    classes:
+        Derived service classes, most important first.
+    labels:
+        Per-client class rank (0 = most important), aligned with the
+        input score vector.
+    """
+
+    classes: tuple[ServiceClass, ...]
+    labels: np.ndarray
+
+    def class_counts(self) -> np.ndarray:
+        """Clients per class in rank order."""
+        return np.bincount(self.labels, minlength=len(self.classes))
+
+    def to_population(self) -> ClientPopulation:
+        """Materialise a :class:`ClientPopulation` with these class sizes."""
+        return ClientPopulation(
+            classes=list(self.classes), class_counts=self.class_counts()
+        )
+
+
+def _build_classes(
+    names: Sequence[str], priorities: Sequence[float]
+) -> tuple[ServiceClass, ...]:
+    if len(names) != len(priorities):
+        raise ValueError(f"{len(names)} names vs {len(priorities)} priorities")
+    if list(priorities) != sorted(priorities, reverse=True):
+        raise ValueError("priorities must be non-increasing (most important first)")
+    return tuple(
+        ServiceClass(name=n, priority=float(q), rank=i)
+        for i, (n, q) in enumerate(zip(names, priorities))
+    )
+
+
+def classify_by_thresholds(
+    scores: np.ndarray | Sequence[float],
+    thresholds: Sequence[float],
+    names: Sequence[str] = ("A", "B", "C"),
+    priorities: Sequence[float] = (3.0, 2.0, 1.0),
+) -> ClassAssignment:
+    """Assign clients to classes by fixed importance-score boundaries.
+
+    A client with score >= ``thresholds[0]`` lands in the first (most
+    important) class, >= ``thresholds[1]`` in the second, and so on; below
+    every threshold lands in the last class.  ``len(thresholds)`` must be
+    ``len(names) - 1`` and thresholds must be strictly decreasing.
+    """
+    s = np.asarray(scores, dtype=float)
+    if s.ndim != 1 or s.size == 0:
+        raise ValueError("scores must be a non-empty 1-D vector")
+    th = list(thresholds)
+    if len(th) != len(names) - 1:
+        raise ValueError(f"expected {len(names) - 1} thresholds, got {len(th)}")
+    if th != sorted(th, reverse=True) or len(set(th)) != len(th):
+        raise ValueError(f"thresholds must be strictly decreasing, got {th}")
+    classes = _build_classes(names, priorities)
+    labels = np.full(s.shape, len(classes) - 1, dtype=int)
+    for rank, bound in enumerate(th):
+        # First matching (highest) class wins: only relabel clients still
+        # sitting in a lower class than `rank`.
+        labels = np.where((s >= bound) & (labels > rank), rank, labels)
+    return ClassAssignment(classes=classes, labels=labels)
+
+
+def classify_by_quantiles(
+    scores: np.ndarray | Sequence[float],
+    fractions: Sequence[float] = (0.1, 0.3, 0.6),
+    names: Sequence[str] = ("A", "B", "C"),
+    priorities: Sequence[float] = (3.0, 2.0, 1.0),
+) -> ClassAssignment:
+    """Assign clients to classes by population quantiles of the score.
+
+    ``fractions`` gives the target share of each class, most important
+    first (default: 10 % premium / 30 % mid / 60 % basic — the paper's
+    "fewest clients in the highest class" shape).  Shares must sum to 1.
+    Ties at the boundary go to the more important class in score order.
+    """
+    s = np.asarray(scores, dtype=float)
+    if s.ndim != 1 or s.size == 0:
+        raise ValueError("scores must be a non-empty 1-D vector")
+    frac = np.asarray(fractions, dtype=float)
+    if len(frac) != len(names):
+        raise ValueError(f"expected {len(names)} fractions, got {len(frac)}")
+    if np.any(frac <= 0) or abs(frac.sum() - 1.0) > 1e-9:
+        raise ValueError(f"fractions must be positive and sum to 1, got {frac}")
+    classes = _build_classes(names, priorities)
+    order = np.argsort(-s, kind="stable")  # best scores first
+    counts = np.floor(frac * s.size).astype(int)
+    counts[-1] += s.size - counts.sum()  # remainder to the basic class
+    labels = np.empty(s.size, dtype=int)
+    start = 0
+    for rank, count in enumerate(counts):
+        labels[order[start : start + count]] = rank
+        start += count
+    return ClassAssignment(classes=classes, labels=labels)

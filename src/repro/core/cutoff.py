@@ -1,0 +1,149 @@
+"""Cut-off point optimisation (§3: "periodically the algorithm is executed
+for different cutoff-points and obtains the optimal cutoff-point which
+minimizes the overall access time").
+
+Two engines behind one interface:
+
+* analytical sweep — evaluate
+  :func:`~repro.analysis.hybrid_delay.analyze_hybrid` for every candidate
+  ``K`` (fast; used by Fig. 6's "optimal prioritized cost" curves);
+* simulation sweep — run the DES per candidate (slow but
+  assumption-free), with common random numbers across candidates.
+
+The objective is either the overall expected delay or the total
+prioritized cost ``Σ_j q_j·E[T_j]`` (the paper optimises both at
+different points of §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal, Sequence
+
+import numpy as np
+
+from ..analysis.hybrid_delay import AnalysisMode, analyze_hybrid
+from .config import HybridConfig
+
+__all__ = ["CutoffSweep", "optimize_cutoff_analytical", "optimize_cutoff_simulated"]
+
+Objective = Literal["delay", "cost"]
+
+
+@dataclass(frozen=True)
+class CutoffSweep:
+    """Result of sweeping the cut-off point ``K``.
+
+    Attributes
+    ----------
+    cutoffs:
+        Candidate ``K`` values, ascending.
+    objective_values:
+        Objective (delay or cost) per candidate.
+    best_cutoff:
+        Candidate minimising the objective.
+    objective:
+        Which objective was optimised.
+    """
+
+    cutoffs: np.ndarray
+    objective_values: np.ndarray
+    best_cutoff: int
+    objective: Objective
+
+    @property
+    def best_value(self) -> float:
+        """Objective value at the optimum."""
+        return float(self.objective_values[int(np.argmin(self.objective_values))])
+
+    def as_rows(self) -> list[tuple[int, float]]:
+        """(K, objective) pairs for tabulation."""
+        return [(int(k), float(v)) for k, v in zip(self.cutoffs, self.objective_values)]
+
+
+def _candidates(config: HybridConfig, candidates: Sequence[int] | None) -> np.ndarray:
+    if candidates is None:
+        step = max(1, config.num_items // 20)
+        cand = np.arange(step, config.num_items, step, dtype=int)
+    else:
+        cand = np.asarray(sorted(set(int(c) for c in candidates)), dtype=int)
+        if cand.size == 0:
+            raise ValueError("candidate set is empty")
+        if cand.min() < 0 or cand.max() > config.num_items:
+            raise ValueError(
+                f"candidates outside [0, {config.num_items}]: {cand.min()}..{cand.max()}"
+            )
+    return cand
+
+
+def _sweep(
+    config: HybridConfig,
+    evaluate: Callable[[HybridConfig], tuple[float, float]],
+    candidates: np.ndarray,
+    objective: Objective,
+) -> CutoffSweep:
+    values = []
+    for k in candidates:
+        delay, cost = evaluate(config.with_cutoff(int(k)))
+        values.append(delay if objective == "delay" else cost)
+    values_arr = np.asarray(values, dtype=float)
+    best = int(candidates[int(np.nanargmin(values_arr))])
+    return CutoffSweep(
+        cutoffs=candidates,
+        objective_values=values_arr,
+        best_cutoff=best,
+        objective=objective,
+    )
+
+
+def optimize_cutoff_analytical(
+    config: HybridConfig,
+    objective: Objective = "delay",
+    candidates: Sequence[int] | None = None,
+    mode: AnalysisMode = "corrected",
+) -> CutoffSweep:
+    """Find the ``K`` minimising the analytical objective.
+
+    Parameters
+    ----------
+    config:
+        Base configuration (its own ``cutoff`` is ignored).
+    objective:
+        ``"delay"`` (overall expected access time) or ``"cost"``
+        (total prioritized cost).
+    candidates:
+        Candidate ``K`` values (default: a 20-point grid over the catalog).
+    mode:
+        Analysis mode forwarded to :func:`analyze_hybrid`.
+    """
+
+    def evaluate(cfg: HybridConfig) -> tuple[float, float]:
+        result = analyze_hybrid(cfg, mode=mode)
+        return (result.overall_delay, result.total_prioritized_cost)
+
+    return _sweep(config, evaluate, _candidates(config, candidates), objective)
+
+
+def optimize_cutoff_simulated(
+    config: HybridConfig,
+    objective: Objective = "delay",
+    candidates: Sequence[int] | None = None,
+    horizon: float = 3_000.0,
+    seed: int = 0,
+    num_runs: int = 1,
+) -> CutoffSweep:
+    """Find the ``K`` minimising the simulated objective.
+
+    Uses the same seeds for every candidate (common random numbers), so
+    candidate comparisons are paired and much lower-variance than
+    independent sampling.
+    """
+    from ..sim.runner import run_replications  # local import: sim depends on core
+
+    def evaluate(cfg: HybridConfig) -> tuple[float, float]:
+        result = run_replications(
+            cfg, num_runs=num_runs, horizon=horizon, base_seed=seed
+        )
+        return (result.overall_delay()[0], result.total_cost()[0])
+
+    return _sweep(config, evaluate, _candidates(config, candidates), objective)

@@ -1,0 +1,82 @@
+"""The importance-factor mathematics (Eqs. 1 and 6) as pure functions.
+
+The scheduler objects in :mod:`repro.schedulers.importance_factor` use
+these same formulas on live queue state; exposing them as vectorised pure
+functions makes the math unit-testable in isolation and lets analysis
+code score hypothetical queue states without a simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stretch", "importance_factor", "expected_importance", "equivalence_weight"]
+
+
+def stretch(num_requests: np.ndarray | float, length: np.ndarray | float) -> np.ndarray | float:
+    """The paper's stretch value ``S_i = R_i / L_i²`` (§4.2).
+
+    Accepts scalars or aligned arrays.  Lengths must be positive.
+    """
+    length_arr = np.asarray(length, dtype=float)
+    if np.any(length_arr <= 0):
+        raise ValueError("item lengths must be > 0")
+    result = np.asarray(num_requests, dtype=float) / (length_arr * length_arr)
+    return float(result) if np.isscalar(num_requests) and np.isscalar(length) else result
+
+
+def importance_factor(
+    alpha: float,
+    stretch_value: np.ndarray | float,
+    total_priority: np.ndarray | float,
+) -> np.ndarray | float:
+    """Eq. 1: ``γ_i = α·S_i + (1 − α)·Q_i``.
+
+    ``α = 1`` ignores priority (stretch-optimal); ``α = 0`` ignores
+    stretch (pure priority scheduling).
+    """
+    if not 0 <= alpha <= 1:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    s = np.asarray(stretch_value, dtype=float)
+    q = np.asarray(total_priority, dtype=float)
+    result = alpha * s + (1.0 - alpha) * q
+    if np.isscalar(stretch_value) and np.isscalar(total_priority):
+        return float(result)
+    return result
+
+
+def expected_importance(
+    alpha: float,
+    expected_queue_length: float,
+    probability: np.ndarray | float,
+    length: np.ndarray | float,
+    total_priority: np.ndarray | float,
+) -> np.ndarray | float:
+    """Eq. 6: ``ϱ_i = α·E[L]·p_i/L_i² + (1−α)·E[L]·p_i·Q_i``.
+
+    The generalisation of Eq. 1 weighting both terms by the expected
+    number of copies of item ``i`` in the pull queue, ``E[L_pull]·p_i``.
+    """
+    if not 0 <= alpha <= 1:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if expected_queue_length < 0:
+        raise ValueError(f"expected_queue_length must be >= 0, got {expected_queue_length}")
+    p = np.asarray(probability, dtype=float)
+    l = np.asarray(length, dtype=float)
+    if np.any(l <= 0):
+        raise ValueError("item lengths must be > 0")
+    q = np.asarray(total_priority, dtype=float)
+    weight = expected_queue_length * p
+    result = alpha * weight / (l * l) + (1.0 - alpha) * weight * q
+    scalars = all(np.isscalar(x) for x in (probability, length, total_priority))
+    return float(result) if scalars else result
+
+
+def equivalence_weight(expected_queue_length: float, probability: float) -> float:
+    """The factor ``E[L_pull]·p_i`` whose value 1 collapses Eq. 6 to Eq. 1.
+
+    The paper: "Equation 6 ... boils down to Equation 1 when
+    ``E[L_pull]·p_i = 1``."  Exposed so the property test can assert the
+    equivalence at exactly this operating point.
+    """
+    return expected_queue_length * probability

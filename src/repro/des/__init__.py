@@ -1,0 +1,75 @@
+"""``repro.des`` — a from-scratch discrete-event simulation engine.
+
+A compact, deterministic generator-process DES kernel in the style of
+simpy (which is unavailable in this environment), plus named random
+streams and output-analysis monitors.  Public surface:
+
+* :class:`Environment`, :class:`Event`, :class:`Timeout`, :class:`Process`,
+  :class:`Interrupt`, :class:`AllOf`, :class:`AnyOf`
+* Resources: :class:`Resource`, :class:`PriorityResource`,
+  :class:`Container`, :class:`Store`, :class:`FilterStore`,
+  :class:`PriorityStore`, :class:`PriorityItem`
+* Reproducibility: :class:`RandomStreams`
+* Measurement: :class:`Tally`, :class:`TimeWeighted`, :class:`Counter`,
+  :func:`batch_means_ci`
+"""
+
+from .engine import EmptySchedule, Environment, StopSimulation
+from .events import NORMAL, PENDING, URGENT, AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .monitor import Counter, Tally, TimeWeighted, batch_means_ci
+from .process import Interrupt, Process, ProcessGenerator
+from .resources import (
+    Container,
+    FilterStore,
+    Preempted,
+    PreemptiveRequest,
+    PreemptiveResource,
+    PriorityItem,
+    PriorityResource,
+    PriorityStore,
+    Release,
+    Request,
+    Resource,
+    Store,
+)
+from .rng import RandomStreams, stable_key
+from .warmup import MSERResult, mser_truncation, suggest_warmup
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "StopSimulation",
+    "Event",
+    "Timeout",
+    "Condition",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "Process",
+    "ProcessGenerator",
+    "Interrupt",
+    "Resource",
+    "PriorityResource",
+    "PreemptiveResource",
+    "PreemptiveRequest",
+    "Preempted",
+    "Request",
+    "Release",
+    "Container",
+    "Store",
+    "FilterStore",
+    "PriorityStore",
+    "PriorityItem",
+    "RandomStreams",
+    "stable_key",
+    "Tally",
+    "TimeWeighted",
+    "Counter",
+    "batch_means_ci",
+    "MSERResult",
+    "mser_truncation",
+    "suggest_warmup",
+]

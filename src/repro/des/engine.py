@@ -1,0 +1,190 @@
+"""The simulation environment: event calendar and execution loop.
+
+:class:`Environment` owns the simulation clock and a priority queue of
+scheduled events (the *calendar*).  :meth:`Environment.step` pops and
+processes one event; :meth:`Environment.run` loops until a stop condition.
+
+The calendar orders events by ``(time, priority, sequence)`` so that
+same-time events process in deterministic FIFO order within a priority
+band.  :data:`~repro.des.events.URGENT` events (process initialisation,
+interrupts) run before :data:`~repro.des.events.NORMAL` ones at equal time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Optional
+
+from .events import NORMAL, PENDING, AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGenerator
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception that ends :meth:`Environment.run`.
+
+    Carries the value of the event that stopped the run.
+    """
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        """Event callback that stops the simulation with the event's value."""
+        if event._ok:
+            raise cls(event._value)
+        raise event._value
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default ``0``).
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def hello(env):
+    ...     yield env.timeout(3)
+    ...     return env.now
+    >>> proc = env.process(hello(env))
+    >>> env.run()
+    >>> proc.value
+    3.0
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock & introspection ----------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __len__(self) -> int:
+        """Number of scheduled (not yet processed) events in the calendar."""
+        return len(self._queue)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Insert a triggered ``event`` into the calendar after ``delay``."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    # -- event factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that triggers after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new :class:`Process` executing ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition that triggers when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If the calendar is empty.
+        BaseException
+            A failed event whose exception nobody defused aborts the run
+            by re-raising that exception here.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive; cannot normally happen
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if event._ok is False and not event._defused:
+            # Nobody handled this failure: abort the simulation loudly.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the calendar empties.
+            * a number — run until the clock reaches that time (the clock is
+              advanced exactly to ``until`` even if no event sits there).
+            * an :class:`Event` — run until that event is processed, and
+              return its value.
+
+        Returns
+        -------
+        Any
+            The stopping event's value when ``until`` is an event, else
+            ``None``.
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until={at} lies in the past (now={self._now})")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            # Priority below NORMAL ensures all events at `at` run first.
+            self.schedule(until, priority=NORMAL + 1, delay=at - self._now)
+        elif isinstance(until, Event):
+            if until.callbacks is None:
+                # Already processed — nothing to run.
+                return until.value
+
+        if isinstance(until, Event):
+            until.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as exc:
+            return exc.args[0]
+        except EmptySchedule:
+            if isinstance(until, Event) and until._value is PENDING:
+                raise RuntimeError(
+                    "no more events scheduled but the `until` event never triggered"
+                ) from None
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<Environment t={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,333 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The engine follows the generator-process model popularised by ``simpy``:
+simulation processes are Python generators that ``yield`` events, and the
+:class:`~repro.des.engine.Environment` resumes them when those events
+trigger.  This module defines the event types themselves:
+
+* :class:`Event` — the base one-shot event with success/failure outcomes.
+* :class:`Timeout` — an event that triggers after a simulated delay.
+* :class:`Condition` / :class:`AllOf` / :class:`AnyOf` — composite events.
+
+Events are deliberately minimal: an event is *triggered* once it has an
+outcome scheduled, and *processed* once its callbacks have run.  A failed
+event whose exception is never retrieved is re-raised at the end of the
+simulation so that errors cannot be silently lost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import Environment
+
+__all__ = [
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+]
+
+
+class _PendingType:
+    """Unique sentinel for "this event has no value yet"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "<PENDING>"
+
+
+#: Sentinel stored in :attr:`Event._value` before the event is triggered.
+PENDING = _PendingType()
+
+#: Scheduling priority for events that must run before same-time events.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that simulation processes can wait for.
+
+    An event goes through three stages: *untriggered* (freshly created),
+    *triggered* (an outcome — value or exception — has been decided and the
+    event sits in the environment's calendar) and *processed* (its callbacks
+    have been invoked).  Processes wait on an event by ``yield``-ing it.
+
+    Parameters
+    ----------
+    env:
+        The environment in which this event lives.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks invoked (in order) when the event is processed.  ``None``
+        #: once the event has been processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has an outcome (value or exception)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only valid once triggered."""
+        if self._value is PENDING:
+            raise AttributeError(f"outcome of {self!r} is not yet decided")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's outcome value (or exception instance on failure)."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """Whether a failure outcome has been acknowledged by someone."""
+        return self._defused
+
+    @defused.setter
+    def defused(self, value: bool) -> None:
+        self._defused = bool(value)
+
+    # -- outcome control ---------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        Returns ``self`` so that ``yield env.event().succeed()`` works.
+        """
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception outcome.
+
+        The exception is re-raised inside every process waiting on this
+        event.  If nobody waits (and nobody defuses it), the simulation run
+        aborts with the exception.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() expects an exception, got {exception!r}")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of another (triggered) ``event`` onto this one.
+
+        Used to chain events, e.g. to re-expose a resource's internal event.
+        """
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- composition -------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} object at {id(self):#x} [{state}]>"
+
+
+class Timeout(Event):
+    """An event that triggers after ``delay`` units of simulated time.
+
+    Parameters
+    ----------
+    env:
+        Host environment.
+    delay:
+        Non-negative delay, in simulated time units.
+    value:
+        Value the event succeeds with (defaults to ``None``).
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout(delay={self.delay}) object at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Ordered mapping of event → value produced by a :class:`Condition`.
+
+    Behaves like a read-only :class:`dict` keyed by the original event
+    objects, preserving the order in which events were passed to the
+    condition (*not* trigger order), which makes tuple-unpacking of
+    ``AllOf`` results deterministic.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self):
+        return iter(self.events)
+
+    def values(self):
+        return (e._value for e in self.events)
+
+    def items(self):
+        return ((e, e._value) for e in self.events)
+
+    def todict(self) -> dict[Event, Any]:
+        """Return a plain ``dict`` snapshot of the condition results."""
+        return {e: e._value for e in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Composite event that triggers when ``evaluate(events, count)`` is true.
+
+    ``evaluate`` receives the list of composed events and the number that
+    have triggered so far.  :class:`AllOf` and :class:`AnyOf` are the two
+    standard instantiations, also reachable via ``event & event`` and
+    ``event | event``.
+
+    Nested conditions are flattened into the resulting
+    :class:`ConditionValue`, so ``(a & b) & c`` exposes all three leaf
+    events.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events: list[Event] = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+
+        # Immediately check already-processed events; subscribe to the rest.
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        # An empty condition is trivially satisfied.
+        if self._value is PENDING and self._evaluate(self._events, self._count):
+            self.succeed(ConditionValue())
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        """Collect triggered leaf-event outcomes, flattening nested conditions."""
+        for event in self._events:
+            if isinstance(event, Condition):
+                event._populate_value(value)
+            elif event.callbacks is None and event not in value.events:
+                value.events.append(event)
+
+    def _check(self, event: Event) -> None:
+        """Callback run whenever one of the composed events is processed."""
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            # Propagate the first failure; mark it defused because the
+            # condition will re-raise it in whoever waits on the condition.
+            event.defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            value = ConditionValue()
+            self._populate_value(value)
+            self.succeed(value)
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        """Evaluator: every composed event has triggered."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list[Event], count: int) -> bool:
+        """Evaluator: at least one event has triggered (or there are none)."""
+        return count > 0 or len(events) == 0
+
+
+class AllOf(Condition):
+    """Condition that triggers once *all* of ``events`` have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers once *any* of ``events`` has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

@@ -1,0 +1,225 @@
+"""Measurement primitives: tallies, time-weighted series and counters.
+
+Simulation output analysis lives here so the simulator proper only ever
+calls ``observe``/``set`` and the statistics (means, variances, confidence
+intervals, time-averages, batch means) are computed in one audited place.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+from scipy import stats as _sstats
+
+__all__ = ["Tally", "TimeWeighted", "Counter", "batch_means_ci"]
+
+
+class Tally:
+    """Streaming sample statistics over observations (Welford's algorithm).
+
+    Records count, mean, variance, min and max in O(1) memory; optionally
+    keeps the raw observations for percentile queries.
+
+    Parameters
+    ----------
+    keep_values:
+        If true, retain every observation (needed for percentiles).
+    """
+
+    def __init__(self, keep_values: bool = False) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._values: Optional[list[float]] = [] if keep_values else None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if self._values is not None:
+            self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (``nan`` if empty)."""
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (``nan`` if < 2 observations)."""
+        return self._m2 / (self._n - 1) if self._n > 1 else math.nan
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (``nan`` if empty)."""
+        return self._min if self._n else math.nan
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (``nan`` if empty)."""
+        return self._max if self._n else math.nan
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile; requires ``keep_values=True``."""
+        if self._values is None:
+            raise RuntimeError("construct with keep_values=True for percentiles")
+        if not self._values:
+            return math.nan
+        return float(np.percentile(self._values, q))
+
+    def confidence_interval(self, level: float = 0.95) -> tuple[float, float]:
+        """Student-t confidence interval for the mean.
+
+        Returns ``(nan, nan)`` with fewer than two observations.
+        """
+        if self._n < 2:
+            return (math.nan, math.nan)
+        half = _sstats.t.ppf(0.5 + level / 2.0, self._n - 1) * self.std / math.sqrt(self._n)
+        return (self._mean - half, self._mean + half)
+
+    def merge(self, other: "Tally") -> "Tally":
+        """Return a new tally combining this one with ``other`` (Chan et al.)."""
+        out = Tally(keep_values=self._values is not None and other._values is not None)
+        n = self._n + other._n
+        if n == 0:
+            return out
+        delta = other._mean - self._mean
+        out._n = n
+        out._mean = self._mean + delta * other._n / n
+        out._m2 = self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        if out._values is not None:
+            out._values = list(self._values or []) + list(other._values or [])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Tally(n={self._n}, mean={self.mean:.4g})"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal (e.g. queue length).
+
+    Call :meth:`set` whenever the level changes; the integral of the level
+    over time accumulates automatically.
+
+    Parameters
+    ----------
+    env_now:
+        Function returning the current simulation time (typically the bound
+        method ``lambda: env.now`` or the ``Environment.now`` property via a
+        closure).
+    initial:
+        Level before the first :meth:`set`.
+    """
+
+    def __init__(self, now: float = 0.0, initial: float = 0.0) -> None:
+        self._last_time = float(now)
+        self._start_time = float(now)
+        self._level = float(initial)
+        self._area = 0.0
+        self._max = float(initial)
+
+    @property
+    def level(self) -> float:
+        """Current level of the signal."""
+        return self._level
+
+    @property
+    def maximum(self) -> float:
+        """Largest level ever set."""
+        return self._max
+
+    def set(self, now: float, level: float) -> None:
+        """Change the level to ``level`` at time ``now``."""
+        if now < self._last_time:
+            raise ValueError(f"time ran backwards: {now} < {self._last_time}")
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = float(level)
+        self._max = max(self._max, self._level)
+
+    def add(self, now: float, delta: float) -> None:
+        """Increment the level by ``delta`` at time ``now``."""
+        self.set(now, self._level + delta)
+
+    def time_average(self, now: Optional[float] = None) -> float:
+        """Average level over ``[start, now]`` (``nan`` if zero elapsed)."""
+        end = self._last_time if now is None else float(now)
+        elapsed = end - self._start_time
+        if elapsed <= 0:
+            return math.nan
+        area = self._area + self._level * (end - self._last_time)
+        return area / elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"TimeWeighted(level={self._level}, avg={self.time_average():.4g})"
+
+
+class Counter:
+    """A plain event counter with a rate helper."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def increment(self, by: int = 1) -> None:
+        """Add ``by`` to the count."""
+        self._count += by
+
+    @property
+    def count(self) -> int:
+        """Current count."""
+        return self._count
+
+    def rate(self, elapsed: float) -> float:
+        """Events per unit time over ``elapsed`` (``nan`` if non-positive)."""
+        return self._count / elapsed if elapsed > 0 else math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Counter({self._count})"
+
+
+def batch_means_ci(
+    samples: np.ndarray | list[float], n_batches: int = 10, level: float = 0.95
+) -> tuple[float, float, float]:
+    """Batch-means point estimate and confidence interval.
+
+    The classic remedy for autocorrelated simulation output: partition the
+    (time-ordered) sample path into ``n_batches`` contiguous batches, treat
+    batch means as i.i.d. and apply a Student-t interval.
+
+    Returns
+    -------
+    (mean, lo, hi):
+        Point estimate and confidence bounds.  ``(nan, nan, nan)`` when
+        there are fewer samples than batches.
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.size < n_batches or n_batches < 2:
+        return (math.nan, math.nan, math.nan)
+    usable = (x.size // n_batches) * n_batches
+    batches = x[:usable].reshape(n_batches, -1).mean(axis=1)
+    mean = float(batches.mean())
+    sd = float(batches.std(ddof=1))
+    half = float(_sstats.t.ppf(0.5 + level / 2.0, n_batches - 1)) * sd / math.sqrt(n_batches)
+    return (mean, mean - half, mean + half)

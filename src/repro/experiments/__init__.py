@@ -1,0 +1,67 @@
+"""``repro.experiments`` — harness regenerating every figure of the paper.
+
+See :data:`~repro.experiments.registry.EXPERIMENTS` for the per-figure
+index; DESIGN.md maps each entry back to the paper's evaluation section.
+"""
+
+from .ascii_plot import ascii_plot
+from .baselines import (
+    birth_death_validation,
+    pull_policy_comparison,
+    push_policy_comparison,
+)
+from .blocking import blocking_vs_share, optimal_partition
+from .compare import analytical_vs_simulation
+from .cost import cost_vs_cutoff, optimal_cost_vs_alpha
+from .delay import delay_vs_alpha, delay_vs_cutoff
+from .export import (
+    FIGURE_FACTORIES,
+    export_all_figures,
+    figure_to_dict,
+    save_figure_csv,
+    save_figure_json,
+)
+from .registry import EXPERIMENTS, Experiment, experiment_ids, run_experiment
+from .specs import (
+    DEFAULT_CUTOFFS,
+    FULL,
+    PAPER_ALPHAS,
+    PAPER_THETAS_FIG,
+    QUICK,
+    ExperimentScale,
+    paper_config,
+)
+from .tables import FigureData, Series, render_table
+
+__all__ = [
+    "ascii_plot",
+    "birth_death_validation",
+    "pull_policy_comparison",
+    "push_policy_comparison",
+    "blocking_vs_share",
+    "optimal_partition",
+    "analytical_vs_simulation",
+    "cost_vs_cutoff",
+    "optimal_cost_vs_alpha",
+    "delay_vs_alpha",
+    "delay_vs_cutoff",
+    "FIGURE_FACTORIES",
+    "export_all_figures",
+    "figure_to_dict",
+    "save_figure_csv",
+    "save_figure_json",
+    "EXPERIMENTS",
+    "Experiment",
+    "experiment_ids",
+    "run_experiment",
+    "DEFAULT_CUTOFFS",
+    "FULL",
+    "QUICK",
+    "PAPER_ALPHAS",
+    "PAPER_THETAS_FIG",
+    "ExperimentScale",
+    "paper_config",
+    "FigureData",
+    "Series",
+    "render_table",
+]

@@ -1,0 +1,123 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+None of these sweeps appear in the paper — they interrogate our
+reproduction's sensitivity to choices the paper leaves implicit:
+
+* **length law** — the paper's "lengths 1..5, mean 2" forces a skewed
+  law; does the headline shape survive uniform or constant lengths?
+* **Eq. 1 scale sensitivity** — the raw linear blend of stretch and
+  priority is scale-dependent; compare against the normalised variant
+  and the Eq. 6 expected-value variant.
+* **pull service mode** — the §4 analysis implies serial push/pull
+  alternation; the §3 bandwidth text suggests concurrent streams.  How
+  much do delay and blocking differ?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..sim.runner import run_replications
+from .specs import ExperimentScale, QUICK, paper_config
+from .tables import FigureData, render_table
+
+__all__ = ["length_law_ablation", "importance_variant_ablation", "pull_mode_ablation"]
+
+
+def length_law_ablation(
+    cutoffs: Sequence[int] = (10, 40, 70),
+    theta: float = 0.60,
+    alpha: float = 0.25,
+    scale: ExperimentScale = QUICK,
+) -> FigureData:
+    """Overall delay vs K under the three item-length laws."""
+    fig = FigureData(
+        title=f"Length-law ablation (theta={theta}, alpha={alpha})",
+        x_label="K",
+    )
+    base = paper_config(theta=theta, alpha=alpha)
+    for law in ("truncated_geometric", "uniform", "constant"):
+        config = dataclasses.replace(base, length_law=law)
+        ys = []
+        for k in cutoffs:
+            result = run_replications(
+                config.with_cutoff(int(k)),
+                num_runs=scale.num_seeds,
+                horizon=scale.horizon,
+                warmup=scale.warmup,
+            )
+            ys.append(result.overall_delay()[0])
+        fig.add(law, list(cutoffs), ys)
+    return fig
+
+
+def importance_variant_ablation(
+    alpha: float = 0.25,
+    theta: float = 0.60,
+    cutoff: int = 40,
+    scale: ExperimentScale = QUICK,
+) -> tuple[str, dict[str, dict[str, float]]]:
+    """Eq. 1 raw vs normalised vs Eq. 6 expected importance (per-class delay)."""
+    base = paper_config(theta=theta, alpha=alpha, cutoff=cutoff)
+    results: dict[str, dict[str, float]] = {}
+    rows = []
+    for variant in ("importance", "importance-normalized", "importance-expected"):
+        config = dataclasses.replace(base, pull_scheduler=variant)
+        result = run_replications(
+            config,
+            num_runs=scale.num_seeds,
+            horizon=scale.horizon,
+            warmup=scale.warmup,
+        )
+        per_class = {name: result.delay(name)[0] for name in base.class_names()}
+        results[variant] = per_class
+        rows.append(
+            [variant]
+            + [per_class[n] for n in base.class_names()]
+            + [result.overall_delay()[0]]
+        )
+    table = render_table(
+        ["variant"] + [f"delay-{n}" for n in base.class_names()] + ["overall"], rows
+    )
+    return table, results
+
+
+def pull_mode_ablation(
+    theta: float = 0.60,
+    alpha: float = 0.25,
+    cutoff: int = 40,
+    scale: ExperimentScale = QUICK,
+) -> tuple[str, dict[str, dict[str, float]]]:
+    """Serial (analysis-faithful) vs concurrent (bandwidth-accumulating) pull."""
+    from ..sim.system import HybridSystem
+
+    base = paper_config(theta=theta, alpha=alpha, cutoff=cutoff)
+    results: dict[str, dict[str, float]] = {}
+    rows = []
+    for mode in ("serial", "concurrent"):
+        system = HybridSystem(base, seed=0, warmup=scale.warmup, pull_mode=mode)
+        result = system.run(scale.horizon)
+        summary = {
+            "overall_delay": result.overall_delay,
+            "blocking_A": result.per_class_blocking["A"],
+            "blocking_C": result.per_class_blocking["C"],
+            "pull_services": float(result.pull_services),
+            "drops": float(result.pull_drops),
+        }
+        results[mode] = summary
+        rows.append(
+            [
+                mode,
+                summary["overall_delay"],
+                summary["blocking_A"],
+                summary["blocking_C"],
+                int(summary["pull_services"]),
+                int(summary["drops"]),
+            ]
+        )
+    table = render_table(
+        ["mode", "overall delay", "blocking A", "blocking C", "pull services", "drops"],
+        rows,
+    )
+    return table, results

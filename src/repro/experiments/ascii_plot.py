@@ -1,0 +1,98 @@
+"""Terminal line charts for reproduced figures.
+
+The paper's figures are line plots; the tables in
+:mod:`repro.experiments.tables` carry the exact numbers, but a quick
+visual check of *shape* (U-curves, class separation, crossovers) is much
+easier on a chart.  This renders a :class:`~repro.experiments.tables.
+FigureData` as a fixed-size ASCII canvas with one marker per series —
+no plotting dependencies, works in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .tables import FigureData
+
+__all__ = ["ascii_plot"]
+
+#: Marker characters assigned to series in order.
+MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ*+ox#@%&"
+
+
+def _finite(values: list[float]) -> list[float]:
+    return [v for v in values if v is not None and math.isfinite(v)]
+
+
+def ascii_plot(fig: FigureData, width: int = 72, height: int = 20) -> str:
+    """Render ``fig`` as an ASCII chart.
+
+    Parameters
+    ----------
+    fig:
+        The figure to draw.  All series share the x-axis (enforced by
+        :meth:`FigureData.render` semantics).
+    width, height:
+        Canvas size in characters (axes excluded).  Minimum 16 × 4.
+
+    Returns
+    -------
+    str
+        Multi-line chart: title, y-range annotations, canvas with a
+        left axis, x-range annotation and a series legend.
+    """
+    if width < 16 or height < 4:
+        raise ValueError(f"canvas too small: {width}x{height}")
+    if not fig.series:
+        return f"{fig.title}\n(empty)"
+
+    xs = fig.series[0].x
+    all_y = [y for s in fig.series for y in _finite(s.y)]
+    all_x = _finite(xs)
+    if not all_y or not all_x:
+        return f"{fig.title}\n(no finite data)"
+
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def col(x: float) -> int:
+        return round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row(y: float) -> int:
+        # Row 0 is the top of the canvas.
+        return (height - 1) - round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(fig.series):
+        marker = MARKERS[index % len(MARKERS)]
+        points = [
+            (col(x), row(y))
+            for x, y in zip(series.x, series.y)
+            if y is not None and math.isfinite(y)
+        ]
+        # Connect consecutive points with linear interpolation in column
+        # space so sparse sweeps still read as curves.
+        for (c1, r1), (c2, r2) in zip(points, points[1:]):
+            steps = max(abs(c2 - c1), 1)
+            for step in range(steps + 1):
+                c = c1 + round((c2 - c1) * step / steps)
+                r = r1 + round((r2 - r1) * step / steps)
+                canvas[r][c] = marker
+        for c, r in points:  # data points overwrite interpolation
+            canvas[r][c] = marker
+
+    lines = [fig.title, f"y: {y_lo:.3g} .. {y_hi:.3g}"]
+    for r, rowchars in enumerate(canvas):
+        prefix = "|"
+        lines.append(prefix + "".join(rowchars))
+    lines.append("+" + "-" * width)
+    lines.append(f" {fig.x_label}: {x_lo:.3g} .. {x_hi:.3g}")
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={s.label}" for i, s in enumerate(fig.series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Experiment E6 — request blocking vs bandwidth partition (abstract/§5).
+
+The paper's abstract claims the number of dropped requests can be
+minimised "by assigning appropriate fraction of available bandwidth".
+This experiment sweeps the premium class's bandwidth share (splitting
+the remainder between B and C in the paper's 3:2 ratio) and reports the
+per-class blocking fraction — simulated and analytic (Poisson tail) —
+plus the optimiser's chosen partition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.bandwidth import blocking_probabilities, optimize_shares
+from ..sim.runner import run_replications
+from .specs import ExperimentScale, QUICK, paper_config
+from .tables import FigureData
+
+__all__ = ["blocking_vs_share", "optimal_partition"]
+
+
+def _share_vector(share_a: float) -> list[float]:
+    """Give class A ``share_a``; split the rest between B and C 3:2."""
+    rest = 1.0 - share_a
+    return [share_a, rest * 0.6, rest * 0.4]
+
+
+def blocking_vs_share(
+    shares_a: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7),
+    theta: float = 0.60,
+    alpha: float = 0.75,
+    scale: ExperimentScale = QUICK,
+) -> FigureData:
+    """Per-class blocking vs the premium class's bandwidth share."""
+    fig = FigureData(
+        title=f"Blocking vs Class-A bandwidth share (theta={theta}, alpha={alpha})",
+        x_label="share_A",
+    )
+    base = paper_config(theta=theta, alpha=alpha)
+    class_names = base.class_names()
+    sim_curves: dict[str, list[float]] = {n: [] for n in class_names}
+    ana_curves: dict[str, list[float]] = {n: [] for n in class_names}
+    for share_a in shares_a:
+        shares = _share_vector(float(share_a))
+        config = base.with_bandwidth_shares(shares)
+        result = run_replications(
+            config,
+            num_runs=scale.num_seeds,
+            horizon=scale.horizon,
+            warmup=scale.warmup,
+        )
+        analytic = blocking_probabilities(
+            shares, config.total_bandwidth, config.bandwidth_demand_mean
+        )
+        for name, a in zip(class_names, analytic):
+            sim_curves[name].append(result.blocking(name)[0])
+            ana_curves[name].append(float(a))
+    for name in class_names:
+        fig.add(f"sim-{name}", list(shares_a), sim_curves[name])
+        fig.add(f"ana-{name}", list(shares_a), ana_curves[name])
+    return fig
+
+
+def optimal_partition(theta: float = 0.60, resolution: int = 20) -> dict:
+    """The optimiser's bandwidth split and its predicted blocking."""
+    config = paper_config(theta=theta)
+    allocation = optimize_shares(config, resolution=resolution)
+    return {
+        "shares": [float(s) for s in allocation.shares],
+        "blocking": [float(b) for b in allocation.blocking],
+        "weighted_blocking": float(allocation.weighted_blocking),
+        "uniform_blocking": [
+            float(b)
+            for b in blocking_probabilities(
+                np.full(len(allocation.shares), 1.0 / len(allocation.shares)),
+                config.total_bandwidth,
+                config.bandwidth_demand_mean,
+            )
+        ],
+    }

@@ -1,0 +1,85 @@
+"""Experiments E3/E4 — prioritized cost (Figs. 5–6).
+
+The prioritized cost of class ``j`` is ``q_j · E[T_j]`` (§4.2.2).  Fig. 5
+plots each class's cost against the cut-off ``K`` for two α values;
+Fig. 6 plots the *total optimal* cost — minimised over ``K`` — against α
+for several θ, showing cost falling as α decreases (priority influence
+grows).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.runner import run_replications
+from .specs import DEFAULT_CUTOFFS, ExperimentScale, QUICK, paper_config
+from .tables import FigureData
+
+__all__ = ["cost_vs_cutoff", "optimal_cost_vs_alpha"]
+
+
+def cost_vs_cutoff(
+    alpha: float,
+    theta: float = 0.60,
+    cutoffs: Sequence[int] = DEFAULT_CUTOFFS,
+    scale: ExperimentScale = QUICK,
+) -> FigureData:
+    """Per-class prioritized cost vs ``K`` (Fig. 5; paper uses θ = 0.60)."""
+    fig = FigureData(
+        title=f"Prioritized cost vs cutoff (alpha={alpha}, theta={theta})",
+        x_label="K",
+    )
+    base = paper_config(theta=theta, alpha=alpha)
+    class_names = base.class_names()
+    curves: dict[str, list[float]] = {name: [] for name in class_names}
+    totals: list[float] = []
+    for k in cutoffs:
+        result = run_replications(
+            base.with_cutoff(int(k)),
+            num_runs=scale.num_seeds,
+            horizon=scale.horizon,
+            warmup=scale.warmup,
+        )
+        total = 0.0
+        for name in class_names:
+            cost = result.cost(name)[0]
+            curves[name].append(cost)
+            total += cost
+        totals.append(total)
+    for name in class_names:
+        fig.add(f"Class-{name}", list(cutoffs), curves[name])
+    fig.add("Total", list(cutoffs), totals)
+    return fig
+
+
+def optimal_cost_vs_alpha(
+    thetas: Sequence[float] = (0.20, 0.60, 1.40),
+    alphas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    cutoffs: Sequence[int] = DEFAULT_CUTOFFS,
+    scale: ExperimentScale = QUICK,
+) -> FigureData:
+    """Total optimal prioritized cost vs α for several θ (Fig. 6).
+
+    For every (θ, α) the cost is minimised over the ``K`` grid — the
+    paper's "intelligent selection of the cut-off point".
+    """
+    fig = FigureData(
+        title="Total optimal prioritized cost vs alpha",
+        x_label="alpha",
+    )
+    for theta in thetas:
+        optima: list[float] = []
+        for alpha in alphas:
+            base = paper_config(theta=float(theta), alpha=float(alpha))
+            best = float("inf")
+            for k in cutoffs:
+                result = run_replications(
+                    base.with_cutoff(int(k)),
+                    num_runs=scale.num_seeds,
+                    horizon=scale.horizon,
+                    warmup=scale.warmup,
+                )
+                best = min(best, result.total_cost()[0])
+            optima.append(best)
+        fig.add(f"theta={theta}", list(alphas), optima)
+    return fig

@@ -1,0 +1,97 @@
+"""Experiments E1/E2/E2b — per-class delay vs cut-off point (Figs. 3–4).
+
+For each cut-off ``K`` the simulator runs the full hybrid system and the
+figure reports each class's mean expected delay.  Figure 3 is ``α = 0``
+(pure priority), Figure 4 is ``α = 1`` (pure stretch); the text also
+discusses the intermediate α values, covered by :func:`delay_vs_alpha`.
+
+Expected shapes (paper §5.2):
+
+* Class-A delay lowest, Class-C highest — except at ``α = 1`` where
+  priorities are ignored and the curves collapse;
+* delay grows sharply at small ``K`` (the degenerate, overloaded hybrid).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.runner import run_replications
+from .specs import DEFAULT_CUTOFFS, ExperimentScale, QUICK, paper_config
+from .tables import FigureData
+
+__all__ = ["delay_vs_cutoff", "delay_vs_alpha"]
+
+
+def delay_vs_cutoff(
+    alpha: float,
+    theta: float = 0.60,
+    cutoffs: Sequence[int] = DEFAULT_CUTOFFS,
+    scale: ExperimentScale = QUICK,
+    metric: str = "total",
+) -> FigureData:
+    """Per-class delay vs ``K`` at fixed ``α`` and ``θ`` (Figs. 3–4).
+
+    Parameters
+    ----------
+    alpha, theta:
+        Sweep point of the figure.
+    cutoffs:
+        ``K`` grid.
+    scale:
+        Horizon/replication scale.
+    metric:
+        ``"total"`` for the client-perceived delay (push wait included) or
+        ``"pull"`` for the pull-side delay only — the quantity whose
+        magnitudes correspond to the paper's reported bands.
+    """
+    if metric not in ("total", "pull"):
+        raise ValueError(f"unknown metric {metric!r}")
+    fig = FigureData(
+        title=f"Delay vs cutoff (alpha={alpha}, theta={theta}, metric={metric})",
+        x_label="K",
+    )
+    base = paper_config(theta=theta, alpha=alpha)
+    class_names = base.class_names()
+    curves: dict[str, list[float]] = {name: [] for name in class_names}
+    for k in cutoffs:
+        result = run_replications(
+            base.with_cutoff(int(k)),
+            num_runs=scale.num_seeds,
+            horizon=scale.horizon,
+            warmup=scale.warmup,
+        )
+        for name in class_names:
+            value = result.delay(name)[0] if metric == "total" else result.pull_delay(name)[0]
+            curves[name].append(value)
+    for name in class_names:
+        fig.add(f"Class-{name}", list(cutoffs), curves[name])
+    return fig
+
+
+def delay_vs_alpha(
+    theta: float = 0.60,
+    alphas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    cutoff: int = 40,
+    scale: ExperimentScale = QUICK,
+) -> FigureData:
+    """Per-class delay vs ``α`` at fixed ``K`` (the Figs. 3–4 text sweep)."""
+    fig = FigureData(
+        title=f"Delay vs alpha (K={cutoff}, theta={theta})",
+        x_label="alpha",
+    )
+    base = paper_config(theta=theta, cutoff=cutoff)
+    class_names = base.class_names()
+    curves: dict[str, list[float]] = {name: [] for name in class_names}
+    for alpha in alphas:
+        result = run_replications(
+            base.with_alpha(float(alpha)),
+            num_runs=scale.num_seeds,
+            horizon=scale.horizon,
+            warmup=scale.warmup,
+        )
+        for name in class_names:
+            curves[name].append(result.delay(name)[0])
+    for name in class_names:
+        fig.add(f"Class-{name}", list(alphas), curves[name])
+    return fig

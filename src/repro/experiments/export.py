@@ -1,0 +1,114 @@
+"""Machine-readable export of reproduced figures (JSON/CSV).
+
+The text tables in :mod:`repro.experiments.tables` are for humans; this
+module persists the same series for plotting pipelines and regression
+diffing:
+
+* :func:`figure_to_dict` / :func:`save_figure_json` — one JSON object
+  per figure (title, x label, series);
+* :func:`save_figure_csv` — one CSV with the x column and one column per
+  series;
+* :func:`export_all_figures` — regenerate and save every line-figure of
+  the paper into a directory.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Callable
+
+from .compare import analytical_vs_simulation
+from .cost import cost_vs_cutoff, optimal_cost_vs_alpha
+from .delay import delay_vs_alpha, delay_vs_cutoff
+from .blocking import blocking_vs_share
+from .specs import ExperimentScale, QUICK
+from .tables import FigureData
+
+__all__ = [
+    "figure_to_dict",
+    "save_figure_json",
+    "save_figure_csv",
+    "export_all_figures",
+    "FIGURE_FACTORIES",
+]
+
+#: Factories regenerating each line-figure of the paper by id.
+FIGURE_FACTORIES: dict[str, Callable[[ExperimentScale], list[FigureData]]] = {
+    "fig3": lambda scale: [
+        delay_vs_cutoff(alpha=0.0, theta=theta, scale=scale)
+        for theta in (0.20, 0.60, 1.40)
+    ],
+    "fig4": lambda scale: [
+        delay_vs_cutoff(alpha=1.0, theta=theta, scale=scale)
+        for theta in (0.20, 0.60, 1.40)
+    ],
+    "alpha-sweep": lambda scale: [delay_vs_alpha(theta=0.60, scale=scale)],
+    "fig5": lambda scale: [
+        cost_vs_cutoff(alpha=0.25, theta=0.60, scale=scale),
+        cost_vs_cutoff(alpha=0.75, theta=0.60, scale=scale),
+    ],
+    "fig6": lambda scale: [optimal_cost_vs_alpha(scale=scale)],
+    "fig7": lambda scale: [analytical_vs_simulation(scale=scale)[0]],
+    "blocking": lambda scale: [blocking_vs_share(scale=scale)],
+}
+
+
+def figure_to_dict(fig: FigureData) -> dict:
+    """JSON-ready representation of a figure."""
+    return {
+        "title": fig.title,
+        "x_label": fig.x_label,
+        "series": [
+            {"label": s.label, "x": list(s.x), "y": list(s.y)} for s in fig.series
+        ],
+    }
+
+
+def save_figure_json(fig: FigureData, path: str | Path) -> Path:
+    """Write one figure as a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(figure_to_dict(fig), indent=2))
+    return path
+
+
+def save_figure_csv(fig: FigureData, path: str | Path) -> Path:
+    """Write one figure as a CSV (x column + one column per series)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not fig.series:
+        raise ValueError(f"figure {fig.title!r} has no series")
+    x = fig.series[0].x
+    for s in fig.series:
+        if s.x != x:
+            raise ValueError(f"series {s.label!r} has a different x-axis")
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([fig.x_label] + [s.label for s in fig.series])
+        for i, xi in enumerate(x):
+            writer.writerow([xi] + [s.y[i] for s in fig.series])
+    return path
+
+
+def export_all_figures(
+    out_dir: str | Path,
+    scale: ExperimentScale = QUICK,
+    formats: tuple[str, ...] = ("json", "csv"),
+) -> list[Path]:
+    """Regenerate every line-figure and save it under ``out_dir``.
+
+    Files are named ``<figure-id>-<index>.<ext>``.  Returns all written
+    paths.
+    """
+    out = Path(out_dir)
+    written: list[Path] = []
+    for figure_id, factory in FIGURE_FACTORIES.items():
+        for index, fig in enumerate(factory(scale)):
+            stem = f"{figure_id}-{index}"
+            if "json" in formats:
+                written.append(save_figure_json(fig, out / f"{stem}.json"))
+            if "csv" in formats:
+                written.append(save_figure_csv(fig, out / f"{stem}.csv"))
+    return written

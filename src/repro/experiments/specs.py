@@ -1,0 +1,72 @@
+"""Shared experiment parameters (the paper's §5.1 assumptions).
+
+Every experiment derives its configurations from :func:`paper_config` so
+the §5.1 assumptions live in exactly one place.  ``quick`` variants trim
+horizons/replications for test-suite and benchmark use; shapes survive,
+error bars widen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import HybridConfig
+
+__all__ = [
+    "paper_config",
+    "ExperimentScale",
+    "QUICK",
+    "FULL",
+    "PAPER_ALPHAS",
+    "PAPER_THETAS_FIG",
+    "DEFAULT_CUTOFFS",
+]
+
+#: α grid of Figures 3–4 (§5.2).
+PAPER_ALPHAS: tuple[float, ...] = (0.0, 0.25, 0.50, 0.75, 1.0)
+
+#: θ values plotted in the evaluation figures.
+PAPER_THETAS_FIG: tuple[float, ...] = (0.20, 0.60, 1.0, 1.40)
+
+#: Cut-off grid used by the delay/cost sweeps.
+DEFAULT_CUTOFFS: tuple[int, ...] = (10, 20, 30, 40, 50, 60, 70, 80, 90)
+
+
+def paper_config(theta: float = 0.60, alpha: float = 0.75, cutoff: int = 40) -> HybridConfig:
+    """The §5.1 base system with the requested sweep parameters.
+
+    D = 100 items, λ' = 5, lengths 1..5 (mean 2), three classes with
+    priority ratio 3:2:1 and Zipf populations.
+    """
+    return HybridConfig(theta=theta, alpha=alpha, cutoff=cutoff)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Execution-scale knobs shared by all experiments.
+
+    Attributes
+    ----------
+    horizon:
+        Simulated time per run (broadcast units).
+    num_seeds:
+        Independent replications per configuration.
+    warmup_fraction:
+        Leading fraction of the horizon excluded from statistics.
+    """
+
+    horizon: float
+    num_seeds: int
+    warmup_fraction: float = 0.1
+
+    @property
+    def warmup(self) -> float:
+        """Absolute warm-up time."""
+        return self.warmup_fraction * self.horizon
+
+
+#: Scale used by tests/benchmarks — seconds per experiment.
+QUICK = ExperimentScale(horizon=1_000.0, num_seeds=1)
+
+#: Scale used to regenerate EXPERIMENTS.md numbers.
+FULL = ExperimentScale(horizon=8_000.0, num_seeds=3)

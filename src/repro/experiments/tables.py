@@ -1,0 +1,87 @@
+"""Plain-text rendering of experiment output (tables and "figures").
+
+The paper's figures are line charts; in a headless reproduction we emit
+the underlying series as aligned text tables, one column per curve, so a
+diff of two runs is meaningful and EXPERIMENTS.md can embed them
+verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Series", "FigureData", "render_table"]
+
+
+def _fmt(value: float, width: int = 10) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "nan".rjust(width)
+    if isinstance(value, float) and math.isinf(value):
+        return "inf".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.3f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table with a header underline."""
+    widths = [max(10, len(h)) for h in headers]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        lines.append("  ".join(_fmt(cell, w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One curve: a label and aligned x/y vectors."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: {len(self.x)} x vs {len(self.y)} y")
+
+
+@dataclass
+class FigureData:
+    """A reproduced figure: common x-axis, one column per series.
+
+    All series must share the x vector (standard for the paper's sweeps).
+    """
+
+    title: str
+    x_label: str
+    series: list[Series] = field(default_factory=list)
+
+    def add(self, label: str, x: Sequence[float], y: Sequence[float]) -> None:
+        """Append a curve."""
+        self.series.append(Series(label=label, x=list(x), y=list(y)))
+
+    def series_by_label(self, label: str) -> Series:
+        """Look up a curve by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r}")
+
+    def render(self) -> str:
+        """The figure as a text table (x column + one column per curve)."""
+        if not self.series:
+            return f"{self.title}\n(empty)"
+        x = self.series[0].x
+        for s in self.series:
+            if s.x != x:
+                raise ValueError(f"series {s.label!r} has a different x-axis")
+        headers = [self.x_label] + [s.label for s in self.series]
+        rows = [
+            [x[i]] + [s.y[i] for s in self.series] for i in range(len(x))
+        ]
+        return f"{self.title}\n{render_table(headers, rows)}"

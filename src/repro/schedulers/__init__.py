@@ -1,0 +1,49 @@
+"""``repro.schedulers`` — push and pull scheduling policies.
+
+The paper's importance-factor policy plus every baseline it is defined
+against: flat round-robin, broadcast disks and the square-root rule on
+the push side; FCFS, MRF, stretch-optimal, RxW and pure priority on the
+pull side.
+"""
+
+from .base import PendingEntry, PullQueue, PullScheduler, PushScheduler
+from .broadcast_disks import BroadcastDisksScheduler
+from .fcfs import FCFSScheduler
+from .flat import FlatScheduler
+from .importance_factor import ExpectedImportanceScheduler, ImportanceFactorScheduler
+from .mrf import MRFScheduler
+from .priority import PriorityScheduler
+from .registry import (
+    make_pull_scheduler,
+    make_push_scheduler,
+    pull_scheduler_names,
+    push_scheduler_names,
+    register_pull,
+    register_push,
+)
+from .rxw import RxWScheduler
+from .srr import SquareRootRuleScheduler
+from .stretch import StretchScheduler
+
+__all__ = [
+    "PendingEntry",
+    "PullQueue",
+    "PullScheduler",
+    "PushScheduler",
+    "FlatScheduler",
+    "BroadcastDisksScheduler",
+    "SquareRootRuleScheduler",
+    "FCFSScheduler",
+    "MRFScheduler",
+    "StretchScheduler",
+    "RxWScheduler",
+    "PriorityScheduler",
+    "ImportanceFactorScheduler",
+    "ExpectedImportanceScheduler",
+    "make_pull_scheduler",
+    "make_push_scheduler",
+    "register_pull",
+    "register_push",
+    "pull_scheduler_names",
+    "push_scheduler_names",
+]

@@ -1,0 +1,185 @@
+"""Scheduler interfaces shared by the paper's policy and all baselines.
+
+Two independent axes, mirroring the hybrid architecture:
+
+* :class:`PushScheduler` — decides the next item to *broadcast* from the
+  push set, with no knowledge of pending requests.
+* :class:`PullScheduler` — decides which entry of the pull queue to serve
+  next, given full queue state.
+
+The pull queue itself (:class:`PullQueue`) is a small aggregation
+structure: one :class:`PendingEntry` per distinct requested item, carrying
+the statistics every policy in the literature needs (``R_i``, ``Q_i``,
+oldest arrival, item length).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..workload.arrivals import Request
+from ..workload.items import ItemCatalog
+
+__all__ = ["PendingEntry", "PullQueue", "PullScheduler", "PushScheduler"]
+
+
+@dataclass
+class PendingEntry:
+    """Aggregated pull-queue state for one distinct item.
+
+    Attributes
+    ----------
+    item_id:
+        The requested item.
+    length:
+        Item length ``L_i`` (broadcast units).
+    probability:
+        Item access probability ``P_i``.
+    first_arrival:
+        Arrival time of the oldest pending request (for FCFS / RxW).
+    num_requests:
+        ``R_i`` — number of pending requests for this item.
+    total_priority:
+        ``Q_i = Σ_j q_j`` over all pending requesters.
+    requests:
+        The pending request objects (needed for per-class delay metrics).
+    """
+
+    item_id: int
+    length: float
+    probability: float
+    first_arrival: float
+    num_requests: int = 0
+    total_priority: float = 0.0
+    requests: list[Request] = field(default_factory=list)
+
+    def add(self, request: Request) -> None:
+        """Fold one more pending request into the entry."""
+        if request.item_id != self.item_id:
+            raise ValueError(
+                f"request for item {request.item_id} added to entry of item {self.item_id}"
+            )
+        self.num_requests += 1
+        self.total_priority += request.priority
+        self.first_arrival = min(self.first_arrival, request.time)
+        self.requests.append(request)
+
+    @property
+    def stretch(self) -> float:
+        """The paper's stretch value ``S_i = R_i / L_i²`` (§4.2).
+
+        The max-request min-service-time criterion: many pending requests
+        and a short item both increase urgency.
+        """
+        return self.num_requests / (self.length * self.length)
+
+    def waiting_time(self, now: float) -> float:
+        """Age of the oldest pending request (the ``W`` of RxW)."""
+        return now - self.first_arrival
+
+
+class PullQueue:
+    """The server's pull queue: one :class:`PendingEntry` per distinct item.
+
+    Requests for an item already queued fold into the existing entry (the
+    eventual single broadcast satisfies all of them).
+    """
+
+    def __init__(self, catalog: ItemCatalog) -> None:
+        self._catalog = catalog
+        self._entries: dict[int, PendingEntry] = {}
+
+    def add(self, request: Request) -> PendingEntry:
+        """Insert ``request``, creating or updating its item's entry."""
+        entry = self._entries.get(request.item_id)
+        if entry is None:
+            item = self._catalog[request.item_id]
+            entry = PendingEntry(
+                item_id=item.item_id,
+                length=item.length,
+                probability=item.probability,
+                first_arrival=request.time,
+            )
+            self._entries[request.item_id] = entry
+        entry.add(request)
+        return entry
+
+    def pop(self, item_id: int) -> PendingEntry:
+        """Remove and return the entry for ``item_id`` (service completed)."""
+        return self._entries.pop(item_id)
+
+    def peek(self, item_id: int) -> Optional[PendingEntry]:
+        """The entry for ``item_id`` or ``None``."""
+        return self._entries.get(item_id)
+
+    def __len__(self) -> int:
+        """Number of *distinct items* queued."""
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[PendingEntry]:
+        return iter(self._entries.values())
+
+    @property
+    def total_requests(self) -> int:
+        """Total pending requests across all entries (``Σ R_i``)."""
+        return sum(e.num_requests for e in self._entries.values())
+
+
+class PullScheduler(abc.ABC):
+    """Strategy deciding which pull-queue entry to serve next."""
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def score(self, entry: PendingEntry, now: float) -> float:
+        """Urgency score of ``entry`` at time ``now`` — larger wins."""
+
+    def select(self, queue: PullQueue, now: float) -> Optional[PendingEntry]:
+        """The queue entry with the maximal score, or ``None`` if empty.
+
+        Ties break deterministically toward the smaller item id.
+        """
+        best: Optional[PendingEntry] = None
+        best_key: tuple[float, int] | None = None
+        for entry in queue:
+            key = (self.score(entry, now), -entry.item_id)
+            if best_key is None or key > best_key:
+                best, best_key = entry, key
+        return best
+
+    def observe_service(self, entry: PendingEntry, now: float) -> None:
+        """Hook called after ``entry`` is served (for adaptive policies)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<{type(self).__name__} ({self.name})>"
+
+
+class PushScheduler(abc.ABC):
+    """Strategy producing the broadcast order of the push set.
+
+    A push scheduler is created for a specific ``(catalog, cutoff)`` pair
+    and then queried item-by-item via :meth:`next_item`.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, catalog: ItemCatalog, cutoff: int) -> None:
+        if not 0 <= cutoff <= len(catalog):
+            raise ValueError(f"cutoff {cutoff} outside [0, {len(catalog)}]")
+        self.catalog = catalog
+        self.cutoff = cutoff
+
+    @abc.abstractmethod
+    def next_item(self) -> Optional[int]:
+        """Id of the next item to broadcast, or ``None`` if the push set is empty."""
+
+    def schedule_prefix(self, n: int) -> list[int]:
+        """The first ``n`` broadcast slots (diagnostic/testing helper)."""
+        return [item for item in (self.next_item() for _ in range(n)) if item is not None]

@@ -1,0 +1,22 @@
+"""First-come-first-served pull scheduling (baseline).
+
+Serves the item whose *oldest* pending request arrived earliest.  The
+natural on-demand baseline: fair in arrival order, blind to popularity,
+item length and client priority.
+"""
+
+from __future__ import annotations
+
+from .base import PendingEntry, PullScheduler
+
+__all__ = ["FCFSScheduler"]
+
+
+class FCFSScheduler(PullScheduler):
+    """Select the entry with the earliest first arrival."""
+
+    name = "fcfs"
+
+    def score(self, entry: PendingEntry, now: float) -> float:
+        """Older first arrival ⇒ larger score."""
+        return -entry.first_arrival

@@ -1,0 +1,39 @@
+"""Flat (round-robin) push scheduling — the paper's broadcast policy.
+
+Cycles through the push set ``0..K-1`` in index order, one item per slot.
+Every push item appears exactly once per cycle, so a client's expected
+wait for a push item is half the cycle length — the term
+``(1/2)·Σ_{i≤K} L_i`` family that appears in Eq. 19.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..workload.items import ItemCatalog
+from .base import PushScheduler
+
+__all__ = ["FlatScheduler"]
+
+
+class FlatScheduler(PushScheduler):
+    """Cyclic broadcast of the push set in fixed index order."""
+
+    name = "flat"
+
+    def __init__(self, catalog: ItemCatalog, cutoff: int) -> None:
+        super().__init__(catalog, cutoff)
+        self._next = 0
+
+    def next_item(self) -> Optional[int]:
+        """Next item in the cycle (``None`` when the push set is empty)."""
+        if self.cutoff == 0:
+            return None
+        item = self._next
+        self._next = (self._next + 1) % self.cutoff
+        return item
+
+    @property
+    def position(self) -> int:
+        """Index of the next slot in the current cycle (testing hook)."""
+        return self._next

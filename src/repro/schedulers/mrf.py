@@ -1,0 +1,22 @@
+"""Most-requests-first pull scheduling (baseline).
+
+Serves the item with the most pending requests ``R_i`` — the throughput
+greedy policy.  Known failure mode (motivating RxW and stretch): unpopular
+items starve.
+"""
+
+from __future__ import annotations
+
+from .base import PendingEntry, PullScheduler
+
+__all__ = ["MRFScheduler"]
+
+
+class MRFScheduler(PullScheduler):
+    """Select the entry with maximal pending-request count ``R_i``."""
+
+    name = "mrf"
+
+    def score(self, entry: PendingEntry, now: float) -> float:
+        """More pending requests ⇒ larger score."""
+        return float(entry.num_requests)

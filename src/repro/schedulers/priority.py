@@ -1,0 +1,23 @@
+"""Pure priority pull scheduling — the α = 0 extreme of the paper's Eq. 1.
+
+Serves the entry with the largest accumulated client priority
+``Q_i = Σ_j q_j``.  Maximally deferential to important clients, but — as
+the paper notes in §3 — unfair: items wanted only by many low-priority
+clients can wait arbitrarily long.
+"""
+
+from __future__ import annotations
+
+from .base import PendingEntry, PullScheduler
+
+__all__ = ["PriorityScheduler"]
+
+
+class PriorityScheduler(PullScheduler):
+    """Select the entry with maximal total client priority ``Q_i``."""
+
+    name = "priority"
+
+    def score(self, entry: PendingEntry, now: float) -> float:
+        """Total priority of the pending requesters."""
+        return entry.total_priority

@@ -1,0 +1,101 @@
+"""Name-based factories for pull and push schedulers.
+
+The :class:`~repro.core.config.HybridConfig` refers to schedulers by
+string name; this registry turns those names into policy objects.  Third
+parties can register additional policies via :func:`register_pull` /
+:func:`register_push`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..workload.items import ItemCatalog
+from .base import PullScheduler, PushScheduler
+from .broadcast_disks import BroadcastDisksScheduler
+from .fcfs import FCFSScheduler
+from .flat import FlatScheduler
+from .importance_factor import ExpectedImportanceScheduler, ImportanceFactorScheduler
+from .mrf import MRFScheduler
+from .priority import PriorityScheduler
+from .rxw import RxWScheduler
+from .srr import SquareRootRuleScheduler
+from .stretch import StretchScheduler
+
+__all__ = [
+    "make_pull_scheduler",
+    "make_push_scheduler",
+    "register_pull",
+    "register_push",
+    "pull_scheduler_names",
+    "push_scheduler_names",
+]
+
+#: Pull factories take the Eq. 1 weight ``alpha`` (ignored by baselines).
+_PULL_FACTORIES: dict[str, Callable[[float], PullScheduler]] = {
+    "importance": lambda alpha: ImportanceFactorScheduler(alpha=alpha),
+    "importance-normalized": lambda alpha: ImportanceFactorScheduler(alpha=alpha, normalize=True),
+    "importance-expected": lambda alpha: ExpectedImportanceScheduler(alpha=alpha),
+    "fcfs": lambda alpha: FCFSScheduler(),
+    "mrf": lambda alpha: MRFScheduler(),
+    "stretch": lambda alpha: StretchScheduler(),
+    "rxw": lambda alpha: RxWScheduler(),
+    "priority": lambda alpha: PriorityScheduler(),
+}
+
+#: Push factories take ``(catalog, cutoff)``.
+_PUSH_FACTORIES: dict[str, Callable[[ItemCatalog, int], PushScheduler]] = {
+    "flat": FlatScheduler,
+    "disks": BroadcastDisksScheduler,
+    "srr": SquareRootRuleScheduler,
+}
+
+
+def make_pull_scheduler(name: str, alpha: float = 0.75) -> PullScheduler:
+    """Instantiate a pull scheduler by registry name.
+
+    ``alpha`` is forwarded to the importance-factor family and ignored by
+    the single-criterion baselines.
+    """
+    try:
+        factory = _PULL_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pull scheduler {name!r}; known: {sorted(_PULL_FACTORIES)}"
+        ) from None
+    return factory(alpha)
+
+
+def make_push_scheduler(name: str, catalog: ItemCatalog, cutoff: int) -> PushScheduler:
+    """Instantiate a push scheduler by registry name."""
+    try:
+        factory = _PUSH_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown push scheduler {name!r}; known: {sorted(_PUSH_FACTORIES)}"
+        ) from None
+    return factory(catalog, cutoff)
+
+
+def register_pull(name: str, factory: Callable[[float], PullScheduler]) -> None:
+    """Register a custom pull-scheduler factory under ``name``."""
+    if name in _PULL_FACTORIES:
+        raise ValueError(f"pull scheduler {name!r} already registered")
+    _PULL_FACTORIES[name] = factory
+
+
+def register_push(name: str, factory: Callable[[ItemCatalog, int], PushScheduler]) -> None:
+    """Register a custom push-scheduler factory under ``name``."""
+    if name in _PUSH_FACTORIES:
+        raise ValueError(f"push scheduler {name!r} already registered")
+    _PUSH_FACTORIES[name] = factory
+
+
+def pull_scheduler_names() -> list[str]:
+    """All registered pull scheduler names."""
+    return sorted(_PULL_FACTORIES)
+
+
+def push_scheduler_names() -> list[str]:
+    """All registered push scheduler names."""
+    return sorted(_PUSH_FACTORIES)

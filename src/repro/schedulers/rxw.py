@@ -1,0 +1,23 @@
+"""RxW pull scheduling (Aksoy & Franklin 1999) — baseline.
+
+Serves the item maximising ``R_i × W_i``: pending-request count times the
+waiting time of the oldest pending request.  The classic compromise
+between MRF (throughput) and FCFS (fairness) for large-scale on-demand
+broadcast; the paper cites it as related work [3].
+"""
+
+from __future__ import annotations
+
+from .base import PendingEntry, PullScheduler
+
+__all__ = ["RxWScheduler"]
+
+
+class RxWScheduler(PullScheduler):
+    """Select the entry with maximal ``R_i × W_i``."""
+
+    name = "rxw"
+
+    def score(self, entry: PendingEntry, now: float) -> float:
+        """Pending requests times age of the oldest request."""
+        return entry.num_requests * entry.waiting_time(now)

@@ -1,0 +1,27 @@
+"""Stretch-optimal pull scheduling — max-request min-service-time first.
+
+The α = 1 extreme of the paper's Eq. 1: serve the entry maximising
+
+    S_i = R_i / L_i²
+
+(§4.2).  Normalising request count by the *square* of service time is the
+stretch (response time / service time) heuristic for variable-length
+items: short items with many waiters yield the most stretch reduction per
+broadcast second.
+"""
+
+from __future__ import annotations
+
+from .base import PendingEntry, PullScheduler
+
+__all__ = ["StretchScheduler"]
+
+
+class StretchScheduler(PullScheduler):
+    """Select the entry with maximal stretch ``S_i = R_i / L_i²``."""
+
+    name = "stretch"
+
+    def score(self, entry: PendingEntry, now: float) -> float:
+        """The paper's stretch value."""
+        return entry.stretch

@@ -1,0 +1,41 @@
+"""``repro.sim`` — the hybrid broadcast server simulator.
+
+Discrete-event model of the paper's system: a server alternating flat
+push broadcasts with importance-factor pull services, per-class bandwidth
+admission, Poisson clients and a metrics pipeline, plus replication
+helpers for confidence intervals.
+"""
+
+from .adaptive import AdaptiveCutoffController, CutoffDecision, build_adaptive_system
+from .bandwidth_pool import BandwidthPool
+from .client import drive_arrivals, drive_trace
+from .metrics import MetricsCollector, SimulationResult
+from .preemptive import PreemptiveHybridServer
+from .qos import DelayRecorder, QoSReport, jain_fairness
+from .runner import ReplicatedResult, run_replications, run_single, run_until_precision
+from .server import HybridServer, PullMode
+from .system import HybridSystem
+from .uplink import UplinkChannel
+
+__all__ = [
+    "AdaptiveCutoffController",
+    "CutoffDecision",
+    "build_adaptive_system",
+    "BandwidthPool",
+    "drive_arrivals",
+    "drive_trace",
+    "MetricsCollector",
+    "SimulationResult",
+    "PreemptiveHybridServer",
+    "DelayRecorder",
+    "QoSReport",
+    "jain_fairness",
+    "HybridServer",
+    "PullMode",
+    "HybridSystem",
+    "UplinkChannel",
+    "ReplicatedResult",
+    "run_replications",
+    "run_single",
+    "run_until_precision",
+]

@@ -1,0 +1,98 @@
+"""Per-class downlink bandwidth pools with admission control.
+
+Paper §3: each pull transmission demands a Poisson-distributed amount of
+bandwidth; the demand is charged to the *service class* of the item's most
+important requester.  If the class's remaining reservation cannot cover
+the demand, the item — and every request pending for it — is dropped
+(blocked).  Completed transmissions return their bandwidth to the pool.
+
+The pool is deliberately dumb — accounting only.  All policy (which class
+pays, when to release) lives in the server.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BandwidthPool"]
+
+
+class BandwidthPool:
+    """Bandwidth reservations for each service class.
+
+    Parameters
+    ----------
+    capacities:
+        Absolute bandwidth reserved per class, rank order (index 0 =
+        most important class).
+    """
+
+    def __init__(self, capacities: np.ndarray | list[float]) -> None:
+        self._capacity = np.asarray(capacities, dtype=float).copy()
+        if self._capacity.ndim != 1 or len(self._capacity) == 0:
+            raise ValueError("capacities must be a non-empty 1-D array")
+        if np.any(self._capacity < 0):
+            raise ValueError(f"capacities must be >= 0, got {self._capacity}")
+        self._in_use = np.zeros_like(self._capacity)
+        self._admitted = np.zeros(len(self._capacity), dtype=int)
+        self._rejected = np.zeros(len(self._capacity), dtype=int)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of per-class pools."""
+        return len(self._capacity)
+
+    def capacity(self, rank: int) -> float:
+        """Total reservation of class ``rank``."""
+        return float(self._capacity[rank])
+
+    def available(self, rank: int) -> float:
+        """Currently unused bandwidth of class ``rank``."""
+        return float(self._capacity[rank] - self._in_use[rank])
+
+    def in_use(self, rank: int) -> float:
+        """Bandwidth of class ``rank`` currently held by transmissions."""
+        return float(self._in_use[rank])
+
+    def try_acquire(self, rank: int, demand: float) -> bool:
+        """Admit a transmission needing ``demand`` units from class ``rank``.
+
+        Returns ``True`` (and holds the bandwidth) if the class's remaining
+        reservation covers the demand, else ``False`` and counts a
+        rejection.  A zero demand is always admitted.
+        """
+        if demand < 0:
+            raise ValueError(f"demand must be >= 0, got {demand}")
+        if demand <= self.available(rank) + 1e-12:
+            self._in_use[rank] += demand
+            self._admitted[rank] += 1
+            return True
+        self._rejected[rank] += 1
+        return False
+
+    def release(self, rank: int, demand: float) -> None:
+        """Return ``demand`` units to class ``rank``'s pool."""
+        if demand < 0:
+            raise ValueError(f"demand must be >= 0, got {demand}")
+        if demand > self._in_use[rank] + 1e-9:
+            raise ValueError(
+                f"release of {demand} exceeds in-use {self._in_use[rank]} for rank {rank}"
+            )
+        self._in_use[rank] = max(0.0, self._in_use[rank] - demand)
+
+    # -- accounting -------------------------------------------------------------
+    def admitted(self, rank: int) -> int:
+        """Number of transmissions admitted for class ``rank``."""
+        return int(self._admitted[rank])
+
+    def rejected(self, rank: int) -> int:
+        """Number of transmissions rejected for class ``rank``."""
+        return int(self._rejected[rank])
+
+    def rejection_rate(self, rank: int) -> float:
+        """Fraction of class-``rank`` admission attempts that were rejected."""
+        total = self._admitted[rank] + self._rejected[rank]
+        return float(self._rejected[rank] / total) if total else float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<BandwidthPool capacity={self._capacity} in_use={self._in_use}>"

@@ -1,0 +1,56 @@
+"""Client-side request generation process.
+
+The entire client population is modelled by one aggregate Poisson arrival
+process (`repro.workload.ArrivalProcess`) feeding the server's uplink —
+statistically identical to per-client independent Poisson sources, and
+exactly the paper's arrival assumption.  A trace-replay driver is also
+provided so identical request sequences can be replayed against different
+scheduling policies.
+"""
+
+from __future__ import annotations
+
+from ..des import Environment
+from ..workload.arrivals import ArrivalProcess
+from ..workload.trace import RequestTrace
+from .server import HybridServer  # noqa: F401 - canonical submit target
+
+__all__ = ["drive_arrivals", "drive_trace"]
+
+
+def drive_arrivals(env: Environment, server, arrivals: ArrivalProcess):
+    """DES process: submit requests from a live Poisson arrival stream.
+
+    ``server`` is anything with a ``submit(request)`` method — the
+    HybridServer directly or an uplink front-end.
+
+    Runs forever; bound the simulation with ``env.run(until=horizon)``.
+    """
+
+    def _proc():
+        stream = iter(arrivals)
+        while True:
+            request = next(stream)
+            delay = request.time - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            server.submit(request)
+
+    return env.process(_proc())
+
+
+def drive_trace(env: Environment, server, trace: RequestTrace):
+    """DES process: replay a pre-generated request trace into the server.
+
+    Useful for paired comparisons — the same randomness against every
+    scheduler (common random numbers variance reduction).
+    """
+
+    def _proc():
+        for request in trace.iter_requests():
+            delay = request.time - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            server.submit(request)
+
+    return env.process(_proc())

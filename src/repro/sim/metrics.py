@@ -1,0 +1,207 @@
+"""Metrics pipeline and the result record of a simulation run.
+
+The collector receives raw events from the server (request satisfied,
+request blocked, queue length changed) and keeps per-class and aggregate
+statistics.  A warm-up window suppresses measurements for requests that
+*arrive* before the window ends, so transient start-up bias never enters
+the tallies while late satisfactions of warm-up requests still advance the
+system state faithfully.
+
+:class:`SimulationResult` is the plain-data summary handed to users: all
+the quantities the paper plots (per-class delay, prioritized cost,
+blocking) plus diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..des.monitor import Counter, Tally, TimeWeighted
+from ..workload.arrivals import Request
+from .qos import DelayRecorder
+
+__all__ = ["MetricsCollector", "SimulationResult"]
+
+
+class MetricsCollector:
+    """Streaming statistics for one simulation run.
+
+    Parameters
+    ----------
+    class_names:
+        Service-class labels in rank order.
+    class_priorities:
+        Priority weight per class in rank order (for prioritized cost).
+    warmup:
+        Requests arriving before this time are excluded from delay,
+        blocking and throughput statistics.
+    """
+
+    def __init__(
+        self,
+        class_names: list[str],
+        class_priorities: list[float],
+        warmup: float = 0.0,
+        record_qos: bool = False,
+    ) -> None:
+        if len(class_names) != len(class_priorities):
+            raise ValueError("class_names and class_priorities must align")
+        self.class_names = list(class_names)
+        self.class_priorities = [float(q) for q in class_priorities]
+        self.warmup = float(warmup)
+        #: Optional raw-delay recorder for tail/jitter/fairness statistics.
+        self.qos_recorder = DelayRecorder(class_names) if record_qos else None
+
+        self.delay_by_class: dict[str, Tally] = {n: Tally() for n in class_names}
+        self.push_delay_by_class: dict[str, Tally] = {n: Tally() for n in class_names}
+        self.pull_delay_by_class: dict[str, Tally] = {n: Tally() for n in class_names}
+        self.delay_overall = Tally()
+        self.delay_push = Tally()
+        self.delay_pull = Tally()
+        self.blocked_by_class: dict[str, Counter] = {n: Counter() for n in class_names}
+        self.arrivals_by_class: dict[str, Counter] = {n: Counter() for n in class_names}
+        self.queue_length = TimeWeighted()
+        self.push_broadcasts = Counter()
+        self.pull_services = Counter()
+        self.pull_drops = Counter()
+
+    # -- event intake --------------------------------------------------------
+    def _measured(self, request: Request) -> bool:
+        return request.time >= self.warmup
+
+    def record_arrival(self, request: Request) -> None:
+        """A request entered the system."""
+        if self._measured(request):
+            self.arrivals_by_class[self.class_names[request.class_rank]].increment()
+
+    def record_satisfied(self, request: Request, now: float, via_push: bool) -> None:
+        """A request was satisfied at time ``now`` (delay = now − arrival)."""
+        if not self._measured(request):
+            return
+        delay = now - request.time
+        if delay < 0:
+            raise ValueError(f"negative delay: satisfied at {now}, arrived {request.time}")
+        name = self.class_names[request.class_rank]
+        self.delay_by_class[name].observe(delay)
+        self.delay_overall.observe(delay)
+        if via_push:
+            self.delay_push.observe(delay)
+            self.push_delay_by_class[name].observe(delay)
+        else:
+            self.delay_pull.observe(delay)
+            self.pull_delay_by_class[name].observe(delay)
+        if self.qos_recorder is not None:
+            self.qos_recorder.record(request.class_rank, request.item_id, delay)
+
+    def record_blocked(self, request: Request) -> None:
+        """A request was dropped because bandwidth admission failed."""
+        if self._measured(request):
+            self.blocked_by_class[self.class_names[request.class_rank]].increment()
+
+    def record_queue_length(self, now: float, length: int) -> None:
+        """The pull queue now holds ``length`` distinct items."""
+        self.queue_length.set(now, length)
+
+    def record_push_broadcast(self) -> None:
+        """One push slot was broadcast."""
+        self.push_broadcasts.increment()
+
+    def record_pull_service(self) -> None:
+        """One pull transmission completed."""
+        self.pull_services.increment()
+
+    def record_pull_drop(self) -> None:
+        """One pull queue entry (item) was dropped at admission."""
+        self.pull_drops.increment()
+
+    # -- summary -----------------------------------------------------------------
+    def result(self, horizon: float, seed: int) -> "SimulationResult":
+        """Freeze the collected statistics into a :class:`SimulationResult`."""
+        per_class_delay = {
+            name: tally.mean for name, tally in self.delay_by_class.items()
+        }
+        per_class_cost = {
+            name: q * per_class_delay[name]
+            for name, q in zip(self.class_names, self.class_priorities)
+        }
+        blocking = {}
+        for name in self.class_names:
+            arrived = self.arrivals_by_class[name].count
+            blocked = self.blocked_by_class[name].count
+            blocking[name] = blocked / arrived if arrived else math.nan
+        total_cost = sum(c for c in per_class_cost.values() if not math.isnan(c))
+        return SimulationResult(
+            horizon=horizon,
+            seed=seed,
+            per_class_delay=per_class_delay,
+            per_class_pull_delay={
+                name: tally.mean for name, tally in self.pull_delay_by_class.items()
+            },
+            per_class_push_delay={
+                name: tally.mean for name, tally in self.push_delay_by_class.items()
+            },
+            per_class_cost=per_class_cost,
+            per_class_blocking=blocking,
+            overall_delay=self.delay_overall.mean,
+            push_delay=self.delay_push.mean,
+            pull_delay=self.delay_pull.mean,
+            total_prioritized_cost=total_cost,
+            mean_queue_length=self.queue_length.time_average(horizon),
+            push_broadcasts=self.push_broadcasts.count,
+            pull_services=self.pull_services.count,
+            pull_drops=self.pull_drops.count,
+            satisfied_requests=self.delay_overall.count,
+            blocked_requests=sum(c.count for c in self.blocked_by_class.values()),
+            delay_tallies={k: v for k, v in self.delay_by_class.items()},
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Summary of one simulation run.
+
+    All delays are in broadcast units.  ``per_class_*`` mappings are keyed
+    by class name in rank order (most important first when iterated).
+    """
+
+    horizon: float
+    seed: int
+    per_class_delay: Mapping[str, float]
+    per_class_pull_delay: Mapping[str, float]
+    per_class_push_delay: Mapping[str, float]
+    per_class_cost: Mapping[str, float]
+    per_class_blocking: Mapping[str, float]
+    overall_delay: float
+    push_delay: float
+    pull_delay: float
+    total_prioritized_cost: float
+    mean_queue_length: float
+    push_broadcasts: int
+    pull_services: int
+    pull_drops: int
+    satisfied_requests: int
+    blocked_requests: int
+    delay_tallies: Mapping[str, Tally] = field(repr=False, default_factory=dict)
+
+    def delay_of(self, class_name: str) -> float:
+        """Mean delay of one class (convenience accessor)."""
+        return self.per_class_delay[class_name]
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest."""
+        lines = [
+            f"horizon={self.horizon:g} seed={self.seed} "
+            f"satisfied={self.satisfied_requests} blocked={self.blocked_requests}",
+            f"overall delay {self.overall_delay:.2f} "
+            f"(push {self.push_delay:.2f} / pull {self.pull_delay:.2f}); "
+            f"mean pull-queue length {self.mean_queue_length:.2f}",
+        ]
+        for name in self.per_class_delay:
+            lines.append(
+                f"  class {name}: delay {self.per_class_delay[name]:8.2f}  "
+                f"cost {self.per_class_cost[name]:8.2f}  "
+                f"blocking {self.per_class_blocking[name]:6.2%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Extended QoS statistics: tail delays, jitter and fairness.
+
+The paper reports only mean delays, but a differentiated-QoS operator
+cares at least as much about tails (SLA percentiles), delay variability
+(jitter) and how evenly the basic tier is treated — §3 explicitly
+worries about the *un-fairness* of pure priority scheduling.  This module
+computes those from per-request delay samples:
+
+* per-class delay percentiles (p50/p95/p99),
+* per-class jitter (standard deviation of delay),
+* Jain's fairness index across classes and across items.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["QoSReport", "DelayRecorder", "jain_fairness"]
+
+
+def jain_fairness(values: Sequence[float] | np.ndarray) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` in ``(0, 1]``.
+
+    1 means perfectly equal allocations; ``1/n`` means one party gets
+    everything.  Ignores NaNs; returns NaN for an empty/degenerate input.
+    """
+    x = np.asarray(values, dtype=float)
+    x = x[~np.isnan(x)]
+    if x.size == 0:
+        return float("nan")
+    if np.any(x < 0):
+        raise ValueError("fairness is defined for non-negative values")
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0:
+        return float("nan")
+    return float(np.sum(x)) ** 2 / denom
+
+
+class DelayRecorder:
+    """Collects raw per-request delays keyed by class and by item.
+
+    Lightweight companion to :class:`~repro.sim.metrics.MetricsCollector`
+    for runs where tail statistics are wanted; attach via the
+    ``HybridSystem``'s metrics hooks or record manually.
+    """
+
+    def __init__(self, class_names: Sequence[str]) -> None:
+        self.class_names = list(class_names)
+        self._by_class: dict[str, list[float]] = {n: [] for n in self.class_names}
+        self._by_item: dict[int, list[float]] = defaultdict(list)
+
+    def record(self, class_rank: int, item_id: int, delay: float) -> None:
+        """Record one satisfied request's delay."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._by_class[self.class_names[class_rank]].append(delay)
+        self._by_item[item_id].append(delay)
+
+    @property
+    def total_samples(self) -> int:
+        """Number of recorded delays."""
+        return sum(len(v) for v in self._by_class.values())
+
+    def report(self) -> "QoSReport":
+        """Summarise everything recorded so far."""
+        percentiles: dict[str, dict[str, float]] = {}
+        jitter: dict[str, float] = {}
+        means = []
+        for name in self.class_names:
+            samples = np.asarray(self._by_class[name], dtype=float)
+            if samples.size == 0:
+                percentiles[name] = {"p50": np.nan, "p95": np.nan, "p99": np.nan}
+                jitter[name] = float("nan")
+                means.append(np.nan)
+                continue
+            percentiles[name] = {
+                "p50": float(np.percentile(samples, 50)),
+                "p95": float(np.percentile(samples, 95)),
+                "p99": float(np.percentile(samples, 99)),
+            }
+            jitter[name] = float(samples.std(ddof=1)) if samples.size > 1 else 0.0
+            means.append(float(samples.mean()))
+        item_means = [
+            float(np.mean(delays)) for delays in self._by_item.values() if delays
+        ]
+        # Fairness over *speed* (inverse delay): equal delays -> index 1.
+        inv = [1.0 / m for m in means if m and not np.isnan(m) and m > 0]
+        inv_items = [1.0 / m for m in item_means if m > 0]
+        return QoSReport(
+            percentiles=percentiles,
+            jitter=jitter,
+            class_fairness=jain_fairness(inv) if inv else float("nan"),
+            item_fairness=jain_fairness(inv_items) if inv_items else float("nan"),
+            samples=self.total_samples,
+        )
+
+
+@dataclass(frozen=True)
+class QoSReport:
+    """Tail/variability/fairness summary of one run.
+
+    Attributes
+    ----------
+    percentiles:
+        Class → {p50, p95, p99} delay percentiles.
+    jitter:
+        Class → delay standard deviation.
+    class_fairness:
+        Jain index over per-class mean service speeds (1 = no
+        differentiation — *low* values are expected and intended when
+        priorities bite).
+    item_fairness:
+        Jain index over per-item mean speeds — the §3 starvation
+        indicator (pure priority drives this down; stretch restores it).
+    samples:
+        Number of delays summarised.
+    """
+
+    percentiles: Mapping[str, Mapping[str, float]]
+    jitter: Mapping[str, float]
+    class_fairness: float
+    item_fairness: float
+    samples: int
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"QoS report over {self.samples} requests"]
+        for name, pct in self.percentiles.items():
+            lines.append(
+                f"  class {name}: p50 {pct['p50']:8.2f}  p95 {pct['p95']:8.2f}  "
+                f"p99 {pct['p99']:8.2f}  jitter {self.jitter[name]:8.2f}"
+            )
+        lines.append(
+            f"  fairness: classes {self.class_fairness:.3f}  items {self.item_fairness:.3f}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Replicated simulation runs and cross-replication aggregation.
+
+Independent replications (different seeds) are the textbook way to put
+confidence intervals on DES output.  :func:`run_replications` executes
+``n`` independent runs of one configuration; :class:`ReplicatedResult`
+aggregates the per-run summaries (means and 95 % CIs of every headline
+metric).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import stats as _sstats
+
+from ..core.config import HybridConfig
+from .metrics import SimulationResult
+from .server import PullMode
+from .system import HybridSystem
+
+__all__ = ["run_single", "run_replications", "run_until_precision", "ReplicatedResult"]
+
+
+def run_single(
+    config: HybridConfig,
+    seed: int = 0,
+    horizon: float = 5_000.0,
+    warmup: float | None = None,
+    pull_mode: PullMode = "serial",
+) -> SimulationResult:
+    """Run one replication of ``config``.
+
+    ``warmup`` defaults to 10 % of the horizon.
+    """
+    if warmup is None:
+        warmup = 0.1 * horizon
+    system = HybridSystem(config, seed=seed, warmup=warmup, pull_mode=pull_mode)
+    return system.run(horizon)
+
+
+def _mean_ci(values: Sequence[float], level: float = 0.95) -> tuple[float, float]:
+    """Mean and half-width of a Student-t CI, ignoring NaNs."""
+    x = np.asarray([v for v in values if not math.isnan(v)], dtype=float)
+    if x.size == 0:
+        return (math.nan, math.nan)
+    if x.size == 1:
+        return (float(x[0]), math.nan)
+    half = float(
+        _sstats.t.ppf(0.5 + level / 2.0, x.size - 1) * x.std(ddof=1) / math.sqrt(x.size)
+    )
+    return (float(x.mean()), half)
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Aggregate of several independent replications of one configuration."""
+
+    runs: tuple[SimulationResult, ...]
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ValueError("need at least one run")
+
+    @property
+    def num_runs(self) -> int:
+        """Number of replications aggregated."""
+        return len(self.runs)
+
+    @property
+    def class_names(self) -> list[str]:
+        """Service-class labels (from the first run)."""
+        return list(self.runs[0].per_class_delay)
+
+    # -- aggregated metrics -----------------------------------------------------
+    def delay(self, class_name: str) -> tuple[float, float]:
+        """(mean, CI half-width) of one class's mean delay across runs."""
+        return _mean_ci([r.per_class_delay[class_name] for r in self.runs])
+
+    def pull_delay(self, class_name: str) -> tuple[float, float]:
+        """(mean, CI half-width) of one class's mean *pull* delay."""
+        return _mean_ci([r.per_class_pull_delay[class_name] for r in self.runs])
+
+    def cost(self, class_name: str) -> tuple[float, float]:
+        """(mean, CI half-width) of one class's prioritized cost."""
+        return _mean_ci([r.per_class_cost[class_name] for r in self.runs])
+
+    def blocking(self, class_name: str) -> tuple[float, float]:
+        """(mean, CI half-width) of one class's blocking fraction."""
+        return _mean_ci([r.per_class_blocking[class_name] for r in self.runs])
+
+    def overall_delay(self) -> tuple[float, float]:
+        """(mean, CI half-width) of the overall mean delay."""
+        return _mean_ci([r.overall_delay for r in self.runs])
+
+    def total_cost(self) -> tuple[float, float]:
+        """(mean, CI half-width) of the total prioritized cost."""
+        return _mean_ci([r.total_prioritized_cost for r in self.runs])
+
+    def per_class_delays(self) -> Mapping[str, float]:
+        """Class → mean delay point estimates."""
+        return {name: self.delay(name)[0] for name in self.class_names}
+
+    def summary(self) -> str:
+        """Human-readable digest across replications."""
+        lines = [f"{self.num_runs} replications"]
+        overall, half = self.overall_delay()
+        lines.append(f"overall delay {overall:.2f} ± {half:.2f}")
+        for name in self.class_names:
+            d, dh = self.delay(name)
+            c, _ = self.cost(name)
+            b, _ = self.blocking(name)
+            lines.append(
+                f"  class {name}: delay {d:8.2f} ± {dh:5.2f}  cost {c:8.2f}  blocking {b:6.2%}"
+            )
+        return "\n".join(lines)
+
+
+def run_replications(
+    config: HybridConfig,
+    num_runs: int = 5,
+    horizon: float = 5_000.0,
+    warmup: float | None = None,
+    base_seed: int = 0,
+    pull_mode: PullMode = "serial",
+) -> ReplicatedResult:
+    """Run ``num_runs`` independent replications of ``config``.
+
+    Seeds are ``base_seed, base_seed+1, ...`` — distinct seeds give
+    independent random-stream families.
+    """
+    if num_runs < 1:
+        raise ValueError(f"num_runs must be >= 1, got {num_runs}")
+    runs = tuple(
+        run_single(config, seed=base_seed + i, horizon=horizon, warmup=warmup, pull_mode=pull_mode)
+        for i in range(num_runs)
+    )
+    return ReplicatedResult(runs=runs)
+
+
+def run_until_precision(
+    config: HybridConfig,
+    rel_halfwidth: float = 0.05,
+    metric: str = "overall_delay",
+    min_runs: int = 3,
+    max_runs: int = 30,
+    horizon: float = 5_000.0,
+    warmup: float | None = None,
+    base_seed: int = 0,
+    pull_mode: PullMode = "serial",
+) -> ReplicatedResult:
+    """Add replications until the CI half-width is small enough.
+
+    The classic sequential stopping rule: after ``min_runs`` pilot
+    replications, keep adding one until the 95 % confidence half-width of
+    ``metric`` is below ``rel_halfwidth`` of its mean (or ``max_runs`` is
+    reached — inspect the returned aggregate's interval to see which).
+
+    Parameters
+    ----------
+    metric:
+        ``"overall_delay"``, ``"total_cost"`` or ``"delay:<class>"``
+        (e.g. ``"delay:A"``).
+    """
+    if not 0 < rel_halfwidth < 1:
+        raise ValueError(f"rel_halfwidth must be in (0,1), got {rel_halfwidth}")
+    if not 1 <= min_runs <= max_runs:
+        raise ValueError(f"need 1 <= min_runs <= max_runs, got {min_runs}, {max_runs}")
+
+    def precision(agg: ReplicatedResult) -> tuple[float, float]:
+        if metric == "overall_delay":
+            return agg.overall_delay()
+        if metric == "total_cost":
+            return agg.total_cost()
+        if metric.startswith("delay:"):
+            return agg.delay(metric.split(":", 1)[1])
+        raise ValueError(f"unknown metric {metric!r}")
+
+    runs: list[SimulationResult] = [
+        run_single(config, seed=base_seed + i, horizon=horizon, warmup=warmup, pull_mode=pull_mode)
+        for i in range(min_runs)
+    ]
+    while True:
+        aggregate = ReplicatedResult(runs=tuple(runs))
+        mean, half = precision(aggregate)
+        if (
+            not math.isnan(half)
+            and mean != 0
+            and half / abs(mean) <= rel_halfwidth
+        ):
+            return aggregate
+        if len(runs) >= max_runs:
+            return aggregate
+        runs.append(
+            run_single(
+                config,
+                seed=base_seed + len(runs),
+                horizon=horizon,
+                warmup=warmup,
+                pull_mode=pull_mode,
+            )
+        )

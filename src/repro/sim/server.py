@@ -1,0 +1,260 @@
+"""The hybrid broadcast server process (Figure 1 of the paper).
+
+The server loops forever:
+
+1. broadcast the next push item chosen by the push scheduler (taking the
+   item's length in broadcast units), satisfying every client that was
+   already waiting for it when the transmission began;
+2. if the pull queue is non-empty, extract the entry with maximum
+   importance factor, sample its Poisson bandwidth demand, charge it to
+   the service class of its most important requester, and either
+
+   * transmit it (serving all pending requests and then releasing the
+     bandwidth), or
+   * drop the entry — and all its pending requests — if the class's
+     bandwidth reservation cannot cover the demand (blocking).
+
+Two pull service modes are supported:
+
+* ``"serial"`` — the server alternates push and pull transmissions on one
+  channel, exactly matching the §4 queueing analysis (the birth-death
+  chain alternating μ₁/μ₂ service).
+* ``"concurrent"`` — pull transmissions are spawned as parallel downlink
+  streams that hold their bandwidth for the duration of the transfer
+  while the broadcast cycle continues.  This realises the reading of §3
+  in which bandwidth is a finite resource that *accumulates* across
+  overlapping transfers, making blocking dependent on load rather than
+  only on the demand distribution's tail.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Literal, Optional
+
+from ..core.config import HybridConfig
+from ..des import Environment, RandomStreams
+from ..schedulers.base import PendingEntry, PullQueue, PullScheduler, PushScheduler
+from ..workload.arrivals import Request
+from ..workload.items import ItemCatalog
+from .bandwidth_pool import BandwidthPool
+from .metrics import MetricsCollector
+
+__all__ = ["HybridServer", "PullMode"]
+
+PullMode = Literal["serial", "concurrent"]
+
+
+class HybridServer:
+    """Server-side state machine of the hybrid scheduling algorithm.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    catalog:
+        Item database.
+    config:
+        System configuration (cutoff, bandwidth, demand law...).
+    push_scheduler, pull_scheduler:
+        Policy objects.
+    pool:
+        Per-class bandwidth pools.
+    metrics:
+        Metrics sink.
+    streams:
+        Named random streams ("bandwidth" is drawn here).
+    pull_mode:
+        ``"serial"`` (analysis-faithful, default) or ``"concurrent"``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        catalog: ItemCatalog,
+        config: HybridConfig,
+        push_scheduler: PushScheduler,
+        pull_scheduler: PullScheduler,
+        pool: BandwidthPool,
+        metrics: MetricsCollector,
+        streams: RandomStreams,
+        pull_mode: PullMode = "serial",
+    ) -> None:
+        if pull_mode not in ("serial", "concurrent"):
+            raise ValueError(f"unknown pull mode {pull_mode!r}")
+        if pull_mode == "concurrent" and config.cutoff == 0:
+            raise ValueError(
+                "concurrent pull mode needs a non-empty push set to pace the "
+                "service loop; use serial mode for pure-pull systems"
+            )
+        self.env = env
+        self.catalog = catalog
+        self.config = config
+        self.push_scheduler = push_scheduler
+        self.pull_scheduler = pull_scheduler
+        self.pool = pool
+        self.metrics = metrics
+        self.streams = streams
+        self.pull_mode: PullMode = pull_mode
+
+        #: Current cut-off point; mutable to support the §3 periodic
+        #: re-optimisation (see :meth:`reconfigure_cutoff`).
+        self.cutoff = config.cutoff
+        self.pull_queue = PullQueue(catalog)
+        #: Requests waiting for a push item's next broadcast, per item.
+        self._push_waiters: dict[int, list[Request]] = defaultdict(list)
+        #: Callbacks invoked with every submitted request (demand
+        #: estimators, adaptive controllers, loggers).
+        self.observers: list = []
+        self._in_flight_requests = 0
+        self._wakeup = env.event()
+        self._process = env.process(self._run())
+
+    # -- client-facing interface -----------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Accept one client request (uplink message).
+
+        Push-item requests park until the item's broadcast; pull-item
+        requests join the pull queue (folding into an existing entry for
+        the same item if present).
+        """
+        self.metrics.record_arrival(request)
+        for observer in self.observers:
+            observer(request)
+        if request.item_id < self.cutoff:
+            self._push_waiters[request.item_id].append(request)
+        else:
+            self.pull_queue.add(request)
+            self.metrics.record_queue_length(self.env.now, len(self.pull_queue))
+            self._wake()
+
+    # -- server process ------------------------------------------------------------
+    def _wake(self) -> None:
+        if not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _run(self):
+        """Main loop per Figure 1: push one item, then serve one pull entry."""
+        while True:
+            pushed = yield from self._broadcast_next_push()
+            served = yield from self._serve_next_pull()
+            if not pushed and not served:
+                # Pure-pull system with an empty queue: sleep until the
+                # next request arrives.
+                self._wakeup = self.env.event()
+                if self.pull_queue:
+                    continue
+                yield self._wakeup
+
+    def _broadcast_next_push(self):
+        """Broadcast one push slot; returns True if a slot was transmitted."""
+        item_id = self.push_scheduler.next_item()
+        if item_id is None:
+            return False
+        started = self.env.now
+        length = self.catalog[item_id].length
+        yield self.env.timeout(length)
+        self.metrics.record_push_broadcast()
+        # Only clients already waiting when the broadcast began can decode
+        # the item (they need its first byte); later arrivals wait for the
+        # next occurrence in the cycle.
+        waiters = self._push_waiters.get(item_id)
+        if waiters:
+            still_waiting: list[Request] = []
+            for request in waiters:
+                if request.time <= started:
+                    self.metrics.record_satisfied(request, self.env.now, via_push=True)
+                else:
+                    still_waiting.append(request)
+            if still_waiting:
+                self._push_waiters[item_id] = still_waiting
+            else:
+                del self._push_waiters[item_id]
+        return True
+
+    def _serve_next_pull(self):
+        """Serve (or drop) the max-importance pull entry; True if one was taken."""
+        entry = self.pull_scheduler.select(self.pull_queue, self.env.now)
+        if entry is None:
+            return False
+        self.pull_queue.pop(entry.item_id)
+        self.metrics.record_queue_length(self.env.now, len(self.pull_queue))
+
+        demand = float(self.streams.poisson("bandwidth", self.config.bandwidth_demand_mean))
+        rank = min(request.class_rank for request in entry.requests)
+        if not self.pool.try_acquire(rank, demand):
+            # Admission failed: the item and all its pending requests are lost.
+            self.metrics.record_pull_drop()
+            for request in entry.requests:
+                self.metrics.record_blocked(request)
+            return True
+
+        self._in_flight_requests += entry.num_requests
+        if self.pull_mode == "serial":
+            yield from self._transmit_pull(entry, rank, demand)
+        else:
+            self.env.process(self._transmit_pull(entry, rank, demand))
+        return True
+
+    def _transmit_pull(self, entry: PendingEntry, rank: int, demand: float):
+        """Transmit one pull item, satisfy its requesters, free bandwidth."""
+        yield self.env.timeout(entry.length)
+        self._in_flight_requests -= entry.num_requests
+        for request in entry.requests:
+            self.metrics.record_satisfied(request, self.env.now, via_push=False)
+        self.pull_scheduler.observe_service(entry, self.env.now)
+        self.pool.release(rank, demand)
+        self.metrics.record_pull_service()
+
+    # -- reconfiguration ---------------------------------------------------------
+    def reconfigure_cutoff(self, new_cutoff: int, push_scheduler: PushScheduler) -> None:
+        """Switch to a new cut-off point at runtime (§3 re-optimisation).
+
+        Pending work migrates with the split:
+
+        * pull-queue entries whose item is now pushed dissolve into
+          push waiters (the broadcast cycle will satisfy them);
+        * push waiters whose item is now pulled are re-submitted into the
+          pull queue, keeping their original arrival times.
+
+        ``push_scheduler`` must already be built for ``new_cutoff``.
+        """
+        if not 0 <= new_cutoff <= len(self.catalog):
+            raise ValueError(f"cutoff {new_cutoff} outside [0, {len(self.catalog)}]")
+        if new_cutoff == 0 and self.pull_mode == "concurrent":
+            raise ValueError("concurrent pull mode needs a non-empty push set")
+        if push_scheduler.cutoff != new_cutoff:
+            raise ValueError(
+                f"push scheduler built for cutoff {push_scheduler.cutoff}, "
+                f"expected {new_cutoff}"
+            )
+        self.cutoff = new_cutoff
+        self.push_scheduler = push_scheduler
+
+        # Pull entries for items that moved into the push set.
+        for item_id in [e.item_id for e in self.pull_queue if e.item_id < new_cutoff]:
+            entry = self.pull_queue.pop(item_id)
+            self._push_waiters[item_id].extend(entry.requests)
+        # Push waiters for items that moved into the pull set.
+        for item_id in [i for i in self._push_waiters if i >= new_cutoff]:
+            for request in self._push_waiters.pop(item_id):
+                self.pull_queue.add(request)
+        self.metrics.record_queue_length(self.env.now, len(self.pull_queue))
+        if self.pull_queue:
+            self._wake()
+
+    # -- diagnostics -----------------------------------------------------------------
+    @property
+    def pending_push_requests(self) -> int:
+        """Requests currently parked waiting for a push broadcast."""
+        return sum(len(waiters) for waiters in self._push_waiters.values())
+
+    @property
+    def pending_pull_requests(self) -> int:
+        """Requests currently queued in the pull system."""
+        return self.pull_queue.total_requests
+
+    @property
+    def in_flight_pull_requests(self) -> int:
+        """Requests riding on pull transmissions currently on air."""
+        return self._in_flight_requests

@@ -1,0 +1,151 @@
+"""Wiring of the full hybrid broadcast system and single-run entry point.
+
+:class:`HybridSystem` assembles catalog, population, schedulers, bandwidth
+pools, metrics and the server process from a :class:`HybridConfig`, and
+:meth:`HybridSystem.run` executes one replication.  Runs are pure
+functions of ``(config, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import HybridConfig
+from ..des import Environment, RandomStreams
+from ..schedulers.registry import make_pull_scheduler, make_push_scheduler
+from ..workload.arrivals import ArrivalProcess
+from ..workload.trace import RequestTrace
+from .bandwidth_pool import BandwidthPool
+from .client import drive_arrivals, drive_trace
+from .metrics import MetricsCollector, SimulationResult
+from .server import HybridServer, PullMode
+from .uplink import UplinkChannel
+
+__all__ = ["HybridSystem"]
+
+
+class _UplinkFront:
+    """Adapter giving the request drivers a ``submit`` that goes via uplink."""
+
+    def __init__(self, uplink: UplinkChannel) -> None:
+        self._uplink = uplink
+
+    def submit(self, request) -> None:
+        self._uplink.offer(request)
+
+
+class HybridSystem:
+    """One fully wired instance of the hybrid scheduling system.
+
+    Parameters
+    ----------
+    config:
+        The system description.
+    seed:
+        Root seed of all stochastic behaviour in this replication.
+    warmup:
+        Simulated time before which arriving requests are excluded from
+        statistics (transient removal).
+    pull_mode:
+        Serial (analysis-faithful) or concurrent pull service; see
+        :class:`~repro.sim.server.HybridServer`.
+    trace:
+        Optional pre-generated request trace to replay instead of live
+        Poisson arrivals (for common-random-number comparisons).
+    record_qos:
+        Retain raw per-request delays for :meth:`qos_report`
+        (percentiles, jitter, fairness).
+    arrivals:
+        Optional custom arrival source (any iterable of
+        :class:`~repro.workload.arrivals.Request`, e.g. a
+        :class:`~repro.workload.nonstationary.PhasedArrivalProcess`);
+        mutually exclusive with ``trace``.
+    server_cls, server_kwargs:
+        Server implementation hook — e.g.
+        :class:`~repro.sim.preemptive.PreemptiveHybridServer` with
+        ``{"preemption_threshold": 0.1}``.
+    """
+
+    def __init__(
+        self,
+        config: HybridConfig,
+        seed: int = 0,
+        warmup: float = 0.0,
+        pull_mode: PullMode = "serial",
+        trace: Optional[RequestTrace] = None,
+        record_qos: bool = False,
+        arrivals: Optional[object] = None,
+        server_cls: type[HybridServer] = HybridServer,
+        server_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.config = config
+        self.seed = int(seed)
+        self.warmup = float(warmup)
+
+        self.env = Environment()
+        self.streams = RandomStreams(seed=seed)
+        self.catalog = config.build_catalog()
+        self.population = config.build_population()
+        self.metrics = MetricsCollector(
+            class_names=config.class_names(),
+            class_priorities=list(config.class_priorities()),
+            warmup=warmup,
+            record_qos=record_qos,
+        )
+        self.pool = BandwidthPool(config.class_bandwidth())
+        self.push_scheduler = make_push_scheduler(
+            config.push_scheduler, self.catalog, config.cutoff
+        )
+        self.pull_scheduler = make_pull_scheduler(config.pull_scheduler, alpha=config.alpha)
+        self.server = server_cls(
+            env=self.env,
+            catalog=self.catalog,
+            config=config,
+            push_scheduler=self.push_scheduler,
+            pull_scheduler=self.pull_scheduler,
+            pool=self.pool,
+            metrics=self.metrics,
+            streams=self.streams,
+            pull_mode=pull_mode,
+            **(server_kwargs or {}),
+        )
+        self.uplink = UplinkChannel(
+            env=self.env,
+            deliver=self.server.submit,
+            rate=config.uplink_rate,
+            buffer=config.uplink_buffer,
+        )
+        front = self.server if self.uplink.ideal else _UplinkFront(self.uplink)
+        if trace is not None and arrivals is not None:
+            raise ValueError("pass either a trace or an arrivals source, not both")
+        if trace is not None:
+            self.driver = drive_trace(self.env, front, trace)
+        else:
+            if arrivals is None:
+                arrivals = ArrivalProcess(
+                    catalog=self.catalog,
+                    population=self.population,
+                    rate=config.arrival_rate,
+                    rng=self.streams.stream("arrivals"),
+                    priority_weighted=config.priority_weighted_demand,
+                )
+            self.driver = drive_arrivals(self.env, front, arrivals)
+
+    def run(self, horizon: float) -> SimulationResult:
+        """Advance the simulation to ``horizon`` and summarise.
+
+        Can be called once per system instance (state is not reset).
+        """
+        if horizon <= self.warmup:
+            raise ValueError(f"horizon {horizon} must exceed warmup {self.warmup}")
+        self.env.run(until=horizon)
+        return self.metrics.result(horizon=horizon, seed=self.seed)
+
+    def qos_report(self):
+        """Tail/jitter/fairness report; requires ``record_qos=True``.
+
+        Returns a :class:`~repro.sim.qos.QoSReport`.
+        """
+        if self.metrics.qos_recorder is None:
+            raise RuntimeError("construct the system with record_qos=True")
+        return self.metrics.qos_recorder.report()

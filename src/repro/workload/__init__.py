@@ -1,0 +1,42 @@
+"""``repro.workload`` — synthetic workload model from the paper's §5.1.
+
+Zipf item popularities, a variable-length item catalog calibrated to the
+paper's length statistics, a client population split into Zipf-sized
+priority classes, Poisson request arrivals and replayable request traces.
+"""
+
+from .arrivals import ArrivalProcess, Request
+from .clients import Client, ClientPopulation, ServiceClass, paper_classes
+from .items import Item, ItemCatalog, calibrate_geometric, truncated_geometric_pmf
+from .nonstationary import PhasedArrivalProcess, WorkloadPhase
+from .trace import RequestTrace
+from .zipf import (
+    PAPER_THETAS,
+    cumulative_mass,
+    effective_catalog_fraction,
+    fit_theta,
+    zipf_cdf,
+    zipf_probabilities,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "Request",
+    "Client",
+    "ClientPopulation",
+    "ServiceClass",
+    "paper_classes",
+    "Item",
+    "ItemCatalog",
+    "calibrate_geometric",
+    "truncated_geometric_pmf",
+    "PhasedArrivalProcess",
+    "WorkloadPhase",
+    "RequestTrace",
+    "PAPER_THETAS",
+    "zipf_probabilities",
+    "zipf_cdf",
+    "cumulative_mass",
+    "fit_theta",
+    "effective_catalog_fraction",
+]

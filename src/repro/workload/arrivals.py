@@ -1,0 +1,176 @@
+"""Poisson request arrival model.
+
+Aggregate arrivals form a Poisson process with rate ``λ'`` (paper: 5
+requests per broadcast unit).  Each arrival independently selects an item
+from the Zipf access law and an originating client uniformly from the
+population — so the per-item, per-class arrival streams are thinned
+Poisson processes, exactly the decomposition the paper's analysis relies
+on (``λ_i = λ · p_i · q_j`` discussion in §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .clients import ClientPopulation
+from .items import ItemCatalog
+
+__all__ = ["Request", "ArrivalProcess"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request for one item.
+
+    Attributes
+    ----------
+    time:
+        Arrival time (broadcast units).
+    item_id:
+        Requested item (0-based Zipf rank).
+    client_id:
+        Originating client.
+    class_rank:
+        Importance rank of the client's service class (0 = most important).
+    priority:
+        The client's priority weight ``q_j``.
+    """
+
+    time: float
+    item_id: int
+    client_id: int
+    class_rank: int
+    priority: float
+
+
+class ArrivalProcess:
+    """Generates the request stream, either lazily or as a bulk trace.
+
+    Parameters
+    ----------
+    catalog:
+        Item catalog supplying the Zipf item law.
+    population:
+        Client population supplying the class mix.
+    rate:
+        Aggregate Poisson rate ``λ'`` (requests per broadcast unit).
+    rng:
+        numpy Generator; pass a named stream from
+        :class:`repro.des.RandomStreams` for reproducibility.
+    priority_weighted:
+        If true, a request's originating client is drawn with probability
+        proportional to its priority weight ``q_j`` instead of uniformly —
+        the demand decomposition §4.2 writes as ``λ_i = λ·p_i·q_j``
+        (important clients are also the heavy requesters).  Default off:
+        the §5 evaluation draws clients uniformly.
+    """
+
+    def __init__(
+        self,
+        catalog: ItemCatalog,
+        population: ClientPopulation,
+        rate: float,
+        rng: np.random.Generator,
+        priority_weighted: bool = False,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be > 0, got {rate}")
+        self.catalog = catalog
+        self.population = population
+        self.rate = float(rate)
+        self.rng = rng
+        self.priority_weighted = bool(priority_weighted)
+        self._num_clients = len(population)
+        self._client_class_rank = np.array(
+            [c.service_class.rank for c in population], dtype=int
+        )
+        self._client_priority = np.array([c.priority for c in population], dtype=float)
+        if priority_weighted:
+            self._client_weights = self._client_priority / self._client_priority.sum()
+            self._client_cdf = np.cumsum(self._client_weights)
+        else:
+            self._client_weights = None
+            self._client_cdf = None
+        # Precomputed CDF: drawing via searchsorted on a uniform variate is
+        # far cheaper than rng.choice(p=...) per arrival (profiled hot path).
+        self._item_cdf = np.cumsum(catalog.probabilities)
+
+    # -- lazy stream (for the DES) ------------------------------------------
+    def __iter__(self) -> Iterator[Request]:
+        """Infinite lazy stream of requests in time order."""
+        t = 0.0
+        while True:
+            t += float(self.rng.exponential(1.0 / self.rate))
+            yield self._draw(t)
+
+    def _draw_client(self) -> int:
+        if self._client_cdf is None:
+            return int(self.rng.integers(0, self._num_clients))
+        idx = int(np.searchsorted(self._client_cdf, self.rng.random(), side="right"))
+        return min(idx, self._num_clients - 1)
+
+    def _draw(self, t: float) -> Request:
+        idx = int(np.searchsorted(self._item_cdf, self.rng.random(), side="right"))
+        item_id = min(idx, len(self.catalog) - 1)
+        client_id = self._draw_client()
+        return Request(
+            time=t,
+            item_id=item_id,
+            client_id=client_id,
+            class_rank=int(self._client_class_rank[client_id]),
+            priority=float(self._client_priority[client_id]),
+        )
+
+    # -- bulk generation (vectorised, for analysis & traces) ------------------
+    def generate(self, horizon: float) -> list[Request]:
+        """All requests in ``[0, horizon)`` as a list, vectorised draw."""
+        times = self.sample_times(horizon)
+        n = len(times)
+        if n == 0:
+            return []
+        item_ids = self.rng.choice(len(self.catalog), size=n, p=self.catalog.probabilities)
+        if self._client_weights is None:
+            client_ids = self.rng.integers(0, self._num_clients, size=n)
+        else:
+            client_ids = self.rng.choice(self._num_clients, size=n, p=self._client_weights)
+        return [
+            Request(
+                time=float(t),
+                item_id=int(i),
+                client_id=int(c),
+                class_rank=int(self._client_class_rank[c]),
+                priority=float(self._client_priority[c]),
+            )
+            for t, i, c in zip(times, item_ids, client_ids)
+        ]
+
+    def sample_times(self, horizon: float) -> np.ndarray:
+        """Poisson arrival epochs in ``[0, horizon)`` (sorted)."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        # Draw count, then order statistics of uniforms — O(n) and exact.
+        n = int(self.rng.poisson(self.rate * horizon))
+        times = np.sort(self.rng.uniform(0.0, horizon, size=n))
+        return times
+
+    # -- analytical rates -----------------------------------------------------
+    def pull_rate(self, cutoff: int) -> float:
+        """Arrival rate into the pull system, ``λ = Σ_{i>K} P_i · λ'``."""
+        return self.rate * self.catalog.pull_probability(cutoff)
+
+    def per_class_pull_rates(self, cutoff: int) -> np.ndarray:
+        """Pull arrival rate per service class (rank order).
+
+        Uniform client draw: proportional to population share.  Priority-
+        weighted draw (§4.2's ``λ_i = λ·p_i·q_j``): proportional to the
+        class's total priority mass.
+        """
+        if self._client_weights is None:
+            shares = self.population.class_fractions
+        else:
+            mass = self.population.class_fractions * self.population.priorities
+            shares = mass / mass.sum()
+        return self.pull_rate(cutoff) * shares

@@ -1,0 +1,145 @@
+"""Columnar request traces: bulk storage, filtering and summary statistics.
+
+A :class:`RequestTrace` is the vectorised (struct-of-arrays) twin of a
+``list[Request]``: cheap to slice, save and aggregate with numpy.  Traces
+make experiments replayable — generate once, feed to several schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from .arrivals import Request
+
+__all__ = ["RequestTrace"]
+
+
+@dataclass
+class RequestTrace:
+    """A time-ordered batch of requests as parallel numpy arrays.
+
+    All arrays share one length; ``times`` must be non-decreasing.
+    """
+
+    times: np.ndarray
+    item_ids: np.ndarray
+    client_ids: np.ndarray
+    class_ranks: np.ndarray
+    priorities: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.item_ids = np.asarray(self.item_ids, dtype=int)
+        self.client_ids = np.asarray(self.client_ids, dtype=int)
+        self.class_ranks = np.asarray(self.class_ranks, dtype=int)
+        self.priorities = np.asarray(self.priorities, dtype=float)
+        n = len(self.times)
+        for name in ("item_ids", "client_ids", "class_ranks", "priorities"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name} has length {len(getattr(self, name))}, expected {n}")
+        if n > 1 and np.any(np.diff(self.times) < 0):
+            raise ValueError("times must be non-decreasing")
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_requests(cls, requests: Iterable[Request]) -> "RequestTrace":
+        """Build a trace from request objects (already time-ordered)."""
+        reqs = list(requests)
+        return cls(
+            times=np.array([r.time for r in reqs], dtype=float),
+            item_ids=np.array([r.item_id for r in reqs], dtype=int),
+            client_ids=np.array([r.client_id for r in reqs], dtype=int),
+            class_ranks=np.array([r.class_rank for r in reqs], dtype=int),
+            priorities=np.array([r.priority for r in reqs], dtype=float),
+        )
+
+    @classmethod
+    def empty(cls) -> "RequestTrace":
+        """A zero-length trace."""
+        z = np.array([], dtype=float)
+        return cls(z, z.astype(int), z.astype(int), z.astype(int), z)
+
+    # -- container protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __getitem__(self, idx) -> "RequestTrace":
+        """Slice/boolean-mask the trace, returning a new trace."""
+        if isinstance(idx, int):
+            idx = slice(idx, idx + 1)
+        return RequestTrace(
+            self.times[idx],
+            self.item_ids[idx],
+            self.client_ids[idx],
+            self.class_ranks[idx],
+            self.priorities[idx],
+        )
+
+    def iter_requests(self) -> Iterable[Request]:
+        """Yield the trace back as :class:`Request` objects."""
+        for t, i, c, r, q in zip(
+            self.times, self.item_ids, self.client_ids, self.class_ranks, self.priorities
+        ):
+            yield Request(float(t), int(i), int(c), int(r), float(q))
+
+    # -- filters ----------------------------------------------------------------
+    def for_class(self, rank: int) -> "RequestTrace":
+        """Sub-trace of requests from one service class rank."""
+        return self[self.class_ranks == rank]
+
+    def for_items(self, item_ids: Iterable[int]) -> "RequestTrace":
+        """Sub-trace of requests for a set of items."""
+        wanted = np.isin(self.item_ids, np.asarray(list(item_ids), dtype=int))
+        return self[wanted]
+
+    def pull_only(self, cutoff: int) -> "RequestTrace":
+        """Requests targeting pull items (``item_id >= cutoff``)."""
+        return self[self.item_ids >= cutoff]
+
+    def window(self, start: float, end: float) -> "RequestTrace":
+        """Requests arriving in ``[start, end)``."""
+        return self[(self.times >= start) & (self.times < end)]
+
+    # -- statistics ----------------------------------------------------------------
+    def empirical_rate(self) -> float:
+        """Observed aggregate arrival rate over the trace span."""
+        if len(self) < 2:
+            return float("nan")
+        span = float(self.times[-1] - self.times[0])
+        return (len(self) - 1) / span if span > 0 else float("nan")
+
+    def item_histogram(self, num_items: int) -> np.ndarray:
+        """Request counts per item id."""
+        return np.bincount(self.item_ids, minlength=num_items)
+
+    def class_histogram(self, num_classes: int) -> np.ndarray:
+        """Request counts per class rank."""
+        return np.bincount(self.class_ranks, minlength=num_classes)
+
+    # -- persistence ----------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the trace to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            Path(path),
+            times=self.times,
+            item_ids=self.item_ids,
+            client_ids=self.client_ids,
+            class_ranks=self.class_ranks,
+            priorities=self.priorities,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RequestTrace":
+        """Read a trace written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            return cls(
+                times=data["times"],
+                item_ids=data["item_ids"],
+                client_ids=data["client_ids"],
+                class_ranks=data["class_ranks"],
+                priorities=data["priorities"],
+            )

@@ -1,0 +1,103 @@
+"""Property-based tests for the queueing-analysis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import MM1, cobham_waiting_times
+from repro.analysis.erlang import erlang_b, erlang_c
+from repro.analysis.preemptive import preemptive_sojourn_times
+
+rate_vectors = st.lists(
+    st.floats(min_value=0.01, max_value=0.5), min_size=1, max_size=6
+)
+
+
+class TestCobhamProperties:
+    @given(lambdas=rate_vectors, mu=st.floats(min_value=2.0, max_value=10.0))
+    @settings(max_examples=60)
+    def test_waits_positive_and_monotone_in_rank(self, lambdas, mu):
+        lam = np.asarray(lambdas)
+        assume(float(np.sum(lam / mu)) < 0.95)
+        result = cobham_waiting_times(lam, np.full(len(lam), mu))
+        assert np.all(result.waiting_times > 0)
+        assert np.all(np.diff(result.waiting_times) >= -1e-12)
+
+    @given(lambdas=rate_vectors, mu=st.floats(min_value=2.0, max_value=10.0))
+    @settings(max_examples=60)
+    def test_conservation_law(self, lambdas, mu):
+        # rho-weighted waits are invariant across non-preemptive
+        # work-conserving disciplines: must equal FCFS at the merged rate.
+        lam = np.asarray(lambdas)
+        assume(float(np.sum(lam / mu)) < 0.95)
+        result = cobham_waiting_times(lam, np.full(len(lam), mu))
+        rho = lam / mu
+        conserved = float(rho @ result.waiting_times)
+        fcfs = MM1(float(lam.sum()), mu).mean_waiting_time
+        assert conserved == pytest.approx(rho.sum() * fcfs, rel=1e-9)
+
+    @given(lambdas=rate_vectors, mu=st.floats(min_value=2.0, max_value=10.0))
+    @settings(max_examples=60)
+    def test_mean_wait_between_class_extremes(self, lambdas, mu):
+        lam = np.asarray(lambdas)
+        assume(float(np.sum(lam / mu)) < 0.95)
+        result = cobham_waiting_times(lam, np.full(len(lam), mu))
+        assert (
+            result.waiting_times.min() - 1e-12
+            <= result.mean_waiting_time
+            <= result.waiting_times.max() + 1e-12
+        )
+
+
+class TestPreemptiveProperties:
+    @given(lambdas=rate_vectors, mu=st.floats(min_value=2.0, max_value=10.0))
+    @settings(max_examples=60)
+    def test_total_jobs_invariant_between_disciplines(self, lambdas, mu):
+        # Work conservation with identical exponential service: total E[N]
+        # is the same preemptive or not, and equals the merged M/M/1's.
+        lam = np.asarray(lambdas)
+        assume(float(np.sum(lam / mu)) < 0.95)
+        mus = np.full(len(lam), mu)
+        pre = preemptive_sojourn_times(lam, mus)
+        non = cobham_waiting_times(lam, mus)
+        jobs_pre = float(lam @ pre.sojourn_times)
+        jobs_non = float(lam @ non.sojourn_times)
+        assert jobs_pre == pytest.approx(jobs_non, rel=1e-9)
+
+    @given(lambdas=rate_vectors, mu=st.floats(min_value=2.0, max_value=10.0))
+    @settings(max_examples=60)
+    def test_top_class_never_loses_from_preemption(self, lambdas, mu):
+        lam = np.asarray(lambdas)
+        assume(float(np.sum(lam / mu)) < 0.95)
+        mus = np.full(len(lam), mu)
+        pre = preemptive_sojourn_times(lam, mus)
+        non = cobham_waiting_times(lam, mus)
+        assert pre.sojourn_times[0] <= non.sojourn_times[0] + 1e-12
+
+
+class TestErlangProperties:
+    @given(
+        load=st.floats(min_value=0.01, max_value=50.0),
+        circuits=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=80)
+    def test_erlang_b_is_probability_and_monotone(self, load, circuits):
+        b = erlang_b(load, circuits)
+        assert 0.0 <= b <= 1.0
+        assert erlang_b(load, circuits + 1) <= b + 1e-12
+
+    @given(
+        load=st.floats(min_value=0.01, max_value=20.0),
+        circuits=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=80)
+    def test_erlang_c_dominates_b(self, load, circuits):
+        assume(load < circuits)
+        assert erlang_c(load, circuits) >= erlang_b(load, circuits) - 1e-12
+
+    @given(circuits=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30)
+    def test_heavy_traffic_limits(self, circuits):
+        assert erlang_b(1e6, circuits) == pytest.approx(1.0, abs=1e-3)
+        assert erlang_c(float(circuits), circuits) == 1.0

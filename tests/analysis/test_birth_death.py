@@ -1,0 +1,98 @@
+"""Unit tests for the §4.1 hybrid birth-death chain solver."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MM1, HybridBirthDeathChain
+
+
+class TestConstruction:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            HybridBirthDeathChain(lam=0, mu1=1, mu2=1)
+        with pytest.raises(ValueError):
+            HybridBirthDeathChain(lam=1, mu1=1, mu2=1, truncation=1)
+
+    def test_stability_condition(self):
+        # rho + rho/f = lam (1/mu2 + 1/mu1)
+        chain = HybridBirthDeathChain(lam=1.0, mu1=4.0, mu2=4.0)
+        assert chain.total_load == pytest.approx(0.5)
+        assert chain.is_stable()
+        unstable = HybridBirthDeathChain(lam=3.0, mu1=4.0, mu2=4.0)
+        assert not unstable.is_stable()
+        with pytest.raises(ValueError, match="unstable"):
+            unstable.solve()
+
+
+class TestPaperClosedForms:
+    @pytest.fixture()
+    def chain(self):
+        return HybridBirthDeathChain(lam=1.0, mu1=5.0, mu2=3.0, truncation=400)
+
+    def test_idle_probability_matches_closed_form(self, chain):
+        sol = chain.solve()
+        assert sol.idle_probability == pytest.approx(
+            chain.idle_probability_closed_form(), abs=1e-6
+        )
+
+    def test_pull_occupancy_is_rho(self, chain):
+        sol = chain.solve()
+        assert sol.pull_occupancy == pytest.approx(chain.rho, abs=1e-6)
+
+    def test_push_busy_occupancy_is_rho_over_f(self, chain):
+        sol = chain.solve()
+        assert sol.push_busy_occupancy == pytest.approx(chain.rho / chain.f, abs=1e-6)
+
+    def test_distribution_normalised(self, chain):
+        sol = chain.solve()
+        assert sol.pi_push.sum() + sol.pi_pull.sum() == pytest.approx(1.0)
+        assert np.all(sol.pi_push >= 0)
+        assert np.all(sol.pi_pull >= 0)
+
+    def test_structural_zero(self, chain):
+        # (0, 1) does not exist: serving pull with an empty pull queue.
+        sol = chain.solve()
+        assert sol.pi_pull[0] == 0.0
+
+    def test_boundary_mass_negligible(self, chain):
+        sol = chain.solve()
+        assert chain.boundary_mass(sol) < 1e-8
+
+
+class TestLimits:
+    def test_fast_push_limit_is_mm1(self):
+        # mu1 -> infinity removes the push phase: the pull queue becomes
+        # M/M/1 with (lam, mu2).
+        chain = HybridBirthDeathChain(lam=1.0, mu1=1e7, mu2=2.0, truncation=600)
+        sol = chain.solve()
+        ref = MM1(lam=1.0, mu=2.0)
+        assert sol.mean_pull_queue_length == pytest.approx(
+            ref.mean_number_in_system, rel=1e-3
+        )
+        assert chain.mean_pull_waiting_time() == pytest.approx(
+            ref.mean_sojourn_time, rel=1e-3
+        )
+
+    def test_slower_push_increases_queue(self):
+        fast = HybridBirthDeathChain(lam=1.0, mu1=20.0, mu2=4.0).solve()
+        slow = HybridBirthDeathChain(lam=1.0, mu1=3.0, mu2=4.0).solve()
+        assert slow.mean_pull_queue_length > fast.mean_pull_queue_length
+
+    def test_load_increases_queue(self):
+        low = HybridBirthDeathChain(lam=0.5, mu1=4.0, mu2=4.0).solve()
+        high = HybridBirthDeathChain(lam=1.5, mu1=4.0, mu2=4.0).solve()
+        assert high.mean_pull_queue_length > low.mean_pull_queue_length
+
+    def test_mean_queue_during_push_below_total(self):
+        chain = HybridBirthDeathChain(lam=1.0, mu1=5.0, mu2=3.0)
+        sol = chain.solve()
+        assert 0 < sol.mean_queue_during_push < sol.mean_pull_queue_length
+
+
+class TestTruncationRobustness:
+    def test_result_insensitive_to_truncation(self):
+        a = HybridBirthDeathChain(1.0, 4.0, 3.0, truncation=150).solve()
+        b = HybridBirthDeathChain(1.0, 4.0, 3.0, truncation=500).solve()
+        assert a.mean_pull_queue_length == pytest.approx(
+            b.mean_pull_queue_length, rel=1e-6
+        )

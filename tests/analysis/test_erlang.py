@@ -1,0 +1,93 @@
+"""Unit tests for Erlang B/C and the concurrent-mode blocking estimate."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.erlang import (
+    concurrent_blocking_estimate,
+    erlang_b,
+    erlang_c,
+)
+
+
+class TestErlangB:
+    def test_zero_load(self):
+        assert erlang_b(0.0, 5) == 0.0
+
+    def test_zero_circuits_always_blocks(self):
+        assert erlang_b(2.0, 0) == 1.0
+
+    def test_textbook_value(self):
+        # Classic table entry: E=2 Erlangs, c=5 circuits -> B ~ 0.0367.
+        assert erlang_b(2.0, 5) == pytest.approx(0.0367, abs=1e-3)
+
+    def test_single_circuit_closed_form(self):
+        # B(E,1) = E/(1+E).
+        assert erlang_b(3.0, 1) == pytest.approx(3.0 / 4.0)
+
+    def test_monotone_in_circuits(self):
+        values = [erlang_b(5.0, c) for c in range(1, 15)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_in_load(self):
+        assert erlang_b(8.0, 5) > erlang_b(2.0, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_b(-1.0, 2)
+        with pytest.raises(ValueError):
+            erlang_b(1.0, -1)
+
+
+class TestErlangC:
+    def test_saturated_always_waits(self):
+        assert erlang_c(5.0, 5) == 1.0
+        assert erlang_c(7.0, 5) == 1.0
+
+    def test_textbook_value(self):
+        # E=2, c=3 -> C ~ 0.4444.
+        assert erlang_c(2.0, 3) == pytest.approx(0.4444, abs=1e-3)
+
+    def test_c_exceeds_b(self):
+        # Waiting is more likely than outright loss at equal parameters.
+        assert erlang_c(2.0, 4) > erlang_b(2.0, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_c(1.0, 0)
+
+
+class TestConcurrentEstimate:
+    def test_zero_demand_never_blocks(self):
+        assert concurrent_blocking_estimate(10.0, 0.0, 1.0, 2.0) == 0.0
+
+    def test_more_bandwidth_less_blocking(self):
+        small = concurrent_blocking_estimate(8.0, 4.0, 0.5, 2.0)
+        large = concurrent_blocking_estimate(24.0, 4.0, 0.5, 2.0)
+        assert large < small
+
+    def test_tracks_simulated_concurrent_blocking(self):
+        # First-order agreement with the simulator's concurrent mode.
+        from repro.core import HybridConfig
+        from repro.sim import HybridSystem
+
+        config = dataclasses.replace(
+            HybridConfig(theta=0.6, alpha=0.25, cutoff=40),
+            total_bandwidth=12.0,
+            bandwidth_demand_mean=4.0,
+        )
+        system = HybridSystem(config, seed=2, pull_mode="concurrent")
+        result = system.run(4_000.0)
+        # Class A: reservation 6.0, pulls charged to A at roughly the
+        # admission rate observed, holding ~ mean pull length.
+        pool = system.pool
+        rank = 0
+        attempts = pool.admitted(rank) + pool.rejected(rank)
+        rate = attempts / 4_000.0
+        holding = system.catalog.mean_pull_service_time(config.cutoff)
+        estimate = concurrent_blocking_estimate(
+            config.class_bandwidth()[rank], 4.0, rate, holding
+        )
+        observed = pool.rejected(rank) / attempts if attempts else 0.0
+        assert estimate == pytest.approx(observed, abs=0.15)

@@ -1,0 +1,101 @@
+"""Unit tests for the Eq. 19 hybrid access-time model."""
+
+import math
+
+import pytest
+
+from repro.analysis import analyze_hybrid
+from repro.core import HybridConfig
+
+
+@pytest.fixture()
+def config():
+    return HybridConfig(cutoff=40, theta=0.60, alpha=0.75)
+
+
+class TestPaperMode:
+    def test_push_term_is_half_under_paper_convention(self, config):
+        # With mu1 = sum P_i L_i, Eq. 19's push term is exactly 1/2.
+        result = analyze_hybrid(config, mode="paper")
+        assert result.push_term == pytest.approx(0.5)
+
+    def test_paper_load_is_unstable(self, config):
+        # lam' = 5 with mean length 2 overloads any single-server reading;
+        # the verbatim model must report that honestly.
+        result = analyze_hybrid(config, mode="paper")
+        assert not result.stable
+        assert all(math.isinf(v) for v in result.per_class_pull_wait.values())
+
+    def test_paper_mode_stable_at_light_load(self):
+        cfg = HybridConfig(cutoff=90, theta=1.4, arrival_rate=0.2)
+        result = analyze_hybrid(cfg, mode="paper")
+        assert result.stable
+        assert all(v >= 0 for v in result.per_class_pull_wait.values())
+
+    def test_all_push_system(self):
+        cfg = HybridConfig(cutoff=100, arrival_rate=1.0)
+        result = analyze_hybrid(cfg, mode="paper")
+        assert result.pull_mass == pytest.approx(0.0)
+        # Delay reduces to the push term alone.
+        for v in result.per_class_delay.values():
+            assert v == pytest.approx(result.push_term)
+
+
+class TestCorrectedMode:
+    def test_finite_at_paper_load(self, config):
+        result = analyze_hybrid(config, mode="corrected")
+        assert result.stable
+        assert all(math.isfinite(v) for v in result.per_class_delay.values())
+        assert result.iterations >= 1
+
+    def test_class_ordering(self, config):
+        result = analyze_hybrid(config, mode="corrected")
+        d = result.per_class_delay
+        assert d["A"] < d["B"] < d["C"]
+
+    def test_costs_are_priority_weighted(self, config):
+        result = analyze_hybrid(config, mode="corrected")
+        for name, spec in zip(config.class_names(), config.class_specs):
+            assert result.per_class_cost[name] == pytest.approx(
+                spec.priority * result.per_class_delay[name]
+            )
+
+    def test_total_cost_is_sum(self, config):
+        result = analyze_hybrid(config, mode="corrected")
+        assert result.total_prioritized_cost == pytest.approx(
+            sum(result.per_class_cost.values())
+        )
+
+    def test_overall_delay_between_class_extremes(self, config):
+        result = analyze_hybrid(config, mode="corrected")
+        delays = list(result.per_class_delay.values())
+        assert min(delays) <= result.overall_delay <= max(delays)
+
+    def test_low_cutoff_increases_delay(self):
+        # A tiny push set overloads the pull side: delay must exceed the
+        # delay at a balanced cutoff.
+        base = HybridConfig(theta=0.60, alpha=0.75)
+        low = analyze_hybrid(base.with_cutoff(5), mode="corrected")
+        mid = analyze_hybrid(base.with_cutoff(40), mode="corrected")
+        assert low.overall_delay > mid.overall_delay
+
+    def test_pure_pull_system_finite(self):
+        cfg = HybridConfig(cutoff=0, arrival_rate=0.2)
+        result = analyze_hybrid(cfg, mode="corrected")
+        assert result.pull_mass == pytest.approx(1.0)
+        assert all(math.isfinite(v) for v in result.per_class_delay.values())
+
+    def test_pure_push_system(self):
+        cfg = HybridConfig(cutoff=100)
+        result = analyze_hybrid(cfg, mode="corrected")
+        assert result.pull_mass == pytest.approx(0.0)
+        assert all(v == pytest.approx(result.push_term) for v in result.per_class_delay.values())
+
+
+class TestModeSelection:
+    def test_unknown_mode(self, config):
+        with pytest.raises(ValueError, match="unknown analysis mode"):
+            analyze_hybrid(config, mode="bogus")
+
+    def test_default_is_corrected(self, config):
+        assert analyze_hybrid(config).mode == "corrected"

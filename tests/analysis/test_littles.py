@@ -1,0 +1,51 @@
+"""Unit tests for Little's-law helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    littles_consistency,
+    littles_l,
+    littles_lambda,
+    littles_w,
+    relative_error,
+)
+
+
+class TestBasics:
+    def test_roundtrip(self):
+        lam, w = 2.0, 3.5
+        l = littles_l(lam, w)
+        assert littles_w(l, lam) == pytest.approx(w)
+        assert littles_lambda(l, w) == pytest.approx(lam)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            littles_l(-1, 1)
+        with pytest.raises(ValueError):
+            littles_w(1, 0)
+        with pytest.raises(ValueError):
+            littles_lambda(1, 0)
+        with pytest.raises(ValueError):
+            littles_w(-1, 1)
+
+
+class TestRelativeError:
+    def test_exact_match(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_ten_percent(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_nan_reference(self):
+        assert math.isnan(relative_error(1.0, float("nan")))
+        assert math.isnan(relative_error(1.0, 0.0))
+
+
+class TestConsistency:
+    def test_perfect_consistency(self):
+        assert littles_consistency(l=6.0, lam=2.0, w=3.0) == pytest.approx(0.0)
+
+    def test_detects_gap(self):
+        assert littles_consistency(l=7.0, lam=2.0, w=3.0) == pytest.approx(1 / 6)

@@ -1,0 +1,130 @@
+"""Unit tests for the M/G/1 layer (Pollaczek–Khinchine + general Cobham)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import MM1, analyze_hybrid, cobham_waiting_times
+from repro.analysis.mg1 import MG1, mg1_priority_waits, pull_service_moments
+from repro.core import HybridConfig
+from repro.workload import ItemCatalog
+
+
+class TestMG1Validation:
+    def test_rates_and_moments(self):
+        with pytest.raises(ValueError):
+            MG1(lam=0, service_mean=1.0, service_second_moment=2.0)
+        with pytest.raises(ValueError):
+            MG1(lam=1.0, service_mean=0, service_second_moment=1.0)
+        with pytest.raises(ValueError):
+            # E[S^2] < E[S]^2 impossible.
+            MG1(lam=0.1, service_mean=2.0, service_second_moment=1.0)
+
+    def test_instability(self):
+        with pytest.raises(ValueError, match="unstable"):
+            MG1(lam=1.0, service_mean=1.5, service_second_moment=3.0)
+
+
+class TestPollaczekKhinchine:
+    def test_exponential_service_reduces_to_mm1(self):
+        lam, mu = 1.0, 3.0
+        q = MG1(lam=lam, service_mean=1 / mu, service_second_moment=2 / mu**2)
+        ref = MM1(lam, mu)
+        assert q.mean_waiting_time == pytest.approx(ref.mean_waiting_time)
+        assert q.mean_sojourn_time == pytest.approx(ref.mean_sojourn_time)
+        assert q.scv == pytest.approx(1.0)
+
+    def test_deterministic_service_halves_wait(self):
+        # M/D/1 waits are half of M/M/1 at equal rho (E[S^2] = E[S]^2).
+        lam, mean = 1.0, 0.5
+        md1 = MG1(lam=lam, service_mean=mean, service_second_moment=mean**2)
+        mm1 = MG1(lam=lam, service_mean=mean, service_second_moment=2 * mean**2)
+        assert md1.mean_waiting_time == pytest.approx(mm1.mean_waiting_time / 2)
+        assert md1.scv == pytest.approx(0.0)
+
+    def test_littles_law(self):
+        q = MG1(lam=0.8, service_mean=0.9, service_second_moment=1.5)
+        assert q.mean_number_in_queue == pytest.approx(0.8 * q.mean_waiting_time)
+        assert q.mean_number_in_system == pytest.approx(0.8 * q.mean_sojourn_time)
+
+    def test_variability_increases_wait(self):
+        lo = MG1(lam=1.0, service_mean=0.5, service_second_moment=0.25)
+        hi = MG1(lam=1.0, service_mean=0.5, service_second_moment=1.0)
+        assert hi.mean_waiting_time > lo.mean_waiting_time
+
+
+class TestPriorityMG1:
+    def test_exponential_matches_cobham(self):
+        lam = np.array([0.3, 0.4])
+        mu = np.array([2.0, 2.0])
+        general = mg1_priority_waits(lam, 1 / mu, 2 / mu**2)
+        exponential = cobham_waiting_times(lam, mu)
+        assert np.allclose(general.waiting_times, exponential.waiting_times)
+        assert general.residual == pytest.approx(exponential.residual)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mg1_priority_waits([1.0], [0.5], [0.25, 0.3])
+        with pytest.raises(ValueError, match="unstable"):
+            mg1_priority_waits([1.0, 1.0], [0.6, 0.6], [0.5, 0.5])
+
+    def test_priority_ordering(self):
+        result = mg1_priority_waits([0.3, 0.3], [1.0, 1.0], [1.2, 1.2])
+        assert result.waiting_times[0] < result.waiting_times[1]
+
+
+class TestPullServiceMoments:
+    @pytest.fixture()
+    def catalog(self):
+        return ItemCatalog(
+            lengths=[1.0, 2.0, 3.0, 4.0],
+            probabilities=[0.4, 0.3, 0.2, 0.1],
+        )
+
+    def test_explicit_moments(self, catalog):
+        # Pull set = items 2,3 with conditional probs 2/3, 1/3.
+        mean, second = pull_service_moments(catalog, cutoff=2)
+        assert mean == pytest.approx(2 / 3 * 3 + 1 / 3 * 4)
+        assert second == pytest.approx(2 / 3 * 9 + 1 / 3 * 16)
+
+    def test_slot_shift(self, catalog):
+        mean0, second0 = pull_service_moments(catalog, cutoff=2)
+        mean2, second2 = pull_service_moments(catalog, cutoff=2, slot=2.0)
+        assert mean2 == pytest.approx(mean0 + 2.0)
+        # Var unchanged by a deterministic shift.
+        assert second2 - mean2**2 == pytest.approx(second0 - mean0**2)
+
+    def test_all_push_nan(self, catalog):
+        mean, second = pull_service_moments(catalog, cutoff=4)
+        assert math.isnan(mean) and math.isnan(second)
+
+    def test_validation(self, catalog):
+        with pytest.raises(ValueError):
+            pull_service_moments(catalog, cutoff=5)
+        with pytest.raises(ValueError):
+            pull_service_moments(catalog, cutoff=1, slot=-1.0)
+
+
+class TestHybridServiceModelOption:
+    def test_both_models_run_and_agree_roughly(self):
+        config = HybridConfig(cutoff=50, theta=0.6, alpha=0.75)
+        mm1 = analyze_hybrid(config, service_model="mm1")
+        mg1 = analyze_hybrid(config, service_model="mg1")
+        for name in ("A", "B", "C"):
+            a, b = mm1.per_class_delay[name], mg1.per_class_delay[name]
+            assert abs(a - b) / a < 0.5
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="service model"):
+            analyze_hybrid(HybridConfig(), service_model="gg1")
+
+    def test_light_load_mg1_below_mm1(self):
+        # Discrete lengths have SCV < 1, so P-K waits sit below the
+        # exponential model's in the unsaturated regime.
+        config = HybridConfig(cutoff=80, theta=0.6, alpha=0.0, arrival_rate=0.3)
+        mm1 = analyze_hybrid(config, service_model="mm1")
+        mg1 = analyze_hybrid(config, service_model="mg1")
+        assert (
+            mg1.per_class_pull_wait["A"] <= mm1.per_class_pull_wait["A"] + 1e-9
+        )

@@ -1,0 +1,74 @@
+"""Unit tests for the M/M/1 building block."""
+
+import math
+
+import pytest
+
+from repro.analysis import MM1, mm1_queue_length, mm1_waiting_time
+
+
+class TestConstruction:
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            MM1(lam=2.0, mu=2.0)
+
+    def test_nonpositive_rates_rejected(self):
+        with pytest.raises(ValueError):
+            MM1(lam=0, mu=1)
+        with pytest.raises(ValueError):
+            MM1(lam=1, mu=-1)
+
+
+class TestFormulas:
+    @pytest.fixture()
+    def q(self):
+        return MM1(lam=1.0, mu=2.0)  # rho = 0.5
+
+    def test_rho(self, q):
+        assert q.rho == pytest.approx(0.5)
+
+    def test_l(self, q):
+        assert q.mean_number_in_system == pytest.approx(1.0)
+
+    def test_lq(self, q):
+        assert q.mean_number_in_queue == pytest.approx(0.5)
+
+    def test_w(self, q):
+        assert q.mean_sojourn_time == pytest.approx(1.0)
+
+    def test_wq(self, q):
+        assert q.mean_waiting_time == pytest.approx(0.5)
+
+    def test_littles_law_consistency(self, q):
+        assert q.mean_number_in_system == pytest.approx(q.lam * q.mean_sojourn_time)
+        assert q.mean_number_in_queue == pytest.approx(q.lam * q.mean_waiting_time)
+
+    def test_sojourn_is_wait_plus_service(self, q):
+        assert q.mean_sojourn_time == pytest.approx(q.mean_waiting_time + 1 / q.mu)
+
+    def test_state_probabilities_geometric(self, q):
+        total = sum(q.prob_n_in_system(n) for n in range(200))
+        assert total == pytest.approx(1.0)
+        assert q.prob_n_in_system(0) == pytest.approx(0.5)
+        assert q.prob_n_in_system(1) == pytest.approx(0.25)
+
+    def test_wait_tail_exponential(self, q):
+        assert q.prob_wait_exceeds(0.0) == pytest.approx(1.0)
+        assert q.prob_wait_exceeds(1.0) == pytest.approx(math.exp(-1.0))
+
+    def test_validation_of_query_args(self, q):
+        with pytest.raises(ValueError):
+            q.prob_n_in_system(-1)
+        with pytest.raises(ValueError):
+            q.prob_wait_exceeds(-0.1)
+
+
+class TestShortcuts:
+    def test_shortcuts_match_class(self):
+        assert mm1_waiting_time(1.0, 3.0) == pytest.approx(MM1(1.0, 3.0).mean_waiting_time)
+        assert mm1_queue_length(1.0, 3.0) == pytest.approx(MM1(1.0, 3.0).mean_number_in_queue)
+
+    def test_heavy_traffic_blowup(self):
+        w1 = mm1_waiting_time(0.9, 1.0)
+        w2 = mm1_waiting_time(0.99, 1.0)
+        assert w2 > 10 * w1 / 2  # waits explode as rho -> 1

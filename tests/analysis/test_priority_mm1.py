@@ -1,0 +1,112 @@
+"""Unit tests for Cobham's non-preemptive priority waits (Eq. 18)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MM1, NonPreemptivePriorityQueue, cobham_waiting_times
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cobham_waiting_times([1.0, 2.0], [3.0])
+
+    def test_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            cobham_waiting_times([1.0, 0.0], [3.0, 3.0])
+
+    def test_instability(self):
+        with pytest.raises(ValueError, match="unstable"):
+            cobham_waiting_times([2.0, 2.0], [3.0, 3.0])
+
+
+class TestSingleClass:
+    def test_reduces_to_mm1_wait(self):
+        # One class: Cobham must give the plain M/M/1 queueing delay.
+        lam, mu = 1.0, 3.0
+        result = cobham_waiting_times([lam], [mu])
+        assert result.waiting_times[0] == pytest.approx(MM1(lam, mu).mean_waiting_time)
+        assert result.mean_waiting_time == pytest.approx(MM1(lam, mu).mean_waiting_time)
+
+
+class TestTwoClasses:
+    @pytest.fixture()
+    def result(self):
+        return cobham_waiting_times([0.4, 0.4], [2.0, 2.0])
+
+    def test_priority_ordering(self, result):
+        assert result.waiting_times[0] < result.waiting_times[1]
+
+    def test_explicit_formula(self, result):
+        # W0 = rho1/mu1 + rho2/mu2; W1 = W0/(1-sigma1); W2 = W0/((1-sigma1)(1-sigma2)).
+        rho = 0.2
+        w0 = rho / 2.0 + rho / 2.0
+        w1 = w0 / (1 - rho)
+        w2 = w0 / ((1 - rho) * (1 - 2 * rho))
+        assert result.residual == pytest.approx(w0)
+        assert result.waiting_times[0] == pytest.approx(w1)
+        assert result.waiting_times[1] == pytest.approx(w2)
+
+    def test_mean_is_arrival_weighted(self, result):
+        expected = 0.5 * result.waiting_times[0] + 0.5 * result.waiting_times[1]
+        assert result.mean_waiting_time == pytest.approx(expected)
+
+    def test_sojourn_adds_service(self, result):
+        assert np.allclose(result.sojourn_times, result.waiting_times + 0.5)
+
+
+class TestConservation:
+    def test_work_conservation_against_fcfs(self):
+        # Kleinrock conservation law: the rho-weighted sum of waits is
+        # invariant across non-preemptive work-conserving disciplines, so
+        # it must equal the FCFS (single-class) value.
+        lambdas = np.array([0.3, 0.5, 0.2])
+        mu = 2.0
+        res = cobham_waiting_times(lambdas, np.full(3, mu))
+        rho = lambdas / mu
+        conserved = float(rho @ res.waiting_times)
+        fcfs_wait = MM1(lambdas.sum(), mu).mean_waiting_time
+        assert conserved == pytest.approx(rho.sum() * fcfs_wait, rel=1e-9)
+
+    def test_top_class_insensitive_to_lower_class_order(self):
+        # Class 1's wait depends only on sigma_1, not on how lower classes
+        # are subdivided.
+        a = cobham_waiting_times([0.3, 0.6], [2.0, 2.0])
+        b = cobham_waiting_times([0.3, 0.3, 0.3], [2.0, 2.0, 2.0])
+        assert a.waiting_times[0] == pytest.approx(b.waiting_times[0])
+
+
+class TestManyClasses:
+    def test_monotone_in_rank(self):
+        lambdas = np.full(5, 0.15)
+        mus = np.full(5, 1.0)
+        res = cobham_waiting_times(lambdas, mus)
+        assert np.all(np.diff(res.waiting_times) > 0)
+
+    def test_load_explosion_for_lowest_class(self):
+        light = cobham_waiting_times(np.full(3, 0.1), np.full(3, 1.0))
+        heavy = cobham_waiting_times(np.full(3, 0.3), np.full(3, 1.0))
+        ratio_low = heavy.waiting_times[-1] / light.waiting_times[-1]
+        ratio_high = heavy.waiting_times[0] / light.waiting_times[0]
+        assert ratio_low > ratio_high  # lowest class suffers most from load
+
+
+class TestWrapper:
+    def test_plain_vs_adjusted(self):
+        q = NonPreemptivePriorityQueue([0.2, 0.2], [2.0, 2.0], push_rate=4.0)
+        plain = q.plain()
+        adjusted = q.adjusted()
+        # Alternation inflates service times, so adjusted waits are larger.
+        assert np.all(adjusted.waiting_times > plain.waiting_times)
+
+    def test_adjusted_requires_push_rate(self):
+        q = NonPreemptivePriorityQueue([0.2], [2.0])
+        with pytest.raises(ValueError):
+            q.adjusted()
+
+    def test_stability_checks(self):
+        # Plain: rho = 0.9/2 = 0.45 (stable).  Adjusted: effective service
+        # time 0.5 + 1.0 = 1.5 -> rho = 1.35 (unstable).
+        q = NonPreemptivePriorityQueue([0.9], [2.0], push_rate=1.0)
+        assert q.is_stable(adjusted=False)
+        assert not q.is_stable(adjusted=True)

@@ -1,0 +1,59 @@
+"""Tests verifying the paper's §4.1 z-transform algebra numerically."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import HybridBirthDeathChain
+from repro.analysis.transforms import from_chain
+
+
+@pytest.fixture(scope="module")
+def gf():
+    return from_chain(HybridBirthDeathChain(lam=1.0, mu1=5.0, mu2=3.0, truncation=400))
+
+
+class TestBoundaryConditions:
+    def test_p1_at_one_is_push_plus_idle_mass(self, gf):
+        # Paper: P1(1) = 1 - rho (idle + busy push phases).
+        assert gf.p1(1.0) == pytest.approx(1.0 - gf.rho, abs=1e-8)
+
+    def test_p2_at_one_is_pull_occupancy(self, gf):
+        # Paper: P2(1) = rho.
+        assert gf.p2(1.0) == pytest.approx(gf.rho, abs=1e-8)
+
+    def test_p1_at_zero_is_idle(self, gf):
+        assert gf.p1(0.0) == pytest.approx(gf.solution.idle_probability, abs=1e-12)
+
+    def test_p2_at_zero_is_structural_zero(self, gf):
+        # p(0, 1) does not exist, so P2(0) = 0.
+        assert gf.p2(0.0) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestEquationFour:
+    def test_identity_holds_across_unit_interval(self, gf):
+        zs = np.linspace(0.0, 1.0, 21)
+        assert gf.identity_residual(zs) < 1e-8
+
+    def test_identity_holds_for_other_parameters(self):
+        for lam, mu1, mu2 in [(0.5, 2.0, 2.0), (1.2, 6.0, 4.0), (0.2, 1.0, 0.9)]:
+            gf = from_chain(
+                HybridBirthDeathChain(lam=lam, mu1=mu1, mu2=mu2, truncation=400)
+            )
+            assert gf.identity_residual(np.linspace(0, 1, 11)) < 1e-7
+
+
+class TestDerivatives:
+    def test_mean_queue_length_matches_direct_expectation(self, gf):
+        assert gf.mean_queue_length() == pytest.approx(
+            gf.solution.mean_pull_queue_length, rel=1e-5
+        )
+
+    def test_p1_derivative_is_paper_n(self, gf):
+        # The paper's N = [dP1/dz]_{z=1} = sum_i i * p(i, 0).
+        assert gf.p1_derivative() == pytest.approx(
+            gf.solution.mean_queue_during_push, rel=1e-5
+        )
+
+    def test_derivatives_non_negative(self, gf):
+        assert gf.p1_derivative() >= 0
+        assert gf.p2_derivative() >= 0

@@ -1,0 +1,77 @@
+"""Unit tests for the exact two-class priority CTMC (§4.2.1)."""
+
+import pytest
+
+from repro.analysis import MM1, TwoClassPriorityQueue, cobham_waiting_times
+
+
+class TestValidation:
+    def test_rates_positive(self):
+        with pytest.raises(ValueError):
+            TwoClassPriorityQueue(0, 1, 1, 1)
+
+    def test_stability_enforced(self):
+        with pytest.raises(ValueError, match="unstable"):
+            TwoClassPriorityQueue(1.0, 1.0, 1.5, 1.5)
+
+    def test_truncation_minimum(self):
+        with pytest.raises(ValueError):
+            TwoClassPriorityQueue(0.1, 0.1, 1, 1, truncation=1)
+
+
+class TestAgainstCobham:
+    """The exact chain must agree with Cobham's closed form (Eq. 18)."""
+
+    @pytest.mark.parametrize(
+        "lam1,lam2,mu",
+        [
+            (0.2, 0.2, 1.0),
+            (0.1, 0.5, 1.0),
+            (0.4, 0.1, 1.0),
+            (0.3, 0.3, 2.0),
+        ],
+    )
+    def test_waiting_times_match(self, lam1, lam2, mu):
+        exact = TwoClassPriorityQueue(lam1, lam2, mu, mu, truncation=80).solve()
+        cobham = cobham_waiting_times([lam1, lam2], [mu, mu])
+        assert exact.waiting_times[0] == pytest.approx(
+            cobham.waiting_times[0], rel=1e-3
+        )
+        assert exact.waiting_times[1] == pytest.approx(
+            cobham.waiting_times[1], rel=1e-3
+        )
+
+    def test_idle_probability(self):
+        q = TwoClassPriorityQueue(0.2, 0.3, 1.0, 1.0, truncation=80)
+        sol = q.solve()
+        assert sol.idle_probability == pytest.approx(1.0 - 0.5, rel=1e-4)
+
+    def test_boundary_mass_small(self):
+        sol = TwoClassPriorityQueue(0.2, 0.2, 1.0, 1.0, truncation=60).solve()
+        assert sol.boundary_mass < 1e-8
+
+
+class TestStructure:
+    def test_class1_sojourn_smaller(self):
+        sol = TwoClassPriorityQueue(0.3, 0.3, 1.0, 1.0).solve()
+        assert sol.sojourn_times[0] < sol.sojourn_times[1]
+
+    def test_littles_law_internal_consistency(self):
+        lam1, lam2 = 0.25, 0.35
+        sol = TwoClassPriorityQueue(lam1, lam2, 1.0, 1.0).solve()
+        assert sol.mean_jobs[0] == pytest.approx(lam1 * sol.sojourn_times[0], rel=1e-9)
+        assert sol.mean_jobs[1] == pytest.approx(lam2 * sol.sojourn_times[1], rel=1e-9)
+
+    def test_merged_classes_equal_mm1_total(self):
+        # Total number in system is discipline-invariant (non-preemptive,
+        # same exponential service): must match M/M/1 at the merged rate.
+        lam1, lam2, mu = 0.2, 0.3, 1.0
+        sol = TwoClassPriorityQueue(lam1, lam2, mu, mu, truncation=100).solve()
+        ref = MM1(lam1 + lam2, mu)
+        assert sum(sol.mean_jobs) == pytest.approx(ref.mean_number_in_system, rel=1e-4)
+
+    def test_distinct_service_rates_accepted(self):
+        sol = TwoClassPriorityQueue(0.2, 0.2, 2.0, 0.5, truncation=80).solve()
+        cobham = cobham_waiting_times([0.2, 0.2], [2.0, 0.5])
+        assert sol.waiting_times[0] == pytest.approx(cobham.waiting_times[0], rel=5e-3)
+        assert sol.waiting_times[1] == pytest.approx(cobham.waiting_times[1], rel=5e-3)

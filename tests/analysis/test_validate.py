@@ -1,0 +1,81 @@
+"""Unit tests for the analytic-vs-simulation comparator."""
+
+import math
+
+import pytest
+
+from repro.analysis import analyze_hybrid, compare_results, max_deviation
+from repro.analysis.validate import ComparisonRow
+from repro.core import HybridConfig
+from repro.sim import run_replications, run_single
+
+
+class TestComparisonRow:
+    def test_deviation_formula(self):
+        row = ComparisonRow(class_name="A", analytical=11.0, simulated=10.0)
+        assert row.deviation == pytest.approx(0.1)
+
+    def test_nan_simulated(self):
+        row = ComparisonRow(class_name="A", analytical=11.0, simulated=float("nan"))
+        assert math.isnan(row.deviation)
+
+
+class TestCompareResults:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        config = HybridConfig(num_items=50, cutoff=25, arrival_rate=1.0, num_clients=50)
+        sim = run_single(config, seed=0, horizon=600.0)
+        ana = analyze_hybrid(config)
+        return ana, sim
+
+    def test_rows_cover_all_classes(self, pair):
+        ana, sim = pair
+        rows = compare_results(ana, sim)
+        assert [r.class_name for r in rows] == ["A", "B", "C"]
+
+    def test_values_taken_from_inputs(self, pair):
+        ana, sim = pair
+        rows = compare_results(ana, sim)
+        for row in rows:
+            assert row.analytical == ana.per_class_delay[row.class_name]
+            assert row.simulated == sim.per_class_delay[row.class_name]
+
+    def test_accepts_replicated_result(self):
+        config = HybridConfig(num_items=50, cutoff=25, arrival_rate=1.0, num_clients=50)
+        replicated = run_replications(config, num_runs=2, horizon=400.0)
+        ana = analyze_hybrid(config)
+        rows = compare_results(ana, replicated)
+        assert len(rows) == 3
+
+    def test_missing_class_raises(self, pair):
+        ana, _ = pair
+        other = run_single(
+            HybridConfig(
+                num_items=50,
+                cutoff=25,
+                arrival_rate=1.0,
+                num_clients=50,
+                class_specs=(
+                    HybridConfig().class_specs[0],
+                    HybridConfig().class_specs[1],
+                ),
+            ),
+            seed=0,
+            horizon=300.0,
+        )
+        with pytest.raises(KeyError):
+            compare_results(ana, other)
+
+
+class TestMaxDeviation:
+    def test_picks_largest_finite(self):
+        rows = [
+            ComparisonRow("A", 11.0, 10.0),
+            ComparisonRow("B", 15.0, 10.0),
+            ComparisonRow("C", 1.0, float("nan")),
+        ]
+        assert max_deviation(rows) == pytest.approx(0.5)
+
+    def test_all_nan(self):
+        rows = [ComparisonRow("A", 1.0, float("nan"))]
+        assert math.isnan(max_deviation(rows))

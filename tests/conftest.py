@@ -1,0 +1,17 @@
+"""Shared pytest configuration for the test suite.
+
+Registers a hypothesis profile suited to simulation-heavy property
+tests: no per-example deadline (a DES replication legitimately takes
+tens of milliseconds) and a fixed derandomised order so CI failures
+reproduce locally.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")

@@ -1,0 +1,65 @@
+"""Unit tests for the top-level convenience API facade."""
+
+import pytest
+
+from repro import (
+    HybridConfig,
+    analyze_hybrid,
+    optimize_bandwidth,
+    optimize_cutoff,
+    simulate_hybrid,
+)
+
+
+@pytest.fixture()
+def config():
+    return HybridConfig(num_items=40, cutoff=15, arrival_rate=1.5, num_clients=40)
+
+
+class TestSimulateHybrid:
+    def test_returns_simulation_result(self, config):
+        result = simulate_hybrid(config, seed=1, horizon=400.0)
+        assert result.seed == 1
+        assert result.horizon == 400.0
+        assert set(result.per_class_delay) == {"A", "B", "C"}
+
+    def test_pull_mode_forwarded(self, config):
+        serial = simulate_hybrid(config, seed=1, horizon=400.0, pull_mode="serial")
+        concurrent = simulate_hybrid(
+            config, seed=1, horizon=400.0, pull_mode="concurrent"
+        )
+        # Concurrent overlaps pulls with broadcasts: serves at least as many.
+        assert concurrent.pull_services >= serial.pull_services
+
+    def test_warmup_forwarded(self, config):
+        all_counted = simulate_hybrid(config, seed=1, horizon=400.0, warmup=0.0)
+        trimmed = simulate_hybrid(config, seed=1, horizon=400.0, warmup=200.0)
+        assert trimmed.satisfied_requests < all_counted.satisfied_requests
+
+
+class TestAnalyzeHybrid:
+    def test_default_mode_corrected(self, config):
+        assert analyze_hybrid(config).mode == "corrected"
+
+    def test_paper_mode_reachable(self, config):
+        assert analyze_hybrid(config, mode="paper").mode == "paper"
+
+
+class TestOptimizeFacades:
+    def test_cutoff_analytical_default(self, config):
+        sweep = optimize_cutoff(config, candidates=[10, 30])
+        assert sweep.best_cutoff in (10, 30)
+
+    def test_cutoff_simulated_kwargs(self, config):
+        sweep = optimize_cutoff(
+            config,
+            method="simulated",
+            candidates=[10, 30],
+            horizon=250.0,
+            seed=4,
+        )
+        assert sweep.best_cutoff in (10, 30)
+
+    def test_bandwidth_alias(self, config):
+        allocation = optimize_bandwidth(config, resolution=10)
+        assert allocation.shares.sum() == pytest.approx(1.0)

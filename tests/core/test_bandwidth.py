@@ -1,0 +1,123 @@
+"""Unit tests for bandwidth partition optimisation."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import (
+    HybridConfig,
+    blocking_probabilities,
+    optimize_bandwidth,
+    optimize_shares,
+    poisson_tail,
+)
+
+
+class TestPoissonTail:
+    def test_exact_value(self):
+        assert poisson_tail(4.0, 10.0) == pytest.approx(stats.poisson.sf(10, 4.0))
+
+    def test_zero_mean_never_blocks(self):
+        assert poisson_tail(0.0, 1.0) == 0.0
+
+    def test_negative_capacity_always_blocks(self):
+        assert poisson_tail(4.0, -1.0) == 1.0
+
+    def test_monotone_in_capacity(self):
+        tails = [poisson_tail(4.0, c) for c in (1, 3, 6, 12)]
+        assert tails == sorted(tails, reverse=True)
+
+    def test_monotone_in_mean(self):
+        assert poisson_tail(8.0, 6.0) > poisson_tail(2.0, 6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_tail(-1.0, 5.0)
+
+    def test_fractional_capacity_floors(self):
+        # demand k admitted iff k <= capacity; capacity 4.7 admits k <= 4.
+        assert poisson_tail(4.0, 4.7) == pytest.approx(stats.poisson.sf(4, 4.0))
+
+
+class TestBlockingProbabilities:
+    def test_vector_shape(self):
+        b = blocking_probabilities([0.5, 0.3, 0.2], total_bandwidth=20.0, demand_mean=4.0)
+        assert b.shape == (3,)
+        assert np.all((0 <= b) & (b <= 1))
+
+    def test_bigger_share_less_blocking(self):
+        b = blocking_probabilities([0.6, 0.2], total_bandwidth=20.0, demand_mean=4.0)
+        assert b[0] < b[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blocking_probabilities([-0.1, 1.1], 20.0, 4.0)
+        with pytest.raises(ValueError):
+            blocking_probabilities([0.5, 0.5], 0.0, 4.0)
+
+
+class TestOptimizeShares:
+    @pytest.fixture()
+    def config(self):
+        return HybridConfig(total_bandwidth=18.0, bandwidth_demand_mean=4.0)
+
+    def test_shares_sum_to_one(self, config):
+        allocation = optimize_shares(config, resolution=12)
+        assert allocation.shares.sum() == pytest.approx(1.0)
+        assert len(allocation.shares) == 3
+
+    def test_premium_gets_most_bandwidth(self, config):
+        # With priority weights 3:2:1 the optimum shields class A hardest.
+        allocation = optimize_shares(config, resolution=12)
+        assert allocation.shares[0] >= allocation.shares[-1]
+
+    def test_weighted_objective_consistent(self, config):
+        allocation = optimize_shares(config, resolution=12)
+        weights = config.class_priorities()
+        assert allocation.weighted_blocking == pytest.approx(
+            float(weights @ allocation.blocking)
+        )
+
+    def test_grid_optimality(self, config):
+        # Exhaustively verify no grid point beats the reported optimum.
+        allocation = optimize_shares(config, resolution=8)
+        weights = config.class_priorities()
+        best = allocation.weighted_blocking
+        from itertools import product
+
+        for a in range(1, 7):
+            for b in range(1, 7):
+                c = 8 - a - b
+                if c < 1:
+                    continue
+                shares = (a / 8, b / 8, c / 8)
+                obj = float(
+                    weights
+                    @ blocking_probabilities(shares, config.total_bandwidth, 4.0)
+                )
+                assert best <= obj + 1e-12
+
+    def test_custom_weights(self, config):
+        # Weight only class C: the optimum shifts bandwidth to C.
+        allocation = optimize_shares(config, weights=[0.0001, 0.0001, 1.0], resolution=12)
+        assert allocation.shares[2] >= allocation.shares[0]
+
+    def test_resolution_validation(self, config):
+        with pytest.raises(ValueError):
+            optimize_shares(config, resolution=2)
+
+    def test_weights_length_validated(self, config):
+        with pytest.raises(ValueError):
+            optimize_shares(config, weights=[1.0, 2.0])
+
+    def test_apply_installs_shares(self, config):
+        allocation = optimize_shares(config, resolution=12)
+        new_config = allocation.apply(config)
+        assert [s.bandwidth_share for s in new_config.class_specs] == pytest.approx(
+            list(allocation.shares)
+        )
+
+    def test_facade_alias(self, config):
+        a = optimize_bandwidth(config, resolution=10)
+        b = optimize_shares(config, resolution=10)
+        assert np.array_equal(a.shares, b.shares)

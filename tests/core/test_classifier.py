@@ -1,0 +1,86 @@
+"""Unit tests for client service classification."""
+
+import numpy as np
+import pytest
+
+from repro.core import classify_by_quantiles, classify_by_thresholds
+
+
+class TestThresholds:
+    def test_basic_assignment(self):
+        scores = [95.0, 50.0, 10.0, 70.0]
+        result = classify_by_thresholds(scores, thresholds=[80.0, 40.0])
+        assert list(result.labels) == [0, 1, 2, 1]
+
+    def test_boundary_inclusive(self):
+        result = classify_by_thresholds([80.0, 40.0], thresholds=[80.0, 40.0])
+        assert list(result.labels) == [0, 1]
+
+    def test_threshold_count_validated(self):
+        with pytest.raises(ValueError):
+            classify_by_thresholds([1.0], thresholds=[5.0])  # needs 2 for 3 classes
+
+    def test_thresholds_must_decrease(self):
+        with pytest.raises(ValueError):
+            classify_by_thresholds([1.0], thresholds=[40.0, 80.0])
+        with pytest.raises(ValueError):
+            classify_by_thresholds([1.0], thresholds=[40.0, 40.0])
+
+    def test_empty_scores(self):
+        with pytest.raises(ValueError):
+            classify_by_thresholds([], thresholds=[80.0, 40.0])
+
+    def test_priorities_must_decrease(self):
+        with pytest.raises(ValueError):
+            classify_by_thresholds(
+                [1.0], thresholds=[5.0], names=("A", "B"), priorities=(1.0, 2.0)
+            )
+
+    def test_class_counts(self):
+        scores = [95.0, 85.0, 50.0, 10.0]
+        result = classify_by_thresholds(scores, thresholds=[80.0, 40.0])
+        assert list(result.class_counts()) == [2, 1, 1]
+
+
+class TestQuantiles:
+    def test_default_fractions(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(100)
+        result = classify_by_quantiles(scores)
+        assert list(result.class_counts()) == [10, 30, 60]
+
+    def test_best_scores_in_premium_class(self):
+        scores = np.arange(10, dtype=float)  # 0..9
+        result = classify_by_quantiles(scores, fractions=(0.2, 0.3, 0.5))
+        premium = np.where(result.labels == 0)[0]
+        assert set(premium) == {8, 9}
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            classify_by_quantiles([1.0, 2.0], fractions=(0.5, 0.6, 0.2))
+        with pytest.raises(ValueError):
+            classify_by_quantiles([1.0, 2.0], fractions=(0.5, 0.5))
+
+    def test_remainder_goes_to_basic_class(self):
+        result = classify_by_quantiles(np.arange(7, dtype=float))
+        counts = result.class_counts()
+        assert counts.sum() == 7
+        assert counts[-1] >= counts[0]
+
+    def test_stable_tie_handling(self):
+        scores = np.ones(10)
+        result = classify_by_quantiles(scores)
+        # With identical scores, assignment is by stable order: the first
+        # clients in input order land in the premium class.
+        assert list(result.labels[:1]) == [0]
+        assert result.class_counts().sum() == 10
+
+
+class TestToPopulation:
+    def test_roundtrip_population(self):
+        rng = np.random.default_rng(1)
+        result = classify_by_quantiles(rng.random(50))
+        pop = result.to_population()
+        assert len(pop) == 50
+        assert list(pop.class_counts) == list(result.class_counts())
+        assert [c.name for c in pop.classes] == ["A", "B", "C"]

@@ -1,0 +1,78 @@
+"""Unit tests for cutoff-point optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import HybridConfig, optimize_cutoff
+from repro.core.cutoff import optimize_cutoff_analytical, optimize_cutoff_simulated
+
+
+@pytest.fixture()
+def config():
+    return HybridConfig(num_items=60, arrival_rate=2.0, theta=0.6, num_clients=60)
+
+
+class TestAnalyticalSweep:
+    def test_best_cutoff_in_candidates(self, config):
+        sweep = optimize_cutoff_analytical(config, candidates=[10, 30, 50])
+        assert sweep.best_cutoff in (10, 30, 50)
+        assert len(sweep.cutoffs) == 3
+
+    def test_best_value_is_minimum(self, config):
+        sweep = optimize_cutoff_analytical(config, candidates=[10, 30, 50])
+        assert sweep.best_value == pytest.approx(np.nanmin(sweep.objective_values))
+
+    def test_default_candidate_grid(self, config):
+        sweep = optimize_cutoff_analytical(config)
+        assert len(sweep.cutoffs) >= 10
+        assert sweep.cutoffs.max() < config.num_items
+
+    def test_cost_objective(self, config):
+        sweep = optimize_cutoff_analytical(config, objective="cost", candidates=[10, 30, 50])
+        assert sweep.objective == "cost"
+
+    def test_interior_optimum_with_true_metric(self, config):
+        # The hybrid tradeoff: extreme cutoffs lose to a balanced one.
+        sweep = optimize_cutoff_analytical(config, candidates=[2, 30, 58])
+        assert sweep.best_cutoff == 30
+
+    def test_candidate_validation(self, config):
+        with pytest.raises(ValueError):
+            optimize_cutoff_analytical(config, candidates=[])
+        with pytest.raises(ValueError):
+            optimize_cutoff_analytical(config, candidates=[200])
+
+    def test_as_rows(self, config):
+        sweep = optimize_cutoff_analytical(config, candidates=[10, 30])
+        rows = sweep.as_rows()
+        assert len(rows) == 2
+        assert rows[0][0] == 10
+
+
+class TestSimulatedSweep:
+    def test_simulated_optimum(self, config):
+        sweep = optimize_cutoff_simulated(
+            config, candidates=[5, 30, 55], horizon=600.0, seed=1
+        )
+        assert sweep.best_cutoff in (5, 30, 55)
+        assert np.all(np.isfinite(sweep.objective_values))
+
+    def test_deterministic_given_seed(self, config):
+        kwargs = dict(candidates=[10, 40], horizon=400.0, seed=2)
+        a = optimize_cutoff_simulated(config, **kwargs)
+        b = optimize_cutoff_simulated(config, **kwargs)
+        assert np.array_equal(a.objective_values, b.objective_values)
+
+
+class TestFacade:
+    def test_method_selection(self, config):
+        analytical = optimize_cutoff(config, method="analytical", candidates=[10, 40])
+        assert analytical.best_cutoff in (10, 40)
+        simulated = optimize_cutoff(
+            config, method="simulated", candidates=[10, 40], horizon=300.0
+        )
+        assert simulated.best_cutoff in (10, 40)
+
+    def test_unknown_method(self, config):
+        with pytest.raises(ValueError, match="unknown method"):
+            optimize_cutoff(config, method="magic")

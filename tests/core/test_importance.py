@@ -1,0 +1,98 @@
+"""Unit tests for the importance-factor math (Eqs. 1 and 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    equivalence_weight,
+    expected_importance,
+    importance_factor,
+    stretch,
+)
+
+
+class TestStretch:
+    def test_scalar(self):
+        assert stretch(4, 2.0) == pytest.approx(1.0)
+
+    def test_vectorised(self):
+        s = stretch(np.array([1, 4]), np.array([1.0, 2.0]))
+        assert np.allclose(s, [1.0, 1.0])
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            stretch(1, 0.0)
+
+    def test_quadratic_length_penalty(self):
+        assert stretch(1, 2.0) == pytest.approx(stretch(4, 4.0))
+
+
+class TestImportanceFactor:
+    def test_extremes(self):
+        assert importance_factor(1.0, 5.0, 99.0) == pytest.approx(5.0)
+        assert importance_factor(0.0, 5.0, 99.0) == pytest.approx(99.0)
+
+    def test_blend(self):
+        assert importance_factor(0.25, 4.0, 8.0) == pytest.approx(0.25 * 4 + 0.75 * 8)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            importance_factor(1.5, 1.0, 1.0)
+
+    def test_vectorised(self):
+        gamma = importance_factor(0.5, np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert np.allclose(gamma, [2.0, 3.0])
+
+    @given(
+        alpha=st.floats(min_value=0, max_value=1),
+        s=st.floats(min_value=0, max_value=1e3),
+        q=st.floats(min_value=0, max_value=1e3),
+    )
+    def test_bounded_by_terms(self, alpha, s, q):
+        gamma = importance_factor(alpha, s, q)
+        assert min(s, q) - 1e-9 <= gamma <= max(s, q) + 1e-9
+
+
+class TestExpectedImportance:
+    def test_eq6_formula(self):
+        # rho_i = alpha*E[L]p/L^2 + (1-alpha)*E[L]p*Q
+        value = expected_importance(0.5, 10.0, 0.2, 2.0, 3.0)
+        assert value == pytest.approx(0.5 * 10 * 0.2 / 4 + 0.5 * 10 * 0.2 * 3)
+
+    def test_reduces_to_eq1_at_unit_weight(self):
+        # The paper: Eq. 6 == Eq. 1 when E[L_pull] * p_i == 1.
+        alpha, length, q = 0.3, 2.0, 5.0
+        p = 0.25
+        e_l = 1.0 / p
+        assert equivalence_weight(e_l, p) == pytest.approx(1.0)
+        r = 1  # Eq. 1 stretch with a single pending request
+        eq1 = importance_factor(alpha, stretch(r, length), q)
+        eq6 = expected_importance(alpha, e_l, p, length, q)
+        assert eq6 == pytest.approx(eq1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_importance(2.0, 1.0, 0.1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_importance(0.5, -1.0, 0.1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_importance(0.5, 1.0, 0.1, 0.0, 1.0)
+
+    def test_vectorised(self):
+        values = expected_importance(
+            0.5, 10.0, np.array([0.1, 0.2]), np.array([1.0, 2.0]), np.array([1.0, 1.0])
+        )
+        assert values.shape == (2,)
+
+    @given(
+        alpha=st.floats(min_value=0, max_value=1),
+        e_l=st.floats(min_value=0, max_value=100),
+        p=st.floats(min_value=1e-4, max_value=1),
+        q=st.floats(min_value=0, max_value=100),
+    )
+    def test_monotone_in_queue_length(self, alpha, e_l, p, q):
+        low = expected_importance(alpha, e_l, p, 2.0, q)
+        high = expected_importance(alpha, e_l + 1.0, p, 2.0, q)
+        assert high >= low - 1e-12

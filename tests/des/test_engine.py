@@ -1,0 +1,111 @@
+"""Unit tests for repro.des.engine: the event loop and run() semantics."""
+
+import pytest
+
+from repro.des import EmptySchedule, Environment
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+class TestClock:
+    def test_initial_time(self):
+        assert Environment().now == 0
+        assert Environment(initial_time=10).now == 10
+
+    def test_peek_empty(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_next_event_time(self, env):
+        env.timeout(3)
+        env.timeout(1)
+        assert env.peek() == 1
+
+    def test_len_counts_scheduled(self, env):
+        env.timeout(1)
+        env.timeout(2)
+        assert len(env) == 2
+
+    def test_step_advances_clock(self, env):
+        env.timeout(4)
+        env.step()
+        assert env.now == 4
+
+    def test_step_on_empty_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+
+class TestRun:
+    def test_run_until_time(self, env):
+        env.timeout(10)
+        env.run(until=5)
+        assert env.now == 5
+        assert len(env) == 1  # the timeout at 10 still queued
+
+    def test_run_until_exact_event_time_processes_it(self, env):
+        fired = []
+        env.timeout(5).callbacks.append(lambda e: fired.append(env.now))
+        env.run(until=5)
+        assert fired == [5]
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(10)
+        env.run(until=8)
+        with pytest.raises(ValueError):
+            env.run(until=3)
+
+    def test_run_until_event_returns_value(self, env):
+        def proc(env):
+            yield env.timeout(2)
+            return "result"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "result"
+
+    def test_run_until_processed_event_returns_immediately(self, env):
+        t = env.timeout(1, value="v")
+        env.run()
+        assert env.run(until=t) == "v"
+
+    def test_run_drains_everything_without_until(self, env):
+        env.timeout(1)
+        env.timeout(100)
+        env.run()
+        assert env.now == 100
+        assert len(env) == 0
+
+    def test_run_until_event_that_never_fires_raises(self, env):
+        ev = env.event()  # never triggered
+        env.timeout(1)
+        with pytest.raises(RuntimeError, match="never triggered"):
+            env.run(until=ev)
+
+    def test_run_resumable(self, env):
+        env.timeout(1)
+        env.timeout(2)
+        env.run(until=1.5)
+        assert env.now == 1.5
+        env.run()
+        assert env.now == 2
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            env = Environment()
+            trace = []
+
+            def proc(env, name, period):
+                while env.now < 20:
+                    yield env.timeout(period)
+                    trace.append((env.now, name))
+
+            env.process(proc(env, "a", 2))
+            env.process(proc(env, "b", 3))
+            env.run(until=25)
+            return trace
+
+        assert build_and_run() == build_and_run()

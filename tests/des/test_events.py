@@ -1,0 +1,202 @@
+"""Unit tests for repro.des.events: Event, Timeout, conditions."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Environment, Event, Timeout
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+class TestEvent:
+    def test_fresh_event_is_untriggered(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        ev = env.event()
+        with pytest.raises(AttributeError):
+            _ = ev.value
+        with pytest.raises(AttributeError):
+            _ = ev.ok
+
+    def test_succeed_sets_value(self, env):
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_succeed_twice_raises(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_sets_exception_value(self, env):
+        ev = env.event()
+        exc = ValueError("boom")
+        ev.fail(exc)
+        assert ev.triggered
+        assert not ev.ok
+        assert ev.value is exc
+
+    def test_undefused_failure_aborts_run(self, env):
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_defused_failure_does_not_abort(self, env):
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        ev.defused = True
+        env.run()  # no raise
+
+    def test_trigger_copies_outcome(self, env):
+        src = env.event()
+        src.succeed("payload")
+        dst = env.event()
+        dst.trigger(src)
+        assert dst.triggered
+        assert dst.value == "payload"
+
+    def test_callbacks_run_on_processing(self, env):
+        ev = env.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed(7)
+        env.run()
+        assert seen == [7]
+        assert ev.processed
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_timeout_fires_at_delay(self, env):
+        t = env.timeout(5)
+        env.run()
+        assert t.processed
+        assert env.now == 5
+
+    def test_timeout_value(self, env):
+        t = env.timeout(1, value="done")
+        env.run()
+        assert t.value == "done"
+
+    def test_zero_delay_allowed(self, env):
+        t = env.timeout(0)
+        env.run()
+        assert t.processed
+        assert env.now == 0
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+        for d in (3, 1, 2):
+            env.timeout(d).callbacks.append(lambda e, d=d: order.append(d))
+        env.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_fifo(self, env):
+        order = []
+        for tag in ("first", "second", "third"):
+            env.timeout(1).callbacks.append(lambda e, tag=tag: order.append(tag))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env):
+        t1, t2 = env.timeout(1, value="a"), env.timeout(2, value="b")
+        cond = AllOf(env, [t1, t2])
+        env.run()
+        assert cond.processed
+        assert env.now == 2
+        assert list(cond.value.values()) == ["a", "b"]
+
+    def test_any_of_fires_on_first(self, env):
+        t1, t2 = env.timeout(5), env.timeout(1, value="fast")
+        cond = AnyOf(env, [t1, t2])
+        env.run(until=cond)
+        assert env.now == 1
+        assert t2 in cond.value
+        assert t1 not in cond.value
+
+    def test_empty_all_of_succeeds_immediately(self, env):
+        cond = env.all_of([])
+        env.run()
+        assert cond.processed
+        assert len(cond.value) == 0
+
+    def test_empty_any_of_succeeds_immediately(self, env):
+        cond = env.any_of([])
+        env.run()
+        assert cond.processed
+
+    def test_and_operator(self, env):
+        t1, t2 = env.timeout(1), env.timeout(2)
+        cond = t1 & t2
+        env.run()
+        assert cond.processed
+        assert env.now == 2
+
+    def test_or_operator(self, env):
+        t1, t2 = env.timeout(1), env.timeout(2)
+        cond = t1 | t2
+        env.run(until=cond)
+        assert env.now == 1
+
+    def test_nested_condition_flattens(self, env):
+        t1, t2, t3 = env.timeout(1, value=1), env.timeout(2, value=2), env.timeout(3, value=3)
+        cond = (t1 & t2) & t3
+        env.run()
+        assert [cond.value[t] for t in (t1, t2, t3)] == [1, 2, 3]
+
+    def test_condition_value_ordering_is_stable(self, env):
+        # Trigger order differs from construction order; ConditionValue
+        # preserves construction order of the leaves.
+        t1, t2 = env.timeout(2, value="slow"), env.timeout(1, value="fast")
+        cond = AllOf(env, [t1, t2])
+        env.run()
+        assert list(cond.value.values()) == ["slow", "fast"]
+
+    def test_condition_propagates_failure(self, env):
+        def failer(env):
+            yield env.timeout(1)
+            raise RuntimeError("inner failure")
+
+        proc = env.process(failer(env))
+        cond = proc & env.timeout(5)
+
+        def waiter(env):
+            with pytest.raises(RuntimeError, match="inner failure"):
+                yield cond
+
+        env.process(waiter(env))
+        env.run()
+
+    def test_cross_environment_events_rejected(self, env):
+        other = Environment()
+        t_other = other.timeout(1)
+        with pytest.raises(ValueError):
+            AllOf(env, [env.timeout(1), t_other])
+
+    def test_condition_with_pretriggered_event(self, env):
+        ev = env.event()
+        ev.succeed("early")
+        env.run()  # process it
+        cond = AllOf(env, [ev])
+        env.run()
+        assert cond.processed
+        assert cond.value[ev] == "early"

@@ -1,0 +1,159 @@
+"""Unit tests for repro.des.monitor: tallies and time-weighted stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.des import Counter, Tally, TimeWeighted, batch_means_ci
+
+
+class TestTally:
+    def test_empty_stats_are_nan(self):
+        t = Tally()
+        assert t.count == 0
+        assert math.isnan(t.mean)
+        assert math.isnan(t.variance)
+        assert math.isnan(t.minimum)
+        assert math.isnan(t.maximum)
+
+    def test_mean_min_max(self):
+        t = Tally()
+        for v in (3.0, 1.0, 2.0):
+            t.observe(v)
+        assert t.mean == pytest.approx(2.0)
+        assert t.minimum == 1.0
+        assert t.maximum == 3.0
+        assert t.count == 3
+
+    def test_variance_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5, 2, size=500)
+        t = Tally()
+        for v in data:
+            t.observe(v)
+        assert t.variance == pytest.approx(np.var(data, ddof=1), rel=1e-9)
+        assert t.std == pytest.approx(np.std(data, ddof=1), rel=1e-9)
+
+    def test_single_observation_variance_nan(self):
+        t = Tally()
+        t.observe(1.0)
+        assert math.isnan(t.variance)
+
+    def test_percentile_requires_keep_values(self):
+        t = Tally()
+        t.observe(1.0)
+        with pytest.raises(RuntimeError):
+            t.percentile(50)
+
+    def test_percentile_with_values(self):
+        t = Tally(keep_values=True)
+        for v in range(101):
+            t.observe(float(v))
+        assert t.percentile(50) == pytest.approx(50.0)
+        assert t.percentile(90) == pytest.approx(90.0)
+
+    def test_confidence_interval_contains_true_mean(self):
+        rng = np.random.default_rng(1)
+        t = Tally()
+        for v in rng.normal(10, 1, size=1000):
+            t.observe(v)
+        lo, hi = t.confidence_interval(0.99)
+        assert lo < 10 < hi
+
+    def test_ci_nan_for_small_samples(self):
+        t = Tally()
+        t.observe(1.0)
+        lo, hi = t.confidence_interval()
+        assert math.isnan(lo) and math.isnan(hi)
+
+    def test_merge_equals_combined_stream(self):
+        rng = np.random.default_rng(2)
+        a_data = rng.normal(0, 1, 200)
+        b_data = rng.normal(5, 3, 300)
+        a, b, combined = Tally(), Tally(), Tally()
+        for v in a_data:
+            a.observe(v)
+            combined.observe(v)
+        for v in b_data:
+            b.observe(v)
+            combined.observe(v)
+        merged = a.merge(b)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean, rel=1e-9)
+        assert merged.variance == pytest.approx(combined.variance, rel=1e-9)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        a = Tally()
+        b = Tally()
+        b.observe(4.0)
+        merged = a.merge(b)
+        assert merged.count == 1
+        assert merged.mean == pytest.approx(4.0)
+
+
+class TestTimeWeighted:
+    def test_constant_level(self):
+        tw = TimeWeighted(now=0, initial=5)
+        assert tw.time_average(10) == pytest.approx(5.0)
+
+    def test_step_function_average(self):
+        tw = TimeWeighted(now=0, initial=0)
+        tw.set(2, 10)  # level 0 over [0,2], 10 afterwards
+        assert tw.time_average(4) == pytest.approx((0 * 2 + 10 * 2) / 4)
+
+    def test_add_delta(self):
+        tw = TimeWeighted(now=0, initial=1)
+        tw.add(1, +2)  # level 3 from t=1
+        tw.add(2, -1)  # level 2 from t=2
+        assert tw.level == 2
+        assert tw.time_average(3) == pytest.approx((1 * 1 + 3 * 1 + 2 * 1) / 3)
+
+    def test_maximum_tracked(self):
+        tw = TimeWeighted()
+        tw.set(1, 7)
+        tw.set(2, 3)
+        assert tw.maximum == 7
+
+    def test_time_backwards_rejected(self):
+        tw = TimeWeighted(now=5)
+        with pytest.raises(ValueError):
+            tw.set(4, 1)
+
+    def test_zero_elapsed_nan(self):
+        tw = TimeWeighted(now=0)
+        assert math.isnan(tw.time_average(0))
+
+
+class TestCounter:
+    def test_increment(self):
+        c = Counter()
+        c.increment()
+        c.increment(3)
+        assert c.count == 4
+
+    def test_rate(self):
+        c = Counter()
+        c.increment(10)
+        assert c.rate(5.0) == pytest.approx(2.0)
+        assert math.isnan(c.rate(0.0))
+
+
+class TestBatchMeans:
+    def test_iid_interval_contains_mean(self):
+        rng = np.random.default_rng(3)
+        samples = rng.exponential(2.0, size=10_000)
+        mean, lo, hi = batch_means_ci(samples, n_batches=20)
+        assert lo < 2.0 < hi
+        assert mean == pytest.approx(samples[: (10_000 // 20) * 20].mean(), rel=1e-9)
+
+    def test_too_few_samples(self):
+        mean, lo, hi = batch_means_ci([1.0, 2.0], n_batches=10)
+        assert all(math.isnan(v) for v in (mean, lo, hi))
+
+    def test_interval_ordering(self):
+        rng = np.random.default_rng(4)
+        mean, lo, hi = batch_means_ci(rng.normal(0, 1, 1000), n_batches=10)
+        assert lo <= mean <= hi

@@ -1,0 +1,134 @@
+"""Unit tests for the preemptive DES resource."""
+
+import pytest
+
+from repro.des import Environment, Interrupt, Preempted, PreemptiveResource
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+def holder(env, resource, log, name, priority, hold, preempt=True):
+    """User process that records acquisition/preemption/completion."""
+    with resource.request(priority=priority, preempt=preempt) as req:
+        yield req
+        log.append(("got", name, env.now))
+        try:
+            yield env.timeout(hold)
+            log.append(("done", name, env.now))
+        except Interrupt as interrupt:
+            assert isinstance(interrupt.cause, Preempted)
+            log.append(("preempted", name, env.now))
+
+
+class TestPreemption:
+    def test_higher_priority_evicts_lower(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        log = []
+
+        def low(env):
+            yield from holder(env, resource, log, "low", priority=10, hold=100)
+
+        def high(env):
+            yield env.timeout(5)
+            yield from holder(env, resource, log, "high", priority=1, hold=3)
+
+        env.process(low(env))
+        env.process(high(env))
+        env.run()
+        assert ("preempted", "low", 5) in log
+        assert ("got", "high", 5) in log
+        assert ("done", "high", 8) in log
+
+    def test_equal_priority_does_not_preempt(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        log = []
+
+        def first(env):
+            yield from holder(env, resource, log, "first", priority=5, hold=10)
+
+        def second(env):
+            yield env.timeout(1)
+            yield from holder(env, resource, log, "second", priority=5, hold=1)
+
+        env.process(first(env))
+        env.process(second(env))
+        env.run()
+        assert ("done", "first", 10) in log
+        assert ("got", "second", 10) in log
+
+    def test_preempt_false_waits_politely(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        log = []
+
+        def low(env):
+            yield from holder(env, resource, log, "low", priority=10, hold=10)
+
+        def high(env):
+            yield env.timeout(2)
+            yield from holder(
+                env, resource, log, "high", priority=1, hold=1, preempt=False
+            )
+
+        env.process(low(env))
+        env.process(high(env))
+        env.run()
+        assert ("done", "low", 10) in log
+        assert ("got", "high", 10) in log
+
+    def test_weakest_holder_is_victim(self, env):
+        resource = PreemptiveResource(env, capacity=2)
+        log = []
+
+        def user(env, name, priority, delay, hold):
+            yield env.timeout(delay)
+            yield from holder(env, resource, log, name, priority=priority, hold=hold)
+
+        env.process(user(env, "mid", 5, 0, 100))
+        env.process(user(env, "weak", 9, 0, 100))
+        env.process(user(env, "strong", 1, 3, 2))
+        env.run()
+        assert ("preempted", "weak", 3) in log
+        assert all(entry[1] != "mid" or entry[0] != "preempted" for entry in log)
+
+    def test_preempted_cause_carries_metadata(self, env):
+        resource = PreemptiveResource(env, capacity=1)
+        seen = {}
+
+        def low(env):
+            with resource.request(priority=10) as req:
+                yield req
+                try:
+                    yield env.timeout(100)
+                except Interrupt as interrupt:
+                    seen["cause"] = interrupt.cause
+
+        def high(env):
+            yield env.timeout(4)
+            with resource.request(priority=1) as req:
+                yield req
+                yield env.timeout(1)
+
+        env.process(low(env))
+        env.process(high(env))
+        env.run()
+        cause = seen["cause"]
+        assert isinstance(cause, Preempted)
+        assert cause.usage_since == 0
+        assert cause.by.priority == 1
+
+    def test_capacity_slots_fill_before_preempting(self, env):
+        resource = PreemptiveResource(env, capacity=2)
+        log = []
+
+        def user(env, name, priority, delay):
+            yield env.timeout(delay)
+            yield from holder(env, resource, log, name, priority=priority, hold=5)
+
+        env.process(user(env, "a", 10, 0))
+        env.process(user(env, "b", 1, 1))  # free slot: no preemption needed
+        env.run()
+        assert ("got", "b", 1) in log
+        assert ("done", "a", 5) in log

@@ -1,0 +1,218 @@
+"""Unit tests for repro.des.process: generator processes and interrupts."""
+
+import pytest
+
+from repro.des import Environment, Interrupt
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+class TestProcessLifecycle:
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_runs_to_completion(self, env):
+        log = []
+
+        def proc(env):
+            log.append(("start", env.now))
+            yield env.timeout(3)
+            log.append(("middle", env.now))
+            yield env.timeout(4)
+            log.append(("end", env.now))
+
+        env.process(proc(env))
+        env.run()
+        assert log == [("start", 0), ("middle", 3), ("end", 7)]
+
+    def test_return_value_becomes_event_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return {"answer": 42}
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == {"answer": 42}
+
+    def test_is_alive_transitions(self, env):
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_process_waits_for_process(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return "child-result"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return ("parent-saw", result, env.now)
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == ("parent-saw", "child-result", 3)
+
+    def test_yielding_non_event_fails_process(self, env):
+        def proc(env):
+            yield 42  # not an event
+
+        p = env.process(proc(env))
+        with pytest.raises(RuntimeError, match="non-event"):
+            env.run()
+        assert not p.ok
+
+    def test_uncaught_exception_fails_run(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise KeyError("missing")
+
+        env.process(proc(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_exception_catchable_by_waiter(self, env):
+        def failer(env):
+            yield env.timeout(1)
+            raise ValueError("expected")
+
+        def waiter(env):
+            try:
+                yield env.process(failer(env))
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == "caught expected"
+
+    def test_immediate_return_process(self, env):
+        def proc(env):
+            return "instant"
+            yield  # pragma: no cover - makes it a generator
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "instant"
+
+    def test_yield_already_processed_event_continues_immediately(self, env):
+        t = env.timeout(1, value="past")
+        env.run()
+
+        def proc(env):
+            value = yield t
+            return (value, env.now)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == ("past", 1)
+
+    def test_active_process_visible_during_execution(self, env):
+        seen = []
+
+        def proc(env):
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                return ("interrupted", i.cause, env.now)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(5)
+            victim_proc.interrupt(cause="reconfig")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert v.value == ("interrupted", "reconfig", 5)
+
+    def test_interrupted_process_can_continue(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(10)
+            return env.now
+
+        def attacker(env, victim_proc):
+            yield env.timeout(5)
+            victim_proc.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert v.value == 15
+
+    def test_interrupt_dead_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError, match="terminated"):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def proc(env):
+            with pytest.raises(RuntimeError, match="itself"):
+                env.active_process.interrupt()
+            yield env.timeout(1)
+
+        env.process(proc(env))
+        env.run()
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def victim(env):
+            yield env.timeout(100)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(1)
+            victim_proc.interrupt("bye")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        with pytest.raises(Interrupt):
+            env.run()
+        assert not v.ok
+
+    def test_interrupt_precedes_timeout_at_same_instant(self, env):
+        # An interrupt scheduled at the same time as the victim's timeout
+        # must be delivered first (URGENT priority).
+        def victim(env):
+            try:
+                yield env.timeout(5)
+                return "timed-out"
+            except Interrupt:
+                return "interrupted"
+
+        def attacker(env, get_victim):
+            yield env.timeout(5)
+            get_victim().interrupt()
+
+        # Attacker created first: its timeout enqueues before the victim's,
+        # so at t=5 it runs first and the URGENT interrupt must beat the
+        # victim's already-due timeout.
+        holder = {}
+        env.process(attacker(env, lambda: holder["v"]))
+        holder["v"] = env.process(victim(env))
+        env.run()
+        assert holder["v"].value == "interrupted"

@@ -1,0 +1,85 @@
+"""Unit tests for MSER warm-up detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import mser_truncation, suggest_warmup
+
+
+def transient_series(rng, n=1000, transient=200, level=10.0, bias=50.0):
+    """Steady noise around `level` with a decaying initial bias."""
+    noise = rng.normal(level, 1.0, size=n)
+    decay = bias * np.exp(-np.arange(n) / (transient / 4))
+    return noise + decay
+
+
+class TestMSER:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mser_truncation([1.0, 2.0], batch_size=5)
+        with pytest.raises(ValueError):
+            mser_truncation([1.0] * 20, batch_size=0)
+
+    def test_detects_transient(self):
+        rng = np.random.default_rng(0)
+        series = transient_series(rng)
+        result = mser_truncation(series, batch_size=5)
+        # Truncation lands inside (or just after) the decaying prefix.
+        assert 50 <= result.truncation_index <= 400
+
+    def test_truncated_mean_near_steady_level(self):
+        rng = np.random.default_rng(1)
+        series = transient_series(rng, level=10.0)
+        result = mser_truncation(series)
+        raw_mean = series.mean()
+        assert abs(result.truncated_mean - 10.0) < abs(raw_mean - 10.0)
+        assert result.truncated_mean == pytest.approx(10.0, abs=0.5)
+
+    def test_stationary_series_keeps_most_data(self):
+        rng = np.random.default_rng(2)
+        series = rng.normal(5.0, 1.0, size=1000)
+        result = mser_truncation(series)
+        # No transient: truncation stays in the first quarter.
+        assert result.truncation_index <= 250
+
+    def test_curve_length_and_minimum(self):
+        rng = np.random.default_rng(3)
+        series = transient_series(rng, n=500)
+        result = mser_truncation(series, batch_size=5)
+        assert result.statistic == pytest.approx(result.curve.min())
+
+    @given(
+        seed=st.integers(min_value=0, max_value=100),
+        n=st.integers(min_value=50, max_value=500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_truncation_always_in_first_half(self, seed, n):
+        rng = np.random.default_rng(seed)
+        series = rng.exponential(2.0, size=n)
+        result = mser_truncation(series)
+        assert 0 <= result.truncation_index <= n // 2 + 5
+
+
+class TestSuggestWarmup:
+    def test_maps_index_to_time(self):
+        rng = np.random.default_rng(4)
+        series = transient_series(rng, n=600, transient=150)
+        times = np.linspace(0.0, 3000.0, 600)
+        warmup = suggest_warmup(times, series)
+        assert 100.0 <= warmup <= 2000.0
+
+    def test_no_transient_suggests_zero_or_small(self):
+        rng = np.random.default_rng(5)
+        series = rng.normal(5.0, 1.0, size=400)
+        times = np.linspace(0.0, 1000.0, 400)
+        assert suggest_warmup(times, series) <= 600.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            suggest_warmup([1.0, 2.0], [1.0])
+
+    def test_unsorted_times(self):
+        with pytest.raises(ValueError):
+            suggest_warmup([2.0, 1.0] * 10, [1.0, 1.0] * 10)

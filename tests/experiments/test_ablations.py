@@ -1,0 +1,60 @@
+"""Tests for the design-choice ablation harnesses."""
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_experiment
+from repro.experiments.ablations import (
+    importance_variant_ablation,
+    length_law_ablation,
+    pull_mode_ablation,
+)
+
+TINY = ExperimentScale(horizon=300.0, num_seeds=1)
+
+
+class TestLengthLawAblation:
+    def test_three_laws_present(self):
+        fig = length_law_ablation(cutoffs=(20, 60), scale=TINY)
+        labels = [s.label for s in fig.series]
+        assert labels == ["truncated_geometric", "uniform", "constant"]
+        for s in fig.series:
+            assert all(math.isfinite(v) and v > 0 for v in s.y)
+
+
+class TestImportanceVariantAblation:
+    def test_variants_compared(self):
+        table, results = importance_variant_ablation(scale=TINY)
+        assert set(results) == {
+            "importance",
+            "importance-normalized",
+            "importance-expected",
+        }
+        assert "importance-normalized" in table
+        for per_class in results.values():
+            assert set(per_class) == {"A", "B", "C"}
+
+
+class TestPullModeAblation:
+    def test_both_modes_run(self):
+        table, results = pull_mode_ablation(scale=TINY)
+        assert set(results) == {"serial", "concurrent"}
+        assert results["serial"]["pull_services"] > 0
+        assert "concurrent" in table
+
+    def test_concurrent_serves_at_least_as_many_pulls(self):
+        # Overlapping streams cannot serve fewer pulls than the serial
+        # server on the same horizon (they also run during broadcasts).
+        _, results = pull_mode_ablation(scale=ExperimentScale(horizon=800.0, num_seeds=1))
+        assert (
+            results["concurrent"]["pull_services"]
+            >= results["serial"]["pull_services"] * 0.9
+        )
+
+
+class TestRegistryEntry:
+    def test_ablations_registered(self):
+        output = run_experiment("ablations", TINY)
+        assert "Length-law ablation" in output
+        assert "pull service modes" in output

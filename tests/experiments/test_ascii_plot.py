@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments import FigureData
+from repro.experiments.ascii_plot import ascii_plot
+
+
+def make_fig():
+    fig = FigureData(title="Test figure", x_label="K")
+    fig.add("up", [0, 10, 20], [1.0, 2.0, 3.0])
+    fig.add("down", [0, 10, 20], [3.0, 2.0, 1.0])
+    return fig
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        text = ascii_plot(make_fig())
+        assert "Test figure" in text
+        assert "A=up" in text and "B=down" in text
+
+    def test_axis_annotations(self):
+        text = ascii_plot(make_fig())
+        assert "y: 1 .. 3" in text
+        assert "K: 0 .. 20" in text
+
+    def test_canvas_dimensions(self):
+        text = ascii_plot(make_fig(), width=40, height=10)
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(rows) == 10
+        assert all(len(r) == 41 for r in rows)  # axis char + width
+
+    def test_increasing_series_slopes_up(self):
+        fig = FigureData(title="t", x_label="x")
+        fig.add("s", [0, 1, 2], [0.0, 5.0, 10.0])
+        text = ascii_plot(fig, width=30, height=10)
+        rows = [l[1:] for l in text.splitlines() if l.startswith("|")]
+        # Increasing series: the maximum (y = 10) sits in the top row at
+        # the right edge; the minimum in the bottom row at the left edge.
+        assert rows[0].rstrip().endswith("A")
+        assert rows[-1].lstrip().startswith("A")
+
+    def test_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot(make_fig(), width=5, height=2)
+
+    def test_empty_figure(self):
+        assert "(empty)" in ascii_plot(FigureData(title="t", x_label="x"))
+
+    def test_nan_series_skipped(self):
+        fig = FigureData(title="t", x_label="x")
+        fig.add("s", [0, 1], [float("nan"), float("nan")])
+        assert "(no finite data)" in ascii_plot(fig)
+
+    def test_flat_series_renders(self):
+        fig = FigureData(title="t", x_label="x")
+        fig.add("s", [0, 1], [2.0, 2.0])
+        text = ascii_plot(fig)
+        assert "A" in text
+
+    def test_many_series_cycle_markers(self):
+        fig = FigureData(title="t", x_label="x")
+        for i in range(4):
+            fig.add(f"s{i}", [0, 1], [float(i), float(i)])
+        text = ascii_plot(fig)
+        for marker in "ABCD":
+            assert marker in text

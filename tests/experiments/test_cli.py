@@ -1,0 +1,53 @@
+"""Unit tests for the experiments CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_flags_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--quick", "--full"])
+
+    def test_overrides_parsed(self):
+        args = build_parser().parse_args(["fig3", "--horizon", "500", "--seeds", "2"])
+        assert args.horizon == 500.0
+        assert args.seeds == 2
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "fig7" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["does-not-exist"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["birth-death"]) == 0
+        out = capsys.readouterr().out
+        assert "idle (numeric)" in out
+        assert "done in" in out
+
+    def test_runs_with_scale_overrides(self, capsys):
+        assert main(["pull-baselines", "--horizon", "200", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fcfs" in out
+
+
+class TestExportCommand:
+    def test_export_writes_files(self, capsys, tmp_path, monkeypatch):
+        out = tmp_path / "figs"
+        assert main(["export", "--horizon", "150", "--seeds", "1", "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "exported" in captured
+        assert any(out.glob("*.json"))
+        assert any(out.glob("*.csv"))

@@ -1,0 +1,137 @@
+"""Integration tests for the experiment harnesses (tiny scales).
+
+These don't validate the paper shapes (tests/integration does, at a
+meaningful scale) — they verify each harness runs end to end and emits
+well-formed output.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    analytical_vs_simulation,
+    birth_death_validation,
+    blocking_vs_share,
+    cost_vs_cutoff,
+    delay_vs_alpha,
+    delay_vs_cutoff,
+    experiment_ids,
+    optimal_cost_vs_alpha,
+    optimal_partition,
+    pull_policy_comparison,
+    push_policy_comparison,
+    run_experiment,
+)
+
+TINY = ExperimentScale(horizon=300.0, num_seeds=1)
+SMALL_KS = (20, 60)
+
+
+class TestDelayHarness:
+    def test_delay_vs_cutoff_structure(self):
+        fig = delay_vs_cutoff(alpha=0.5, cutoffs=SMALL_KS, scale=TINY)
+        assert [s.label for s in fig.series] == ["Class-A", "Class-B", "Class-C"]
+        for s in fig.series:
+            assert s.x == list(SMALL_KS)
+            assert all(v > 0 for v in s.y)
+
+    def test_pull_metric(self):
+        fig = delay_vs_cutoff(alpha=0.5, cutoffs=(40,), scale=TINY, metric="pull")
+        assert len(fig.series[0].y) == 1
+
+    def test_metric_validation(self):
+        with pytest.raises(ValueError):
+            delay_vs_cutoff(alpha=0.5, metric="bogus")
+
+    def test_delay_vs_alpha_structure(self):
+        fig = delay_vs_alpha(alphas=(0.0, 1.0), cutoff=40, scale=TINY)
+        assert fig.series[0].x == [0.0, 1.0]
+
+
+class TestCostHarness:
+    def test_cost_vs_cutoff_has_total(self):
+        fig = cost_vs_cutoff(alpha=0.25, cutoffs=SMALL_KS, scale=TINY)
+        labels = [s.label for s in fig.series]
+        assert "Total" in labels
+        total = fig.series_by_label("Total")
+        parts = [fig.series_by_label(f"Class-{c}") for c in "ABC"]
+        for i in range(len(total.x)):
+            assert total.y[i] == pytest.approx(sum(p.y[i] for p in parts))
+
+    def test_optimal_cost_curves(self):
+        fig = optimal_cost_vs_alpha(
+            thetas=(0.6,), alphas=(0.0, 1.0), cutoffs=SMALL_KS, scale=TINY
+        )
+        assert len(fig.series) == 1
+        assert all(math.isfinite(v) for v in fig.series[0].y)
+
+
+class TestCompareHarness:
+    def test_structure_and_deviation(self):
+        fig, deviation = analytical_vs_simulation(cutoffs=(40,), scale=TINY)
+        labels = {s.label for s in fig.series}
+        assert {"sim-A", "ana-A", "sim-C", "ana-C"} <= labels
+        assert 0 <= deviation < 2.0  # finite, sane
+
+
+class TestBlockingHarness:
+    def test_blocking_curves(self):
+        fig = blocking_vs_share(shares_a=(0.2, 0.6), scale=TINY)
+        sim_a = fig.series_by_label("sim-A")
+        ana_a = fig.series_by_label("ana-A")
+        # Analytic blocking falls (weakly) with more premium bandwidth.
+        assert ana_a.y[1] <= ana_a.y[0] + 1e-12
+        assert all(0 <= v <= 1 or math.isnan(v) for v in sim_a.y)
+
+    def test_optimal_partition_fields(self):
+        out = optimal_partition(resolution=10)
+        assert len(out["shares"]) == 3
+        assert sum(out["shares"]) == pytest.approx(1.0)
+        assert out["weighted_blocking"] >= 0
+
+
+class TestBaselineHarness:
+    def test_pull_comparison_covers_policies(self):
+        table, results = pull_policy_comparison(
+            policies=("importance", "fcfs"), scale=TINY
+        )
+        assert set(results) == {"importance", "fcfs"}
+        assert "fcfs" in table
+
+    def test_push_comparison(self):
+        table, results = push_policy_comparison(scale=TINY)
+        assert {"flat", "disks", "srr"} <= set(results)
+        assert all(v > 0 for v in results.values())
+
+    def test_birth_death_validation_agrees(self):
+        _, values = birth_death_validation()
+        assert values["idle (numeric)"] == pytest.approx(
+            values["idle (paper closed form)"], abs=1e-6
+        )
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        ids = experiment_ids()
+        for expected in (
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "blocking",
+            "pull-baselines",
+            "push-baselines",
+            "birth-death",
+        ):
+            assert expected in ids
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope")
+
+    def test_run_cheap_experiment(self):
+        output = run_experiment("birth-death", TINY)
+        assert "E[L_pull]" in output

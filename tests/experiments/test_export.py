@@ -1,0 +1,87 @@
+"""Unit tests for figure export (JSON/CSV)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments import ExperimentScale, FigureData
+from repro.experiments.export import (
+    FIGURE_FACTORIES,
+    export_all_figures,
+    figure_to_dict,
+    save_figure_csv,
+    save_figure_json,
+)
+
+TINY = ExperimentScale(horizon=200.0, num_seeds=1)
+
+
+def make_fig():
+    fig = FigureData(title="Example", x_label="K")
+    fig.add("a", [1, 2, 3], [0.5, 0.6, 0.7])
+    fig.add("b", [1, 2, 3], [1.5, 1.6, 1.7])
+    return fig
+
+
+class TestDictAndJson:
+    def test_dict_structure(self):
+        d = figure_to_dict(make_fig())
+        assert d["title"] == "Example"
+        assert d["x_label"] == "K"
+        assert [s["label"] for s in d["series"]] == ["a", "b"]
+        assert d["series"][0]["y"] == [0.5, 0.6, 0.7]
+
+    def test_json_roundtrip(self, tmp_path):
+        path = save_figure_json(make_fig(), tmp_path / "fig.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == figure_to_dict(make_fig())
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_figure_json(make_fig(), tmp_path / "deep" / "dir" / "fig.json")
+        assert path.exists()
+
+
+class TestCsv:
+    def test_csv_layout(self, tmp_path):
+        path = save_figure_csv(make_fig(), tmp_path / "fig.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["K", "a", "b"]
+        assert rows[1] == ["1", "0.5", "1.5"]
+        assert len(rows) == 4
+
+    def test_empty_figure_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_figure_csv(FigureData(title="t", x_label="x"), tmp_path / "x.csv")
+
+    def test_mismatched_axes_rejected(self, tmp_path):
+        fig = FigureData(title="t", x_label="x")
+        fig.add("a", [1], [1.0])
+        fig.add("b", [2], [1.0])
+        with pytest.raises(ValueError):
+            save_figure_csv(fig, tmp_path / "x.csv")
+
+
+class TestExportAll:
+    def test_factories_cover_line_figures(self):
+        for expected in ("fig3", "fig4", "fig5", "fig6", "fig7", "blocking"):
+            assert expected in FIGURE_FACTORIES
+
+    def test_export_one_factory(self, tmp_path):
+        # Exercise the smallest factory end-to-end at tiny scale.
+        figs = FIGURE_FACTORIES["alpha-sweep"](TINY)
+        assert len(figs) == 1
+        path = save_figure_json(figs[0], tmp_path / "alpha.json")
+        data = json.loads(path.read_text())
+        assert len(data["series"]) == 3  # one per class
+
+    @pytest.mark.slow
+    def test_export_all_figures(self, tmp_path):
+        written = export_all_figures(tmp_path, scale=TINY)
+        assert all(p.exists() for p in written)
+        json_files = [p for p in written if p.suffix == ".json"]
+        csv_files = [p for p in written if p.suffix == ".csv"]
+        # json + csv pairs, at least one per registered factory.
+        assert len(json_files) == len(csv_files)
+        assert len(json_files) >= len(FIGURE_FACTORIES)

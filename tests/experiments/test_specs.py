@@ -1,0 +1,50 @@
+"""Unit tests for the shared experiment specs."""
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_CUTOFFS,
+    FULL,
+    PAPER_ALPHAS,
+    PAPER_THETAS_FIG,
+    QUICK,
+    ExperimentScale,
+    paper_config,
+)
+
+
+class TestPaperConfig:
+    def test_defaults_match_section_51(self):
+        config = paper_config()
+        assert config.num_items == 100
+        assert config.arrival_rate == 5.0
+        assert config.theta == 0.60
+        assert config.class_names() == ["A", "B", "C"]
+
+    def test_sweep_parameters_forwarded(self):
+        config = paper_config(theta=1.4, alpha=0.25, cutoff=20)
+        assert config.theta == 1.4
+        assert config.alpha == 0.25
+        assert config.cutoff == 20
+
+
+class TestConstants:
+    def test_paper_alphas(self):
+        assert PAPER_ALPHAS == (0.0, 0.25, 0.50, 0.75, 1.0)
+
+    def test_paper_thetas(self):
+        assert PAPER_THETAS_FIG == (0.20, 0.60, 1.0, 1.40)
+
+    def test_cutoff_grid_inside_catalog(self):
+        assert all(0 < k < 100 for k in DEFAULT_CUTOFFS)
+        assert list(DEFAULT_CUTOFFS) == sorted(DEFAULT_CUTOFFS)
+
+
+class TestScales:
+    def test_quick_faster_than_full(self):
+        assert QUICK.horizon < FULL.horizon
+        assert QUICK.num_seeds <= FULL.num_seeds
+
+    def test_warmup_fraction(self):
+        scale = ExperimentScale(horizon=1000.0, num_seeds=1, warmup_fraction=0.2)
+        assert scale.warmup == pytest.approx(200.0)

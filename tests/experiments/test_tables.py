@@ -1,0 +1,57 @@
+"""Unit tests for the table/figure rendering helpers."""
+
+import pytest
+
+from repro.experiments import FigureData, Series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_underline(self):
+        text = render_table(["K", "delay"], [[10, 1.5], [20, 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[1]
+        assert "1.500" in lines[2]
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_nan_and_inf_rendering(self):
+        text = render_table(["x"], [[float("nan")], [float("inf")]])
+        assert "nan" in text
+        assert "inf" in text
+
+
+class TestSeries:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            Series(label="s", x=[1, 2], y=[1])
+
+
+class TestFigureData:
+    def test_add_and_lookup(self):
+        fig = FigureData(title="t", x_label="K")
+        fig.add("curve", [1, 2], [3.0, 4.0])
+        assert fig.series_by_label("curve").y == [3.0, 4.0]
+        with pytest.raises(KeyError):
+            fig.series_by_label("missing")
+
+    def test_render_contains_all_labels(self):
+        fig = FigureData(title="Delay", x_label="K")
+        fig.add("Class-A", [1, 2], [5.0, 6.0])
+        fig.add("Class-B", [1, 2], [7.0, 8.0])
+        text = fig.render()
+        assert "Delay" in text
+        assert "Class-A" in text and "Class-B" in text
+        assert "5.000" in text
+
+    def test_mismatched_x_axes_rejected(self):
+        fig = FigureData(title="t", x_label="K")
+        fig.add("a", [1, 2], [0.0, 0.0])
+        fig.add("b", [1, 3], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            fig.render()
+
+    def test_empty_render(self):
+        assert "(empty)" in FigureData(title="t", x_label="x").render()

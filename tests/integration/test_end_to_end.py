@@ -1,0 +1,87 @@
+"""End-to-end integration: public API, baselines head-to-head, examples."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import (
+    HybridConfig,
+    analyze_hybrid,
+    optimize_bandwidth,
+    optimize_cutoff,
+    simulate_hybrid,
+)
+from repro.experiments import ExperimentScale, pull_policy_comparison
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_public_surface_complete(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_four_call_workflow(self):
+        """The README workflow: configure, optimise, simulate, analyse."""
+        config = HybridConfig(num_items=60, arrival_rate=2.0, num_clients=60)
+        sweep = optimize_cutoff(config, candidates=[15, 30, 45])
+        tuned = config.with_cutoff(sweep.best_cutoff)
+        allocation = optimize_bandwidth(tuned, resolution=10)
+        final = allocation.apply(tuned)
+        result = simulate_hybrid(final, seed=0, horizon=800.0)
+        prediction = analyze_hybrid(final)
+        assert result.satisfied_requests > 0
+        assert set(prediction.per_class_delay) == set(result.per_class_delay)
+
+
+class TestPolicyHeadToHead:
+    """§3's argument: the importance factor beats single-criterion pulls."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        _, results = pull_policy_comparison(
+            scale=ExperimentScale(horizon=3_000.0, num_seeds=1), alpha=0.25
+        )
+        return results
+
+    def test_importance_beats_fcfs_for_premium(self, comparison):
+        assert comparison["importance"]["A"] < comparison["fcfs"]["A"]
+
+    def test_importance_close_to_pure_priority_for_premium(self, comparison):
+        # Within 15% of the best-possible premium delay.
+        assert comparison["importance"]["A"] <= comparison["priority"]["A"] * 1.15
+
+    def test_importance_fairer_than_pure_priority_for_basic(self, comparison):
+        # The stretch term protects Class-C against starvation.
+        assert comparison["importance"]["C"] <= comparison["priority"]["C"] * 1.05
+
+
+@pytest.mark.slow
+class TestExamples:
+    """Every example script must run clean (they self-assert)."""
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "premium_sla.py",
+            "cutoff_tuning.py",
+            "bandwidth_planning.py",
+            "churn_economics.py",
+        ],
+    )
+    def test_example_runs(self, script):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / script)],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout  # printed something

@@ -1,0 +1,145 @@
+"""Integration tests reproducing the paper's qualitative results (§5).
+
+Each test pins one claim of the evaluation section at a scale large
+enough for the shape to be statistically solid.  These are the tests
+that say "the reproduction reproduces".
+"""
+
+import pytest
+
+from repro import HybridConfig
+from repro.sim import run_replications, run_single
+
+HORIZON = 4_000.0
+
+
+@pytest.fixture(scope="module")
+def alpha0_result():
+    # Pure priority scheduling at the paper's load.
+    return run_replications(
+        HybridConfig(theta=0.60, alpha=0.0, cutoff=40),
+        num_runs=2,
+        horizon=HORIZON,
+    )
+
+
+class TestClassDifferentiation:
+    """§5.2: Class-A delay lowest, Class-C highest."""
+
+    def test_delay_ordering_alpha0(self, alpha0_result):
+        d = alpha0_result.per_class_delays()
+        assert d["A"] < d["B"] < d["C"]
+
+    def test_pull_delay_ordering_alpha0(self, alpha0_result):
+        a, _ = alpha0_result.pull_delay("A")
+        b, _ = alpha0_result.pull_delay("B")
+        c, _ = alpha0_result.pull_delay("C")
+        assert a < b < c
+        # The premium class is served markedly faster on the pull side.
+        assert c / a > 1.25
+
+    def test_alpha1_collapses_differentiation(self):
+        result = run_replications(
+            HybridConfig(theta=0.60, alpha=1.0, cutoff=40),
+            num_runs=2,
+            horizon=HORIZON,
+        )
+        a, _ = result.pull_delay("A")
+        c, _ = result.pull_delay("C")
+        # Stretch-only scheduling ignores priorities: spread within noise.
+        assert abs(c - a) / a < 0.15
+
+    def test_differentiation_grows_as_alpha_falls(self):
+        spreads = []
+        for alpha in (1.0, 0.5, 0.0):
+            result = run_single(
+                HybridConfig(theta=0.60, alpha=alpha, cutoff=40),
+                seed=5,
+                horizon=HORIZON,
+            )
+            spread = (
+                result.per_class_pull_delay["C"] - result.per_class_pull_delay["A"]
+            )
+            spreads.append(spread)
+        assert spreads[0] < spreads[-1]  # alpha=1 spread < alpha=0 spread
+
+
+class TestCutoffShape:
+    """§5.2: delay high at small K; interior optimum exists."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        base = HybridConfig(theta=0.60, alpha=0.25)
+        return {
+            k: run_single(base.with_cutoff(k), seed=2, horizon=HORIZON).overall_delay
+            for k in (5, 25, 55, 90)
+        }
+
+    def test_low_cutoff_penalty(self, sweep):
+        assert sweep[5] > sweep[25]
+
+    def test_high_cutoff_penalty(self, sweep):
+        assert sweep[90] > sweep[25]
+
+    def test_interior_optimum(self, sweep):
+        best = min(sweep, key=sweep.get)
+        assert best in (25, 55)
+
+
+class TestPrioritizedCost:
+    """§5.3: decreasing α reduces the total prioritized cost."""
+
+    def test_cost_falls_with_alpha(self):
+        costs = {}
+        for alpha in (0.0, 1.0):
+            result = run_replications(
+                HybridConfig(theta=0.60, alpha=alpha, cutoff=40),
+                num_runs=2,
+                horizon=HORIZON,
+            )
+            costs[alpha], _ = result.total_cost()
+        assert costs[0.0] < costs[1.0]
+
+
+class TestBlocking:
+    """Abstract: proper bandwidth allocation keeps premium drops low."""
+
+    def test_blocking_ordering_with_weighted_shares(self):
+        # Default shares 0.5/0.3/0.2 of 20 units, Poisson(4) demand.
+        result = run_replications(
+            HybridConfig(theta=0.60, alpha=0.25, cutoff=40),
+            num_runs=2,
+            horizon=HORIZON,
+        )
+        a, _ = result.blocking("A")
+        c, _ = result.blocking("C")
+        assert a < c
+        assert a < 0.02  # premium essentially unblocked
+
+    def test_more_premium_bandwidth_less_premium_blocking(self):
+        base = HybridConfig(theta=0.60, alpha=0.25, cutoff=40)
+        starved = run_single(
+            base.with_bandwidth_shares([0.15, 0.45, 0.40]), seed=3, horizon=HORIZON
+        )
+        protected = run_single(
+            base.with_bandwidth_shares([0.60, 0.25, 0.15]), seed=3, horizon=HORIZON
+        )
+        assert (
+            protected.per_class_blocking["A"] <= starved.per_class_blocking["A"]
+        )
+
+
+class TestSkewEffect:
+    """Higher access skew concentrates demand: the push set captures more."""
+
+    def test_skew_reduces_pull_traffic(self):
+        base = HybridConfig(alpha=0.5, cutoff=40)
+        flat = run_single(base.with_theta(0.20), seed=4, horizon=HORIZON)
+        skewed = run_single(base.with_theta(1.40), seed=4, horizon=HORIZON)
+        assert skewed.pull_services < flat.pull_services
+
+    def test_skew_reduces_delay_at_fixed_cutoff(self):
+        base = HybridConfig(alpha=0.5, cutoff=40)
+        flat = run_single(base.with_theta(0.20), seed=4, horizon=HORIZON)
+        skewed = run_single(base.with_theta(1.40), seed=4, horizon=HORIZON)
+        assert skewed.overall_delay < flat.overall_delay

@@ -1,0 +1,98 @@
+"""Unit tests for PullQueue / PendingEntry aggregation."""
+
+import pytest
+
+from repro.schedulers import PullQueue
+from repro.workload import ItemCatalog, Request
+
+
+@pytest.fixture()
+def catalog():
+    return ItemCatalog(
+        lengths=[2.0, 1.0, 4.0, 2.0],
+        probabilities=[0.4, 0.3, 0.2, 0.1],
+    )
+
+
+@pytest.fixture()
+def queue(catalog):
+    return PullQueue(catalog)
+
+
+def make_request(item_id, time=0.0, priority=1.0, rank=2, client=0):
+    return Request(
+        time=time, item_id=item_id, client_id=client, class_rank=rank, priority=priority
+    )
+
+
+class TestAggregation:
+    def test_first_request_creates_entry(self, queue):
+        entry = queue.add(make_request(1, time=3.0, priority=2.0))
+        assert entry.item_id == 1
+        assert entry.num_requests == 1
+        assert entry.total_priority == 2.0
+        assert entry.first_arrival == 3.0
+        assert len(queue) == 1
+
+    def test_same_item_folds(self, queue):
+        queue.add(make_request(2, time=1.0, priority=1.0))
+        entry = queue.add(make_request(2, time=2.0, priority=3.0))
+        assert len(queue) == 1
+        assert entry.num_requests == 2
+        assert entry.total_priority == 4.0
+        assert entry.first_arrival == 1.0
+
+    def test_distinct_items_distinct_entries(self, queue):
+        queue.add(make_request(0))
+        queue.add(make_request(3))
+        assert len(queue) == 2
+        assert queue.total_requests == 2
+
+    def test_entry_carries_item_metadata(self, queue, catalog):
+        entry = queue.add(make_request(2))
+        assert entry.length == catalog[2].length
+        assert entry.probability == pytest.approx(catalog[2].probability)
+
+    def test_pop_removes(self, queue):
+        queue.add(make_request(1))
+        entry = queue.pop(1)
+        assert entry.item_id == 1
+        assert len(queue) == 0
+        assert queue.peek(1) is None
+
+    def test_pop_missing_raises(self, queue):
+        with pytest.raises(KeyError):
+            queue.pop(0)
+
+    def test_bool_and_iteration(self, queue):
+        assert not queue
+        queue.add(make_request(0))
+        queue.add(make_request(1))
+        assert queue
+        assert {e.item_id for e in queue} == {0, 1}
+
+    def test_mismatched_item_add_rejected(self, queue):
+        entry = queue.add(make_request(1))
+        with pytest.raises(ValueError):
+            entry.add(make_request(2))
+
+
+class TestEntryMetrics:
+    def test_stretch_formula(self, queue):
+        entry = queue.add(make_request(2))  # length 4
+        queue.add(make_request(2))
+        assert entry.stretch == pytest.approx(2 / 16)
+
+    def test_short_items_have_higher_stretch(self, queue):
+        short = queue.add(make_request(1))  # length 1
+        long = queue.add(make_request(2))  # length 4
+        assert short.stretch > long.stretch
+
+    def test_waiting_time(self, queue):
+        entry = queue.add(make_request(0, time=5.0))
+        assert entry.waiting_time(12.0) == pytest.approx(7.0)
+
+    def test_first_arrival_not_raised_by_later_requests(self, queue):
+        entry = queue.add(make_request(0, time=5.0))
+        entry.add(make_request(0, time=9.0))
+        assert entry.first_arrival == 5.0

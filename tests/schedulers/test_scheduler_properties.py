@@ -1,0 +1,110 @@
+"""Property-based tests for scheduler invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.importance import importance_factor
+from repro.schedulers import (
+    FlatScheduler,
+    ImportanceFactorScheduler,
+    PullQueue,
+    make_pull_scheduler,
+    pull_scheduler_names,
+)
+from repro.workload import ItemCatalog, Request
+
+
+def build_queue(requests, num_items=10):
+    catalog = ItemCatalog.generate(num_items=num_items, theta=0.6)
+    queue = PullQueue(catalog)
+    for t, item, prio in requests:
+        queue.add(
+            Request(time=t, item_id=item, client_id=0, class_rank=0, priority=prio)
+        )
+    return queue
+
+
+request_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100),  # arrival time
+        st.integers(min_value=0, max_value=9),  # item id
+        st.sampled_from([1.0, 2.0, 3.0]),  # priority
+    ),
+    min_size=1,
+    max_size=30,
+).map(lambda reqs: sorted(reqs, key=lambda r: r[0]))
+
+
+class TestSelectionInvariants:
+    @given(requests=request_lists, name=st.sampled_from(pull_scheduler_names()))
+    @settings(max_examples=60)
+    def test_selection_is_member_and_maximal(self, requests, name):
+        queue = build_queue(requests)
+        sched = make_pull_scheduler(name, alpha=0.5)
+        now = max(t for t, _, _ in requests) + 1.0
+        chosen = sched.select(queue, now)
+        assert chosen is not None
+        assert queue.peek(chosen.item_id) is chosen
+        scores = {e.item_id: sched.score(e, now) for e in queue}
+        assert scores[chosen.item_id] >= max(scores.values()) - 1e-12
+
+    @given(requests=request_lists)
+    @settings(max_examples=30)
+    def test_selection_deterministic(self, requests):
+        queue = build_queue(requests)
+        sched = make_pull_scheduler("importance", alpha=0.5)
+        now = 200.0
+        a = sched.select(queue, now).item_id
+        b = sched.select(queue, now).item_id
+        assert a == b
+
+
+class TestImportanceFactorProperties:
+    @given(
+        alpha=st.floats(min_value=0, max_value=1),
+        r=st.integers(min_value=1, max_value=100),
+        l=st.floats(min_value=0.5, max_value=10),
+        q=st.floats(min_value=0.1, max_value=300),
+    )
+    def test_gamma_matches_pure_function(self, alpha, r, l, q):
+        # The scheduler's gamma must agree with the Eq. 1 pure function.
+        catalog = ItemCatalog(lengths=[l], probabilities=[1.0])
+        queue = PullQueue(catalog)
+        entry = None
+        per_req = q / r
+        for _ in range(r):
+            entry = queue.add(
+                Request(time=0.0, item_id=0, client_id=0, class_rank=0, priority=per_req)
+            )
+        sched = ImportanceFactorScheduler(alpha=alpha)
+        expected = importance_factor(alpha, r / (l * l), entry.total_priority)
+        assert abs(sched.gamma(entry) - expected) < 1e-9
+
+    @given(
+        r1=st.integers(min_value=1, max_value=50),
+        r2=st.integers(min_value=1, max_value=50),
+    )
+    def test_alpha_one_monotone_in_stretch(self, r1, r2):
+        catalog = ItemCatalog(lengths=[2.0, 2.0], probabilities=[0.5, 0.5])
+        queue = PullQueue(catalog)
+        for _ in range(r1):
+            queue.add(Request(0.0, 0, 0, 0, 1.0))
+        for _ in range(r2):
+            queue.add(Request(0.0, 1, 0, 0, 1.0))
+        winner = ImportanceFactorScheduler(alpha=1.0).select(queue, 0.0).item_id
+        assert winner == (0 if r1 >= r2 else 1)
+
+
+class TestFlatProperties:
+    @given(
+        cutoff=st.integers(min_value=1, max_value=20),
+        slots=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=40)
+    def test_flat_counts_differ_by_at_most_one(self, cutoff, slots):
+        catalog = ItemCatalog.generate(num_items=20)
+        sched = FlatScheduler(catalog, cutoff=cutoff)
+        prefix = sched.schedule_prefix(slots)
+        counts = np.bincount(prefix, minlength=cutoff)
+        assert counts.max() - counts.min() <= 1

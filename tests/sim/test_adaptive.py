@@ -1,0 +1,164 @@
+"""Unit + integration tests for online cut-off adaptation (§3)."""
+
+import pytest
+
+from repro.core import HybridConfig
+from repro.schedulers import FlatScheduler
+from repro.sim import HybridSystem, build_adaptive_system
+from repro.sim.adaptive import AdaptiveCutoffController
+from repro.workload import Request, WorkloadPhase
+
+
+def req(t, item, rank=2, priority=1.0):
+    return Request(time=t, item_id=item, client_id=0, class_rank=rank, priority=priority)
+
+
+class TestServerReconfiguration:
+    @pytest.fixture()
+    def system(self):
+        from repro.workload import RequestTrace
+
+        # Empty trace: no background arrivals, tests inject requests.
+        return HybridSystem(
+            HybridConfig(num_items=10, cutoff=4, length_law="constant"),
+            seed=0,
+            trace=RequestTrace.empty(),
+        )
+
+    def test_cutoff_moves(self, system):
+        server = system.server
+        server.reconfigure_cutoff(7, FlatScheduler(system.catalog, 7))
+        assert server.cutoff == 7
+
+    def test_scheduler_cutoff_must_match(self, system):
+        with pytest.raises(ValueError, match="push scheduler built for"):
+            system.server.reconfigure_cutoff(7, FlatScheduler(system.catalog, 5))
+
+    def test_bounds_checked(self, system):
+        with pytest.raises(ValueError):
+            system.server.reconfigure_cutoff(11, FlatScheduler(system.catalog, 10))
+
+    def test_pull_entries_migrate_to_push(self, system):
+        server = system.server
+        server.submit(req(0.0, item=6))  # pull under K=4
+        assert server.pending_pull_requests == 1
+        server.reconfigure_cutoff(8, FlatScheduler(system.catalog, 8))
+        assert server.pending_pull_requests == 0
+        assert server.pending_push_requests == 1
+
+    def test_push_waiters_migrate_to_pull(self, system):
+        server = system.server
+        server.submit(req(0.0, item=2))  # push under K=4
+        assert server.pending_push_requests == 1
+        server.reconfigure_cutoff(1, FlatScheduler(system.catalog, 1))
+        assert server.pending_push_requests == 0
+        assert server.pending_pull_requests == 1
+
+    def test_migrated_requests_eventually_served(self, system):
+        server = system.server
+        server.submit(req(0.0, item=6))
+        server.submit(req(0.0, item=2))
+        server.reconfigure_cutoff(8, FlatScheduler(system.catalog, 8))
+        system.env.run(until=100.0)
+        result = system.metrics.result(100.0, 0)
+        assert result.satisfied_requests == 2
+
+
+class TestControllerEstimation:
+    def make_controller(self, **kwargs):
+        config = HybridConfig(num_items=20, cutoff=10, num_clients=30)
+        system = HybridSystem(config, seed=0)
+        defaults = dict(period=100.0, candidates=[5, 10, 15], window=50)
+        defaults.update(kwargs)
+        return (
+            system,
+            AdaptiveCutoffController(system.env, system.server, config, **defaults),
+        )
+
+    def test_validation(self):
+        config = HybridConfig(num_items=20, cutoff=10, num_clients=30)
+        system = HybridSystem(config, seed=0)
+        with pytest.raises(ValueError):
+            AdaptiveCutoffController(system.env, system.server, config, period=0)
+        with pytest.raises(ValueError):
+            AdaptiveCutoffController(system.env, system.server, config, window=5)
+        with pytest.raises(ValueError):
+            AdaptiveCutoffController(
+                system.env, system.server, config, objective="magic"
+            )
+        with pytest.raises(ValueError):
+            AdaptiveCutoffController(system.env, system.server, config, candidates=[])
+
+    def test_estimated_probabilities_track_observations(self):
+        _, controller = self.make_controller()
+        for t in range(30):
+            controller.observe(req(float(t), item=3))
+        probs = controller.estimated_probabilities()
+        assert probs.argmax() == 3
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_estimated_rate(self):
+        _, controller = self.make_controller()
+        for i in range(21):
+            controller.observe(req(i * 0.5, item=0))
+        assert controller.estimated_rate() == pytest.approx(2.0)
+
+    def test_rate_falls_back_to_config(self):
+        _, controller = self.make_controller()
+        assert controller.estimated_rate() == pytest.approx(5.0)
+
+    def test_decide_records_decision(self):
+        system, controller = self.make_controller(hysteresis=0.0)
+        for t in range(50):
+            controller.observe(req(float(t) * 0.2, item=t % 20))
+        decision = controller.decide()
+        assert decision.new_cutoff in (5, 10, 15)
+        assert controller.decisions[-1] is decision
+
+    def test_hysteresis_blocks_marginal_moves(self):
+        system, controller = self.make_controller(hysteresis=1e9)
+        for t in range(50):
+            controller.observe(req(float(t) * 0.2, item=t % 20))
+        decision = controller.decide()
+        assert not decision.changed
+
+
+class TestEndToEndAdaptation:
+    def test_controller_leaves_bad_initial_cutoff(self):
+        config = HybridConfig(cutoff=95, theta=0.6)  # almost-pure push: bad
+        system, controller = build_adaptive_system(
+            config, seed=1, period=300.0, candidates=[20, 40, 95]
+        )
+        system.run(2_000.0)
+        assert system.server.cutoff != 95
+        assert any(d.changed for d in controller.decisions)
+
+    def test_controller_tracks_demand_shift(self):
+        config = HybridConfig(cutoff=40, theta=0.6)
+        phases = [
+            WorkloadPhase(duration=2_500.0, theta=0.2),
+            WorkloadPhase(duration=2_500.0, theta=1.4),
+        ]
+        system, controller = build_adaptive_system(
+            config,
+            seed=2,
+            period=400.0,
+            candidates=[10, 30, 50, 70],
+            phases=phases,
+        )
+        system.run(5_000.0)
+        # Decisions in the concentrated phase should pick a smaller K than
+        # the flat-demand phase's choice.
+        first_half = [d.new_cutoff for d in controller.decisions if d.time <= 2_500]
+        second_half = [d.new_cutoff for d in controller.decisions if d.time > 2_900]
+        assert first_half and second_half
+        assert min(second_half) <= min(first_half)
+
+    def test_adaptive_beats_static_misconfiguration(self):
+        bad = HybridConfig(cutoff=95, theta=0.6)
+        static = HybridSystem(bad, seed=3).run(3_000.0)
+        system, _ = build_adaptive_system(
+            bad, seed=3, period=300.0, candidates=[20, 40, 95]
+        )
+        adaptive = system.run(3_000.0)
+        assert adaptive.overall_delay < static.overall_delay

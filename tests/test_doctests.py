@@ -1,0 +1,29 @@
+"""Execute the doctests embedded in public docstrings.
+
+Keeps the README-level examples in module docstrings honest — if the
+quickstart snippet in ``repro.__init__`` or the engine example in
+``repro.des.engine`` rots, this fails.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.des.engine
+import repro.des.rng
+import repro.workload.zipf
+
+MODULES = [
+    repro,
+    repro.des.engine,
+    repro.des.rng,
+    repro.workload.zipf,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    # Some modules legitimately carry no doctests; those pass trivially.
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {module.__name__}"

@@ -1,0 +1,152 @@
+"""Unit tests for repro.workload.arrivals: Poisson request streams."""
+
+import numpy as np
+import pytest
+
+from repro.workload import ArrivalProcess, ClientPopulation, ItemCatalog
+
+
+@pytest.fixture()
+def process():
+    rng = np.random.Generator(np.random.PCG64(42))
+    return ArrivalProcess(
+        catalog=ItemCatalog.generate(num_items=50, theta=0.6),
+        population=ClientPopulation.generate(num_clients=100),
+        rate=5.0,
+        rng=rng,
+    )
+
+
+class TestConstruction:
+    def test_rate_validation(self, process):
+        with pytest.raises(ValueError):
+            ArrivalProcess(process.catalog, process.population, rate=0, rng=process.rng)
+
+
+class TestLazyStream:
+    def test_times_strictly_increasing(self, process):
+        stream = iter(process)
+        times = [next(stream).time for _ in range(100)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_request_fields_consistent(self, process):
+        stream = iter(process)
+        for _ in range(50):
+            r = next(stream)
+            assert 0 <= r.item_id < len(process.catalog)
+            assert 0 <= r.client_id < len(process.population)
+            client = process.population[r.client_id]
+            assert r.class_rank == client.service_class.rank
+            assert r.priority == client.priority
+
+    def test_empirical_rate(self, process):
+        stream = iter(process)
+        times = [next(stream).time for _ in range(5000)]
+        rate = len(times) / times[-1]
+        assert rate == pytest.approx(5.0, rel=0.1)
+
+
+class TestBulkGeneration:
+    def test_horizon_bounds(self, process):
+        reqs = process.generate(horizon=100.0)
+        assert all(0 <= r.time < 100.0 for r in reqs)
+        times = [r.time for r in reqs]
+        assert times == sorted(times)
+
+    def test_count_close_to_expected(self, process):
+        reqs = process.generate(horizon=2000.0)
+        assert len(reqs) == pytest.approx(5.0 * 2000, rel=0.1)
+
+    def test_item_popularity_follows_zipf(self, process):
+        reqs = process.generate(horizon=5000.0)
+        counts = np.bincount([r.item_id for r in reqs], minlength=50)
+        freq = counts / counts.sum()
+        # Strong check on the head of the distribution.
+        assert freq[0] == pytest.approx(process.catalog.probabilities[0], rel=0.1)
+        # Popular items requested more than unpopular ones.
+        assert counts[0] > counts[-1]
+
+    def test_horizon_validation(self, process):
+        with pytest.raises(ValueError):
+            process.generate(horizon=0)
+
+    def test_class_mix_matches_population(self, process):
+        reqs = process.generate(horizon=5000.0)
+        ranks = np.bincount([r.class_rank for r in reqs], minlength=3)
+        observed = ranks / ranks.sum()
+        assert np.allclose(observed, process.population.class_fractions, atol=0.03)
+
+
+class TestAnalyticalRates:
+    def test_pull_rate_thinning(self, process):
+        k = 20
+        expected = 5.0 * process.catalog.pull_probability(k)
+        assert process.pull_rate(k) == pytest.approx(expected)
+
+    def test_pull_rate_extremes(self, process):
+        assert process.pull_rate(len(process.catalog)) == pytest.approx(0.0)
+        assert process.pull_rate(0) == pytest.approx(5.0)
+
+    def test_per_class_rates_sum_to_pull_rate(self, process):
+        rates = process.per_class_pull_rates(20)
+        assert rates.sum() == pytest.approx(process.pull_rate(20))
+        assert len(rates) == 3
+
+
+class TestPriorityWeightedDemand:
+    """§4.2's λ_i = λ·p_i·q_j demand decomposition."""
+
+    @pytest.fixture()
+    def weighted(self, process):
+        return ArrivalProcess(
+            catalog=process.catalog,
+            population=process.population,
+            rate=5.0,
+            rng=np.random.Generator(np.random.PCG64(43)),
+            priority_weighted=True,
+        )
+
+    def test_class_request_shares_proportional_to_priority_mass(self, weighted):
+        reqs = weighted.generate(horizon=5000.0)
+        counts = np.bincount([r.class_rank for r in reqs], minlength=3)
+        observed = counts / counts.sum()
+        mass = weighted.population.class_fractions * weighted.population.priorities
+        expected = mass / mass.sum()
+        assert np.allclose(observed, expected, atol=0.03)
+
+    def test_premium_clients_request_more_than_share(self, weighted):
+        reqs = weighted.generate(horizon=5000.0)
+        counts = np.bincount([r.class_rank for r in reqs], minlength=3)
+        premium_share = counts[0] / counts.sum()
+        assert premium_share > weighted.population.class_fractions[0]
+
+    def test_per_class_rates_reflect_weighting(self, weighted, process):
+        uniform_rates = process.per_class_pull_rates(20)
+        weighted_rates = weighted.per_class_pull_rates(20)
+        assert weighted_rates.sum() == pytest.approx(uniform_rates.sum())
+        assert weighted_rates[0] > uniform_rates[0]
+
+    def test_lazy_stream_respects_weighting(self, weighted):
+        stream = iter(weighted)
+        ranks = [next(stream).class_rank for _ in range(3000)]
+        counts = np.bincount(ranks, minlength=3)
+        mass = weighted.population.class_fractions * weighted.population.priorities
+        expected = mass / mass.sum()
+        assert np.allclose(counts / counts.sum(), expected, atol=0.04)
+
+    def test_system_config_plumbs_flag(self):
+        import dataclasses
+
+        from repro.core import HybridConfig
+        from repro.sim import HybridSystem
+
+        cfg = dataclasses.replace(HybridConfig(), priority_weighted_demand=True)
+        system = HybridSystem(cfg, seed=0)
+        result = system.run(400.0)
+        # Premium arrivals exceed their population share.
+        arrivals = {
+            name: system.metrics.arrivals_by_class[name].count for name in "ABC"
+        }
+        total = sum(arrivals.values())
+        premium_share = arrivals["A"] / total
+        assert premium_share > system.population.class_fractions[0]

@@ -1,0 +1,117 @@
+"""Unit tests for repro.workload.clients: classes and populations."""
+
+import numpy as np
+import pytest
+
+from repro.workload import Client, ClientPopulation, ServiceClass, paper_classes
+
+
+class TestServiceClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceClass(name="X", priority=0, rank=0)
+        with pytest.raises(ValueError):
+            ServiceClass(name="X", priority=1, rank=-1)
+
+    def test_client_priority_shortcut(self):
+        svc = ServiceClass(name="A", priority=3.0, rank=0)
+        client = Client(client_id=0, service_class=svc)
+        assert client.priority == 3.0
+
+
+class TestPaperClasses:
+    def test_default_shape(self):
+        classes = paper_classes()
+        assert [c.name for c in classes] == ["A", "B", "C"]
+        assert [c.priority for c in classes] == [3.0, 2.0, 1.0]
+        assert [c.rank for c in classes] == [0, 1, 2]
+
+    def test_ratio_must_be_non_increasing(self):
+        with pytest.raises(ValueError):
+            paper_classes(ratio=(1.0, 2.0, 3.0))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            paper_classes(names=("A", "B"), ratio=(3.0, 2.0, 1.0))
+
+
+class TestPopulationGeneration:
+    def test_total_count_exact(self):
+        pop = ClientPopulation.generate(num_clients=300)
+        assert len(pop) == 300
+        assert pop.class_counts.sum() == 300
+
+    def test_premium_class_smallest(self):
+        pop = ClientPopulation.generate(num_clients=300)
+        counts = pop.class_counts
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_zero_skew_roughly_equal(self):
+        pop = ClientPopulation.generate(num_clients=300, population_skew=0.0)
+        assert np.all(np.abs(pop.class_counts - 100) <= 2)
+
+    def test_every_class_non_empty(self):
+        pop = ClientPopulation.generate(num_clients=3)
+        assert np.all(pop.class_counts >= 1)
+
+    def test_too_few_clients(self):
+        with pytest.raises(ValueError):
+            ClientPopulation.generate(num_clients=2)
+
+    def test_client_ids_dense_and_ordered(self):
+        pop = ClientPopulation.generate(num_clients=50)
+        assert [c.client_id for c in pop] == list(range(50))
+
+    def test_clients_grouped_by_class(self):
+        pop = ClientPopulation.generate(num_clients=30)
+        ranks = [c.service_class.rank for c in pop]
+        assert ranks == sorted(ranks)
+
+
+class TestPopulationViews:
+    @pytest.fixture()
+    def pop(self):
+        return ClientPopulation.generate(num_clients=100)
+
+    def test_priorities_vector(self, pop):
+        assert list(pop.priorities) == [3.0, 2.0, 1.0]
+
+    def test_class_fractions_sum_to_one(self, pop):
+        assert pop.class_fractions.sum() == pytest.approx(1.0)
+
+    def test_class_by_name(self, pop):
+        assert pop.class_by_name("B").rank == 1
+        with pytest.raises(KeyError):
+            pop.class_by_name("Z")
+
+    def test_clients_in_class_partition(self, pop):
+        total = sum(len(pop.clients_in_class(n)) for n in ("A", "B", "C"))
+        assert total == len(pop)
+
+    def test_mean_priority_between_extremes(self, pop):
+        assert 1.0 < pop.mean_priority() < 3.0
+
+    def test_mean_priority_formula(self, pop):
+        expected = float(pop.priorities @ pop.class_fractions)
+        assert pop.mean_priority() == pytest.approx(expected)
+
+
+class TestPopulationValidation:
+    def test_count_class_mismatch(self):
+        with pytest.raises(ValueError):
+            ClientPopulation(classes=paper_classes(), class_counts=[10, 20])
+
+    def test_all_zero_counts(self):
+        with pytest.raises(ValueError):
+            ClientPopulation(classes=paper_classes(), class_counts=[0, 0, 0])
+
+    def test_rank_order_enforced(self):
+        classes = paper_classes()
+        shuffled = [classes[1], classes[0], classes[2]]
+        with pytest.raises(ValueError):
+            ClientPopulation(classes=shuffled, class_counts=[1, 1, 1])
+
+    def test_explicit_counts_respected(self):
+        pop = ClientPopulation(classes=paper_classes(), class_counts=[5, 10, 15])
+        assert len(pop.clients_in_class("A")) == 5
+        assert len(pop.clients_in_class("C")) == 15

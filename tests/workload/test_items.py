@@ -1,0 +1,155 @@
+"""Unit tests for repro.workload.items: catalog, lengths, paper quantities."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    Item,
+    ItemCatalog,
+    calibrate_geometric,
+    truncated_geometric_pmf,
+    zipf_probabilities,
+)
+
+
+class TestItem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Item(item_id=-1, length=1, probability=0.5)
+        with pytest.raises(ValueError):
+            Item(item_id=0, length=0, probability=0.5)
+        with pytest.raises(ValueError):
+            Item(item_id=0, length=1, probability=1.5)
+
+
+class TestLengthLaw:
+    def test_pmf_normalised_and_decreasing(self):
+        pmf = truncated_geometric_pmf(0.5, [1, 2, 3, 4, 5])
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(pmf) < 0)
+
+    def test_pmf_validation(self):
+        with pytest.raises(ValueError):
+            truncated_geometric_pmf(0.0, [1, 2])
+        with pytest.raises(ValueError):
+            truncated_geometric_pmf(1.0, [1, 2])
+
+    def test_calibration_hits_target_mean(self):
+        support = [1, 2, 3, 4, 5]
+        p = calibrate_geometric(2.0, support)
+        pmf = truncated_geometric_pmf(p, support)
+        assert float(pmf @ np.array(support)) == pytest.approx(2.0, abs=1e-8)
+
+    def test_calibration_rejects_unreachable_means(self):
+        with pytest.raises(ValueError):
+            calibrate_geometric(0.5, [1, 2, 3])  # below the support minimum
+        with pytest.raises(ValueError):
+            calibrate_geometric(2.5, [1, 2, 3])  # above the uniform mean (2.0)
+
+    def test_calibration_uniform_mean_boundary(self):
+        # mean exactly at the uniform mean is unreachable by a strictly
+        # decreasing geometric law.
+        with pytest.raises(ValueError):
+            calibrate_geometric(3.0, [1, 2, 3, 4, 5])
+
+
+class TestCatalogGeneration:
+    def test_paper_defaults(self):
+        cat = ItemCatalog.generate(num_items=100, theta=0.6)
+        assert len(cat) == 100
+        assert cat.lengths.min() >= 1
+        assert cat.lengths.max() <= 5
+        # Calibrated mean 2; sampling noise allowed.
+        assert cat.lengths.mean() == pytest.approx(2.0, abs=0.35)
+
+    def test_deterministic_given_rng(self):
+        a = ItemCatalog.generate(rng=np.random.Generator(np.random.PCG64(5)))
+        b = ItemCatalog.generate(rng=np.random.Generator(np.random.PCG64(5)))
+        assert np.array_equal(a.lengths, b.lengths)
+
+    def test_constant_length_law(self):
+        cat = ItemCatalog.generate(num_items=10, length_law="constant", mean_length=2.0)
+        assert np.all(cat.lengths == 2.0)
+
+    def test_uniform_length_law(self):
+        cat = ItemCatalog.generate(num_items=200, length_law="uniform")
+        assert set(np.unique(cat.lengths)) <= {1.0, 2.0, 3.0, 4.0, 5.0}
+
+    def test_item_access(self):
+        cat = ItemCatalog.generate(num_items=10, theta=0.6)
+        item = cat[3]
+        assert item.item_id == 3
+        assert item.length == cat.lengths[3]
+        assert item.probability == pytest.approx(cat.probabilities[3])
+
+    def test_iteration_order(self):
+        cat = ItemCatalog.generate(num_items=5)
+        assert [i.item_id for i in cat] == [0, 1, 2, 3, 4]
+
+
+class TestCatalogValidation:
+    def test_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            ItemCatalog(lengths=[1, 2], probabilities=[1.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            ItemCatalog(lengths=[], probabilities=[])
+
+    def test_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            ItemCatalog(lengths=[1, 0], probabilities=[0.5, 0.5])
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ItemCatalog(lengths=[1, 1], probabilities=[0.5, 0.4])
+
+
+class TestPaperQuantities:
+    @pytest.fixture()
+    def catalog(self):
+        return ItemCatalog(
+            lengths=[2.0, 1.0, 3.0, 2.0],
+            probabilities=zipf_probabilities(4, 1.0),
+        )
+
+    def test_push_pull_split(self, catalog):
+        push = catalog.push_set(2)
+        pull = catalog.pull_set(2)
+        assert [i.item_id for i in push] == [0, 1]
+        assert [i.item_id for i in pull] == [2, 3]
+
+    def test_push_probability_complements_pull(self, catalog):
+        for k in range(5):
+            assert catalog.push_probability(k) + catalog.pull_probability(k) == pytest.approx(1.0)
+
+    def test_weighted_lengths(self, catalog):
+        p, l = catalog.probabilities, catalog.lengths
+        assert catalog.weighted_push_length(2) == pytest.approx(p[0] * l[0] + p[1] * l[1])
+        assert catalog.weighted_pull_length(2) == pytest.approx(p[2] * l[2] + p[3] * l[3])
+
+    def test_mu_split_is_total(self, catalog):
+        total = float(catalog.probabilities @ catalog.lengths)
+        for k in range(5):
+            assert catalog.weighted_push_length(k) + catalog.weighted_pull_length(
+                k
+            ) == pytest.approx(total)
+
+    def test_broadcast_cycle_length(self, catalog):
+        assert catalog.broadcast_cycle_length(3) == pytest.approx(2 + 1 + 3)
+        assert catalog.broadcast_cycle_length(0) == 0.0
+
+    def test_mean_pull_service_time(self, catalog):
+        k = 2
+        p, l = catalog.probabilities, catalog.lengths
+        expected = (p[2] * l[2] + p[3] * l[3]) / (p[2] + p[3])
+        assert catalog.mean_pull_service_time(k) == pytest.approx(expected)
+
+    def test_mean_pull_service_time_all_push_is_nan(self, catalog):
+        assert np.isnan(catalog.mean_pull_service_time(4))
+
+    def test_cutoff_bounds(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.push_set(5)
+        with pytest.raises(ValueError):
+            catalog.pull_probability(-1)

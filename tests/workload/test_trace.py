@@ -1,0 +1,119 @@
+"""Unit tests for repro.workload.trace: columnar request traces."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    ArrivalProcess,
+    ClientPopulation,
+    ItemCatalog,
+    Request,
+    RequestTrace,
+)
+
+
+@pytest.fixture()
+def trace():
+    rng = np.random.Generator(np.random.PCG64(7))
+    process = ArrivalProcess(
+        catalog=ItemCatalog.generate(num_items=20, theta=0.6),
+        population=ClientPopulation.generate(num_clients=30),
+        rate=2.0,
+        rng=rng,
+    )
+    return RequestTrace.from_requests(process.generate(horizon=500.0))
+
+
+class TestConstruction:
+    def test_from_requests_roundtrip(self, trace):
+        reqs = list(trace.iter_requests())
+        rebuilt = RequestTrace.from_requests(reqs)
+        assert np.array_equal(rebuilt.times, trace.times)
+        assert np.array_equal(rebuilt.item_ids, trace.item_ids)
+
+    def test_empty_trace(self):
+        t = RequestTrace.empty()
+        assert len(t) == 0
+        assert np.isnan(t.empirical_rate())
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RequestTrace(
+                times=[0.0, 1.0],
+                item_ids=[1],
+                client_ids=[1, 2],
+                class_ranks=[0, 0],
+                priorities=[1.0, 1.0],
+            )
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(ValueError):
+            RequestTrace(
+                times=[2.0, 1.0],
+                item_ids=[0, 0],
+                client_ids=[0, 0],
+                class_ranks=[0, 0],
+                priorities=[1.0, 1.0],
+            )
+
+
+class TestFilters:
+    def test_for_class_partitions(self, trace):
+        total = sum(len(trace.for_class(r)) for r in range(3))
+        assert total == len(trace)
+        sub = trace.for_class(0)
+        assert np.all(sub.class_ranks == 0)
+
+    def test_pull_only(self, trace):
+        sub = trace.pull_only(cutoff=10)
+        assert np.all(sub.item_ids >= 10)
+        assert len(sub) + len(trace.for_items(range(10))) == len(trace)
+
+    def test_window(self, trace):
+        sub = trace.window(100.0, 200.0)
+        assert np.all((sub.times >= 100.0) & (sub.times < 200.0))
+
+    def test_getitem_int(self, trace):
+        single = trace[0]
+        assert len(single) == 1
+        assert single.times[0] == trace.times[0]
+
+    def test_getitem_mask(self, trace):
+        mask = trace.item_ids == trace.item_ids[0]
+        sub = trace[mask]
+        assert np.all(sub.item_ids == trace.item_ids[0])
+
+
+class TestStatistics:
+    def test_empirical_rate(self, trace):
+        assert trace.empirical_rate() == pytest.approx(2.0, rel=0.15)
+
+    def test_item_histogram_total(self, trace):
+        hist = trace.item_histogram(20)
+        assert hist.sum() == len(trace)
+
+    def test_class_histogram_total(self, trace):
+        hist = trace.class_histogram(3)
+        assert hist.sum() == len(trace)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = RequestTrace.load(path)
+        assert np.array_equal(loaded.times, trace.times)
+        assert np.array_equal(loaded.item_ids, trace.item_ids)
+        assert np.array_equal(loaded.client_ids, trace.client_ids)
+        assert np.array_equal(loaded.class_ranks, trace.class_ranks)
+        assert np.array_equal(loaded.priorities, trace.priorities)
+
+
+class TestRequestObjects:
+    def test_iter_requests_preserves_fields(self):
+        original = [
+            Request(time=1.0, item_id=2, client_id=3, class_rank=1, priority=2.0),
+            Request(time=4.0, item_id=0, client_id=1, class_rank=0, priority=3.0),
+        ]
+        trace = RequestTrace.from_requests(original)
+        assert list(trace.iter_requests()) == original

@@ -1,0 +1,87 @@
+"""Property-based tests for the workload model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    ClientPopulation,
+    ItemCatalog,
+    zipf_probabilities,
+)
+
+
+class TestZipfProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        theta=st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_valid_distribution(self, n, theta):
+        p = zipf_probabilities(n, theta)
+        assert abs(p.sum() - 1.0) < 1e-9
+        assert np.all(p > 0)
+        assert np.all(np.diff(p) <= 1e-15)
+
+    @given(
+        n=st.integers(min_value=2, max_value=200),
+        theta1=st.floats(min_value=0.0, max_value=1.5),
+        delta=st.floats(min_value=0.01, max_value=1.5),
+    )
+    def test_skew_monotone_in_theta(self, n, theta1, delta):
+        # The head probability grows with theta, tail shrinks.
+        p1 = zipf_probabilities(n, theta1)
+        p2 = zipf_probabilities(n, theta1 + delta)
+        assert p2[0] >= p1[0] - 1e-12
+        assert p2[-1] <= p1[-1] + 1e-12
+
+
+class TestCatalogProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=150),
+        theta=st.floats(min_value=0.0, max_value=2.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40)
+    def test_mu_decomposition(self, n, theta, seed):
+        # weighted push + pull lengths always equal the total workload,
+        # and push probability is non-decreasing in K.
+        cat = ItemCatalog.generate(
+            num_items=n, theta=theta, rng=np.random.Generator(np.random.PCG64(seed))
+        )
+        total = float(cat.probabilities @ cat.lengths)
+        last_mass = 0.0
+        for k in range(n + 1):
+            assert abs(
+                cat.weighted_push_length(k) + cat.weighted_pull_length(k) - total
+            ) < 1e-9
+            mass = cat.push_probability(k)
+            assert mass >= last_mass - 1e-12
+            last_mass = mass
+
+    @given(
+        n=st.integers(min_value=1, max_value=100),
+        k=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40)
+    def test_push_pull_sets_partition(self, n, k):
+        if k > n:
+            return
+        cat = ItemCatalog.generate(num_items=n)
+        ids = [i.item_id for i in cat.push_set(k)] + [i.item_id for i in cat.pull_set(k)]
+        assert ids == list(range(n))
+
+
+class TestPopulationProperties:
+    @given(
+        num=st.integers(min_value=3, max_value=2000),
+        skew=st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=50)
+    def test_population_invariants(self, num, skew):
+        pop = ClientPopulation.generate(num_clients=num, population_skew=skew)
+        assert len(pop) == num
+        assert np.all(pop.class_counts >= 1)
+        # Premium class never outnumbers less important classes.
+        counts = pop.class_counts
+        assert counts[0] <= counts[-1]
+        assert abs(pop.class_fractions.sum() - 1.0) < 1e-12
