@@ -15,6 +15,7 @@ from .bandwidth import (
 from .classifier import ClassAssignment, classify_by_quantiles, classify_by_thresholds
 from .config import ClassSpec, HybridConfig, ServiceRateConvention
 from .cutoff import CutoffSweep, optimize_cutoff_analytical, optimize_cutoff_simulated
+from .faults import SHEDDING_POLICIES, FaultConfig
 from .importance import (
     equivalence_weight,
     expected_importance,
@@ -37,6 +38,8 @@ __all__ = [
     "ClassSpec",
     "HybridConfig",
     "ServiceRateConvention",
+    "FaultConfig",
+    "SHEDDING_POLICIES",
     "CutoffSweep",
     "optimize_cutoff_analytical",
     "optimize_cutoff_simulated",

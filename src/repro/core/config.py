@@ -18,6 +18,7 @@ import numpy as np
 
 from ..workload.clients import ClientPopulation, ServiceClass
 from ..workload.items import ItemCatalog, LengthLaw
+from .faults import FaultConfig
 
 __all__ = ["ClassSpec", "HybridConfig", "ServiceRateConvention"]
 
@@ -137,6 +138,10 @@ class HybridConfig:
     #: weight (the §4.2 demand decomposition ``λ_i = λ·p_i·q_j``); the §5
     #: evaluation draws clients uniformly (default).
     priority_weighted_demand: bool = False
+    #: Fault-injection and graceful-degradation model.  The default
+    #: (all rates zero, unbounded queue, no deadlines) is inert and
+    #: reproduces the paper's ideal-channel behaviour exactly.
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.num_items < 1:
@@ -251,6 +256,10 @@ class HybridConfig:
     def with_theta(self, theta: float) -> "HybridConfig":
         """Copy of this config at a different access skew ``θ``."""
         return replace(self, theta=theta)
+
+    def with_faults(self, faults: FaultConfig) -> "HybridConfig":
+        """Copy of this config under a different fault/degradation model."""
+        return replace(self, faults=faults)
 
     def with_bandwidth_shares(self, shares: Sequence[float]) -> "HybridConfig":
         """Copy with new per-class bandwidth shares (rank order)."""

@@ -1,0 +1,223 @@
+"""Fault-model configuration: lossy channels, client recovery, load shedding.
+
+The paper's evaluation (§5) assumes an ideal wireless medium: every push
+slot is decoded by every waiting client, every accepted uplink request
+reaches the server, and the pull queue may grow without bound.
+:class:`FaultConfig` describes the departures from that ideal world that
+``repro.sim.faults`` injects:
+
+* **Downlink loss** — a Gilbert–Elliott two-state (good/bad) bursty
+  channel corrupts push broadcast slots and pull transmissions.  The
+  model is parametrised by its *stationary* loss probability and the
+  mean sojourn (in transmissions) of the bad state, from which the
+  transition probabilities are derived in closed form.
+* **Uplink loss** — each uplink request is independently corrupted with
+  a fixed probability (random-access collisions), on top of the finite
+  buffer of :class:`~repro.sim.uplink.UplinkChannel`.
+* **Client recovery** — lost uplink requests retry with capped binary
+  exponential backoff plus jitter; requests may carry a per-class
+  deadline after which the client reneges (abandons).
+* **Graceful degradation** — the pull queue is bounded and sheds entries
+  under a class-aware policy instead of growing memory and delay without
+  bound.
+
+``FaultConfig()`` (all rates zero, no capacity, no deadlines) is inert:
+the simulator takes exactly the seed code paths and reproduces the
+paper's ideal-channel results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FaultConfig", "SHEDDING_POLICIES"]
+
+#: Class-aware policies for shedding pull-queue entries at capacity.
+#:
+#: * ``"drop-newest"`` — reject the incoming entry (class-blind tail drop).
+#: * ``"drop-lowest-gamma"`` — evict the entry (incoming included) with the
+#:   lowest importance factor γ under the configured pull scheduler.
+#: * ``"drop-lowest-priority"`` — evict the entry with the lowest total
+#:   client priority ``Q_i`` (ties toward fewer pending requests).
+SHEDDING_POLICIES: tuple[str, ...] = (
+    "drop-newest",
+    "drop-lowest-gamma",
+    "drop-lowest-priority",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection and graceful-degradation knobs (all inert by default).
+
+    Attributes
+    ----------
+    downlink_loss:
+        Stationary probability that a downlink transmission (push slot or
+        pull transfer) is corrupted.  ``0`` disables the channel model.
+    downlink_mean_burst:
+        Mean number of consecutive transmissions spent in the bad state
+        once entered (``1`` = memoryless losses; larger = burstier).
+    bad_state_loss, good_state_loss:
+        Per-transmission loss probabilities inside the bad/good states.
+        Must bracket ``downlink_loss`` so a valid stationary mix exists.
+    uplink_loss:
+        Probability each uplink request offer is corrupted in transit.
+    max_retries:
+        Retries a client attempts after a lost uplink offer before
+        abandoning the request (terminal uplink loss).
+    backoff_base:
+        First retry delay (broadcast units); doubles per attempt.
+    backoff_cap:
+        Upper bound on any single backoff delay.
+    backoff_jitter:
+        Uniform multiplicative jitter half-range: each delay is scaled by
+        ``1 + U(-jitter, +jitter)`` to desynchronise clients.
+    class_deadlines:
+        Optional per-class patience (rank order, most important first):
+        a request unserved ``deadline`` units after its arrival reneges.
+        ``math.inf`` entries mean that class never reneges.
+    queue_capacity:
+        Maximum number of *distinct item entries* in the pull queue;
+        ``None`` keeps the paper's unbounded queue.
+    shedding_policy:
+        Which entry to sacrifice when the queue is at capacity; one of
+        :data:`SHEDDING_POLICIES`.
+    watchdog_interval:
+        Period of the continuous conservation-watchdog checks while the
+        simulation runs (a final check always happens at the horizon).
+    """
+
+    downlink_loss: float = 0.0
+    downlink_mean_burst: float = 4.0
+    bad_state_loss: float = 1.0
+    good_state_loss: float = 0.0
+    uplink_loss: float = 0.0
+    max_retries: int = 5
+    backoff_base: float = 1.0
+    backoff_cap: float = 32.0
+    backoff_jitter: float = 0.25
+    class_deadlines: Optional[tuple[float, ...]] = None
+    queue_capacity: Optional[int] = None
+    shedding_policy: str = "drop-newest"
+    watchdog_interval: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.downlink_loss < 1:
+            raise ValueError(f"downlink_loss must be in [0, 1), got {self.downlink_loss}")
+        if self.downlink_mean_burst < 1:
+            raise ValueError(
+                f"downlink_mean_burst must be >= 1, got {self.downlink_mean_burst}"
+            )
+        if not 0 <= self.good_state_loss <= self.bad_state_loss <= 1:
+            raise ValueError(
+                "need 0 <= good_state_loss <= bad_state_loss <= 1, got "
+                f"{self.good_state_loss}, {self.bad_state_loss}"
+            )
+        if self.downlink_loss > 0:
+            if self.bad_state_loss <= 0:
+                raise ValueError("bad_state_loss must be > 0 when downlink_loss > 0")
+            if not self.good_state_loss <= self.downlink_loss <= self.bad_state_loss:
+                raise ValueError(
+                    f"downlink_loss {self.downlink_loss} outside the per-state range "
+                    f"[{self.good_state_loss}, {self.bad_state_loss}]"
+                )
+            if self.bad_occupancy >= 1:
+                raise ValueError(
+                    "downlink_loss so close to bad_state_loss that the bad state "
+                    "would be absorbing; lower downlink_loss or raise bad_state_loss"
+                )
+        if not 0 <= self.uplink_loss < 1:
+            raise ValueError(f"uplink_loss must be in [0, 1), got {self.uplink_loss}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base <= 0:
+            raise ValueError(f"backoff_base must be > 0, got {self.backoff_base}")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"backoff_cap {self.backoff_cap} below backoff_base {self.backoff_base}"
+            )
+        if not 0 <= self.backoff_jitter < 1:
+            raise ValueError(f"backoff_jitter must be in [0, 1), got {self.backoff_jitter}")
+        if self.class_deadlines is not None:
+            if not self.class_deadlines:
+                raise ValueError("class_deadlines must be non-empty or None")
+            for deadline in self.class_deadlines:
+                if not (deadline > 0):
+                    raise ValueError(f"deadlines must be > 0, got {deadline}")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.shedding_policy not in SHEDDING_POLICIES:
+            raise ValueError(
+                f"unknown shedding policy {self.shedding_policy!r}; "
+                f"known: {list(SHEDDING_POLICIES)}"
+            )
+        if self.watchdog_interval <= 0:
+            raise ValueError(
+                f"watchdog_interval must be > 0, got {self.watchdog_interval}"
+            )
+
+    # -- derived Gilbert-Elliott parameters ----------------------------------
+    @property
+    def bad_occupancy(self) -> float:
+        """Stationary probability π_B of the bad state.
+
+        Solves ``π_B·bad_state_loss + (1-π_B)·good_state_loss = downlink_loss``.
+        """
+        if self.downlink_loss <= self.good_state_loss:
+            return 0.0
+        return (self.downlink_loss - self.good_state_loss) / (
+            self.bad_state_loss - self.good_state_loss
+        )
+
+    @property
+    def bad_to_good(self) -> float:
+        """Per-transmission transition probability out of the bad state."""
+        return 1.0 / self.downlink_mean_burst
+
+    @property
+    def good_to_bad(self) -> float:
+        """Per-transmission transition probability into the bad state.
+
+        Derived from the stationary balance ``π_B = p_gb / (p_gb + p_bg)``;
+        clamped to 1 when the requested loss/burst pair over-constrains it.
+        """
+        pi_b = self.bad_occupancy
+        if pi_b <= 0:
+            return 0.0
+        return min(1.0, pi_b * self.bad_to_good / (1.0 - pi_b))
+
+    # -- activation flags -------------------------------------------------------
+    @property
+    def channel_faults(self) -> bool:
+        """Whether any channel-corruption model is armed."""
+        return self.downlink_loss > 0 or self.uplink_loss > 0
+
+    @property
+    def client_recovery(self) -> bool:
+        """Whether the client-side front (retries or reneging) is needed."""
+        return self.uplink_loss > 0 or self.class_deadlines is not None
+
+    @property
+    def active(self) -> bool:
+        """Whether *any* fault or degradation feature is enabled.
+
+        ``False`` guarantees the simulator takes the seed code paths and
+        consumes no fault random streams — zero-fault runs reproduce the
+        ideal-channel results exactly.
+        """
+        return (
+            self.channel_faults
+            or self.class_deadlines is not None
+            or self.queue_capacity is not None
+        )
+
+    def deadline_for(self, class_rank: int) -> float:
+        """Absolute patience of ``class_rank`` (``inf`` when reneging is off)."""
+        if self.class_deadlines is None:
+            return math.inf
+        if class_rank < len(self.class_deadlines):
+            return self.class_deadlines[class_rank]
+        return self.class_deadlines[-1]

@@ -13,6 +13,7 @@ from .baselines import (
 from .blocking import blocking_vs_share, optimal_partition
 from .compare import analytical_vs_simulation
 from .cost import cost_vs_cutoff, optimal_cost_vs_alpha
+from .degradation import DEFAULT_LOSS_GRID, degradation_under_loss
 from .delay import delay_vs_alpha, delay_vs_cutoff
 from .export import (
     FIGURE_FACTORIES,
@@ -43,6 +44,8 @@ __all__ = [
     "analytical_vs_simulation",
     "cost_vs_cutoff",
     "optimal_cost_vs_alpha",
+    "DEFAULT_LOSS_GRID",
+    "degradation_under_loss",
     "delay_vs_alpha",
     "delay_vs_cutoff",
     "FIGURE_FACTORIES",

@@ -24,6 +24,7 @@ from .ablations import (
     pull_mode_ablation,
 )
 from .ascii_plot import ascii_plot
+from .degradation import degradation_under_loss
 from .delay import delay_vs_alpha, delay_vs_cutoff
 from .specs import FULL, QUICK, ExperimentScale
 
@@ -162,6 +163,10 @@ def _preemption(scale: ExperimentScale) -> str:
     )
 
 
+def _degradation(scale: ExperimentScale) -> str:
+    return degradation_under_loss(scale)
+
+
 def _ablations(scale: ExperimentScale) -> str:
     parts = [_render_figure(length_law_ablation(scale=scale))]
     table, _ = importance_variant_ablation(scale=scale)
@@ -293,6 +298,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Section 4.2.1 (extension)",
             "Non-preemptive (paper) vs preemptive-resume pull service, sim + theory",
             _preemption,
+        ),
+        Experiment(
+            "degradation",
+            "Section 5 (extension)",
+            "Per-class delay degradation vs downlink loss under bounded-queue shedding",
+            _degradation,
         ),
     )
 }

@@ -66,6 +66,25 @@ class PendingEntry:
         self.first_arrival = min(self.first_arrival, request.time)
         self.requests.append(request)
 
+    def remove(self, request: Request) -> None:
+        """Withdraw one pending request (client reneged).
+
+        Matches by object identity so equal-valued requests (e.g. a
+        retried request object) cannot evict each other.
+        """
+        for index, pending in enumerate(self.requests):
+            if pending is request:
+                del self.requests[index]
+                break
+        else:
+            raise ValueError(
+                f"request for item {request.item_id} not pending in this entry"
+            )
+        self.num_requests -= 1
+        self.total_priority -= request.priority
+        if self.requests:
+            self.first_arrival = min(r.time for r in self.requests)
+
     @property
     def stretch(self) -> float:
         """The paper's stretch value ``S_i = R_i / L_i²`` (§4.2).
@@ -109,6 +128,38 @@ class PullQueue:
     def pop(self, item_id: int) -> PendingEntry:
         """Remove and return the entry for ``item_id`` (service completed)."""
         return self._entries.pop(item_id)
+
+    def remove_request(self, request: Request) -> bool:
+        """Withdraw one queued request (client reneged).
+
+        Returns ``True`` when the request was found (its entry dissolves
+        if it was the last pending requester), ``False`` when the item is
+        not queued or the request is not among its requesters (already
+        served, in flight, or never queued).
+        """
+        entry = self._entries.get(request.item_id)
+        if entry is None or not any(pending is request for pending in entry.requests):
+            return False
+        entry.remove(request)
+        if entry.num_requests == 0:
+            del self._entries[request.item_id]
+        return True
+
+    def make_entry(self, request: Request) -> PendingEntry:
+        """Build a transient (un-inserted) entry for ``request``.
+
+        Used by shedding policies to score an incoming request against
+        queued entries without mutating the queue.
+        """
+        item = self._catalog[request.item_id]
+        entry = PendingEntry(
+            item_id=item.item_id,
+            length=item.length,
+            probability=item.probability,
+            first_arrival=request.time,
+        )
+        entry.add(request)
+        return entry
 
     def peek(self, item_id: int) -> Optional[PendingEntry]:
         """The entry for ``item_id`` or ``None``."""

@@ -8,7 +8,13 @@ helpers for confidence intervals.
 
 from .adaptive import AdaptiveCutoffController, CutoffDecision, build_adaptive_system
 from .bandwidth_pool import BandwidthPool
-from .client import drive_arrivals, drive_trace
+from .client import FaultAwareFront, drive_arrivals, drive_trace
+from .faults import (
+    ConservationWatchdog,
+    FaultConfig,
+    FaultInjector,
+    InvariantViolation,
+)
 from .metrics import MetricsCollector, SimulationResult
 from .preemptive import PreemptiveHybridServer
 from .qos import DelayRecorder, QoSReport, jain_fairness
@@ -24,6 +30,11 @@ __all__ = [
     "BandwidthPool",
     "drive_arrivals",
     "drive_trace",
+    "FaultAwareFront",
+    "FaultConfig",
+    "FaultInjector",
+    "ConservationWatchdog",
+    "InvariantViolation",
     "MetricsCollector",
     "SimulationResult",
     "PreemptiveHybridServer",

@@ -62,10 +62,25 @@ class MetricsCollector:
         self.delay_pull = Tally()
         self.blocked_by_class: dict[str, Counter] = {n: Counter() for n in class_names}
         self.arrivals_by_class: dict[str, Counter] = {n: Counter() for n in class_names}
+        self.reneged_by_class: dict[str, Counter] = {n: Counter() for n in class_names}
+        self.shed_by_class: dict[str, Counter] = {n: Counter() for n in class_names}
         self.queue_length = TimeWeighted()
         self.push_broadcasts = Counter()
         self.pull_services = Counter()
         self.pull_drops = Counter()
+        self.client_retries = Counter()
+        self.corrupted_push_slots = Counter()
+        self.corrupted_pull_transmissions = Counter()
+
+        # Raw (warm-up-free) outcome counts for the conservation watchdog:
+        # every generated request must land in exactly one of these bins or
+        # still be traceably live in a queue/backoff/transmission.
+        self.raw_arrivals = 0
+        self.raw_satisfied = 0
+        self.raw_blocked = 0
+        self.raw_reneged = 0
+        self.raw_shed = 0
+        self.raw_uplink_abandoned = 0
 
     # -- event intake --------------------------------------------------------
     def _measured(self, request: Request) -> bool:
@@ -73,11 +88,13 @@ class MetricsCollector:
 
     def record_arrival(self, request: Request) -> None:
         """A request entered the system."""
+        self.raw_arrivals += 1
         if self._measured(request):
             self.arrivals_by_class[self.class_names[request.class_rank]].increment()
 
     def record_satisfied(self, request: Request, now: float, via_push: bool) -> None:
         """A request was satisfied at time ``now`` (delay = now − arrival)."""
+        self.raw_satisfied += 1
         if not self._measured(request):
             return
         delay = now - request.time
@@ -97,8 +114,37 @@ class MetricsCollector:
 
     def record_blocked(self, request: Request) -> None:
         """A request was dropped because bandwidth admission failed."""
+        self.raw_blocked += 1
         if self._measured(request):
             self.blocked_by_class[self.class_names[request.class_rank]].increment()
+
+    def record_reneged(self, request: Request) -> None:
+        """A request was abandoned by its client (deadline expired)."""
+        self.raw_reneged += 1
+        if self._measured(request):
+            self.reneged_by_class[self.class_names[request.class_rank]].increment()
+
+    def record_shed(self, request: Request) -> None:
+        """A request was sacrificed by the bounded pull queue under overload."""
+        self.raw_shed += 1
+        if self._measured(request):
+            self.shed_by_class[self.class_names[request.class_rank]].increment()
+
+    def record_uplink_abandoned(self, request: Request) -> None:
+        """A request was lost at the uplink after exhausting its retries."""
+        self.raw_uplink_abandoned += 1
+
+    def record_retry(self) -> None:
+        """A client re-offered a request after a lost uplink attempt."""
+        self.client_retries.increment()
+
+    def record_corrupted_push(self) -> None:
+        """One push broadcast slot was corrupted by the downlink channel."""
+        self.corrupted_push_slots.increment()
+
+    def record_corrupted_pull(self) -> None:
+        """One pull transmission was corrupted; its entry re-queues."""
+        self.corrupted_pull_transmissions.increment()
 
     def record_queue_length(self, now: float, length: int) -> None:
         """The pull queue now holds ``length`` distinct items."""
@@ -154,6 +200,14 @@ class MetricsCollector:
             pull_drops=self.pull_drops.count,
             satisfied_requests=self.delay_overall.count,
             blocked_requests=sum(c.count for c in self.blocked_by_class.values()),
+            reneged_requests=sum(c.count for c in self.reneged_by_class.values()),
+            shed_requests=sum(c.count for c in self.shed_by_class.values()),
+            per_class_reneged={n: c.count for n, c in self.reneged_by_class.items()},
+            per_class_shed={n: c.count for n, c in self.shed_by_class.items()},
+            client_retries=self.client_retries.count,
+            corrupted_push_slots=self.corrupted_push_slots.count,
+            corrupted_pull_transmissions=self.corrupted_pull_transmissions.count,
+            uplink_abandoned=self.raw_uplink_abandoned,
             delay_tallies={k: v for k, v in self.delay_by_class.items()},
         )
 
@@ -183,6 +237,22 @@ class SimulationResult:
     pull_drops: int
     satisfied_requests: int
     blocked_requests: int
+    #: Requests abandoned by their clients after a per-class deadline.
+    reneged_requests: int = 0
+    #: Requests sacrificed by the bounded pull queue under overload.
+    shed_requests: int = 0
+    per_class_reneged: Mapping[str, int] = field(default_factory=dict)
+    per_class_shed: Mapping[str, int] = field(default_factory=dict)
+    #: Uplink retry attempts made by clients after lost offers.
+    client_retries: int = 0
+    #: Downlink-corrupted push slots (waiters catch a later cycle).
+    corrupted_push_slots: int = 0
+    #: Downlink-corrupted pull transmissions (entries re-queued, ARQ).
+    corrupted_pull_transmissions: int = 0
+    #: Requests delivered by / terminally lost at the uplink channel.
+    uplink_delivered: int = 0
+    uplink_dropped: int = 0
+    uplink_abandoned: int = 0
     delay_tallies: Mapping[str, Tally] = field(repr=False, default_factory=dict)
 
     def delay_of(self, class_name: str) -> float:
@@ -198,10 +268,31 @@ class SimulationResult:
             f"(push {self.push_delay:.2f} / pull {self.pull_delay:.2f}); "
             f"mean pull-queue length {self.mean_queue_length:.2f}",
         ]
+        if self.reneged_requests or self.shed_requests:
+            lines.append(
+                f"degradation: reneged={self.reneged_requests} shed={self.shed_requests}"
+            )
+        if self.corrupted_push_slots or self.corrupted_pull_transmissions or self.client_retries:
+            lines.append(
+                f"channel faults: corrupted push slots={self.corrupted_push_slots} "
+                f"corrupted pull tx={self.corrupted_pull_transmissions} "
+                f"client retries={self.client_retries}"
+            )
+        if self.uplink_delivered or self.uplink_dropped or self.uplink_abandoned:
+            lines.append(
+                f"uplink: delivered={self.uplink_delivered} dropped={self.uplink_dropped} "
+                f"abandoned={self.uplink_abandoned}"
+            )
         for name in self.per_class_delay:
+            extra = ""
+            if self.reneged_requests or self.shed_requests:
+                extra = (
+                    f"  reneged {self.per_class_reneged.get(name, 0):5d}  "
+                    f"shed {self.per_class_shed.get(name, 0):5d}"
+                )
             lines.append(
                 f"  class {name}: delay {self.per_class_delay[name]:8.2f}  "
                 f"cost {self.per_class_cost[name]:8.2f}  "
-                f"blocking {self.per_class_blocking[name]:6.2%}"
+                f"blocking {self.per_class_blocking[name]:6.2%}" + extra
             )
         return "\n".join(lines)

@@ -59,6 +59,10 @@ class ReplicatedResult:
     """Aggregate of several independent replications of one configuration."""
 
     runs: tuple[SimulationResult, ...]
+    #: Set by :func:`run_until_precision`: ``True`` if the target relative
+    #: half-width was reached, ``False`` if the run budget (``max_runs``)
+    #: was exhausted first, ``None`` for fixed-size replication sets.
+    precision_met: bool | None = None
 
     def __post_init__(self) -> None:
         if not self.runs:
@@ -106,15 +110,37 @@ class ReplicatedResult:
     def summary(self) -> str:
         """Human-readable digest across replications."""
         lines = [f"{self.num_runs} replications"]
+        if self.precision_met is not None:
+            lines[0] += (
+                " (precision target met)"
+                if self.precision_met
+                else " (run budget exhausted before precision target)"
+            )
         overall, half = self.overall_delay()
-        lines.append(f"overall delay {overall:.2f} ± {half:.2f}")
+        total_c, total_ch = self.total_cost()
+        lines.append(
+            f"overall delay {overall:.2f} ± {half:.2f}; "
+            f"total cost {total_c:.2f} ± {total_ch:.2f}"
+        )
         for name in self.class_names:
             d, dh = self.delay(name)
-            c, _ = self.cost(name)
-            b, _ = self.blocking(name)
+            c, ch = self.cost(name)
+            b, bh = self.blocking(name)
             lines.append(
-                f"  class {name}: delay {d:8.2f} ± {dh:5.2f}  cost {c:8.2f}  blocking {b:6.2%}"
+                f"  class {name}: delay {d:8.2f} ± {dh:5.2f}  "
+                f"cost {c:8.2f} ± {ch:5.2f}  blocking {b:6.2%} ± {bh:6.2%}"
             )
+        delivered = sum(r.uplink_delivered for r in self.runs)
+        dropped = sum(r.uplink_dropped for r in self.runs)
+        abandoned = sum(r.uplink_abandoned for r in self.runs)
+        if dropped or abandoned:
+            lines.append(
+                f"uplink: delivered={delivered} dropped={dropped} abandoned={abandoned}"
+            )
+        reneged = sum(r.reneged_requests for r in self.runs)
+        shed = sum(r.shed_requests for r in self.runs)
+        if reneged or shed:
+            lines.append(f"degradation: reneged={reneged} shed={shed} (totals across runs)")
         return "\n".join(lines)
 
 
@@ -156,26 +182,38 @@ def run_until_precision(
     The classic sequential stopping rule: after ``min_runs`` pilot
     replications, keep adding one until the 95 % confidence half-width of
     ``metric`` is below ``rel_halfwidth`` of its mean (or ``max_runs`` is
-    reached — inspect the returned aggregate's interval to see which).
+    reached).  The returned aggregate's ``precision_met`` flag records
+    which happened: ``True`` when the target was reached, ``False`` when
+    the run budget ran out first.
 
     Parameters
     ----------
     metric:
-        ``"overall_delay"``, ``"total_cost"`` or ``"delay:<class>"``
-        (e.g. ``"delay:A"``).
+        ``"overall_delay"``, ``"total_cost"``, or a per-class selector
+        ``"delay:<class>"``, ``"cost:<class>"`` or ``"blocking:<class>"``
+        (e.g. ``"delay:A"``, ``"blocking:C"``).
     """
     if not 0 < rel_halfwidth < 1:
         raise ValueError(f"rel_halfwidth must be in (0,1), got {rel_halfwidth}")
     if not 1 <= min_runs <= max_runs:
         raise ValueError(f"need 1 <= min_runs <= max_runs, got {min_runs}, {max_runs}")
 
+    _per_class = {"delay": ReplicatedResult.delay, "cost": ReplicatedResult.cost,
+                  "blocking": ReplicatedResult.blocking}
+
     def precision(agg: ReplicatedResult) -> tuple[float, float]:
         if metric == "overall_delay":
             return agg.overall_delay()
         if metric == "total_cost":
             return agg.total_cost()
-        if metric.startswith("delay:"):
-            return agg.delay(metric.split(":", 1)[1])
+        kind, _, class_name = metric.partition(":")
+        if class_name and kind in _per_class:
+            if class_name not in agg.class_names:
+                raise ValueError(
+                    f"unknown class {class_name!r} in metric {metric!r}; "
+                    f"classes are {agg.class_names}"
+                )
+            return _per_class[kind](agg, class_name)
         raise ValueError(f"unknown metric {metric!r}")
 
     runs: list[SimulationResult] = [
@@ -190,9 +228,9 @@ def run_until_precision(
             and mean != 0
             and half / abs(mean) <= rel_halfwidth
         ):
-            return aggregate
+            return ReplicatedResult(runs=tuple(runs), precision_met=True)
         if len(runs) >= max_runs:
-            return aggregate
+            return ReplicatedResult(runs=tuple(runs), precision_met=False)
         runs.append(
             run_single(
                 config,

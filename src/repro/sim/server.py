@@ -38,6 +38,7 @@ from ..schedulers.base import PendingEntry, PullQueue, PullScheduler, PushSchedu
 from ..workload.arrivals import Request
 from ..workload.items import ItemCatalog
 from .bandwidth_pool import BandwidthPool
+from .faults import select_shed_victim
 from .metrics import MetricsCollector
 
 __all__ = ["HybridServer", "PullMode"]
@@ -66,6 +67,10 @@ class HybridServer:
         Named random streams ("bandwidth" is drawn here).
     pull_mode:
         ``"serial"`` (analysis-faithful, default) or ``"concurrent"``.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultInjector` corrupting push
+        slots and pull transmissions.  Degradation policy (queue capacity,
+        shedding, deadlines) is read from ``config.faults`` regardless.
     """
 
     def __init__(
@@ -79,6 +84,7 @@ class HybridServer:
         metrics: MetricsCollector,
         streams: RandomStreams,
         pull_mode: PullMode = "serial",
+        faults=None,
     ) -> None:
         if pull_mode not in ("serial", "concurrent"):
             raise ValueError(f"unknown pull mode {pull_mode!r}")
@@ -97,6 +103,8 @@ class HybridServer:
         self.streams = streams
         self.pull_mode: PullMode = pull_mode
 
+        self.faults = faults
+        self._fault_cfg = config.faults
         #: Current cut-off point; mutable to support the §3 periodic
         #: re-optimisation (see :meth:`reconfigure_cutoff`).
         self.cutoff = config.cutoff
@@ -107,6 +115,12 @@ class HybridServer:
         #: estimators, adaptive controllers, loggers).
         self.observers: list = []
         self._in_flight_requests = 0
+        #: Pull-transmission accounting audited by the conservation
+        #: watchdog's no-preemption check.
+        self.pull_tx_started = 0
+        self.pull_tx_completed = 0
+        self.pull_tx_corrupted = 0
+        self.active_pull_transmissions = 0
         self._wakeup = env.event()
         self._process = env.process(self._run())
 
@@ -116,7 +130,8 @@ class HybridServer:
 
         Push-item requests park until the item's broadcast; pull-item
         requests join the pull queue (folding into an existing entry for
-        the same item if present).
+        the same item if present).  A bounded pull queue at capacity
+        sheds an entry per the configured class-aware policy.
         """
         self.metrics.record_arrival(request)
         for observer in self.observers:
@@ -124,9 +139,63 @@ class HybridServer:
         if request.item_id < self.cutoff:
             self._push_waiters[request.item_id].append(request)
         else:
-            self.pull_queue.add(request)
+            self._admit_pull(request)
+
+    def renege(self, request: Request) -> bool:
+        """Withdraw an unserved request whose client gave up (deadline).
+
+        Returns ``True`` and records the abandonment if the request was
+        still parked for a push broadcast or waiting in the pull queue;
+        ``False`` if it is no longer pending (served, in flight on a
+        transmission, blocked or shed) — too late to renege.
+        """
+        if request.item_id < self.cutoff:
+            waiters = self._push_waiters.get(request.item_id)
+            if waiters:
+                for index, waiting in enumerate(waiters):
+                    if waiting is request:
+                        del waiters[index]
+                        if not waiters:
+                            del self._push_waiters[request.item_id]
+                        self.metrics.record_reneged(request)
+                        return True
+            return False
+        if self.pull_queue.remove_request(request):
             self.metrics.record_queue_length(self.env.now, len(self.pull_queue))
-            self._wake()
+            self.metrics.record_reneged(request)
+            return True
+        return False
+
+    def _admit_pull(self, request: Request) -> None:
+        """Insert one request into the (possibly bounded) pull queue.
+
+        When the queue is at capacity and the request would open a new
+        entry, the configured shedding policy sacrifices either a queued
+        entry (all its pending requests are shed) or the incoming request.
+        """
+        capacity = self._fault_cfg.queue_capacity
+        if (
+            capacity is not None
+            and self.pull_queue.peek(request.item_id) is None
+            and len(self.pull_queue) >= capacity
+        ):
+            candidate = self.pull_queue.make_entry(request)
+            victim = select_shed_victim(
+                self._fault_cfg.shedding_policy,
+                self.pull_queue,
+                candidate,
+                self.pull_scheduler,
+                self.env.now,
+            )
+            if victim is None:
+                self.metrics.record_shed(request)
+                return
+            evicted = self.pull_queue.pop(victim)
+            for shed in evicted.requests:
+                self.metrics.record_shed(shed)
+        self.pull_queue.add(request)
+        self.metrics.record_queue_length(self.env.now, len(self.pull_queue))
+        self._wake()
 
     # -- server process ------------------------------------------------------------
     def _wake(self) -> None:
@@ -154,6 +223,11 @@ class HybridServer:
         started = self.env.now
         length = self.catalog[item_id].length
         yield self.env.timeout(length)
+        if self.faults is not None and self.faults.downlink_lost():
+            # Corrupted slot: the air time is spent but no waiter decodes
+            # the item; they stay parked for the next cycle occurrence.
+            self.metrics.record_corrupted_push()
+            return True
         self.metrics.record_push_broadcast()
         # Only clients already waiting when the broadcast began can decode
         # the item (they need its first byte); later arrivals wait for the
@@ -197,14 +271,38 @@ class HybridServer:
         return True
 
     def _transmit_pull(self, entry: PendingEntry, rank: int, demand: float):
-        """Transmit one pull item, satisfy its requesters, free bandwidth."""
+        """Transmit one pull item, satisfy its requesters, free bandwidth.
+
+        Under a lossy downlink the whole transmission may be corrupted:
+        the air time and bandwidth are spent, nobody is satisfied, and the
+        pending requests re-enter the pull queue (server-side ARQ) unless
+        their clients' deadlines have meanwhile expired.
+        """
+        self.pull_tx_started += 1
+        self.active_pull_transmissions += 1
         yield self.env.timeout(entry.length)
         self._in_flight_requests -= entry.num_requests
+        if self.faults is not None and self.faults.downlink_lost():
+            self.pull_tx_corrupted += 1
+            self.active_pull_transmissions -= 1
+            self.pool.release(rank, demand)
+            self.metrics.record_corrupted_pull()
+            for request in entry.requests:
+                if self.env.now >= request.time + self._fault_cfg.deadline_for(
+                    request.class_rank
+                ):
+                    # The client reneged while the transmission was on air.
+                    self.metrics.record_reneged(request)
+                else:
+                    self._admit_pull(request)
+            return
         for request in entry.requests:
             self.metrics.record_satisfied(request, self.env.now, via_push=False)
         self.pull_scheduler.observe_service(entry, self.env.now)
         self.pool.release(rank, demand)
         self.metrics.record_pull_service()
+        self.pull_tx_completed += 1
+        self.active_pull_transmissions -= 1
 
     # -- reconfiguration ---------------------------------------------------------
     def reconfigure_cutoff(self, new_cutoff: int, push_scheduler: PushScheduler) -> None:
@@ -235,10 +333,11 @@ class HybridServer:
         for item_id in [e.item_id for e in self.pull_queue if e.item_id < new_cutoff]:
             entry = self.pull_queue.pop(item_id)
             self._push_waiters[item_id].extend(entry.requests)
-        # Push waiters for items that moved into the pull set.
+        # Push waiters for items that moved into the pull set (through the
+        # bounded admission path, so a capacity limit still holds).
         for item_id in [i for i in self._push_waiters if i >= new_cutoff]:
             for request in self._push_waiters.pop(item_id):
-                self.pull_queue.add(request)
+                self._admit_pull(request)
         self.metrics.record_queue_length(self.env.now, len(self.pull_queue))
         if self.pull_queue:
             self._wake()

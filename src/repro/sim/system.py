@@ -8,6 +8,7 @@ functions of ``(config, seed)``.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from ..core.config import HybridConfig
@@ -16,7 +17,8 @@ from ..schedulers.registry import make_pull_scheduler, make_push_scheduler
 from ..workload.arrivals import ArrivalProcess
 from ..workload.trace import RequestTrace
 from .bandwidth_pool import BandwidthPool
-from .client import drive_arrivals, drive_trace
+from .client import FaultAwareFront, drive_arrivals, drive_trace
+from .faults import ConservationWatchdog, FaultInjector
 from .metrics import MetricsCollector, SimulationResult
 from .server import HybridServer, PullMode
 from .uplink import UplinkChannel
@@ -97,6 +99,9 @@ class HybridSystem:
             config.push_scheduler, self.catalog, config.cutoff
         )
         self.pull_scheduler = make_pull_scheduler(config.pull_scheduler, alpha=config.alpha)
+        self.injector = (
+            FaultInjector(config.faults, self.streams) if config.faults.channel_faults else None
+        )
         self.server = server_cls(
             env=self.env,
             catalog=self.catalog,
@@ -107,6 +112,7 @@ class HybridSystem:
             metrics=self.metrics,
             streams=self.streams,
             pull_mode=pull_mode,
+            faults=self.injector,
             **(server_kwargs or {}),
         )
         self.uplink = UplinkChannel(
@@ -114,8 +120,31 @@ class HybridSystem:
             deliver=self.server.submit,
             rate=config.uplink_rate,
             buffer=config.uplink_buffer,
+            injector=self.injector,
         )
-        front = self.server if self.uplink.ideal else _UplinkFront(self.uplink)
+        self.front: Optional[FaultAwareFront] = None
+        if config.faults.client_recovery:
+            self.front = FaultAwareFront(
+                env=self.env,
+                server=self.server,
+                uplink=self.uplink,
+                faults=config.faults,
+                metrics=self.metrics,
+                streams=self.streams,
+            )
+            self.uplink.deliver = self.front.on_delivered
+            front = self.front
+        else:
+            front = self.server if self.uplink.ideal else _UplinkFront(self.uplink)
+        self.watchdog = ConservationWatchdog(
+            env=self.env,
+            server=self.server,
+            metrics=self.metrics,
+            uplink=self.uplink,
+            front=self.front,
+            seed=self.seed,
+            interval=config.faults.watchdog_interval if config.faults.active else None,
+        )
         if trace is not None and arrivals is not None:
             raise ValueError("pass either a trace or an arrivals source, not both")
         if trace is not None:
@@ -135,11 +164,21 @@ class HybridSystem:
         """Advance the simulation to ``horizon`` and summarise.
 
         Can be called once per system instance (state is not reset).
+        A final conservation audit always runs at the horizon (the
+        watchdog also checks periodically while faults are active); an
+        imbalance raises
+        :class:`~repro.sim.faults.InvariantViolation`.
         """
         if horizon <= self.warmup:
             raise ValueError(f"horizon {horizon} must exceed warmup {self.warmup}")
         self.env.run(until=horizon)
-        return self.metrics.result(horizon=horizon, seed=self.seed)
+        self.watchdog.check()
+        result = self.metrics.result(horizon=horizon, seed=self.seed)
+        return replace(
+            result,
+            uplink_delivered=self.uplink.delivered.count,
+            uplink_dropped=self.uplink.dropped.count + self.uplink.corrupted.count,
+        )
 
     def qos_report(self):
         """Tail/jitter/fairness report; requires ``record_qos=True``.

@@ -43,6 +43,11 @@ class UplinkChannel:
         Requests transmitted per time unit (``inf`` = ideal channel).
     buffer:
         Waiting-room size (excluding the request in transmission).
+    injector:
+        Optional :class:`~repro.sim.faults.FaultInjector`; when armed,
+        each offer may additionally be corrupted in transit (random-access
+        collisions), rejected exactly like a buffer overflow so clients
+        can retry.
     """
 
     def __init__(
@@ -51,6 +56,7 @@ class UplinkChannel:
         deliver: Callable[[Request], None],
         rate: float = math.inf,
         buffer: int = 64,
+        injector=None,
     ) -> None:
         if rate <= 0:
             raise ValueError(f"uplink rate must be > 0, got {rate}")
@@ -60,8 +66,11 @@ class UplinkChannel:
         self.deliver = deliver
         self.rate = float(rate)
         self.buffer = int(buffer)
+        self.injector = injector
         self.delivered = Counter()
         self.dropped = Counter()
+        self.corrupted = Counter()
+        self.accepted = Counter()
         self._queue: Store | None = None
         if not math.isinf(self.rate):
             # +1 slot models the request currently being transmitted.
@@ -77,15 +86,20 @@ class UplinkChannel:
         """Submit a request to the uplink.
 
         Returns ``True`` if accepted (delivery may still be delayed),
-        ``False`` if dropped at a full buffer.
+        ``False`` if corrupted in transit or dropped at a full buffer.
         """
+        if self.injector is not None and self.injector.uplink_lost():
+            self.corrupted.increment()
+            return False
         if self._queue is None:
+            self.accepted.increment()
             self.delivered.increment()
             self.deliver(request)
             return True
         if len(self._queue.items) >= self._queue.capacity:
             self.dropped.increment()
             return False
+        self.accepted.increment()
         self._queue.put(request)
         return True
 
@@ -98,9 +112,18 @@ class UplinkChannel:
             self.delivered.increment()
             self.deliver(request)
 
+    @property
+    def offered(self) -> int:
+        """Total offers made to the channel (accepted, dropped or corrupted)."""
+        return self.accepted.count + self.dropped.count + self.corrupted.count
+
+    @property
+    def in_transit(self) -> int:
+        """Accepted requests not yet handed to ``deliver`` (queued or on air)."""
+        return self.accepted.count - self.delivered.count
+
     def drop_fraction(self) -> float:
-        """Fraction of offered requests dropped at the uplink."""
-        offered = self.delivered.count + self.dropped.count + (
-            len(self._queue.items) if self._queue is not None else 0
-        )
-        return self.dropped.count / offered if offered else float("nan")
+        """Fraction of offered requests lost at the uplink (buffer or channel)."""
+        offered = self.offered
+        lost = self.dropped.count + self.corrupted.count
+        return lost / offered if offered else float("nan")

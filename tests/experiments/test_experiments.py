@@ -135,3 +135,28 @@ class TestRegistry:
     def test_run_cheap_experiment(self):
         output = run_experiment("birth-death", TINY)
         assert "E[L_pull]" in output
+
+
+class TestDegradation:
+    def test_registered(self):
+        assert "degradation" in experiment_ids()
+
+    def test_structure_and_qos_shielding(self):
+        from repro.experiments import degradation_under_loss
+
+        output = degradation_under_loss(
+            ExperimentScale(horizon=1_000.0, num_seeds=1), losses=(0.0, 0.2)
+        )
+        # One block per shedding policy, each with its verdict line.
+        for policy in ("drop-newest", "drop-lowest-gamma", "drop-lowest-priority"):
+            assert policy in output
+        assert output.count("degrades less than Class C") == 3
+        # The differentiated-QoS claim must hold under every policy.
+        assert "NO" not in output
+        assert "conservation watchdog" in output
+
+    def test_baseline_must_come_first(self):
+        from repro.experiments import degradation_under_loss
+
+        with pytest.raises(ValueError):
+            degradation_under_loss(TINY, losses=(0.1, 0.2))

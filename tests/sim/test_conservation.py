@@ -1,0 +1,131 @@
+"""End-to-end conservation-watchdog property tests.
+
+Every request the workload generates must be accounted for at the
+horizon: satisfied + blocked + reneged + shed + terminal uplink losses
++ still-in-system.  :class:`repro.sim.faults.ConservationWatchdog`
+audits this ledger (plus the no-preemption service invariant) during
+and after every run; these tests sweep seeds, pull modes and fault
+intensities to show the audit holds everywhere, and that a tampered
+ledger is actually caught.
+"""
+
+import pytest
+
+from repro.core import HybridConfig
+from repro.core.faults import FaultConfig
+from repro.sim import HybridSystem, InvariantViolation
+from repro.sim.preemptive import PreemptiveHybridServer
+
+FAULT_GRID = {
+    "ideal": FaultConfig(),
+    "downlink": FaultConfig(downlink_loss=0.2, downlink_mean_burst=3.0),
+    "uplink": FaultConfig(uplink_loss=0.25, max_retries=3, backoff_base=0.5),
+    "reneging": FaultConfig(class_deadlines=(40.0, 20.0, 8.0)),
+    "shedding": FaultConfig(queue_capacity=6, shedding_policy="drop-lowest-priority"),
+    "everything": FaultConfig(
+        downlink_loss=0.15,
+        uplink_loss=0.15,
+        max_retries=2,
+        backoff_base=0.5,
+        class_deadlines=(60.0, 30.0, 12.0),
+        queue_capacity=8,
+        shedding_policy="drop-lowest-gamma",
+    ),
+}
+
+
+def _run(system: HybridSystem, horizon: float = 350.0):
+    result = system.run(horizon)
+    watchdog = system.watchdog
+    assert watchdog.checks_performed >= 1
+    snapshot = watchdog.last_snapshot
+    assert snapshot is not None
+    assert snapshot.balance == 0, snapshot.describe()
+    return result
+
+
+class TestConservationAcrossRegimes:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 23])
+    @pytest.mark.parametrize("mode", ["serial", "concurrent"])
+    @pytest.mark.parametrize("fault_name", sorted(FAULT_GRID))
+    def test_ledger_balances(self, seed, mode, fault_name):
+        config = HybridConfig().with_faults(FAULT_GRID[fault_name])
+        system = HybridSystem(config, seed=seed, warmup=30.0, pull_mode=mode)
+        _run(system)
+
+    @pytest.mark.parametrize("seed", [0, 2, 11])
+    def test_concurrent_with_inflight_at_horizon(self, seed):
+        """The ledger must balance even with transmissions mid-flight.
+
+        A short horizon at high load guarantees the concurrent pull lane
+        still has unfinished transmissions when the audit runs, so the
+        in-flight term of the ledger is exercised (not just zero).
+        """
+        config = HybridConfig(arrival_rate=8.0).with_faults(
+            FaultConfig(downlink_loss=0.2)
+        )
+        system = HybridSystem(config, seed=seed, warmup=10.0, pull_mode="concurrent")
+        _run(system, horizon=120.0)
+        assert system.server.in_flight_pull_requests > 0
+
+    @pytest.mark.parametrize("fault_name", ["ideal", "downlink", "shedding"])
+    def test_preemptive_server(self, fault_name):
+        config = HybridConfig(alpha=0.0).with_faults(FAULT_GRID[fault_name])
+        system = HybridSystem(
+            config,
+            seed=3,
+            warmup=30.0,
+            server_cls=PreemptiveHybridServer,
+            server_kwargs={"preemption_threshold": 0.1},
+        )
+        _run(system)
+
+    def test_periodic_checks_run_when_faults_active(self):
+        config = HybridConfig().with_faults(
+            FaultConfig(downlink_loss=0.1, watchdog_interval=25.0)
+        )
+        system = HybridSystem(config, seed=4, warmup=30.0)
+        system.run(350.0)
+        # ~350/25 periodic audits plus the final one.
+        assert system.watchdog.checks_performed > 10
+
+    def test_finite_uplink_rate_with_faults(self):
+        config = HybridConfig(
+            uplink_rate=40.0, uplink_buffer=30
+        ).with_faults(FaultConfig(uplink_loss=0.3, max_retries=2, backoff_base=0.5))
+        system = HybridSystem(config, seed=5, warmup=30.0)
+        result = _run(system)
+        assert result.uplink_dropped > 0 or result.uplink_abandoned > 0
+
+
+class TestViolationDetection:
+    def _system(self):
+        config = HybridConfig().with_faults(FaultConfig(downlink_loss=0.1))
+        return HybridSystem(config, seed=6, warmup=30.0)
+
+    def test_tampered_ledger_raises(self):
+        system = self._system()
+        system.env.run(until=350.0)
+        # Fake a lost request the metrics never heard about.
+        system.metrics.raw_satisfied -= 1
+        with pytest.raises(InvariantViolation) as excinfo:
+            system.watchdog.check()
+        err = excinfo.value
+        assert err.invariant == "request-conservation"
+        assert err.seed == 6
+        assert err.snapshot.balance != 0
+        assert "request conservation" in str(err)
+
+    def test_tampered_service_counter_raises(self):
+        system = self._system()
+        system.env.run(until=350.0)
+        system.server.pull_tx_started += 2
+        with pytest.raises(InvariantViolation) as excinfo:
+            system.watchdog.check()
+        assert excinfo.value.invariant == "no-preemption"
+
+    def test_snapshot_describe_is_readable(self):
+        system = self._system()
+        system.run(350.0)
+        text = system.watchdog.last_snapshot.describe()
+        assert "generated" in text and "satisfied" in text

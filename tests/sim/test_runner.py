@@ -59,6 +59,47 @@ class TestAggregation:
         assert "replications" in text
         assert "class A" in text
 
+    def test_summary_reports_half_widths(self, replicated):
+        text = replicated.summary()
+        # Every metric line carries its CI half-width.
+        assert "total cost" in text
+        overall, half = replicated.overall_delay()
+        assert f"{overall:.2f} ± {half:.2f}" in text
+        d, dh = replicated.delay("B")
+        assert f"{d:8.2f} ± {dh:5.2f}" in text
+
+    def test_summary_precision_annotations(self, replicated):
+        from dataclasses import replace
+
+        assert "precision" not in replicated.summary()
+        met = replace(replicated, precision_met=True)
+        assert "precision target met" in met.summary()
+        missed = replace(replicated, precision_met=False)
+        assert "run budget exhausted" in missed.summary()
+
+    def test_summary_surfaces_uplink_losses(self):
+        from repro.core.faults import FaultConfig
+
+        config = HybridConfig(
+            num_items=40, cutoff=15, arrival_rate=1.5, num_clients=50
+        ).with_faults(FaultConfig(uplink_loss=0.3, max_retries=1, backoff_base=0.5))
+        agg = run_replications(config, num_runs=2, horizon=300.0, base_seed=1)
+        text = agg.summary()
+        assert "uplink:" in text
+        assert "abandoned=" in text
+        dropped = sum(r.uplink_dropped for r in agg.runs)
+        assert f"dropped={dropped}" in text
+
+    def test_summary_surfaces_degradation_counters(self):
+        from repro.core.faults import FaultConfig
+
+        config = HybridConfig(
+            num_items=40, cutoff=15, arrival_rate=1.5, num_clients=50
+        ).with_faults(FaultConfig(queue_capacity=3, class_deadlines=(20.0, 10.0, 5.0)))
+        agg = run_replications(config, num_runs=2, horizon=300.0, base_seed=1)
+        text = agg.summary()
+        assert "reneged=" in text and "shed=" in text
+
     def test_cost_and_blocking_accessors(self, replicated):
         for name in ("A", "B", "C"):
             cost, _ = replicated.cost(name)
@@ -140,3 +181,52 @@ class TestRunUntilPrecision:
             horizon=300.0,
         )
         assert result.num_runs >= 2
+
+    @pytest.mark.parametrize("metric", ["blocking:C", "cost:A", "total_cost"])
+    def test_metric_selectors(self, metric):
+        from repro.sim import run_until_precision
+
+        result = run_until_precision(
+            self._config(),
+            rel_halfwidth=0.9,
+            metric=metric,
+            min_runs=2,
+            max_runs=3,
+            horizon=300.0,
+        )
+        assert result.num_runs >= 2
+
+    def test_unknown_class_in_selector(self):
+        from repro.sim import run_until_precision
+
+        with pytest.raises(ValueError, match="unknown class 'Z'"):
+            run_until_precision(
+                self._config(),
+                metric="blocking:Z",
+                min_runs=2,
+                max_runs=2,
+                horizon=200.0,
+            )
+
+    def test_precision_met_flag(self):
+        from repro.sim import run_until_precision
+
+        met = run_until_precision(
+            self._config(),
+            rel_halfwidth=0.9,
+            min_runs=3,
+            max_runs=10,
+            horizon=300.0,
+        )
+        assert met.precision_met is True
+        missed = run_until_precision(
+            self._config(),
+            rel_halfwidth=0.001,
+            min_runs=2,
+            max_runs=3,
+            horizon=300.0,
+        )
+        assert missed.precision_met is False
+        assert missed.num_runs == 3
+        fixed = run_replications(self._config(), num_runs=2, horizon=300.0)
+        assert fixed.precision_met is None
