@@ -59,6 +59,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seeds", type=int, default=None, help="override the number of replications"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run each sweep point's replications over N worker processes "
+            "(-1 = all cores); results are identical for every N"
+        ),
+    )
     return parser
 
 
@@ -69,6 +79,8 @@ def _resolve_scale(args: argparse.Namespace) -> ExperimentScale:
             horizon=args.horizon if args.horizon is not None else scale.horizon,
             num_seeds=args.seeds if args.seeds is not None else scale.num_seeds,
         )
+    if args.jobs is not None:
+        scale = scale.with_jobs(args.jobs)
     return scale
 
 

@@ -131,18 +131,20 @@ def optimize_cutoff_simulated(
     horizon: float = 3_000.0,
     seed: int = 0,
     num_runs: int = 1,
+    n_jobs: int = 1,
 ) -> CutoffSweep:
     """Find the ``K`` minimising the simulated objective.
 
     Uses the same seeds for every candidate (common random numbers), so
     candidate comparisons are paired and much lower-variance than
-    independent sampling.
+    independent sampling.  ``n_jobs`` parallelises each candidate's
+    replications without changing any result.
     """
     from ..sim.runner import run_replications  # local import: sim depends on core
 
     def evaluate(cfg: HybridConfig) -> tuple[float, float]:
         result = run_replications(
-            cfg, num_runs=num_runs, horizon=horizon, base_seed=seed
+            cfg, num_runs=num_runs, horizon=horizon, base_seed=seed, n_jobs=n_jobs
         )
         return (result.overall_delay()[0], result.total_cost()[0])
 

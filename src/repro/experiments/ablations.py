@@ -46,6 +46,7 @@ def length_law_ablation(
                 num_runs=scale.num_seeds,
                 horizon=scale.horizon,
                 warmup=scale.warmup,
+                n_jobs=scale.n_jobs,
             )
             ys.append(result.overall_delay()[0])
         fig.add(law, list(cutoffs), ys)
@@ -69,6 +70,7 @@ def importance_variant_ablation(
             num_runs=scale.num_seeds,
             horizon=scale.horizon,
             warmup=scale.warmup,
+            n_jobs=scale.n_jobs,
         )
         per_class = {name: result.delay(name)[0] for name in base.class_names()}
         results[variant] = per_class

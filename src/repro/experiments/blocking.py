@@ -51,6 +51,7 @@ def blocking_vs_share(
             num_runs=scale.num_seeds,
             horizon=scale.horizon,
             warmup=scale.warmup,
+            n_jobs=scale.n_jobs,
         )
         analytic = blocking_probabilities(
             shares, config.total_bandwidth, config.bandwidth_demand_mean

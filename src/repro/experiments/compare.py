@@ -54,6 +54,7 @@ def analytical_vs_simulation(
             num_runs=scale.num_seeds,
             horizon=scale.horizon,
             warmup=scale.warmup,
+            n_jobs=scale.n_jobs,
         )
         ana = analyze_hybrid(config, mode="corrected")
         rows = compare_results(ana, sim)

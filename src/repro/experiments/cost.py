@@ -39,6 +39,7 @@ def cost_vs_cutoff(
             num_runs=scale.num_seeds,
             horizon=scale.horizon,
             warmup=scale.warmup,
+            n_jobs=scale.n_jobs,
         )
         total = 0.0
         for name in class_names:
@@ -78,6 +79,7 @@ def optimal_cost_vs_alpha(
                     num_runs=scale.num_seeds,
                     horizon=scale.horizon,
                     warmup=scale.warmup,
+                    n_jobs=scale.n_jobs,
                 )
                 best = min(best, result.total_cost()[0])
             optima.append(best)

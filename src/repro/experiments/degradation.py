@@ -102,6 +102,7 @@ def degradation_under_loss(
                 horizon=scale.horizon,
                 warmup=scale.warmup,
                 base_seed=11,
+                n_jobs=scale.n_jobs,
             )
             shed = sum(r.shed_requests for r in agg.runs)
             corrupted = sum(r.corrupted_pull_transmissions for r in agg.runs)

@@ -60,6 +60,7 @@ def delay_vs_cutoff(
             num_runs=scale.num_seeds,
             horizon=scale.horizon,
             warmup=scale.warmup,
+            n_jobs=scale.n_jobs,
         )
         for name in class_names:
             value = result.delay(name)[0] if metric == "total" else result.pull_delay(name)[0]
@@ -89,6 +90,7 @@ def delay_vs_alpha(
             num_runs=scale.num_seeds,
             horizon=scale.horizon,
             warmup=scale.warmup,
+            n_jobs=scale.n_jobs,
         )
         for name in class_names:
             curves[name].append(result.delay(name)[0])

@@ -8,6 +8,7 @@ error bars widen.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from ..core.config import HybridConfig
@@ -53,16 +54,24 @@ class ExperimentScale:
         Independent replications per configuration.
     warmup_fraction:
         Leading fraction of the horizon excluded from statistics.
+    n_jobs:
+        Worker processes for the replications of each sweep point
+        (``-1`` = all cores); results are identical for every value.
     """
 
     horizon: float
     num_seeds: int
     warmup_fraction: float = 0.1
+    n_jobs: int = 1
 
     @property
     def warmup(self) -> float:
         """Absolute warm-up time."""
         return self.warmup_fraction * self.horizon
+
+    def with_jobs(self, n_jobs: int) -> "ExperimentScale":
+        """The same scale fanned out over ``n_jobs`` worker processes."""
+        return dataclasses.replace(self, n_jobs=n_jobs)
 
 
 #: Scale used by tests/benchmarks — seconds per experiment.

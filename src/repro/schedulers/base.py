@@ -11,11 +11,20 @@ The pull queue itself (:class:`PullQueue`) is a small aggregation
 structure: one :class:`PendingEntry` per distinct requested item, carrying
 the statistics every policy in the literature needs (``R_i``, ``Q_i``,
 oldest arrival, item length).
+
+For schedulers whose scores depend only on entry state (not on the clock
+and not on cross-entry normalisation — flagged ``incremental = True``),
+the queue additionally maintains a *lazy max-heap index* keyed on
+``(score, -item_id)``: every mutation pushes a fresh heap record and
+bumps the item's version, and stale records are discarded when they
+surface at the top.  :meth:`PullScheduler.select` then answers in
+O(log n) amortised instead of rescanning the whole queue.
 """
 
 from __future__ import annotations
 
 import abc
+import heapq
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -25,7 +34,7 @@ from ..workload.items import ItemCatalog
 __all__ = ["PendingEntry", "PullQueue", "PullScheduler", "PushScheduler"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingEntry:
     """Aggregated pull-queue state for one distinct item.
 
@@ -104,12 +113,82 @@ class PullQueue:
 
     Requests for an item already queued fold into the existing entry (the
     eventual single broadcast satisfies all of them).
+
+    An incremental scheduler (see :class:`PullScheduler.incremental`) can
+    be attached via :meth:`attach_scorer`; the queue then keeps a lazy
+    max-heap over ``(score, -item_id)`` current across every mutation so
+    :meth:`peek_best` answers without a full scan.
     """
 
     def __init__(self, catalog: ItemCatalog) -> None:
         self._catalog = catalog
         self._entries: dict[int, PendingEntry] = {}
+        self._total_requests = 0
+        # Lazy max-heap index; populated only once a scorer is attached.
+        self._scheduler: Optional["PullScheduler"] = None
+        self._heap: list[tuple[float, int, int]] = []
+        self._versions: dict[int, int] = {}
 
+    # -- heap index --------------------------------------------------------------
+    def attach_scorer(self, scheduler: "PullScheduler") -> None:
+        """Maintain a max-score heap for ``scheduler`` from now on.
+
+        Only valid for schedulers whose score is a pure function of entry
+        state (``scheduler.incremental``); time-dependent policies would
+        read stale scores from the heap.
+        """
+        if not scheduler.incremental:
+            raise ValueError(
+                f"scheduler {scheduler.name!r} is not incremental; its scores "
+                "change outside queue mutations and cannot be heap-indexed"
+            )
+        self._scheduler = scheduler
+        self._heap = []
+        self._versions = {}
+        for entry in self._entries.values():
+            self._reindex(entry)
+
+    def detach_scorer(self) -> None:
+        """Drop the heap index; selection falls back to the linear scan."""
+        self._scheduler = None
+        self._heap = []
+        self._versions = {}
+
+    def indexed_for(self, scheduler: "PullScheduler") -> bool:
+        """Whether the heap index is maintained for exactly ``scheduler``."""
+        return self._scheduler is scheduler
+
+    def _reindex(self, entry: PendingEntry) -> None:
+        """Push a fresh heap record for ``entry``, superseding older ones."""
+        version = self._versions.get(entry.item_id, 0) + 1
+        self._versions[entry.item_id] = version
+        score = self._scheduler.score(entry, 0.0)
+        # min-heap on (-score, item_id): max score first, smaller item id
+        # winning ties — the same key order as the linear scan.
+        heapq.heappush(self._heap, (-score, entry.item_id, version))
+
+    def _unindex(self, item_id: int) -> None:
+        """Invalidate all heap records of a removed entry (lazy deletion)."""
+        if item_id in self._versions:
+            self._versions[item_id] += 1
+
+    def peek_best(self) -> Optional[PendingEntry]:
+        """The max-score entry per the attached scorer, or ``None`` if empty.
+
+        Pops dirty heap records (superseded versions, removed items) until
+        a live one surfaces; that record stays on the heap so repeated
+        peeks are O(1).
+        """
+        heap = self._heap
+        while heap:
+            _, item_id, version = heap[0]
+            entry = self._entries.get(item_id)
+            if entry is not None and version == self._versions.get(item_id):
+                return entry
+            heapq.heappop(heap)
+        return None
+
+    # -- mutations ---------------------------------------------------------------
     def add(self, request: Request) -> PendingEntry:
         """Insert ``request``, creating or updating its item's entry."""
         entry = self._entries.get(request.item_id)
@@ -123,11 +202,40 @@ class PullQueue:
             )
             self._entries[request.item_id] = entry
         entry.add(request)
+        self._total_requests += 1
+        if self._scheduler is not None:
+            self._reindex(entry)
         return entry
 
     def pop(self, item_id: int) -> PendingEntry:
         """Remove and return the entry for ``item_id`` (service completed)."""
-        return self._entries.pop(item_id)
+        entry = self._entries.pop(item_id)
+        self._total_requests -= entry.num_requests
+        if self._scheduler is not None:
+            self._unindex(item_id)
+        return entry
+
+    def reinsert(self, entry: PendingEntry) -> PendingEntry:
+        """Return a previously popped entry to the queue (preemptive resume).
+
+        If newer requests opened a fresh entry for the same item while
+        ``entry`` was in service, the pending requests merge into it and
+        the shorter remaining length wins (the receivers keep the bytes
+        already transmitted).  Returns the entry now queued for the item.
+        """
+        existing = self._entries.get(entry.item_id)
+        if existing is None:
+            self._entries[entry.item_id] = entry
+            queued = entry
+        else:
+            for request in entry.requests:
+                existing.add(request)
+            existing.length = min(existing.length, entry.length)
+            queued = existing
+        self._total_requests += entry.num_requests
+        if self._scheduler is not None:
+            self._reindex(queued)
+        return queued
 
     def remove_request(self, request: Request) -> bool:
         """Withdraw one queued request (client reneged).
@@ -141,8 +249,13 @@ class PullQueue:
         if entry is None or not any(pending is request for pending in entry.requests):
             return False
         entry.remove(request)
+        self._total_requests -= 1
         if entry.num_requests == 0:
             del self._entries[request.item_id]
+            if self._scheduler is not None:
+                self._unindex(request.item_id)
+        elif self._scheduler is not None:
+            self._reindex(entry)
         return True
 
     def make_entry(self, request: Request) -> PendingEntry:
@@ -177,8 +290,8 @@ class PullQueue:
 
     @property
     def total_requests(self) -> int:
-        """Total pending requests across all entries (``Σ R_i``)."""
-        return sum(e.num_requests for e in self._entries.values())
+        """Total pending requests across all entries (``Σ R_i``), O(1)."""
+        return self._total_requests
 
 
 class PullScheduler(abc.ABC):
@@ -187,6 +300,13 @@ class PullScheduler(abc.ABC):
     #: Registry name; subclasses override.
     name: str = "abstract"
 
+    #: ``True`` when :meth:`score` is a pure function of entry state —
+    #: independent of ``now`` and of the other queued entries — so the
+    #: score of an entry only changes when the queue mutates it.  Such
+    #: schedulers can be served from the queue's lazy max-heap index
+    #: (:meth:`PullQueue.attach_scorer`) instead of a full scan.
+    incremental: bool = False
+
     @abc.abstractmethod
     def score(self, entry: PendingEntry, now: float) -> float:
         """Urgency score of ``entry`` at time ``now`` — larger wins."""
@@ -194,8 +314,12 @@ class PullScheduler(abc.ABC):
     def select(self, queue: PullQueue, now: float) -> Optional[PendingEntry]:
         """The queue entry with the maximal score, or ``None`` if empty.
 
-        Ties break deterministically toward the smaller item id.
+        Ties break deterministically toward the smaller item id.  When the
+        queue maintains a heap index for this scheduler the answer comes
+        from the index (O(log n) amortised); otherwise a linear scan.
         """
+        if queue.indexed_for(self):
+            return queue.peek_best()
         best: Optional[PendingEntry] = None
         best_key: tuple[float, int] | None = None
         for entry in queue:

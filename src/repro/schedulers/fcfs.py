@@ -16,6 +16,8 @@ class FCFSScheduler(PullScheduler):
     """Select the entry with the earliest first arrival."""
 
     name = "fcfs"
+    #: The oldest arrival changes only when requests join or leave.
+    incremental = True
 
     def score(self, entry: PendingEntry, now: float) -> float:
         """Older first arrival ⇒ larger score."""

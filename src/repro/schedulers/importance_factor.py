@@ -50,6 +50,10 @@ class ImportanceFactorScheduler(PullScheduler):
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
         self.alpha = float(alpha)
         self.normalize = bool(normalize)
+        # Raw Eq. 1 is a pure function of (R_i, L_i, Q_i) and qualifies for
+        # the queue's heap index; normalisation couples entries through the
+        # queue-wide maxima, so it must keep the scan.
+        self.incremental = not self.normalize
         self._stretch_scale = 1.0
         self._priority_scale = 1.0
 
@@ -94,6 +98,9 @@ class ExpectedImportanceScheduler(ImportanceFactorScheduler):
 
     def __init__(self, alpha: float, ema: float = 0.05) -> None:
         super().__init__(alpha=alpha, normalize=False)
+        # The E[L_pull] estimate drifts between selections, so scores
+        # recorded at mutation time would be stale: keep the scan.
+        self.incremental = False
         if not 0 < ema <= 1:
             raise ValueError(f"ema must be in (0, 1], got {ema}")
         self.ema = float(ema)

@@ -16,6 +16,8 @@ class MRFScheduler(PullScheduler):
     """Select the entry with maximal pending-request count ``R_i``."""
 
     name = "mrf"
+    #: Kept on the scan path as the un-indexed reference baseline.
+    incremental = False
 
     def score(self, entry: PendingEntry, now: float) -> float:
         """More pending requests ⇒ larger score."""

@@ -17,6 +17,8 @@ class PriorityScheduler(PullScheduler):
     """Select the entry with maximal total client priority ``Q_i``."""
 
     name = "priority"
+    #: Q_i changes only when requests join or leave the entry.
+    incremental = True
 
     def score(self, entry: PendingEntry, now: float) -> float:
         """Total priority of the pending requesters."""

@@ -17,6 +17,8 @@ class RxWScheduler(PullScheduler):
     """Select the entry with maximal ``R_i × W_i``."""
 
     name = "rxw"
+    #: W_i grows with the clock between mutations: not heap-indexable.
+    incremental = False
 
     def score(self, entry: PendingEntry, now: float) -> float:
         """Pending requests times age of the oldest request."""

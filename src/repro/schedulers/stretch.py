@@ -21,6 +21,8 @@ class StretchScheduler(PullScheduler):
     """Select the entry with maximal stretch ``S_i = R_i / L_i²``."""
 
     name = "stretch"
+    #: S_i = R_i / L_i² changes only on queue mutation.
+    incremental = True
 
     def score(self, entry: PendingEntry, now: float) -> float:
         """The paper's stretch value."""

@@ -16,9 +16,16 @@ from .faults import (
     InvariantViolation,
 )
 from .metrics import MetricsCollector, SimulationResult
+from .parallel import ParallelExecutor, resolve_jobs
 from .preemptive import PreemptiveHybridServer
 from .qos import DelayRecorder, QoSReport, jain_fairness
-from .runner import ReplicatedResult, run_replications, run_single, run_until_precision
+from .runner import (
+    ReplicatedResult,
+    run_replications,
+    run_single,
+    run_until_precision,
+    spawn_seeds,
+)
 from .server import HybridServer, PullMode
 from .system import HybridSystem
 from .uplink import UplinkChannel
@@ -45,8 +52,11 @@ __all__ = [
     "PullMode",
     "HybridSystem",
     "UplinkChannel",
+    "ParallelExecutor",
+    "resolve_jobs",
     "ReplicatedResult",
     "run_replications",
     "run_single",
     "run_until_precision",
+    "spawn_seeds",
 ]

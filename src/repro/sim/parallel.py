@@ -1,0 +1,87 @@
+"""Process-parallel execution of independent simulation replications.
+
+Replications are embarrassingly parallel — each is a pure function of
+``(config, seed)`` — so :class:`ParallelExecutor` fans them out over a
+stdlib :class:`~concurrent.futures.ProcessPoolExecutor`.  ``n_jobs=1``
+(the default everywhere) never creates a pool and runs the exact
+in-process code path, so single-job results are trivially identical to
+the pre-parallel implementation; for ``n_jobs > 1`` the submitted order
+is preserved, which together with up-front seed derivation
+(:func:`repro.sim.runner.spawn_seeds`) makes parallel and serial
+execution produce bit-for-bit identical per-seed results.
+
+Work items and results cross process boundaries, so the mapped function
+must be a module-level callable and its payloads picklable (plain-data
+configs and :class:`~repro.sim.metrics.SimulationResult` records are).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Optional, TypeVar
+
+__all__ = ["ParallelExecutor", "resolve_jobs"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(n_jobs: int) -> int:
+    """Normalise an ``n_jobs`` request to a concrete worker count.
+
+    ``-1`` means one worker per available core; any other value must be a
+    positive integer.
+    """
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return max(os.cpu_count() or 1, 1)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 (or -1 for all cores), got {n_jobs}")
+    return n_jobs
+
+
+class ParallelExecutor:
+    """Order-preserving map over a (lazily created) process pool.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes; ``1`` runs everything in-process (no pool is
+        ever created), ``-1`` uses every available core.
+
+    The pool is created on the first parallel :meth:`map` and reused
+    across calls — batched callers like
+    :func:`~repro.sim.runner.run_until_precision` pay the worker start-up
+    cost once.  Use as a context manager (or call :meth:`close`) to shut
+    the pool down deterministically.
+    """
+
+    def __init__(self, n_jobs: int = 1) -> None:
+        self.n_jobs = resolve_jobs(n_jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def map(self, fn: Callable[[_T], _R], tasks: Iterable[_T]) -> list[_R]:
+        """Apply ``fn`` to every task, returning results in task order."""
+        tasks = list(tasks)
+        if self.n_jobs == 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_jobs)
+        return list(self._pool.map(fn, tasks))
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op if none was created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = "live" if self._pool is not None else "idle"
+        return f"<ParallelExecutor n_jobs={self.n_jobs} ({state})>"

@@ -100,14 +100,5 @@ class PreemptiveHybridServer(HybridServer):
 
     def _requeue(self, entry: PendingEntry) -> None:
         """Put a preempted entry back, folding into any newer entry."""
-        existing = self.pull_queue.peek(entry.item_id)
-        if existing is None:
-            self.pull_queue._entries[entry.item_id] = entry  # noqa: SLF001
-        else:
-            # Newer requests arrived while this entry transmitted; merge
-            # the preempted requests back in and keep the shorter
-            # remaining length (resume semantics).
-            for request in entry.requests:
-                existing.add(request)
-            existing.length = min(existing.length, entry.length)
+        self.pull_queue.reinsert(entry)
         self.metrics.record_queue_length(self.env.now, len(self.pull_queue))

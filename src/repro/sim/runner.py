@@ -5,23 +5,53 @@ confidence intervals on DES output.  :func:`run_replications` executes
 ``n`` independent runs of one configuration; :class:`ReplicatedResult`
 aggregates the per-run summaries (means and 95 % CIs of every headline
 metric).
+
+Replications are pure functions of ``(config, seed)`` and therefore
+embarrassingly parallel: both drivers accept ``n_jobs`` and fan the runs
+out over a :class:`~repro.sim.parallel.ParallelExecutor`.  Per-run seeds
+are derived up front with :func:`spawn_seeds`, so serial and parallel
+execution produce bit-for-bit identical results.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
-from scipy import stats as _sstats
 
 from ..core.config import HybridConfig
 from .metrics import SimulationResult
+from .parallel import ParallelExecutor
 from .server import PullMode
 from .system import HybridSystem
 
-__all__ = ["run_single", "run_replications", "run_until_precision", "ReplicatedResult"]
+__all__ = [
+    "run_single",
+    "run_replications",
+    "run_until_precision",
+    "spawn_seeds",
+    "ReplicatedResult",
+]
+
+
+def spawn_seeds(base_seed: int, n: int) -> list[int]:
+    """Derive ``n`` independent replication seeds from ``base_seed``.
+
+    Uses ``numpy.random.SeedSequence(base_seed).spawn(n)`` so the derived
+    stream families are statistically independent by construction — the
+    earlier ``base_seed + i`` convention risked overlapping families for
+    adjacent base seeds.  The derivation is deterministic and
+    prefix-stable: ``spawn_seeds(s, k)`` is a prefix of
+    ``spawn_seeds(s, m)`` for ``k <= m``, which is what lets the
+    sequential-stopping driver pre-derive the whole seed schedule.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    children = np.random.SeedSequence(int(base_seed)).spawn(n)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
 
 
 def run_single(
@@ -41,8 +71,18 @@ def run_single(
     return system.run(horizon)
 
 
+def _replication_task(task: tuple) -> SimulationResult:
+    """Module-level worker payload: one replication (picklable for pools)."""
+    config, seed, horizon, warmup, pull_mode = task
+    return run_single(config, seed=seed, horizon=horizon, warmup=warmup, pull_mode=pull_mode)
+
+
 def _mean_ci(values: Sequence[float], level: float = 0.95) -> tuple[float, float]:
     """Mean and half-width of a Student-t CI, ignoring NaNs."""
+    # Lazy import: only CI aggregation needs scipy, so pool workers (which
+    # only simulate) and simulation-only users never pay its import cost.
+    from scipy import stats as _sstats
+
     x = np.asarray([v for v in values if not math.isnan(v)], dtype=float)
     if x.size == 0:
         return (math.nan, math.nan)
@@ -151,18 +191,28 @@ def run_replications(
     warmup: float | None = None,
     base_seed: int = 0,
     pull_mode: PullMode = "serial",
+    n_jobs: int = 1,
 ) -> ReplicatedResult:
     """Run ``num_runs`` independent replications of ``config``.
 
-    Seeds are ``base_seed, base_seed+1, ...`` — distinct seeds give
-    independent random-stream families.
+    Per-run seeds come from :func:`spawn_seeds`, so every replication has
+    a provably independent random-stream family.  (Compatibility note:
+    before PR 2 seeds were ``base_seed, base_seed+1, ...``; the spawn
+    derivation yields different — statistically safer — streams, so
+    replicated numbers differ from that era while any fixed ``base_seed``
+    remains exactly reproducible.)
+
+    ``n_jobs`` fans the runs out over a process pool (``-1`` = all
+    cores); results are identical for every ``n_jobs``.
     """
     if num_runs < 1:
         raise ValueError(f"num_runs must be >= 1, got {num_runs}")
-    runs = tuple(
-        run_single(config, seed=base_seed + i, horizon=horizon, warmup=warmup, pull_mode=pull_mode)
-        for i in range(num_runs)
-    )
+    tasks = [
+        (config, seed, horizon, warmup, pull_mode)
+        for seed in spawn_seeds(base_seed, num_runs)
+    ]
+    with ParallelExecutor(n_jobs) as executor:
+        runs = tuple(executor.map(_replication_task, tasks))
     return ReplicatedResult(runs=runs)
 
 
@@ -176,6 +226,7 @@ def run_until_precision(
     warmup: float | None = None,
     base_seed: int = 0,
     pull_mode: PullMode = "serial",
+    n_jobs: int = 1,
 ) -> ReplicatedResult:
     """Add replications until the CI half-width is small enough.
 
@@ -185,6 +236,12 @@ def run_until_precision(
     reached).  The returned aggregate's ``precision_met`` flag records
     which happened: ``True`` when the target was reached, ``False`` when
     the run budget ran out first.
+
+    With ``n_jobs > 1`` the pilots and every subsequent batch of
+    ``n_jobs`` replications run in parallel, but the stopping rule is
+    still evaluated one run at a time in seed order (surplus batch
+    results are discarded), so the returned aggregate is bit-for-bit
+    identical for every ``n_jobs``.
 
     Parameters
     ----------
@@ -216,27 +273,31 @@ def run_until_precision(
             return _per_class[kind](agg, class_name)
         raise ValueError(f"unknown metric {metric!r}")
 
-    runs: list[SimulationResult] = [
-        run_single(config, seed=base_seed + i, horizon=horizon, warmup=warmup, pull_mode=pull_mode)
-        for i in range(min_runs)
+    tasks = [
+        (config, seed, horizon, warmup, pull_mode)
+        for seed in spawn_seeds(base_seed, max_runs)
     ]
-    while True:
-        aggregate = ReplicatedResult(runs=tuple(runs))
-        mean, half = precision(aggregate)
-        if (
-            not math.isnan(half)
-            and mean != 0
-            and half / abs(mean) <= rel_halfwidth
-        ):
-            return ReplicatedResult(runs=tuple(runs), precision_met=True)
-        if len(runs) >= max_runs:
-            return ReplicatedResult(runs=tuple(runs), precision_met=False)
-        runs.append(
-            run_single(
-                config,
-                seed=base_seed + len(runs),
-                horizon=horizon,
-                warmup=warmup,
-                pull_mode=pull_mode,
-            )
+    with ParallelExecutor(n_jobs) as executor:
+        runs: list[SimulationResult] = list(
+            executor.map(_replication_task, tasks[:min_runs])
         )
+        # Batch results computed ahead of the stopping rule but not yet
+        # consumed by it (kept so the rule still sees runs one at a time).
+        buffered: deque[SimulationResult] = deque()
+        next_task = min_runs
+        while True:
+            aggregate = ReplicatedResult(runs=tuple(runs))
+            mean, half = precision(aggregate)
+            if (
+                not math.isnan(half)
+                and mean != 0
+                and half / abs(mean) <= rel_halfwidth
+            ):
+                return ReplicatedResult(runs=tuple(runs), precision_met=True)
+            if len(runs) >= max_runs:
+                return ReplicatedResult(runs=tuple(runs), precision_met=False)
+            if not buffered:
+                batch = tasks[next_task : next_task + executor.n_jobs]
+                buffered.extend(executor.map(_replication_task, batch))
+                next_task += len(batch)
+            runs.append(buffered.popleft())

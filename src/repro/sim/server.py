@@ -109,6 +109,10 @@ class HybridServer:
         #: re-optimisation (see :meth:`reconfigure_cutoff`).
         self.cutoff = config.cutoff
         self.pull_queue = PullQueue(catalog)
+        if pull_scheduler.incremental:
+            # Mutation-invariant scores: serve selections from the queue's
+            # lazy max-heap instead of rescanning every entry.
+            self.pull_queue.attach_scorer(pull_scheduler)
         #: Requests waiting for a push item's next broadcast, per item.
         self._push_waiters: dict[int, list[Request]] = defaultdict(list)
         #: Callbacks invoked with every submitted request (demand

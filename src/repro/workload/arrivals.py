@@ -21,7 +21,7 @@ from .items import ItemCatalog
 __all__ = ["Request", "ArrivalProcess"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One client request for one item.
 

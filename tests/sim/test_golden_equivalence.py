@@ -1,0 +1,134 @@
+"""Golden equivalence pins for the PR 2 performance layer.
+
+Two independent fast paths must be *bit-for-bit* invisible in results:
+
+* serial vs process-parallel replications (``n_jobs``);
+* heap-indexed vs linear-scan pull selection.
+
+Each is pinned across seeds × pull modes × fault regimes on full
+:class:`SimulationResult` fingerprints (delays, costs, blocking and the
+conservation ledger counters; the watchdog audits conservation inside
+every ``run``).
+"""
+
+import math
+
+import pytest
+
+from repro.core import HybridConfig
+from repro.core.faults import FaultConfig
+from repro.sim import HybridSystem, run_replications, run_until_precision
+
+HORIZON = 400.0
+WARMUP = 40.0
+SEEDS = (0, 7, 123)
+
+FAULTS = FaultConfig(
+    downlink_loss=0.12,
+    uplink_loss=0.08,
+    max_retries=2,
+    backoff_base=1.0,
+    queue_capacity=25,
+    class_deadlines=(80.0, 60.0, 40.0),
+)
+
+
+def _config(with_faults: bool) -> HybridConfig:
+    config = HybridConfig(num_items=40, cutoff=15, arrival_rate=1.5, num_clients=50)
+    return config.with_faults(FAULTS) if with_faults else config
+
+
+def _fingerprint(result) -> dict:
+    """Every value-bearing field of a SimulationResult, hashable-compared.
+
+    Tallies don't define __eq__, so they are reduced to (count, mean).
+    """
+    fp = {
+        "horizon": result.horizon,
+        "seed": result.seed,
+        "per_class_delay": dict(result.per_class_delay),
+        "per_class_pull_delay": dict(result.per_class_pull_delay),
+        "per_class_push_delay": dict(result.per_class_push_delay),
+        "per_class_cost": dict(result.per_class_cost),
+        "per_class_blocking": dict(result.per_class_blocking),
+        "overall_delay": result.overall_delay,
+        "push_delay": result.push_delay,
+        "pull_delay": result.pull_delay,
+        "total_prioritized_cost": result.total_prioritized_cost,
+        "mean_queue_length": result.mean_queue_length,
+        "push_broadcasts": result.push_broadcasts,
+        "pull_services": result.pull_services,
+        "pull_drops": result.pull_drops,
+        "satisfied_requests": result.satisfied_requests,
+        "blocked_requests": result.blocked_requests,
+        "reneged_requests": result.reneged_requests,
+        "shed_requests": result.shed_requests,
+        "per_class_reneged": dict(result.per_class_reneged),
+        "per_class_shed": dict(result.per_class_shed),
+        "client_retries": result.client_retries,
+        "corrupted_push_slots": result.corrupted_push_slots,
+        "corrupted_pull_transmissions": result.corrupted_pull_transmissions,
+        "uplink_delivered": result.uplink_delivered,
+        "uplink_dropped": result.uplink_dropped,
+        "uplink_abandoned": result.uplink_abandoned,
+        "delay_tallies": {
+            name: (tally.count, tally.mean) for name, tally in result.delay_tallies.items()
+        },
+    }
+    # NaNs (empty classes at short horizons) compare unequal; normalise.
+    return _nan_safe(fp)
+
+
+def _nan_safe(value):
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    if isinstance(value, dict):
+        return {k: _nan_safe(v) for k, v in value.items()}
+    if isinstance(value, tuple):
+        return tuple(_nan_safe(v) for v in value)
+    return value
+
+
+@pytest.mark.parametrize("pull_mode", ["serial", "concurrent"])
+@pytest.mark.parametrize("with_faults", [False, True], ids=["fault-off", "fault-on"])
+class TestSerialVsParallel:
+    def test_replications_identical_across_n_jobs(self, pull_mode, with_faults):
+        config = _config(with_faults)
+        serial = run_replications(
+            config, num_runs=3, horizon=HORIZON, warmup=WARMUP,
+            pull_mode=pull_mode, n_jobs=1,
+        )
+        parallel = run_replications(
+            config, num_runs=3, horizon=HORIZON, warmup=WARMUP,
+            pull_mode=pull_mode, n_jobs=2,
+        )
+        assert len(serial.runs) == len(parallel.runs) == 3
+        for left, right in zip(serial.runs, parallel.runs):
+            assert _fingerprint(left) == _fingerprint(right)
+
+
+@pytest.mark.parametrize("pull_mode", ["serial", "concurrent"])
+@pytest.mark.parametrize("with_faults", [False, True], ids=["fault-off", "fault-on"])
+class TestHeapVsScan:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_single_runs_identical(self, pull_mode, with_faults, seed):
+        config = _config(with_faults)
+        indexed = HybridSystem(config, seed=seed, warmup=WARMUP, pull_mode=pull_mode)
+        assert indexed.server.pull_queue.indexed_for(indexed.pull_scheduler)
+        scanned = HybridSystem(config, seed=seed, warmup=WARMUP, pull_mode=pull_mode)
+        scanned.server.pull_queue.detach_scorer()
+        assert _fingerprint(indexed.run(HORIZON)) == _fingerprint(scanned.run(HORIZON))
+
+
+class TestSequentialStopping:
+    def test_precision_runs_identical_across_n_jobs(self):
+        config = _config(False)
+        kwargs = dict(
+            rel_halfwidth=0.15, min_runs=3, max_runs=9, horizon=300.0, base_seed=2
+        )
+        serial = run_until_precision(config, n_jobs=1, **kwargs)
+        parallel = run_until_precision(config, n_jobs=3, **kwargs)
+        assert serial.precision_met == parallel.precision_met
+        assert serial.num_runs == parallel.num_runs
+        for left, right in zip(serial.runs, parallel.runs):
+            assert _fingerprint(left) == _fingerprint(right)
