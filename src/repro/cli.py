@@ -7,20 +7,182 @@ Usage::
     python -m repro fig7 --full          # publication-scale run
     python -m repro all --quick          # every experiment
 
+    python -m repro trace record out.jsonl --seed 3   # record a trace
+    python -m repro trace inspect out.jsonl --timelines
+    python -m repro trace validate out.jsonl
+    python -m repro trace diff a.jsonl b.jsonl
+
 Also installed as the ``repro-experiments`` console script.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from .experiments.specs import FULL, QUICK, ExperimentScale
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_trace_parser", "trace_main"]
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    """Parser of the ``trace`` subcommand family (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trace",
+        description="Record, inspect, validate and diff simulation traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="run one traced replication to a JSONL file")
+    record.add_argument("out", help="output trace path (JSONL)")
+    record.add_argument("--seed", type=int, default=0, help="replication seed")
+    record.add_argument("--horizon", type=float, default=500.0, help="simulated horizon")
+    record.add_argument("--warmup", type=float, default=50.0, help="warm-up span")
+    record.add_argument(
+        "--pull-mode", choices=("serial", "concurrent"), default="serial"
+    )
+    record.add_argument("--items", type=int, default=50, help="catalog size")
+    record.add_argument("--cutoff", type=int, default=15, help="push/pull cutoff K")
+    record.add_argument("--rate", type=float, default=2.0, help="aggregate arrival rate")
+    record.add_argument("--clients", type=int, default=50, help="population size")
+    record.add_argument(
+        "--faults", action="store_true", help="arm the fault-injection layer"
+    )
+    record.add_argument(
+        "--no-gamma",
+        action="store_true",
+        help="skip per-selection gamma snapshots (O(queue) each)",
+    )
+    record.add_argument(
+        "--profile", action="store_true", help="print per-phase wall-time counters"
+    )
+
+    inspect = sub.add_parser("inspect", help="summarise a recorded trace")
+    inspect.add_argument("trace", help="trace path (JSONL)")
+    inspect.add_argument(
+        "--timelines", action="store_true", help="render windowed QoS timelines"
+    )
+    inspect.add_argument(
+        "--windows", type=int, default=24, help="number of timeline windows"
+    )
+
+    validate = sub.add_parser("validate", help="prove trace invariants")
+    validate.add_argument("trace", help="trace path (JSONL)")
+    validate.add_argument(
+        "--pull-mode",
+        choices=("serial", "concurrent"),
+        default=None,
+        help="override the pull mode recorded in the trace header",
+    )
+
+    diff = sub.add_parser("diff", help="compare two recorded traces")
+    diff.add_argument("left", help="baseline trace path")
+    diff.add_argument("right", help="candidate trace path")
+    return parser
+
+
+def _trace_record(args: argparse.Namespace) -> int:
+    from .core import FaultConfig, HybridConfig
+    from .obs import build_manifest, write_manifest, write_trace
+    from .sim import run_traced
+
+    faults = FaultConfig()
+    if args.faults:
+        faults = FaultConfig(
+            downlink_loss=0.12,
+            uplink_loss=0.08,
+            max_retries=2,
+            backoff_base=1.0,
+            queue_capacity=25,
+            class_deadlines=(80.0, 60.0, 40.0),
+        )
+    config = HybridConfig(
+        num_items=args.items,
+        cutoff=args.cutoff,
+        arrival_rate=args.rate,
+        num_clients=args.clients,
+        faults=faults,
+    )
+    profiler = None
+    if args.profile:
+        from .obs import PhaseProfiler
+
+        profiler = PhaseProfiler()
+    result, trace = run_traced(
+        config,
+        seed=args.seed,
+        horizon=args.horizon,
+        warmup=args.warmup,
+        pull_mode=args.pull_mode,
+        gamma_snapshots=not args.no_gamma,
+        profiler=profiler,
+    )
+    path = write_trace(trace, args.out)
+    manifest_path = Path(args.out).with_suffix(".manifest.json")
+    write_manifest(
+        build_manifest(
+            config=config,
+            base_seed=args.seed,
+            seeds=[args.seed],
+            horizon=args.horizon,
+            warmup=args.warmup,
+            pull_mode=args.pull_mode,
+        ),
+        manifest_path,
+    )
+    print(trace.summary())
+    print(f"overall mean delay: {result.overall_delay:.4g}")
+    print(f"trace written to {path}")
+    print(f"manifest written to {manifest_path}")
+    if profiler is not None:
+        print()
+        print(profiler.report())
+    return 0
+
+
+def _trace_inspect(args: argparse.Namespace) -> int:
+    from .obs import read_trace, render_timelines
+
+    trace = read_trace(args.trace)
+    print(trace.summary())
+    if args.timelines:
+        print()
+        print(render_timelines(trace, num_windows=args.windows))
+    return 0
+
+
+def _trace_validate(args: argparse.Namespace) -> int:
+    from .obs import TraceValidator, read_trace
+
+    trace = read_trace(args.trace)
+    report = TraceValidator(trace, pull_mode=args.pull_mode).validate(strict=False)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _trace_diff(args: argparse.Namespace) -> int:
+    from .obs import diff_traces, read_trace
+
+    diff = diff_traces(read_trace(args.left), read_trace(args.right))
+    print(diff.summary())
+    return 0 if diff.identical else 1
+
+
+def trace_main(argv: Sequence[str]) -> int:
+    """Entry point of ``repro trace <command>``; returns an exit code."""
+    args = build_trace_parser().parse_args(list(argv))
+    handler = {
+        "record": _trace_record,
+        "inspect": _trace_inspect,
+        "validate": _trace_validate,
+        "diff": _trace_diff,
+    }[args.command]
+    return handler(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +258,19 @@ def _render_listing() -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Reader (e.g. `| head`) went away mid-print; dup devnull over
+        # stdout so the interpreter's flush-at-exit doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the conventional shell status
+
+
+def _dispatch(argv: list) -> int:
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":

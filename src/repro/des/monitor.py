@@ -113,6 +113,24 @@ class Tally:
             out._values = list(self._values or []) + list(other._values or [])
         return out
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality over the full statistical state.
+
+        Two tallies fed the same observation sequence compare equal,
+        which lets composite results (e.g. ``SimulationResult``) be
+        compared bit-for-bit across runs.
+        """
+        if not isinstance(other, Tally):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._mean == other._mean
+            and self._m2 == other._m2
+            and self._min == other._min
+            and self._max == other._max
+            and self._values == other._values
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"Tally(n={self._n}, mean={self.mean:.4g})"
 
@@ -172,6 +190,18 @@ class TimeWeighted:
         area = self._area + self._level * (end - self._last_time)
         return area / elapsed
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality over the full integrator state."""
+        if not isinstance(other, TimeWeighted):
+            return NotImplemented
+        return (
+            self._last_time == other._last_time
+            and self._start_time == other._start_time
+            and self._level == other._level
+            and self._area == other._area
+            and self._max == other._max
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"TimeWeighted(level={self._level}, avg={self.time_average():.4g})"
 
@@ -194,6 +224,11 @@ class Counter:
     def rate(self, elapsed: float) -> float:
         """Events per unit time over ``elapsed`` (``nan`` if non-positive)."""
         return self._count / elapsed if elapsed > 0 else math.nan
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Counter):
+            return NotImplemented
+        return self._count == other._count
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"Counter({self._count})"

@@ -9,7 +9,11 @@ diffing:
 * :func:`save_figure_csv` — one CSV with the x column and one column per
   series;
 * :func:`export_all_figures` — regenerate and save every line-figure of
-  the paper into a directory.
+  the paper into a directory, stamped with a run manifest
+  (:mod:`repro.obs.manifest`) recording scale, package versions and the
+  produced files;
+* :func:`save_timelines_json` — persist the windowed per-class QoS
+  timelines (:mod:`repro.obs.timeline`) reconstructed from a trace.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ __all__ = [
     "figure_to_dict",
     "save_figure_json",
     "save_figure_csv",
+    "save_timelines_json",
     "export_all_figures",
     "FIGURE_FACTORIES",
 ]
@@ -92,6 +97,14 @@ def save_figure_csv(fig: FigureData, path: str | Path) -> Path:
     return path
 
 
+def save_timelines_json(timelines, path: str | Path) -> Path:
+    """Write :class:`~repro.obs.timeline.TraceTimelines` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(timelines.to_dict(), indent=2))
+    return path
+
+
 def export_all_figures(
     out_dir: str | Path,
     scale: ExperimentScale = QUICK,
@@ -99,9 +112,12 @@ def export_all_figures(
 ) -> list[Path]:
     """Regenerate every line-figure and save it under ``out_dir``.
 
-    Files are named ``<figure-id>-<index>.<ext>``.  Returns all written
-    paths.
+    Files are named ``<figure-id>-<index>.<ext>``.  A ``manifest.json``
+    recording the scale, package versions and the produced files is
+    written alongside them.  Returns all written paths (manifest last).
     """
+    from ..obs.manifest import build_manifest, write_manifest
+
     out = Path(out_dir)
     written: list[Path] = []
     for figure_id, factory in FIGURE_FACTORIES.items():
@@ -111,4 +127,17 @@ def export_all_figures(
                 written.append(save_figure_json(fig, out / f"{stem}.json"))
             if "csv" in formats:
                 written.append(save_figure_csv(fig, out / f"{stem}.csv"))
+    manifest = build_manifest(
+        horizon=scale.horizon,
+        extra={
+            "kind": "figure-export",
+            "scale": {
+                "horizon": scale.horizon,
+                "num_seeds": scale.num_seeds,
+                "n_jobs": scale.n_jobs,
+            },
+            "files": [p.name for p in written],
+        },
+    )
+    written.append(write_manifest(manifest, out / "manifest.json"))
     return written

@@ -1,0 +1,97 @@
+"""``repro.obs`` — observability: tracing, timelines, profiling, manifests.
+
+A zero-overhead-when-disabled telemetry layer threaded through the
+simulator:
+
+* :class:`TraceRecorder` + typed events — every scheduling decision as
+  a replayable JSONL stream;
+* :class:`TraceValidator` — machine-checked trajectory invariants
+  (conservation, non-preemption, the Eq. 1 γ tie-break);
+* :func:`build_timelines` — per-class windowed QoS time series rendered
+  by the ASCII plotter;
+* :class:`PhaseProfiler` — per-phase wall-time counters;
+* :func:`build_manifest` — provenance records (config hash, seed
+  schedule, package versions) written next to artifacts;
+* :func:`diff_traces` — first-divergence comparison of two runs.
+"""
+
+from .diff import TraceDiff, diff_traces
+from .events import (
+    EVENT_TYPES,
+    CutoffChanged,
+    GammaSnapshot,
+    PullDropped,
+    PullServed,
+    PushBroadcast,
+    QueueSampled,
+    RequestArrived,
+    RequestBlocked,
+    RequestReneged,
+    RequestRetried,
+    RequestSatisfied,
+    RequestShed,
+    TraceEventError,
+    event_from_dict,
+    event_to_dict,
+)
+from .manifest import (
+    build_manifest,
+    config_hash,
+    package_versions,
+    read_manifest,
+    write_manifest,
+)
+from .profiling import PhaseProfiler
+from .recorder import (
+    Trace,
+    TraceRecorder,
+    merge_trace_files,
+    merge_traces,
+    read_merged,
+    read_trace,
+    write_merged,
+    write_trace,
+)
+from .timeline import TraceTimelines, build_timelines, render_timelines
+from .validate import TraceInvariantError, TraceValidator, ValidationReport
+
+__all__ = [
+    "EVENT_TYPES",
+    "CutoffChanged",
+    "GammaSnapshot",
+    "PullDropped",
+    "PullServed",
+    "PushBroadcast",
+    "QueueSampled",
+    "RequestArrived",
+    "RequestBlocked",
+    "RequestReneged",
+    "RequestRetried",
+    "RequestSatisfied",
+    "RequestShed",
+    "TraceEventError",
+    "event_from_dict",
+    "event_to_dict",
+    "Trace",
+    "TraceRecorder",
+    "write_trace",
+    "read_trace",
+    "merge_traces",
+    "merge_trace_files",
+    "write_merged",
+    "read_merged",
+    "TraceValidator",
+    "TraceInvariantError",
+    "ValidationReport",
+    "TraceTimelines",
+    "build_timelines",
+    "render_timelines",
+    "PhaseProfiler",
+    "build_manifest",
+    "config_hash",
+    "package_versions",
+    "write_manifest",
+    "read_manifest",
+    "TraceDiff",
+    "diff_traces",
+]

@@ -1,0 +1,96 @@
+"""Event-level comparison of two recorded traces.
+
+Two runs of the same ``(config, seed)`` must produce identical traces;
+:func:`diff_traces` pinpoints the first event where they diverge and
+summarises per-kind count deltas — far more actionable than comparing
+end-of-run aggregates.  Metadata differences (seed, config hash) are
+reported first since they usually *explain* an event divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import event_to_dict
+from .recorder import Trace
+
+__all__ = ["TraceDiff", "diff_traces"]
+
+#: Metadata keys worth comparing between two traces.
+_META_KEYS = ("seed", "config_hash", "pull_mode", "horizon", "warmup")
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of comparing two traces.
+
+    ``first_divergence`` is the index of the first differing event
+    (``None`` when the streams are identical up to the shorter length).
+    """
+
+    identical: bool
+    meta_diffs: list[str] = field(default_factory=list)
+    first_divergence: int | None = None
+    divergence_detail: str | None = None
+    count_deltas: dict[str, tuple[int, int]] = field(default_factory=dict)
+    lengths: tuple[int, int] = (0, 0)
+
+    def summary(self) -> str:
+        """Human-readable digest of the comparison."""
+        if self.identical:
+            return f"traces identical ({self.lengths[0]} events)"
+        lines = [f"traces differ ({self.lengths[0]} vs {self.lengths[1]} events)"]
+        for diff in self.meta_diffs:
+            lines.append(f"  meta: {diff}")
+        if self.first_divergence is not None:
+            lines.append(f"  first divergence at event {self.first_divergence}:")
+            lines.append(f"    {self.divergence_detail}")
+        for kind, (a, b) in sorted(self.count_deltas.items()):
+            lines.append(f"  count {kind}: {a} vs {b}")
+        return "\n".join(lines)
+
+
+def diff_traces(left: Trace, right: Trace) -> TraceDiff:
+    """Compare two traces event-by-event (see module docstring)."""
+    meta_diffs = []
+    for key in _META_KEYS:
+        a, b = left.meta.get(key), right.meta.get(key)
+        if a != b:
+            meta_diffs.append(f"{key}: {a!r} vs {b!r}")
+
+    first = None
+    detail = None
+    for index, (a, b) in enumerate(zip(left.events, right.events)):
+        da, db = event_to_dict(a), event_to_dict(b)
+        if da != db:
+            first = index
+            changed = sorted(
+                k for k in set(da) | set(db) if da.get(k) != db.get(k)
+            )
+            detail = f"{da.get('kind')}: " + "; ".join(
+                f"{k}={da.get(k)!r} vs {db.get(k)!r}" for k in changed
+            )
+            break
+    if first is None and len(left.events) != len(right.events):
+        first = min(len(left.events), len(right.events))
+        longer = left if len(left.events) > len(right.events) else right
+        detail = (
+            f"one trace ends; the other continues with "
+            f"{longer.events[first].kind} at t={longer.events[first].time:g}"
+        )
+
+    counts_left, counts_right = left.counts(), right.counts()
+    deltas = {
+        kind: (counts_left.get(kind, 0), counts_right.get(kind, 0))
+        for kind in set(counts_left) | set(counts_right)
+        if counts_left.get(kind, 0) != counts_right.get(kind, 0)
+    }
+    identical = not meta_diffs and first is None
+    return TraceDiff(
+        identical=identical,
+        meta_diffs=meta_diffs,
+        first_divergence=first,
+        divergence_detail=detail,
+        count_deltas=deltas,
+        lengths=(len(left.events), len(right.events)),
+    )

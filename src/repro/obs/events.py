@@ -1,0 +1,263 @@
+"""Typed trace events emitted by the instrumented simulator.
+
+Every scheduling decision of the hybrid server maps to exactly one event
+type, so a recorded trace is a complete, replayable account of *why* a
+run produced its aggregate numbers: request life-cycle transitions
+(arrived → satisfied / blocked / reneged / shed), channel activity
+(push slots, pull transmissions), policy snapshots (γ scores at each
+selection, Eq. 1) and control-plane changes (cut-off re-optimisation).
+
+Events are plain frozen dataclasses with a stable ``kind`` tag; they
+round-trip losslessly through the JSON dictionaries used by the JSONL
+trace files (:mod:`repro.obs.recorder`).
+
+Request identity
+----------------
+:class:`~repro.workload.arrivals.Request` objects carry no id, so the
+recorder assigns each distinct request object a small integer ``req``
+on first sight; all life-cycle events reference that id.  Ids are only
+meaningful within one trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+__all__ = [
+    "TraceEventError",
+    "RequestArrived",
+    "RequestSatisfied",
+    "RequestBlocked",
+    "RequestReneged",
+    "RequestShed",
+    "RequestRetried",
+    "PushBroadcast",
+    "PullServed",
+    "PullDropped",
+    "QueueSampled",
+    "CutoffChanged",
+    "GammaSnapshot",
+    "EVENT_TYPES",
+    "event_to_dict",
+    "event_from_dict",
+]
+
+
+class TraceEventError(ValueError):
+    """Raised for malformed trace records (unknown kind, bad fields)."""
+
+
+@dataclass(frozen=True, slots=True)
+class RequestArrived:
+    """A request reached the server (post-uplink).
+
+    ``time`` is server-side arrival; ``gen_time`` the client-side
+    generation instant (they differ under a non-ideal uplink).  Delay
+    statistics are measured from ``gen_time``.
+    """
+
+    kind: ClassVar[str] = "request_arrived"
+    time: float
+    req: int
+    item_id: int
+    client_id: int
+    class_rank: int
+    priority: float
+    gen_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class RequestSatisfied:
+    """A request was satisfied (terminal). ``delay = time - gen_time``."""
+
+    kind: ClassVar[str] = "request_satisfied"
+    time: float
+    req: int
+    item_id: int
+    class_rank: int
+    via_push: bool
+    delay: float
+
+
+@dataclass(frozen=True, slots=True)
+class RequestBlocked:
+    """A request was dropped at bandwidth admission (terminal)."""
+
+    kind: ClassVar[str] = "request_blocked"
+    time: float
+    req: int
+    item_id: int
+    class_rank: int
+
+
+@dataclass(frozen=True, slots=True)
+class RequestReneged:
+    """A request was abandoned by its client past the deadline (terminal)."""
+
+    kind: ClassVar[str] = "request_reneged"
+    time: float
+    req: int
+    item_id: int
+    class_rank: int
+
+
+@dataclass(frozen=True, slots=True)
+class RequestShed:
+    """A request was sacrificed by the bounded pull queue (terminal)."""
+
+    kind: ClassVar[str] = "request_shed"
+    time: float
+    req: int
+    item_id: int
+    class_rank: int
+
+
+@dataclass(frozen=True, slots=True)
+class RequestRetried:
+    """A client re-offered a request after a lost uplink attempt."""
+
+    kind: ClassVar[str] = "request_retried"
+    time: float
+    req: int
+    item_id: int
+    class_rank: int
+    attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class PushBroadcast:
+    """One push slot occupied the channel over ``[time, end]``.
+
+    ``satisfied`` lists the request ids decoded from this slot (empty
+    when the slot was corrupted or nobody was waiting).
+    """
+
+    kind: ClassVar[str] = "push_broadcast"
+    time: float
+    end: float
+    item_id: int
+    satisfied: tuple[int, ...]
+    corrupted: bool
+
+
+@dataclass(frozen=True, slots=True)
+class PullServed:
+    """One pull transmission occupied its stream over ``[time, end]``.
+
+    ``gamma`` is the selection score of the served entry at decision
+    time (Eq. 1 for the importance scheduler); ``class_rank`` the class
+    whose bandwidth pool was charged ``demand``.  A corrupted
+    transmission satisfies nobody — its ``requests`` re-enter the queue
+    or renege, which later events record.
+    """
+
+    kind: ClassVar[str] = "pull_served"
+    time: float
+    end: float
+    item_id: int
+    gamma: float
+    class_rank: int
+    demand: float
+    requests: tuple[int, ...]
+    corrupted: bool
+
+
+@dataclass(frozen=True, slots=True)
+class PullDropped:
+    """A selected pull entry was refused bandwidth and dropped whole."""
+
+    kind: ClassVar[str] = "pull_dropped"
+    time: float
+    item_id: int
+    class_rank: int
+    demand: float
+    requests: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class QueueSampled:
+    """The pull queue changed to ``length`` distinct items at ``time``."""
+
+    kind: ClassVar[str] = "queue_sampled"
+    time: float
+    length: int
+
+
+@dataclass(frozen=True, slots=True)
+class CutoffChanged:
+    """The cut-off point ``K`` was re-optimised at runtime (§3)."""
+
+    kind: ClassVar[str] = "cutoff_changed"
+    time: float
+    old_cutoff: int
+    new_cutoff: int
+
+
+@dataclass(frozen=True, slots=True)
+class GammaSnapshot:
+    """Scores of every queued entry at one pull selection.
+
+    ``scores`` holds ``(item_id, score)`` pairs for the whole queue as
+    the scheduler valued them at decision time; ``served_item`` is the
+    entry the scheduler picked.  The trace validator proves the pick is
+    the maximum with the smaller-id tie-break from exactly this record.
+    """
+
+    kind: ClassVar[str] = "gamma_snapshot"
+    time: float
+    served_item: int
+    scores: tuple[tuple[int, float], ...]
+
+
+#: Registry of every event type by its stable ``kind`` tag.
+EVENT_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        RequestArrived,
+        RequestSatisfied,
+        RequestBlocked,
+        RequestReneged,
+        RequestShed,
+        RequestRetried,
+        PushBroadcast,
+        PullServed,
+        PullDropped,
+        QueueSampled,
+        CutoffChanged,
+        GammaSnapshot,
+    )
+}
+
+
+def event_to_dict(event) -> dict:
+    """JSON-ready dictionary for one event (``kind`` + all fields)."""
+    record = {"kind": event.kind}
+    for f in fields(event):
+        record[f.name] = getattr(event, f.name)
+    return record
+
+
+def _revive(value):
+    """JSON arrays come back as lists; events store them as tuples."""
+    if isinstance(value, list):
+        return tuple(_revive(v) for v in value)
+    return value
+
+
+def event_from_dict(record: dict):
+    """Rebuild a typed event from its dictionary form.
+
+    Unknown ``kind`` tags or mismatched fields raise
+    :class:`TraceEventError` (a ``ValueError``), so corrupt trace files
+    fail loudly instead of half-loading.
+    """
+    kind = record.get("kind")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise TraceEventError(f"unknown trace event kind {kind!r}")
+    payload = {k: _revive(v) for k, v in record.items() if k != "kind"}
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise TraceEventError(f"malformed {kind!r} record: {exc}") from exc

@@ -1,0 +1,88 @@
+"""Lightweight per-phase wall-time profiling for simulation runs.
+
+:class:`PhaseProfiler` accumulates call counts and wall-clock time per
+named phase (push selection, pull selection, metrics finalisation, fault
+machinery...).  It is a *nullable* hook exactly like the trace recorder:
+the simulator carries ``profiler=None`` by default and pays nothing; an
+installed profiler costs one ``perf_counter`` pair per instrumented
+call.
+
+Profilers from parallel workers merge with :meth:`PhaseProfiler.merge`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Accumulates ``(calls, seconds)`` per named phase."""
+
+    def __init__(self) -> None:
+        self._calls: dict[str, int] = {}
+        self._seconds: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager timing one occurrence of ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - started)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one occurrence of ``name`` lasting ``seconds``."""
+        self._calls[name] = self._calls.get(name, 0) + 1
+        self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
+
+    def calls(self, name: str) -> int:
+        """Occurrences recorded for ``name`` (0 if never seen)."""
+        return self._calls.get(name, 0)
+
+    def seconds(self, name: str) -> float:
+        """Total wall time recorded for ``name``."""
+        return self._seconds.get(name, 0.0)
+
+    @property
+    def phases(self) -> list[str]:
+        """Phase names seen so far, insertion-ordered."""
+        return list(self._calls)
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """``{phase: {"calls": n, "seconds": s}}`` (JSON-ready)."""
+        return {
+            name: {"calls": self._calls[name], "seconds": self._seconds[name]}
+            for name in self._calls
+        }
+
+    def merge(self, other: "PhaseProfiler") -> "PhaseProfiler":
+        """Return a new profiler combining this one with ``other``."""
+        merged = PhaseProfiler()
+        for source in (self, other):
+            for name in source._calls:
+                merged._calls[name] = merged._calls.get(name, 0) + source._calls[name]
+                merged._seconds[name] = (
+                    merged._seconds.get(name, 0.0) + source._seconds[name]
+                )
+        return merged
+
+    def report(self) -> str:
+        """Fixed-width table of phases sorted by total time, descending."""
+        if not self._calls:
+            return "no phases recorded"
+        rows = sorted(self._seconds.items(), key=lambda kv: -kv[1])
+        total = sum(self._seconds.values()) or 1.0
+        lines = [f"{'phase':<24} {'calls':>10} {'seconds':>10} {'share':>7}"]
+        for name, seconds in rows:
+            lines.append(
+                f"{name:<24} {self._calls[name]:>10} {seconds:>10.4f} "
+                f"{seconds / total:>6.1%}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<PhaseProfiler {len(self._calls)} phases>"

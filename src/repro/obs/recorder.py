@@ -1,0 +1,276 @@
+"""Trace recording, persistence (JSONL) and cross-run merging.
+
+:class:`TraceRecorder` is the nullable hook the simulator carries: when
+no recorder is installed the fast path is untouched; when one is, every
+scheduling decision lands here as a typed event
+(:mod:`repro.obs.events`).  Events are buffered in memory (optionally a
+bounded ring) and/or streamed straight to a JSONL file, one JSON object
+per line, with a metadata header line carrying seed, pull mode, config
+hash and class names.
+
+Parallel replications each record their own file;
+:func:`merge_trace_files` folds them into one ordered, seed-attributed
+stream (sorted by ``(time, seed, seq)``) for cross-run inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _Counter
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .events import event_from_dict, event_to_dict
+
+__all__ = [
+    "TraceRecorder",
+    "Trace",
+    "write_trace",
+    "read_trace",
+    "merge_traces",
+    "merge_trace_files",
+    "write_merged",
+    "read_merged",
+]
+
+_META_KIND = "trace_meta"
+
+
+@dataclass
+class Trace:
+    """One run's recorded event stream plus its metadata header.
+
+    ``dropped`` counts events displaced by a bounded ring buffer; a
+    non-zero value marks the trace as truncated (the validator refuses
+    conservation proofs on truncated traces).
+    """
+
+    meta: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    dropped: int = 0
+
+    @property
+    def seed(self) -> Optional[int]:
+        """Seed of the run that produced this trace (from the header)."""
+        return self.meta.get("seed")
+
+    def counts(self) -> dict[str, int]:
+        """Event count per kind (diagnostic digest)."""
+        return dict(_Counter(event.kind for event in self.events))
+
+    def of_kind(self, kind: str) -> list:
+        """All events of one kind, in recorded order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def summary(self) -> str:
+        """Human-readable digest of the trace."""
+        lines = [
+            f"trace: {len(self.events)} events"
+            + (f" (+{self.dropped} dropped by ring buffer)" if self.dropped else "")
+        ]
+        for key in ("seed", "pull_mode", "config_hash", "horizon", "warmup"):
+            if key in self.meta:
+                lines.append(f"  {key}: {self.meta[key]}")
+        for kind, count in sorted(self.counts().items()):
+            lines.append(f"  {kind:<20} {count}")
+        return "\n".join(lines)
+
+
+class TraceRecorder:
+    """Collects trace events from one simulation run.
+
+    Parameters
+    ----------
+    capacity:
+        ``None`` (default) buffers every event; a positive integer keeps
+        only the newest ``capacity`` events (ring buffer) and counts the
+        displaced ones in :attr:`dropped`.
+    stream:
+        Optional path: events are additionally appended to this JSONL
+        file as they occur (the metadata header is written on
+        :meth:`close`, prefixed, by rewriting — use :func:`write_trace`
+        for one-shot persistence instead when possible).
+    gamma_snapshots:
+        Record a :class:`~repro.obs.events.GammaSnapshot` of the whole
+        queue at every pull selection.  Exact but O(queue) per service —
+        disable for very long runs where only life-cycle events matter.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        stream: str | Path | None = None,
+        gamma_snapshots: bool = True,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self.gamma_snapshots = bool(gamma_snapshots)
+        self.meta: dict = {}
+        self.dropped = 0
+        self._seq = 0
+        self._buffer: deque = deque(maxlen=capacity)
+        self._req_ids: dict[int, int] = {}
+        self._req_pins: list = []
+        self._next_req_id = 0
+        self._entry_gamma: dict[int, float] = {}
+        self._stream_path = Path(stream) if stream is not None else None
+        self._stream_handle = None
+        if self._stream_path is not None:
+            self._stream_path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream_handle = self._stream_path.open("w")
+
+    # -- identity ----------------------------------------------------------------
+    def rid(self, request) -> int:
+        """Stable per-trace integer id for one request object.
+
+        The request is also pinned (a reference is kept) so CPython
+        cannot recycle its memory address for a later request — ``id()``
+        reuse would silently alias two distinct requests in the trace.
+        """
+        key = id(request)
+        found = self._req_ids.get(key)
+        if found is None:
+            found = self._next_req_id
+            self._req_ids[key] = found
+            self._req_pins.append(request)
+            self._next_req_id += 1
+        return found
+
+    def note_gamma(self, entry, gamma: float) -> None:
+        """Remember the selection score of an entry now entering service."""
+        self._entry_gamma[id(entry)] = float(gamma)
+
+    def take_gamma(self, entry) -> float:
+        """Retrieve (and forget) the selection score noted for ``entry``."""
+        return self._entry_gamma.pop(id(entry), float("nan"))
+
+    # -- event intake ------------------------------------------------------------
+    def emit(self, event) -> None:
+        """Record one event (buffer and/or stream)."""
+        if self.capacity is not None and len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+        self._seq += 1
+        if self._stream_handle is not None:
+            json.dump(event_to_dict(event), self._stream_handle)
+            self._stream_handle.write("\n")
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def events(self) -> list:
+        """The buffered events, oldest first."""
+        return list(self._buffer)
+
+    # -- output ------------------------------------------------------------------
+    def trace(self) -> Trace:
+        """Freeze the buffer into a :class:`Trace`."""
+        return Trace(meta=dict(self.meta), events=self.events, dropped=self.dropped)
+
+    def close(self) -> None:
+        """Flush and close the stream file (rewriting it with the header)."""
+        if self._stream_handle is not None:
+            self._stream_handle.close()
+            self._stream_handle = None
+            # The header (meta) is only complete after the run; rewrite
+            # the streamed file with it prepended.
+            write_trace(self.trace(), self._stream_path)
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        cap = self.capacity if self.capacity is not None else "∞"
+        return f"<TraceRecorder {len(self._buffer)} events (cap {cap})>"
+
+
+# -- persistence ---------------------------------------------------------------
+def write_trace(trace: Trace, path: str | Path) -> Path:
+    """Write one trace as JSONL (header line + one event per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {"kind": _META_KIND, "dropped": trace.dropped, **trace.meta}
+    with path.open("w") as handle:
+        json.dump(header, handle)
+        handle.write("\n")
+        for event in trace.events:
+            json.dump(event_to_dict(event), handle)
+            handle.write("\n")
+    return path
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Load a JSONL trace written by :func:`write_trace`."""
+    path = Path(path)
+    meta: dict = {}
+    dropped = 0
+    events = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == _META_KIND:
+                record.pop("kind")
+                dropped = int(record.pop("dropped", 0))
+                meta = record
+                continue
+            events.append(event_from_dict(record))
+    return Trace(meta=meta, events=events, dropped=dropped)
+
+
+# -- merging -------------------------------------------------------------------
+def merge_traces(traces: Sequence[Trace]) -> list[dict]:
+    """Merge per-run traces into one ordered, seed-attributed stream.
+
+    Every record is the event's dictionary form annotated with the
+    originating run's ``seed`` and its position ``seq`` within that
+    run.  The merged stream is sorted by ``(time, seed, seq)`` — a total
+    order that interleaves concurrent runs deterministically while
+    preserving each run's own causal order.
+    """
+    records: list[dict] = []
+    for trace in traces:
+        seed = trace.seed
+        for seq, event in enumerate(trace.events):
+            record = event_to_dict(event)
+            record["seed"] = seed
+            record["seq"] = seq
+            records.append(record)
+    records.sort(key=lambda r: (r["time"], _seed_key(r["seed"]), r["seq"]))
+    return records
+
+
+def _seed_key(seed) -> tuple[int, int]:
+    # None seeds (untagged traces) sort first, stably.
+    return (0, 0) if seed is None else (1, int(seed))
+
+
+def merge_trace_files(paths: Iterable[str | Path]) -> list[dict]:
+    """Load several JSONL traces and merge them (see :func:`merge_traces`)."""
+    return merge_traces([read_trace(path) for path in paths])
+
+
+def write_merged(records: list[dict], path: str | Path) -> Path:
+    """Persist a merged stream as JSONL, one record per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in records:
+            json.dump(record, handle)
+            handle.write("\n")
+    return path
+
+
+def read_merged(path: str | Path) -> list[dict]:
+    """Load a merged stream written by :func:`write_merged`."""
+    with Path(path).open() as handle:
+        return [json.loads(line) for line in handle if line.strip()]

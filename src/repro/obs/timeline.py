@@ -1,0 +1,236 @@
+"""Per-class QoS timelines reconstructed from a recorded trace.
+
+Aggregates in :class:`~repro.sim.metrics.SimulationResult` say *what* a
+run produced; the timelines here show *when*: the horizon is split into
+equal windows and each window gets
+
+* the time-weighted pull-queue length,
+* the mean selection score γ of the entries served in it,
+* the time-weighted bandwidth-pool occupancy per service class,
+* per-class delay percentiles (p50/p95) of the requests satisfied in it.
+
+Every timeline converts to a
+:class:`~repro.experiments.tables.FigureData`, so the existing
+:func:`~repro.experiments.ascii_plot.ascii_plot` renders them in any
+terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .recorder import Trace
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle with repro.sim
+    from ..experiments.tables import FigureData
+
+__all__ = ["TraceTimelines", "build_timelines", "render_timelines"]
+
+
+@dataclass
+class TraceTimelines:
+    """Windowed time series of one trace (see module docstring).
+
+    ``centers`` holds the window mid-points; every series aligns with it.
+    Windows without observations carry ``nan`` (rendered as gaps).
+    """
+
+    centers: list[float]
+    window: float
+    queue_length: list[float]
+    served_gamma: list[float]
+    pool_occupancy: dict[str, list[float]] = field(default_factory=dict)
+    delay_p50: dict[str, list[float]] = field(default_factory=dict)
+    delay_p95: dict[str, list[float]] = field(default_factory=dict)
+
+    def figure(self, metric: str) -> "FigureData":
+        """One timeline as a figure: ``queue`` | ``gamma`` | ``pool`` | ``delay``."""
+        from ..experiments.tables import FigureData
+
+        fig = FigureData(title=f"timeline: {metric}", x_label="time")
+        if metric == "queue":
+            fig.title = "timeline: pull-queue length (time-weighted per window)"
+            fig.add("queue", self.centers, self.queue_length)
+        elif metric == "gamma":
+            fig.title = "timeline: mean γ of served entries"
+            fig.add("gamma", self.centers, self.served_gamma)
+        elif metric == "pool":
+            fig.title = "timeline: bandwidth-pool occupancy per class"
+            for name, series in self.pool_occupancy.items():
+                fig.add(name, self.centers, series)
+        elif metric == "delay":
+            fig.title = "timeline: per-class delay p95"
+            for name, series in self.delay_p95.items():
+                fig.add(name, self.centers, series)
+        else:
+            raise ValueError(
+                f"unknown timeline metric {metric!r}; "
+                "use 'queue', 'gamma', 'pool' or 'delay'"
+            )
+        return fig
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for export pipelines)."""
+        return {
+            "window": self.window,
+            "centers": list(self.centers),
+            "queue_length": list(self.queue_length),
+            "served_gamma": list(self.served_gamma),
+            "pool_occupancy": {k: list(v) for k, v in self.pool_occupancy.items()},
+            "delay_p50": {k: list(v) for k, v in self.delay_p50.items()},
+            "delay_p95": {k: list(v) for k, v in self.delay_p95.items()},
+        }
+
+
+def _class_names(trace: Trace) -> list[str]:
+    names = trace.meta.get("class_names")
+    if names:
+        return list(names)
+    ranks = {
+        event.class_rank
+        for event in trace.events
+        if hasattr(event, "class_rank")
+    }
+    return [f"class-{rank}" for rank in sorted(ranks)]
+
+
+def build_timelines(trace: Trace, num_windows: int = 24) -> TraceTimelines:
+    """Split the trace horizon into windows and aggregate each (see module doc)."""
+    if num_windows < 1:
+        raise ValueError(f"num_windows must be >= 1, got {num_windows}")
+    horizon = trace.meta.get("horizon")
+    if horizon is None:
+        horizon = max((getattr(e, "end", e.time) for e in trace.events), default=1.0)
+    horizon = float(horizon)
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    width = horizon / num_windows
+    edges = [i * width for i in range(num_windows + 1)]
+    centers = [(edges[i] + edges[i + 1]) / 2 for i in range(num_windows)]
+    names = _class_names(trace)
+
+    # Queue length: integrate the piecewise-constant level per window.
+    queue_area = [0.0] * num_windows
+    level, last = 0.0, 0.0
+    samples = sorted(trace.of_kind("queue_sampled"), key=lambda e: e.time)
+    for event in samples + [None]:
+        until = horizon if event is None else min(event.time, horizon)
+        _accumulate_interval(queue_area, last, until, level, edges)
+        if event is None:
+            break
+        level, last = float(event.length), min(event.time, horizon)
+    queue_length = [area / width for area in queue_area]
+
+    # γ of served entries: mean per window of the transmission start.
+    gamma_sum = [0.0] * num_windows
+    gamma_n = [0] * num_windows
+    served = trace.of_kind("pull_served")
+    for event in served:
+        index = _window_of(event.time, width, num_windows)
+        if index is not None and not math.isnan(event.gamma):
+            gamma_sum[index] += event.gamma
+            gamma_n[index] += 1
+    served_gamma = [
+        gamma_sum[i] / gamma_n[i] if gamma_n[i] else math.nan
+        for i in range(num_windows)
+    ]
+
+    # Bandwidth-pool occupancy: demand held over the transmission span,
+    # time-weighted per window and charged class.
+    occupancy = {name: [0.0] * num_windows for name in names}
+    for event in served:
+        name = names[event.class_rank] if event.class_rank < len(names) else None
+        if name is None:
+            continue
+        _accumulate_interval(
+            occupancy[name], event.time, min(event.end, horizon), event.demand, edges
+        )
+    pool_occupancy = {
+        name: [area / width for area in series] for name, series in occupancy.items()
+    }
+
+    # Per-class delay percentiles of the satisfactions in each window.
+    delays: dict[str, list[list[float]]] = {
+        name: [[] for _ in range(num_windows)] for name in names
+    }
+    for event in trace.of_kind("request_satisfied"):
+        if event.class_rank >= len(names):
+            continue
+        index = _window_of(event.time, width, num_windows)
+        if index is not None:
+            delays[names[event.class_rank]][index].append(event.delay)
+    delay_p50 = {
+        name: [_pct(bucket, 50) for bucket in buckets]
+        for name, buckets in delays.items()
+    }
+    delay_p95 = {
+        name: [_pct(bucket, 95) for bucket in buckets]
+        for name, buckets in delays.items()
+    }
+
+    return TraceTimelines(
+        centers=centers,
+        window=width,
+        queue_length=queue_length,
+        served_gamma=served_gamma,
+        pool_occupancy=pool_occupancy,
+        delay_p50=delay_p50,
+        delay_p95=delay_p95,
+    )
+
+
+def render_timelines(
+    trace: Trace,
+    metrics: tuple[str, ...] = ("queue", "gamma", "pool", "delay"),
+    num_windows: int = 24,
+    width: int = 72,
+    height: int = 12,
+) -> str:
+    """ASCII-render the requested timelines of one trace."""
+    from ..experiments.ascii_plot import ascii_plot
+
+    timelines = build_timelines(trace, num_windows=num_windows)
+    charts = [
+        ascii_plot(timelines.figure(metric), width=width, height=height)
+        for metric in metrics
+    ]
+    return "\n\n".join(charts)
+
+
+def _window_of(time: float, width: float, num_windows: int):
+    """Window index of an instant, or None outside the horizon."""
+    if time < 0:
+        return None
+    index = int(time / width)
+    if index >= num_windows:
+        # The horizon boundary itself belongs to the last window.
+        return num_windows - 1 if time <= width * num_windows else None
+    return index
+
+
+def _accumulate_interval(
+    areas: list[float], start: float, end: float, level: float, edges: list[float]
+) -> None:
+    """Add ``level``'s area over ``[start, end]`` into the window bins."""
+    if end <= start or level == 0.0:
+        return
+    num_windows = len(areas)
+    width = edges[1] - edges[0]
+    first = max(int(start / width), 0)
+    for index in range(first, num_windows):
+        lo, hi = edges[index], edges[index + 1]
+        if lo >= end:
+            break
+        overlap = min(end, hi) - max(start, lo)
+        if overlap > 0:
+            areas[index] += level * overlap
+
+
+def _pct(values: list[float], q: float) -> float:
+    if not values:
+        return math.nan
+    return float(np.percentile(values, q))

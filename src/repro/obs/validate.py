@@ -1,0 +1,254 @@
+"""Machine-checkable invariants over recorded traces.
+
+The paper's claims are trajectory claims; :class:`TraceValidator` turns
+three of them into proofs over any recorded trace:
+
+* **Conservation** — every request that arrived at the server is, by
+  trace end, in exactly one terminal state (satisfied, blocked, reneged,
+  shed) or still traceably live (queued, parked, or riding an on-air
+  transmission): ``arrived == satisfied + blocked + reneged + shed +
+  live``, and no request is terminated twice.
+* **Non-preemption** — in serial pull mode the channel alternates: no
+  pull transmission overlaps a push slot (and no two push slots
+  overlap).  Concurrent mode relaxes the pull-vs-push check by design.
+* **γ tie-break** — at every pull selection the served entry has the
+  maximal score over the whole queue, with ties broken toward the
+  smaller item id (the deterministic order Eq. 1 induces).  Proven from
+  the :class:`~repro.obs.events.GammaSnapshot` recorded at decision
+  time, for any registered pull scheduler.
+
+Violations raise :class:`TraceInvariantError` (or are returned in a
+:class:`ValidationReport` under ``strict=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .recorder import Trace
+
+__all__ = ["TraceInvariantError", "ValidationReport", "TraceValidator"]
+
+_TERMINAL_KINDS = {
+    "request_satisfied": "satisfied",
+    "request_blocked": "blocked",
+    "request_reneged": "reneged",
+    "request_shed": "shed",
+}
+
+
+class TraceInvariantError(AssertionError):
+    """A recorded trace violates a checked invariant."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation pass.
+
+    ``ok`` is true when no violation was found; ``violations`` lists
+    human-readable descriptions otherwise.  The request census mirrors
+    the conservation identity.
+    """
+
+    arrived: int = 0
+    satisfied: int = 0
+    blocked: int = 0
+    reneged: int = 0
+    shed: int = 0
+    live: int = 0
+    selections_checked: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One-paragraph digest of the pass."""
+        head = (
+            f"arrived={self.arrived} satisfied={self.satisfied} "
+            f"blocked={self.blocked} reneged={self.reneged} shed={self.shed} "
+            f"live={self.live}; gamma selections checked={self.selections_checked}"
+        )
+        if self.ok:
+            return f"trace OK: {head}"
+        lines = [f"trace INVALID: {head}"] + [f"  - {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+class TraceValidator:
+    """Replays a recorded trace and proves the invariants above.
+
+    Parameters
+    ----------
+    trace:
+        The trace to validate (typed events, as produced by
+        :class:`~repro.obs.recorder.TraceRecorder` or
+        :func:`~repro.obs.recorder.read_trace`).
+    pull_mode:
+        ``"serial"`` or ``"concurrent"``; defaults to the trace
+        metadata, then to ``"serial"``.
+    """
+
+    #: Maximum violations reported before the scan stops elaborating.
+    MAX_REPORTED = 20
+
+    def __init__(self, trace: Trace, pull_mode: str | None = None) -> None:
+        self.trace = trace
+        self.pull_mode = pull_mode or trace.meta.get("pull_mode", "serial")
+        if self.pull_mode not in ("serial", "concurrent"):
+            raise ValueError(f"unknown pull mode {self.pull_mode!r}")
+
+    def validate(self, strict: bool = True) -> ValidationReport:
+        """Run every check; raise on violations unless ``strict=False``."""
+        report = ValidationReport()
+        if self.trace.dropped:
+            report.violations.append(
+                f"trace truncated by ring buffer ({self.trace.dropped} events "
+                "dropped): conservation cannot be proven — record unbounded"
+            )
+        else:
+            self._check_conservation(report)
+        self._check_monotonic_time(report)
+        self._check_non_preemption(report)
+        self._check_gamma_tiebreak(report)
+        self._check_queue_lengths(report)
+        if strict and not report.ok:
+            raise TraceInvariantError(report.summary())
+        return report
+
+    # -- individual checks -------------------------------------------------------
+    def _note(self, report: ValidationReport, message: str) -> None:
+        if len(report.violations) < self.MAX_REPORTED:
+            report.violations.append(message)
+
+    def _check_conservation(self, report: ValidationReport) -> None:
+        arrived: set[int] = set()
+        terminal: dict[int, str] = {}
+        for event in self.trace.events:
+            kind = event.kind
+            if kind == "request_arrived":
+                if event.req in arrived:
+                    self._note(report, f"request {event.req} arrived twice")
+                arrived.add(event.req)
+            elif kind in _TERMINAL_KINDS:
+                outcome = _TERMINAL_KINDS[kind]
+                if event.req not in arrived:
+                    self._note(
+                        report,
+                        f"request {event.req} {outcome} at t={event.time:g} "
+                        "without a recorded arrival",
+                    )
+                previous = terminal.get(event.req)
+                if previous is not None:
+                    self._note(
+                        report,
+                        f"request {event.req} terminated twice "
+                        f"({previous}, then {outcome} at t={event.time:g})",
+                    )
+                terminal[event.req] = outcome
+                setattr(report, outcome, getattr(report, outcome) + 1)
+        report.arrived = len(arrived)
+        report.live = len(arrived) - len(terminal)
+        total = report.satisfied + report.blocked + report.reneged + report.shed
+        if report.arrived != total + report.live:
+            self._note(
+                report,
+                f"conservation broken: arrived={report.arrived} != "
+                f"terminal={total} + live={report.live}",
+            )
+        # Cross-check: every non-corrupted pull transmission satisfied
+        # exactly the requests it carried.
+        for event in self.trace.of_kind("pull_served"):
+            if event.corrupted:
+                continue
+            for req in event.requests:
+                if terminal.get(req) != "satisfied":
+                    self._note(
+                        report,
+                        f"pull tx of item {event.item_id} at t={event.time:g} "
+                        f"carried request {req} but no satisfaction was recorded",
+                    )
+
+    def _check_monotonic_time(self, report: ValidationReport) -> None:
+        # Events are recorded at emission time: interval events
+        # (push_broadcast, pull_served) are emitted when the transmission
+        # *completes*, stamped with its start in ``time`` and its finish
+        # in ``end`` — so the monotone quantity is ``end`` when present.
+        last = float("-inf")
+        for event in self.trace.events:
+            emitted = getattr(event, "end", event.time)
+            if emitted < last:
+                self._note(
+                    report,
+                    f"time ran backwards: {event.kind} emitted at "
+                    f"t={emitted:g} after t={last:g}",
+                )
+            last = max(last, emitted)
+
+    def _check_non_preemption(self, report: ValidationReport) -> None:
+        pushes = [
+            (e.time, e.end, e.item_id) for e in self.trace.of_kind("push_broadcast")
+        ]
+        for (s1, e1, i1), (s2, e2, i2) in zip(pushes, pushes[1:]):
+            if s2 < e1:
+                self._note(
+                    report,
+                    f"push slots overlap: item {i1} [{s1:g},{e1:g}] and "
+                    f"item {i2} [{s2:g},{e2:g}]",
+                )
+        if self.pull_mode != "serial":
+            return
+        pulls = [(e.time, e.end, e.item_id) for e in self.trace.of_kind("pull_served")]
+        # Serial mode: one channel — merge both interval lists and require
+        # zero positive-measure overlap anywhere.
+        intervals = sorted(
+            [(s, e, "push", i) for s, e, i in pushes]
+            + [(s, e, "pull", i) for s, e, i in pulls]
+        )
+        for (s1, e1, k1, i1), (s2, e2, k2, i2) in zip(intervals, intervals[1:]):
+            if s2 < e1:
+                self._note(
+                    report,
+                    f"non-preemption broken: {k1} of item {i1} [{s1:g},{e1:g}] "
+                    f"overlaps {k2} of item {i2} [{s2:g},{e2:g}]",
+                )
+
+    def _check_gamma_tiebreak(self, report: ValidationReport) -> None:
+        for event in self.trace.of_kind("gamma_snapshot"):
+            report.selections_checked += 1
+            scores = dict(event.scores)
+            served = scores.get(event.served_item)
+            if served is None:
+                self._note(
+                    report,
+                    f"gamma snapshot at t={event.time:g} serves item "
+                    f"{event.served_item} absent from the queue snapshot",
+                )
+                continue
+            for item_id, score in event.scores:
+                if item_id == event.served_item:
+                    continue
+                if score > served:
+                    self._note(
+                        report,
+                        f"selection at t={event.time:g} served item "
+                        f"{event.served_item} (γ={served:g}) but item "
+                        f"{item_id} scored higher (γ={score:g})",
+                    )
+                elif score == served and item_id < event.served_item:
+                    self._note(
+                        report,
+                        f"tie-break broken at t={event.time:g}: served item "
+                        f"{event.served_item} but item {item_id} ties at "
+                        f"γ={score:g} with a smaller id",
+                    )
+
+    def _check_queue_lengths(self, report: ValidationReport) -> None:
+        for event in self.trace.of_kind("queue_sampled"):
+            if event.length < 0:
+                self._note(
+                    report,
+                    f"negative queue length {event.length} at t={event.time:g}",
+                )

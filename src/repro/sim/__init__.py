@@ -23,6 +23,7 @@ from .runner import (
     ReplicatedResult,
     run_replications,
     run_single,
+    run_traced,
     run_until_precision,
     spawn_seeds,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "ReplicatedResult",
     "run_replications",
     "run_single",
+    "run_traced",
     "run_until_precision",
     "spawn_seeds",
 ]

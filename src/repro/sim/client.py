@@ -22,6 +22,7 @@ import math
 
 from ..core.faults import FaultConfig
 from ..des import Environment, RandomStreams
+from ..obs.events import RequestRetried
 from ..workload.arrivals import ArrivalProcess, Request
 from ..workload.trace import RequestTrace
 from .metrics import MetricsCollector
@@ -79,6 +80,9 @@ class FaultAwareFront:
         self.uplink = uplink
         self.faults = faults
         self.metrics = metrics
+        #: Optional :class:`~repro.obs.TraceRecorder` (installed by
+        #: :class:`~repro.sim.system.HybridSystem`); records uplink retries.
+        self.tracer = None
         self._rng = streams.stream("client-backoff")
         #: New requests accepted from the drivers (retries excluded).
         self.generated = 0
@@ -106,6 +110,16 @@ class FaultAwareFront:
             self._state.pop(rid, None)
             return
         self.metrics.record_retry()
+        if self.tracer is not None:
+            self.tracer.emit(
+                RequestRetried(
+                    time=self.env.now,
+                    req=self.tracer.rid(request),
+                    item_id=request.item_id,
+                    class_rank=request.class_rank,
+                    attempt=attempt,
+                )
+            )
         self._state[rid] = "backoff"
         self.retry_pending += 1
         delay = min(self.faults.backoff_base * (2.0**attempt), self.faults.backoff_cap)

@@ -35,8 +35,13 @@ class MetricsCollector:
     class_priorities:
         Priority weight per class in rank order (for prioritized cost).
     warmup:
-        Requests arriving before this time are excluded from delay,
-        blocking and throughput statistics.
+        Requests arriving *strictly before* this time are excluded from
+        delay, blocking and throughput statistics.  The measured window
+        is closed on the left: a request arriving exactly at ``warmup``
+        is measured, and measured exactly once — membership is decided
+        by arrival time alone, so every later outcome of that request
+        (satisfaction, blocking, reneging, shedding) consistently lands
+        on the same side of the boundary.
     """
 
     def __init__(
@@ -84,6 +89,13 @@ class MetricsCollector:
 
     # -- event intake --------------------------------------------------------
     def _measured(self, request: Request) -> bool:
+        """Whether the request falls inside the measured window.
+
+        The window is ``[warmup, ∞)`` — closed at ``warmup``, so a
+        boundary arrival is measured.  Warm-up requests still advance
+        system state (they occupy the queue, consume bandwidth and can
+        be satisfied after the window opens) but never enter any tally.
+        """
         return request.time >= self.warmup
 
     def record_arrival(self, request: Request) -> None:

@@ -18,7 +18,8 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +31,7 @@ from .system import HybridSystem
 
 __all__ = [
     "run_single",
+    "run_traced",
     "run_replications",
     "run_until_precision",
     "spawn_seeds",
@@ -60,21 +62,77 @@ def run_single(
     horizon: float = 5_000.0,
     warmup: float | None = None,
     pull_mode: PullMode = "serial",
+    trace_path: str | Path | None = None,
 ) -> SimulationResult:
     """Run one replication of ``config``.
 
-    ``warmup`` defaults to 10 % of the horizon.
+    ``warmup`` defaults to 10 % of the horizon.  When ``trace_path`` is
+    given, the run records a full event trace
+    (:class:`~repro.obs.TraceRecorder`) and writes it there as JSONL;
+    results are bit-identical with tracing on or off.
     """
     if warmup is None:
         warmup = 0.1 * horizon
-    system = HybridSystem(config, seed=seed, warmup=warmup, pull_mode=pull_mode)
-    return system.run(horizon)
+    tracer = None
+    if trace_path is not None:
+        from ..obs import TraceRecorder
+
+        tracer = TraceRecorder()
+    system = HybridSystem(
+        config, seed=seed, warmup=warmup, pull_mode=pull_mode, tracer=tracer
+    )
+    result = system.run(horizon)
+    if tracer is not None:
+        from ..obs import write_trace
+
+        write_trace(tracer.trace(), trace_path)
+    return result
+
+
+def run_traced(
+    config: HybridConfig,
+    seed: int = 0,
+    horizon: float = 5_000.0,
+    warmup: float | None = None,
+    pull_mode: PullMode = "serial",
+    gamma_snapshots: bool = True,
+    profiler=None,
+):
+    """Run one replication with in-memory tracing.
+
+    Returns ``(result, trace)`` — the usual
+    :class:`~repro.sim.metrics.SimulationResult` plus the recorded
+    :class:`~repro.obs.Trace`.  An optional
+    :class:`~repro.obs.PhaseProfiler` collects per-phase wall time.
+    """
+    from ..obs import TraceRecorder
+
+    if warmup is None:
+        warmup = 0.1 * horizon
+    tracer = TraceRecorder(gamma_snapshots=gamma_snapshots)
+    system = HybridSystem(
+        config,
+        seed=seed,
+        warmup=warmup,
+        pull_mode=pull_mode,
+        tracer=tracer,
+        profiler=profiler,
+    )
+    result = system.run(horizon)
+    return result, tracer.trace()
 
 
 def _replication_task(task: tuple) -> SimulationResult:
     """Module-level worker payload: one replication (picklable for pools)."""
-    config, seed, horizon, warmup, pull_mode = task
-    return run_single(config, seed=seed, horizon=horizon, warmup=warmup, pull_mode=pull_mode)
+    config, seed, horizon, warmup, pull_mode, trace_path = task
+    return run_single(
+        config,
+        seed=seed,
+        horizon=horizon,
+        warmup=warmup,
+        pull_mode=pull_mode,
+        trace_path=trace_path,
+    )
 
 
 def _mean_ci(values: Sequence[float], level: float = 0.95) -> tuple[float, float]:
@@ -103,6 +161,11 @@ class ReplicatedResult:
     #: half-width was reached, ``False`` if the run budget (``max_runs``)
     #: was exhausted first, ``None`` for fixed-size replication sets.
     precision_met: bool | None = None
+    #: Per-run JSONL trace files (seed order) when the replication driver
+    #: ran with ``trace_dir``; ``None`` otherwise.  The same directory
+    #: also holds the merged stream (``trace-merged.jsonl``) and the run
+    #: manifest (``manifest.json``).
+    trace_paths: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.runs:
@@ -192,6 +255,7 @@ def run_replications(
     base_seed: int = 0,
     pull_mode: PullMode = "serial",
     n_jobs: int = 1,
+    trace_dir: str | Path | None = None,
 ) -> ReplicatedResult:
     """Run ``num_runs`` independent replications of ``config``.
 
@@ -204,16 +268,58 @@ def run_replications(
 
     ``n_jobs`` fans the runs out over a process pool (``-1`` = all
     cores); results are identical for every ``n_jobs``.
+
+    ``trace_dir`` arms full event tracing: each replication (worker
+    processes included) writes its own JSONL trace into the directory,
+    and the driver merges them into one ordered, seed-attributed stream
+    (``trace-merged.jsonl``) plus a run manifest (``manifest.json``).
+    Results stay bit-identical with tracing on or off and for every
+    ``n_jobs``.
     """
     if num_runs < 1:
         raise ValueError(f"num_runs must be >= 1, got {num_runs}")
+    seeds = spawn_seeds(base_seed, num_runs)
+    trace_paths: Optional[list[Path]] = None
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        trace_paths = [
+            trace_dir / f"trace-run{index:03d}-seed{seed}.jsonl"
+            for index, seed in enumerate(seeds)
+        ]
     tasks = [
-        (config, seed, horizon, warmup, pull_mode)
-        for seed in spawn_seeds(base_seed, num_runs)
+        (
+            config,
+            seed,
+            horizon,
+            warmup,
+            pull_mode,
+            None if trace_paths is None else trace_paths[index],
+        )
+        for index, seed in enumerate(seeds)
     ]
     with ParallelExecutor(n_jobs) as executor:
         runs = tuple(executor.map(_replication_task, tasks))
-    return ReplicatedResult(runs=runs)
+    if trace_paths is None:
+        return ReplicatedResult(runs=runs)
+    from ..obs import build_manifest, merge_trace_files, write_manifest, write_merged
+
+    write_merged(merge_trace_files(trace_paths), trace_dir / "trace-merged.jsonl")
+    write_manifest(
+        build_manifest(
+            config=config,
+            base_seed=base_seed,
+            seeds=seeds,
+            horizon=horizon,
+            warmup=warmup,
+            pull_mode=pull_mode,
+            extra={"num_runs": num_runs, "n_jobs": n_jobs},
+        ),
+        trace_dir / "manifest.json",
+    )
+    return ReplicatedResult(
+        runs=runs, trace_paths=tuple(str(path) for path in trace_paths)
+    )
 
 
 def run_until_precision(
@@ -274,7 +380,7 @@ def run_until_precision(
         raise ValueError(f"unknown metric {metric!r}")
 
     tasks = [
-        (config, seed, horizon, warmup, pull_mode)
+        (config, seed, horizon, warmup, pull_mode, None)
         for seed in spawn_seeds(base_seed, max_runs)
     ]
     with ParallelExecutor(n_jobs) as executor:

@@ -30,10 +30,23 @@ Two pull service modes are supported:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Literal, Optional
+from typing import Literal
 
 from ..core.config import HybridConfig
 from ..des import Environment, RandomStreams
+from ..obs.events import (
+    CutoffChanged,
+    GammaSnapshot,
+    PullDropped,
+    PullServed,
+    PushBroadcast,
+    QueueSampled,
+    RequestArrived,
+    RequestBlocked,
+    RequestReneged,
+    RequestSatisfied,
+    RequestShed,
+)
 from ..schedulers.base import PendingEntry, PullQueue, PullScheduler, PushScheduler
 from ..workload.arrivals import Request
 from ..workload.items import ItemCatalog
@@ -71,6 +84,15 @@ class HybridServer:
         Optional :class:`~repro.sim.faults.FaultInjector` corrupting push
         slots and pull transmissions.  Degradation policy (queue capacity,
         shedding, deadlines) is read from ``config.faults`` regardless.
+    tracer:
+        Optional :class:`~repro.obs.TraceRecorder`.  When ``None`` (the
+        default) no event objects are built and the fast path is
+        untouched; when installed, every scheduling decision is emitted
+        as a typed trace event.  Tracing never consumes randomness, so
+        results are bit-identical either way.
+    profiler:
+        Optional :class:`~repro.obs.PhaseProfiler` timing the
+        scheduler-decision hot spots (``push.select``, ``pull.select``).
     """
 
     def __init__(
@@ -85,6 +107,8 @@ class HybridServer:
         streams: RandomStreams,
         pull_mode: PullMode = "serial",
         faults=None,
+        tracer=None,
+        profiler=None,
     ) -> None:
         if pull_mode not in ("serial", "concurrent"):
             raise ValueError(f"unknown pull mode {pull_mode!r}")
@@ -104,6 +128,8 @@ class HybridServer:
         self.pull_mode: PullMode = pull_mode
 
         self.faults = faults
+        self.tracer = tracer
+        self.profiler = profiler
         self._fault_cfg = config.faults
         #: Current cut-off point; mutable to support the §3 periodic
         #: re-optimisation (see :meth:`reconfigure_cutoff`).
@@ -138,6 +164,18 @@ class HybridServer:
         sheds an entry per the configured class-aware policy.
         """
         self.metrics.record_arrival(request)
+        if self.tracer is not None:
+            self.tracer.emit(
+                RequestArrived(
+                    time=self.env.now,
+                    req=self.tracer.rid(request),
+                    item_id=request.item_id,
+                    client_id=request.client_id,
+                    class_rank=request.class_rank,
+                    priority=request.priority,
+                    gen_time=request.time,
+                )
+            )
         for observer in self.observers:
             observer(request)
         if request.item_id < self.cutoff:
@@ -162,13 +200,34 @@ class HybridServer:
                         if not waiters:
                             del self._push_waiters[request.item_id]
                         self.metrics.record_reneged(request)
+                        if self.tracer is not None:
+                            self._emit_lifecycle(RequestReneged, request)
                         return True
             return False
         if self.pull_queue.remove_request(request):
             self.metrics.record_queue_length(self.env.now, len(self.pull_queue))
             self.metrics.record_reneged(request)
+            if self.tracer is not None:
+                self._emit_lifecycle(RequestReneged, request)
+                self._emit_queue_length()
             return True
         return False
+
+    # -- trace emission helpers ------------------------------------------------
+    def _emit_lifecycle(self, event_cls, request: Request) -> None:
+        """Emit one request life-cycle event (tracer must be installed)."""
+        self.tracer.emit(
+            event_cls(
+                time=self.env.now,
+                req=self.tracer.rid(request),
+                item_id=request.item_id,
+                class_rank=request.class_rank,
+            )
+        )
+
+    def _emit_queue_length(self) -> None:
+        """Emit the current pull-queue length (tracer must be installed)."""
+        self.tracer.emit(QueueSampled(time=self.env.now, length=len(self.pull_queue)))
 
     def _admit_pull(self, request: Request) -> None:
         """Insert one request into the (possibly bounded) pull queue.
@@ -193,12 +252,18 @@ class HybridServer:
             )
             if victim is None:
                 self.metrics.record_shed(request)
+                if self.tracer is not None:
+                    self._emit_lifecycle(RequestShed, request)
                 return
             evicted = self.pull_queue.pop(victim)
             for shed in evicted.requests:
                 self.metrics.record_shed(shed)
+                if self.tracer is not None:
+                    self._emit_lifecycle(RequestShed, shed)
         self.pull_queue.add(request)
         self.metrics.record_queue_length(self.env.now, len(self.pull_queue))
+        if self.tracer is not None:
+            self._emit_queue_length()
         self._wake()
 
     # -- server process ------------------------------------------------------------
@@ -221,7 +286,11 @@ class HybridServer:
 
     def _broadcast_next_push(self):
         """Broadcast one push slot; returns True if a slot was transmitted."""
-        item_id = self.push_scheduler.next_item()
+        if self.profiler is not None:
+            with self.profiler.phase("push.select"):
+                item_id = self.push_scheduler.next_item()
+        else:
+            item_id = self.push_scheduler.next_item()
         if item_id is None:
             return False
         started = self.env.now
@@ -231,40 +300,111 @@ class HybridServer:
             # Corrupted slot: the air time is spent but no waiter decodes
             # the item; they stay parked for the next cycle occurrence.
             self.metrics.record_corrupted_push()
+            if self.tracer is not None:
+                self.tracer.emit(
+                    PushBroadcast(
+                        time=started,
+                        end=self.env.now,
+                        item_id=item_id,
+                        satisfied=(),
+                        corrupted=True,
+                    )
+                )
             return True
         self.metrics.record_push_broadcast()
         # Only clients already waiting when the broadcast began can decode
         # the item (they need its first byte); later arrivals wait for the
         # next occurrence in the cycle.
+        satisfied: list[Request] = []
         waiters = self._push_waiters.get(item_id)
         if waiters:
             still_waiting: list[Request] = []
             for request in waiters:
                 if request.time <= started:
                     self.metrics.record_satisfied(request, self.env.now, via_push=True)
+                    satisfied.append(request)
                 else:
                     still_waiting.append(request)
             if still_waiting:
                 self._push_waiters[item_id] = still_waiting
             else:
                 del self._push_waiters[item_id]
+        if self.tracer is not None:
+            rids = tuple(self.tracer.rid(request) for request in satisfied)
+            self.tracer.emit(
+                PushBroadcast(
+                    time=started,
+                    end=self.env.now,
+                    item_id=item_id,
+                    satisfied=rids,
+                    corrupted=False,
+                )
+            )
+            for request in satisfied:
+                self.tracer.emit(
+                    RequestSatisfied(
+                        time=self.env.now,
+                        req=self.tracer.rid(request),
+                        item_id=request.item_id,
+                        class_rank=request.class_rank,
+                        via_push=True,
+                        delay=self.env.now - request.time,
+                    )
+                )
         return True
 
     def _serve_next_pull(self):
         """Serve (or drop) the max-importance pull entry; True if one was taken."""
-        entry = self.pull_scheduler.select(self.pull_queue, self.env.now)
+        if self.profiler is not None:
+            with self.profiler.phase("pull.select"):
+                entry = self.pull_scheduler.select(self.pull_queue, self.env.now)
+        else:
+            entry = self.pull_scheduler.select(self.pull_queue, self.env.now)
         if entry is None:
             return False
+        if self.tracer is not None:
+            # Score the whole queue *before* popping the winner, with the
+            # same scheduler state the selection just used, so the trace
+            # carries a provable max-γ/tie-break record.
+            gamma = self.pull_scheduler.score(entry, self.env.now)
+            self.tracer.note_gamma(entry, gamma)
+            if self.tracer.gamma_snapshots:
+                self.tracer.emit(
+                    GammaSnapshot(
+                        time=self.env.now,
+                        served_item=entry.item_id,
+                        scores=tuple(
+                            (e.item_id, self.pull_scheduler.score(e, self.env.now))
+                            for e in self.pull_queue
+                        ),
+                    )
+                )
         self.pull_queue.pop(entry.item_id)
         self.metrics.record_queue_length(self.env.now, len(self.pull_queue))
+        if self.tracer is not None:
+            self._emit_queue_length()
 
         demand = float(self.streams.poisson("bandwidth", self.config.bandwidth_demand_mean))
         rank = min(request.class_rank for request in entry.requests)
         if not self.pool.try_acquire(rank, demand):
             # Admission failed: the item and all its pending requests are lost.
             self.metrics.record_pull_drop()
+            if self.tracer is not None:
+                self.tracer.emit(
+                    PullDropped(
+                        time=self.env.now,
+                        item_id=entry.item_id,
+                        class_rank=rank,
+                        demand=demand,
+                        requests=tuple(
+                            self.tracer.rid(request) for request in entry.requests
+                        ),
+                    )
+                )
             for request in entry.requests:
                 self.metrics.record_blocked(request)
+                if self.tracer is not None:
+                    self._emit_lifecycle(RequestBlocked, request)
             return True
 
         self._in_flight_requests += entry.num_requests
@@ -284,6 +424,7 @@ class HybridServer:
         """
         self.pull_tx_started += 1
         self.active_pull_transmissions += 1
+        started = self.env.now
         yield self.env.timeout(entry.length)
         self._in_flight_requests -= entry.num_requests
         if self.faults is not None and self.faults.downlink_lost():
@@ -291,17 +432,60 @@ class HybridServer:
             self.active_pull_transmissions -= 1
             self.pool.release(rank, demand)
             self.metrics.record_corrupted_pull()
+            if self.tracer is not None:
+                self.tracer.emit(
+                    PullServed(
+                        time=started,
+                        end=self.env.now,
+                        item_id=entry.item_id,
+                        gamma=self.tracer.take_gamma(entry),
+                        class_rank=rank,
+                        demand=demand,
+                        requests=tuple(
+                            self.tracer.rid(request) for request in entry.requests
+                        ),
+                        corrupted=True,
+                    )
+                )
             for request in entry.requests:
                 if self.env.now >= request.time + self._fault_cfg.deadline_for(
                     request.class_rank
                 ):
                     # The client reneged while the transmission was on air.
                     self.metrics.record_reneged(request)
+                    if self.tracer is not None:
+                        self._emit_lifecycle(RequestReneged, request)
                 else:
                     self._admit_pull(request)
             return
+        if self.tracer is not None:
+            self.tracer.emit(
+                PullServed(
+                    time=started,
+                    end=self.env.now,
+                    item_id=entry.item_id,
+                    gamma=self.tracer.take_gamma(entry),
+                    class_rank=rank,
+                    demand=demand,
+                    requests=tuple(
+                        self.tracer.rid(request) for request in entry.requests
+                    ),
+                    corrupted=False,
+                )
+            )
         for request in entry.requests:
             self.metrics.record_satisfied(request, self.env.now, via_push=False)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    RequestSatisfied(
+                        time=self.env.now,
+                        req=self.tracer.rid(request),
+                        item_id=request.item_id,
+                        class_rank=request.class_rank,
+                        via_push=False,
+                        delay=self.env.now - request.time,
+                    )
+                )
         self.pull_scheduler.observe_service(entry, self.env.now)
         self.pool.release(rank, demand)
         self.metrics.record_pull_service()
@@ -330,6 +514,12 @@ class HybridServer:
                 f"push scheduler built for cutoff {push_scheduler.cutoff}, "
                 f"expected {new_cutoff}"
             )
+        if self.tracer is not None:
+            self.tracer.emit(
+                CutoffChanged(
+                    time=self.env.now, old_cutoff=self.cutoff, new_cutoff=new_cutoff
+                )
+            )
         self.cutoff = new_cutoff
         self.push_scheduler = push_scheduler
 
@@ -343,6 +533,8 @@ class HybridServer:
             for request in self._push_waiters.pop(item_id):
                 self._admit_pull(request)
         self.metrics.record_queue_length(self.env.now, len(self.pull_queue))
+        if self.tracer is not None:
+            self._emit_queue_length()
         if self.pull_queue:
             self._wake()
 

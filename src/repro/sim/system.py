@@ -66,6 +66,16 @@ class HybridSystem:
         Server implementation hook — e.g.
         :class:`~repro.sim.preemptive.PreemptiveHybridServer` with
         ``{"preemption_threshold": 0.1}``.
+    tracer:
+        Optional :class:`~repro.obs.TraceRecorder` capturing every
+        scheduling decision as typed events.  Tracing consumes no
+        randomness, so results are bit-identical with or without it.
+        Only supported for the standard :class:`HybridServer` (custom
+        server classes override the instrumented methods).
+    profiler:
+        Optional :class:`~repro.obs.PhaseProfiler` collecting per-phase
+        wall-time counters (scheduler selections, metrics
+        finalisation).
     """
 
     def __init__(
@@ -79,10 +89,20 @@ class HybridSystem:
         arrivals: Optional[object] = None,
         server_cls: type[HybridServer] = HybridServer,
         server_kwargs: Optional[dict] = None,
+        tracer=None,
+        profiler=None,
     ) -> None:
+        if tracer is not None and server_cls is not HybridServer:
+            raise ValueError(
+                "tracing instruments HybridServer's decision points; custom "
+                f"server classes ({server_cls.__name__}) override them and "
+                "would record an incomplete trace"
+            )
         self.config = config
         self.seed = int(seed)
         self.warmup = float(warmup)
+        self.tracer = tracer
+        self.profiler = profiler
 
         self.env = Environment()
         self.streams = RandomStreams(seed=seed)
@@ -113,8 +133,24 @@ class HybridSystem:
             streams=self.streams,
             pull_mode=pull_mode,
             faults=self.injector,
+            tracer=tracer,
+            profiler=profiler,
             **(server_kwargs or {}),
         )
+        if tracer is not None:
+            from ..obs.manifest import config_hash
+
+            tracer.meta.update(
+                seed=self.seed,
+                warmup=self.warmup,
+                pull_mode=pull_mode,
+                cutoff=config.cutoff,
+                num_items=config.num_items,
+                class_names=config.class_names(),
+                pull_scheduler=config.pull_scheduler,
+                push_scheduler=config.push_scheduler,
+                config_hash=config_hash(config),
+            )
         self.uplink = UplinkChannel(
             env=self.env,
             deliver=self.server.submit,
@@ -133,6 +169,7 @@ class HybridSystem:
                 streams=self.streams,
             )
             self.uplink.deliver = self.front.on_delivered
+            self.front.tracer = tracer
             front = self.front
         else:
             front = self.server if self.uplink.ideal else _UplinkFront(self.uplink)
@@ -171,9 +208,18 @@ class HybridSystem:
         """
         if horizon <= self.warmup:
             raise ValueError(f"horizon {horizon} must exceed warmup {self.warmup}")
-        self.env.run(until=horizon)
-        self.watchdog.check()
-        result = self.metrics.result(horizon=horizon, seed=self.seed)
+        if self.tracer is not None:
+            self.tracer.meta["horizon"] = float(horizon)
+        if self.profiler is not None:
+            with self.profiler.phase("sim.run"):
+                self.env.run(until=horizon)
+            self.watchdog.check()
+            with self.profiler.phase("metrics.result"):
+                result = self.metrics.result(horizon=horizon, seed=self.seed)
+        else:
+            self.env.run(until=horizon)
+            self.watchdog.check()
+            result = self.metrics.result(horizon=horizon, seed=self.seed)
         return replace(
             result,
             uplink_delivered=self.uplink.delivered.count,

@@ -1,0 +1,106 @@
+"""Edge-case pins for the measurement primitives.
+
+These lock current behaviour at the awkward boundaries: percentile
+queries without retained values, zero-duration time-weighted windows,
+batch-means with degenerate batch counts, and the value-equality
+semantics that let whole results be compared bit-for-bit.
+"""
+
+import math
+
+import pytest
+
+from repro.des.monitor import Counter, Tally, TimeWeighted, batch_means_ci
+
+
+class TestTallyEdges:
+    def test_percentile_without_keep_values_raises_cleanly(self):
+        tally = Tally()
+        tally.observe(1.0)
+        with pytest.raises(RuntimeError, match="keep_values=True"):
+            tally.percentile(50)
+
+    def test_percentile_with_keep_values_but_empty_is_nan(self):
+        assert math.isnan(Tally(keep_values=True).percentile(50))
+
+    def test_value_equality_same_stream(self):
+        a, b = Tally(), Tally()
+        for value in (1.0, 2.0, 5.0):
+            a.observe(value)
+            b.observe(value)
+        assert a == b
+
+    def test_value_equality_detects_divergence(self):
+        a, b = Tally(), Tally()
+        a.observe(1.0)
+        b.observe(1.5)
+        assert a != b
+
+    def test_empty_tallies_equal(self):
+        assert Tally() == Tally()
+
+    def test_kept_values_participate_in_equality(self):
+        a, b = Tally(keep_values=True), Tally()
+        assert a != b  # one retains values, the other does not
+
+    def test_not_equal_to_other_types(self):
+        assert Tally() != 0
+        assert Tally().__eq__("x") is NotImplemented
+
+
+class TestTimeWeightedEdges:
+    def test_zero_duration_window_is_nan(self):
+        series = TimeWeighted(now=5.0)
+        assert math.isnan(series.time_average())
+        assert math.isnan(series.time_average(5.0))
+
+    def test_zero_duration_after_set_at_same_instant(self):
+        series = TimeWeighted(now=5.0, initial=3.0)
+        series.set(5.0, 7.0)
+        assert math.isnan(series.time_average(5.0))
+        assert series.level == 7.0
+        assert series.maximum == 7.0
+
+    def test_value_equality(self):
+        a, b = TimeWeighted(), TimeWeighted()
+        a.set(1.0, 2.0)
+        b.set(1.0, 2.0)
+        assert a == b
+        b.set(2.0, 9.0)
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        assert TimeWeighted() != 0
+
+
+class TestCounterEdges:
+    def test_rate_over_zero_elapsed_is_nan(self):
+        counter = Counter()
+        counter.increment()
+        assert math.isnan(counter.rate(0.0))
+
+    def test_value_equality(self):
+        a, b = Counter(), Counter()
+        assert a == b
+        a.increment()
+        assert a != b
+        b.increment()
+        assert a == b
+
+
+class TestBatchMeansEdges:
+    def test_fewer_samples_than_batches_is_nan_triple(self):
+        mean, lo, hi = batch_means_ci([1.0, 2.0, 3.0], n_batches=10)
+        assert math.isnan(mean) and math.isnan(lo) and math.isnan(hi)
+
+    def test_fewer_than_two_batches_is_nan_triple(self):
+        mean, lo, hi = batch_means_ci(list(range(100)), n_batches=1)
+        assert math.isnan(mean) and math.isnan(lo) and math.isnan(hi)
+
+    def test_zero_batches_is_nan_triple(self):
+        mean, lo, hi = batch_means_ci(list(range(100)), n_batches=0)
+        assert math.isnan(mean) and math.isnan(lo) and math.isnan(hi)
+
+    def test_empty_sample_is_nan_triple(self):
+        mean, lo, hi = batch_means_ci([], n_batches=10)
+        assert math.isnan(mean) and math.isnan(lo) and math.isnan(hi)

@@ -80,8 +80,15 @@ class TestExportAll:
     def test_export_all_figures(self, tmp_path):
         written = export_all_figures(tmp_path, scale=TINY)
         assert all(p.exists() for p in written)
-        json_files = [p for p in written if p.suffix == ".json"]
+        manifest = written[-1]
+        assert manifest.name == "manifest.json"
+        figure_json = [
+            p for p in written if p.suffix == ".json" and p is not manifest
+        ]
         csv_files = [p for p in written if p.suffix == ".csv"]
-        # json + csv pairs, at least one per registered factory.
-        assert len(json_files) == len(csv_files)
-        assert len(json_files) >= len(FIGURE_FACTORIES)
+        # json + csv pairs, at least one per registered factory, plus the
+        # provenance manifest listing every produced file.
+        assert len(figure_json) == len(csv_files)
+        assert len(figure_json) >= len(FIGURE_FACTORIES)
+        listed = json.loads(manifest.read_text())["files"]
+        assert set(listed) == {p.name for p in written[:-1]}

@@ -1,0 +1,111 @@
+"""The ``repro trace`` CLI family: record, inspect, validate, diff."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _record(tmp_path, name, seed, *extra):
+    path = tmp_path / name
+    code = main(
+        [
+            "trace", "record", str(path),
+            "--seed", str(seed),
+            "--horizon", "150", "--warmup", "15",
+            "--items", "24", "--cutoff", "8", "--clients", "30",
+            *extra,
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestRecord:
+    def test_record_writes_trace_and_manifest(self, tmp_path, capsys):
+        path = _record(tmp_path, "run.jsonl", 3)
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert path.exists()
+        manifest = json.loads((tmp_path / "run.manifest.json").read_text())
+        assert manifest["base_seed"] == 3
+        assert manifest["pull_mode"] == "serial"
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == "trace_meta"
+        assert header["seed"] == 3
+
+    def test_record_with_faults_and_profile(self, tmp_path, capsys):
+        _record(tmp_path, "faulty.jsonl", 3, "--faults", "--profile")
+        out = capsys.readouterr().out
+        assert "sim.run" in out  # profiler report printed
+
+    def test_record_no_gamma_skips_snapshots(self, tmp_path, capsys):
+        path = _record(tmp_path, "nogamma.jsonl", 3, "--no-gamma")
+        capsys.readouterr()
+        assert "gamma_snapshot" not in path.read_text()
+
+
+class TestValidate:
+    def test_valid_trace_exits_zero(self, tmp_path, capsys):
+        path = _record(tmp_path, "run.jsonl", 3)
+        capsys.readouterr()
+        assert main(["trace", "validate", str(path)]) == 0
+        assert "trace OK" in capsys.readouterr().out
+
+    def test_tampered_trace_exits_nonzero(self, tmp_path, capsys):
+        path = _record(tmp_path, "run.jsonl", 3)
+        capsys.readouterr()
+        lines = path.read_text().splitlines()
+        doctored = [
+            line
+            for line in lines
+            if json.loads(line).get("kind") != "request_arrived"
+        ]
+        path.write_text("\n".join(doctored) + "\n")
+        assert main(["trace", "validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestInspect:
+    def test_inspect_summarises(self, tmp_path, capsys):
+        path = _record(tmp_path, "run.jsonl", 3)
+        capsys.readouterr()
+        assert main(["trace", "inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "request_arrived" in out
+
+    def test_inspect_timelines(self, tmp_path, capsys):
+        path = _record(tmp_path, "run.jsonl", 3)
+        capsys.readouterr()
+        assert main(["trace", "inspect", str(path), "--timelines", "--windows", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "pull-queue length" in out
+
+
+class TestDiff:
+    def test_same_seed_traces_identical(self, tmp_path, capsys):
+        a = _record(tmp_path, "a.jsonl", 3)
+        b = _record(tmp_path, "b.jsonl", 3)
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_different_seeds_diverge(self, tmp_path, capsys):
+        a = _record(tmp_path, "a.jsonl", 3)
+        b = _record(tmp_path, "b.jsonl", 4)
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "traces differ" in out
+        assert "first divergence" in out
+
+
+class TestDispatch:
+    def test_trace_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_figure_cli_still_works(self, capsys):
+        assert main(["list"]) == 0
+        assert "available experiments" in capsys.readouterr().out

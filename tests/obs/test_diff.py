@@ -1,0 +1,55 @@
+"""Trace diffing: identity, first divergence and count deltas."""
+
+from repro.obs import QueueSampled, RequestBlocked, Trace, diff_traces
+
+
+def _trace(events, **meta):
+    return Trace(meta=meta, events=list(events))
+
+
+class TestIdentical:
+    def test_identical_traces(self):
+        events = [QueueSampled(time=1.0, length=2)]
+        diff = diff_traces(_trace(events, seed=1), _trace(list(events), seed=1))
+        assert diff.identical
+        assert "identical" in diff.summary()
+
+    def test_empty_traces_identical(self):
+        assert diff_traces(_trace([]), _trace([])).identical
+
+
+class TestDivergence:
+    def test_first_divergence_reported_with_fields(self):
+        left = _trace([QueueSampled(time=1.0, length=2)], seed=1)
+        right = _trace([QueueSampled(time=1.0, length=5)], seed=1)
+        diff = diff_traces(left, right)
+        assert not diff.identical
+        assert diff.first_divergence == 0
+        assert "length=2 vs 5" in diff.divergence_detail
+
+    def test_meta_difference_reported(self):
+        diff = diff_traces(_trace([], seed=1), _trace([], seed=2))
+        assert not diff.identical
+        assert any("seed" in d for d in diff.meta_diffs)
+
+    def test_length_mismatch_is_divergence(self):
+        left = _trace([QueueSampled(time=1.0, length=2)], seed=1)
+        right = _trace(
+            [QueueSampled(time=1.0, length=2), QueueSampled(time=2.0, length=3)],
+            seed=1,
+        )
+        diff = diff_traces(left, right)
+        assert not diff.identical
+        assert diff.first_divergence == 1
+        assert "one trace ends" in diff.divergence_detail
+        assert diff.lengths == (1, 2)
+
+    def test_count_deltas(self):
+        left = _trace([QueueSampled(time=1.0, length=2)], seed=1)
+        right = _trace(
+            [RequestBlocked(time=1.0, req=0, item_id=0, class_rank=0)], seed=1
+        )
+        diff = diff_traces(left, right)
+        assert diff.count_deltas["queue_sampled"] == (1, 0)
+        assert diff.count_deltas["request_blocked"] == (0, 1)
+        assert "count queue_sampled: 1 vs 0" in diff.summary()

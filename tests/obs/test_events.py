@@ -1,0 +1,107 @@
+"""Typed trace events: registry completeness and lossless round-trips."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    CutoffChanged,
+    GammaSnapshot,
+    PullDropped,
+    PullServed,
+    PushBroadcast,
+    QueueSampled,
+    RequestArrived,
+    RequestBlocked,
+    RequestReneged,
+    RequestRetried,
+    RequestSatisfied,
+    RequestShed,
+    TraceEventError,
+    event_from_dict,
+    event_to_dict,
+)
+
+SAMPLES = [
+    RequestArrived(
+        time=1.5, req=0, item_id=7, client_id=3, class_rank=1, priority=2.0, gen_time=1.2
+    ),
+    RequestSatisfied(time=4.0, req=0, item_id=7, class_rank=1, via_push=True, delay=2.8),
+    RequestBlocked(time=2.0, req=1, item_id=9, class_rank=2),
+    RequestReneged(time=3.0, req=2, item_id=4, class_rank=0),
+    RequestShed(time=3.5, req=3, item_id=5, class_rank=2),
+    RequestRetried(time=0.7, req=4, item_id=1, class_rank=0, attempt=1),
+    PushBroadcast(time=0.0, end=1.0, item_id=2, satisfied=(0, 1), corrupted=False),
+    PullServed(
+        time=1.0,
+        end=2.0,
+        item_id=20,
+        gamma=0.5,
+        class_rank=1,
+        demand=3.0,
+        requests=(5, 6),
+        corrupted=False,
+    ),
+    PullDropped(time=2.5, item_id=21, class_rank=2, demand=4.0, requests=(7,)),
+    QueueSampled(time=2.5, length=4),
+    CutoffChanged(time=100.0, old_cutoff=15, new_cutoff=18),
+    GammaSnapshot(time=1.0, served_item=20, scores=((20, 0.5), (21, 0.3))),
+]
+
+
+class TestRegistry:
+    def test_every_event_type_is_registered(self):
+        assert len(EVENT_TYPES) == 12
+        for event in SAMPLES:
+            assert EVENT_TYPES[event.kind] is type(event)
+
+    def test_kind_tags_are_unique(self):
+        kinds = [event.kind for event in SAMPLES]
+        assert len(set(kinds)) == len(kinds)
+
+    def test_events_are_frozen(self):
+        event = QueueSampled(time=1.0, length=3)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.length = 4
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_dict_round_trip(self, event):
+        assert event_from_dict(event_to_dict(event)) == event
+
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_json_round_trip_restores_tuples(self, event):
+        revived = event_from_dict(json.loads(json.dumps(event_to_dict(event))))
+        assert revived == event
+        for f in dataclasses.fields(event):
+            if isinstance(getattr(event, f.name), tuple):
+                assert isinstance(getattr(revived, f.name), tuple)
+
+    def test_dict_carries_kind_and_all_fields(self):
+        record = event_to_dict(SAMPLES[0])
+        assert record["kind"] == "request_arrived"
+        assert set(record) == {"kind"} | {
+            f.name for f in dataclasses.fields(RequestArrived)
+        }
+
+
+class TestMalformedRecords:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(TraceEventError, match="unknown trace event kind"):
+            event_from_dict({"kind": "no_such_event", "time": 0.0})
+
+    def test_missing_field_raises(self):
+        with pytest.raises(TraceEventError, match="malformed"):
+            event_from_dict({"kind": "queue_sampled", "time": 0.0})
+
+    def test_extra_field_raises(self):
+        with pytest.raises(TraceEventError, match="malformed"):
+            event_from_dict(
+                {"kind": "queue_sampled", "time": 0.0, "length": 1, "bogus": 2}
+            )
+
+    def test_error_is_a_value_error(self):
+        assert issubclass(TraceEventError, ValueError)

@@ -1,0 +1,86 @@
+"""Run manifests: config hashing and provenance records."""
+
+import dataclasses
+
+from repro.core import HybridConfig
+from repro.obs import (
+    build_manifest,
+    config_hash,
+    package_versions,
+    read_manifest,
+    write_manifest,
+)
+
+
+class TestConfigHash:
+    def test_deterministic(self):
+        config = HybridConfig(num_items=40, cutoff=15)
+        assert config_hash(config) == config_hash(config)
+
+    def test_equal_configs_equal_hashes(self):
+        assert config_hash(HybridConfig(num_items=40, cutoff=15)) == config_hash(
+            HybridConfig(num_items=40, cutoff=15)
+        )
+
+    def test_any_field_change_changes_hash(self):
+        base = HybridConfig(num_items=40, cutoff=15)
+        assert config_hash(base) != config_hash(dataclasses.replace(base, cutoff=16))
+        assert config_hash(base) != config_hash(
+            dataclasses.replace(base, arrival_rate=base.arrival_rate + 0.1)
+        )
+
+    def test_hash_is_hex_sha256(self):
+        digest = config_hash(HybridConfig())
+        assert len(digest) == 64
+        int(digest, 16)  # must parse as hex
+
+
+class TestPackageVersions:
+    def test_core_packages_reported(self):
+        versions = package_versions()
+        assert {"python", "numpy", "scipy", "repro"} <= set(versions)
+
+
+class TestBuildManifest:
+    def test_full_manifest_fields(self):
+        config = HybridConfig(num_items=30, cutoff=10)
+        manifest = build_manifest(
+            config=config,
+            base_seed=5,
+            seeds=[11, 22],
+            horizon=500.0,
+            warmup=50.0,
+            pull_mode="serial",
+            extra={"num_runs": 2},
+        )
+        assert manifest["config_hash"] == config_hash(config)
+        assert manifest["config"]["num_items"] == 30
+        assert manifest["base_seed"] == 5
+        assert manifest["seeds"] == [11, 22]
+        assert manifest["horizon"] == 500.0
+        assert manifest["warmup"] == 50.0
+        assert manifest["pull_mode"] == "serial"
+        assert manifest["num_runs"] == 2
+        assert "created" in manifest and "platform" in manifest
+
+    def test_minimal_manifest_omits_absent_fields(self):
+        manifest = build_manifest()
+        assert "config_hash" not in manifest
+        assert "seeds" not in manifest
+        assert "packages" in manifest
+
+    def test_write_read_round_trip(self, tmp_path):
+        manifest = build_manifest(config=HybridConfig(), base_seed=1, seeds=[9])
+        path = write_manifest(manifest, tmp_path / "manifest.json")
+        loaded = read_manifest(path)
+        assert loaded["base_seed"] == 1
+        assert loaded["seeds"] == [9]
+        assert loaded["config_hash"] == manifest["config_hash"]
+
+    def test_infinite_deadlines_survive_serialisation(self, tmp_path):
+        # Default FaultConfig carries inf deadlines; the manifest must
+        # still be valid JSON on disk.
+        path = write_manifest(
+            build_manifest(config=HybridConfig()), tmp_path / "m.json"
+        )
+        read_manifest(path)

@@ -1,0 +1,85 @@
+"""Parallel replications: per-run traces merge into one ordered stream."""
+
+import json
+
+import pytest
+
+from repro.core import HybridConfig
+from repro.obs import TraceValidator, read_manifest, read_merged, read_trace
+from repro.sim import run_replications
+
+CONFIG = HybridConfig(num_items=24, cutoff=8, arrival_rate=2.0, num_clients=30)
+
+
+@pytest.fixture(scope="module")
+def traced_replications(tmp_path_factory):
+    trace_dir = tmp_path_factory.mktemp("traces")
+    replicated = run_replications(
+        CONFIG,
+        num_runs=3,
+        horizon=150.0,
+        warmup=15.0,
+        base_seed=11,
+        n_jobs=2,
+        trace_dir=trace_dir,
+    )
+    return trace_dir, replicated
+
+
+class TestPerRunTraces:
+    def test_one_trace_per_replication(self, traced_replications):
+        _, replicated = traced_replications
+        assert replicated.trace_paths is not None
+        assert len(replicated.trace_paths) == replicated.num_runs
+
+    def test_each_trace_validates_and_matches_its_run(self, traced_replications):
+        _, replicated = traced_replications
+        for path, run in zip(replicated.trace_paths, replicated.runs):
+            trace = read_trace(path)
+            TraceValidator(trace).validate()
+            assert trace.seed == run.seed
+
+    def test_parallel_and_serial_runs_identical(self, traced_replications):
+        _, replicated = traced_replications
+        serial = run_replications(
+            CONFIG, num_runs=3, horizon=150.0, warmup=15.0, base_seed=11, n_jobs=1
+        )
+        assert serial.runs == replicated.runs
+
+
+class TestMergedStream:
+    def test_merged_stream_is_time_ordered_and_seed_attributed(
+        self, traced_replications
+    ):
+        trace_dir, replicated = traced_replications
+        merged = read_merged(trace_dir / "trace-merged.jsonl")
+        assert merged, "merged stream is empty"
+        times = [record["time"] for record in merged]
+        assert times == sorted(times)
+        seeds = {record["seed"] for record in merged}
+        assert seeds == {run.seed for run in replicated.runs}
+
+    def test_merged_record_count_is_sum_of_runs(self, traced_replications):
+        trace_dir, replicated = traced_replications
+        merged = read_merged(trace_dir / "trace-merged.jsonl")
+        total = sum(
+            len(read_trace(path).events) for path in replicated.trace_paths
+        )
+        assert len(merged) == total
+
+    def test_merged_records_are_json_lines(self, traced_replications):
+        trace_dir, _ = traced_replications
+        for line in (trace_dir / "trace-merged.jsonl").read_text().splitlines():
+            json.loads(line)
+
+
+class TestManifest:
+    def test_manifest_written_next_to_traces(self, traced_replications):
+        trace_dir, replicated = traced_replications
+        manifest = read_manifest(trace_dir / "manifest.json")
+        assert manifest["base_seed"] == 11
+        assert manifest["num_runs"] == 3
+        assert manifest["n_jobs"] == 2
+        assert manifest["seeds"] == [run.seed for run in replicated.runs]
+        assert len(manifest["config_hash"]) == 64
+        assert "packages" in manifest

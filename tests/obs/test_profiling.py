@@ -1,0 +1,69 @@
+"""PhaseProfiler accumulation, merging and reporting."""
+
+from repro.obs import PhaseProfiler
+
+
+class TestAccumulation:
+    def test_observe_accumulates_calls_and_seconds(self):
+        profiler = PhaseProfiler()
+        profiler.observe("select", 0.25)
+        profiler.observe("select", 0.50)
+        assert profiler.calls("select") == 2
+        assert profiler.seconds("select") == 0.75
+
+    def test_unseen_phase_reads_zero(self):
+        profiler = PhaseProfiler()
+        assert profiler.calls("nothing") == 0
+        assert profiler.seconds("nothing") == 0.0
+
+    def test_phase_context_manager_times(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("work"):
+            pass
+        assert profiler.calls("work") == 1
+        assert profiler.seconds("work") >= 0.0
+
+    def test_phase_records_even_on_exception(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.phase("explode"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert profiler.calls("explode") == 1
+
+    def test_phases_insertion_ordered(self):
+        profiler = PhaseProfiler()
+        profiler.observe("b", 0.1)
+        profiler.observe("a", 0.1)
+        assert profiler.phases == ["b", "a"]
+
+
+class TestMergeAndReport:
+    def test_merge_sums_disjoint_and_shared_phases(self):
+        left, right = PhaseProfiler(), PhaseProfiler()
+        left.observe("shared", 1.0)
+        left.observe("only-left", 2.0)
+        right.observe("shared", 3.0)
+        merged = left.merge(right)
+        assert merged.calls("shared") == 2
+        assert merged.seconds("shared") == 4.0
+        assert merged.seconds("only-left") == 2.0
+        # Sources are untouched.
+        assert left.calls("shared") == 1
+
+    def test_as_dict_shape(self):
+        profiler = PhaseProfiler()
+        profiler.observe("x", 0.5)
+        assert profiler.as_dict() == {"x": {"calls": 1, "seconds": 0.5}}
+
+    def test_report_sorted_by_time_desc(self):
+        profiler = PhaseProfiler()
+        profiler.observe("small", 0.1)
+        profiler.observe("big", 5.0)
+        report = profiler.report()
+        assert report.index("big") < report.index("small")
+        assert "share" in report
+
+    def test_empty_report(self):
+        assert PhaseProfiler().report() == "no phases recorded"

@@ -1,0 +1,145 @@
+"""TraceRecorder buffering, identity pinning, persistence and merging."""
+
+import gc
+
+import pytest
+
+from repro.obs import (
+    QueueSampled,
+    Trace,
+    TraceRecorder,
+    merge_trace_files,
+    merge_traces,
+    read_merged,
+    read_trace,
+    write_merged,
+    write_trace,
+)
+from repro.workload.arrivals import Request
+
+
+def _request(time=0.0, item_id=0):
+    return Request(time=time, item_id=item_id, client_id=0, class_rank=0, priority=1.0)
+
+
+class TestRequestIdentity:
+    def test_same_object_same_id(self):
+        recorder = TraceRecorder()
+        request = _request()
+        assert recorder.rid(request) == recorder.rid(request) == 0
+
+    def test_distinct_objects_distinct_ids(self):
+        recorder = TraceRecorder()
+        assert [recorder.rid(_request(item_id=i)) for i in range(5)] == list(range(5))
+
+    def test_ids_survive_garbage_collection(self):
+        # CPython reuses memory addresses of collected objects; the
+        # recorder must pin every request it has named so a later request
+        # can never alias an earlier id.
+        recorder = TraceRecorder()
+        seen = set()
+        for i in range(2000):
+            seen.add(recorder.rid(_request(time=float(i), item_id=i % 7)))
+            if i % 500 == 0:
+                gc.collect()
+        assert len(seen) == 2000
+
+    def test_gamma_note_take(self):
+        import math
+
+        recorder = TraceRecorder()
+        entry = object()
+        recorder.note_gamma(entry, 0.75)
+        assert recorder.take_gamma(entry) == 0.75
+        # A second take finds nothing (NaN): the note is consumed.
+        assert math.isnan(recorder.take_gamma(entry))
+
+
+class TestRingBuffer:
+    def test_unbounded_keeps_everything(self):
+        recorder = TraceRecorder()
+        for i in range(100):
+            recorder.emit(QueueSampled(time=float(i), length=i))
+        assert len(recorder) == 100
+        assert recorder.dropped == 0
+
+    def test_bounded_drops_oldest_and_counts(self):
+        recorder = TraceRecorder(capacity=10)
+        for i in range(25):
+            recorder.emit(QueueSampled(time=float(i), length=i))
+        assert len(recorder) == 10
+        assert recorder.dropped == 15
+        assert recorder.events[0].time == 15.0
+        assert recorder.trace().dropped == 15
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceRecorder(capacity=0)
+
+
+class TestPersistence:
+    def test_write_read_round_trip(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.meta.update(seed=42, pull_mode="serial", horizon=100.0)
+        for i in range(5):
+            recorder.emit(QueueSampled(time=float(i), length=i))
+        path = tmp_path / "trace.jsonl"
+        write_trace(recorder.trace(), path)
+        loaded = read_trace(path)
+        assert loaded.seed == 42
+        assert loaded.meta["pull_mode"] == "serial"
+        assert loaded.events == recorder.events
+        assert loaded.dropped == 0
+
+    def test_streaming_rewrites_header_on_close(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with TraceRecorder(stream=path) as recorder:
+            recorder.meta["seed"] = 7
+            recorder.emit(QueueSampled(time=1.0, length=2))
+        loaded = read_trace(path)
+        assert loaded.seed == 7
+        assert loaded.events == [QueueSampled(time=1.0, length=2)]
+
+    def test_summary_and_counts(self):
+        recorder = TraceRecorder()
+        recorder.emit(QueueSampled(time=0.0, length=1))
+        recorder.emit(QueueSampled(time=1.0, length=2))
+        trace = recorder.trace()
+        assert trace.counts() == {"queue_sampled": 2}
+        assert trace.of_kind("queue_sampled") == trace.events
+        assert "2 events" in trace.summary()
+
+
+class TestMerging:
+    def _trace(self, seed, times):
+        return Trace(
+            meta={"seed": seed},
+            events=[QueueSampled(time=t, length=0) for t in times],
+        )
+
+    def test_merge_orders_by_time_then_seed_then_seq(self):
+        merged = merge_traces(
+            [self._trace(2, [0.0, 5.0]), self._trace(1, [0.0, 2.0])]
+        )
+        assert [(r["time"], r["seed"]) for r in merged] == [
+            (0.0, 1),
+            (0.0, 2),
+            (2.0, 1),
+            (5.0, 2),
+        ]
+
+    def test_merge_preserves_per_run_order(self):
+        merged = merge_traces([self._trace(1, [3.0, 3.0, 3.0])])
+        assert [r["seq"] for r in merged] == [0, 1, 2]
+
+    def test_merge_files_and_merged_round_trip(self, tmp_path):
+        paths = []
+        for seed, times in ((1, [0.0, 4.0]), (2, [1.0])):
+            path = tmp_path / f"t{seed}.jsonl"
+            write_trace(self._trace(seed, times), path)
+            paths.append(path)
+        merged = merge_trace_files(paths)
+        assert len(merged) == 3
+        out = tmp_path / "merged.jsonl"
+        write_merged(merged, out)
+        assert read_merged(out) == merged

@@ -1,0 +1,128 @@
+"""Windowed QoS timelines reconstructed from synthetic traces."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    PullServed,
+    QueueSampled,
+    RequestSatisfied,
+    Trace,
+    TraceTimelines,
+    build_timelines,
+    render_timelines,
+)
+
+
+def _trace(events, horizon=10.0, class_names=("A", "B")):
+    return Trace(
+        meta={"horizon": horizon, "class_names": list(class_names)},
+        events=list(events),
+    )
+
+
+class TestQueueLength:
+    def test_piecewise_constant_integration(self):
+        # Level 0 over [0,5), then 4 over [5,10): window averages 0 and 4.
+        trace = _trace([QueueSampled(time=5.0, length=4)])
+        timelines = build_timelines(trace, num_windows=2)
+        assert timelines.queue_length == [0.0, 4.0]
+
+    def test_mid_window_change_is_time_weighted(self):
+        # Level 2 from t=2.5 in a [0,5) window: average 2 * 2.5/5 = 1.
+        trace = _trace([QueueSampled(time=2.5, length=2)])
+        timelines = build_timelines(trace, num_windows=2)
+        assert timelines.queue_length[0] == pytest.approx(1.0)
+        assert timelines.queue_length[1] == pytest.approx(2.0)
+
+
+class TestGammaSeries:
+    def test_window_means_and_gaps(self):
+        events = [
+            PullServed(
+                time=1.0, end=1.5, item_id=1, gamma=0.4, class_rank=0,
+                demand=1.0, requests=(), corrupted=False,
+            ),
+            PullServed(
+                time=2.0, end=2.5, item_id=2, gamma=0.8, class_rank=0,
+                demand=1.0, requests=(), corrupted=False,
+            ),
+        ]
+        timelines = build_timelines(_trace(events), num_windows=2)
+        assert timelines.served_gamma[0] == pytest.approx(0.6)
+        assert math.isnan(timelines.served_gamma[1])
+
+
+class TestPoolOccupancy:
+    def test_demand_held_over_transmission_span(self):
+        # Demand 6 held over [0,5): occupancy 6 in window 0, 0 in window 1.
+        events = [
+            PullServed(
+                time=0.0, end=5.0, item_id=1, gamma=1.0, class_rank=0,
+                demand=6.0, requests=(), corrupted=False,
+            )
+        ]
+        timelines = build_timelines(_trace(events), num_windows=2)
+        assert timelines.pool_occupancy["A"] == pytest.approx([6.0, 0.0])
+        assert timelines.pool_occupancy["B"] == [0.0, 0.0]
+
+
+class TestDelayPercentiles:
+    def test_per_class_windows(self):
+        events = [
+            RequestSatisfied(
+                time=1.0, req=0, item_id=0, class_rank=0, via_push=True, delay=2.0
+            ),
+            RequestSatisfied(
+                time=1.5, req=1, item_id=0, class_rank=0, via_push=True, delay=4.0
+            ),
+            RequestSatisfied(
+                time=6.0, req=2, item_id=0, class_rank=1, via_push=False, delay=10.0
+            ),
+        ]
+        timelines = build_timelines(_trace(events), num_windows=2)
+        assert timelines.delay_p50["A"][0] == pytest.approx(3.0)
+        assert math.isnan(timelines.delay_p50["A"][1])
+        assert timelines.delay_p95["B"][1] == pytest.approx(10.0)
+
+
+class TestFiguresAndRendering:
+    def _timelines(self):
+        return build_timelines(
+            _trace([QueueSampled(time=5.0, length=4)]), num_windows=2
+        )
+
+    @pytest.mark.parametrize("metric", ["queue", "gamma", "pool", "delay"])
+    def test_every_metric_builds_a_figure(self, metric):
+        fig = self._timelines().figure(metric)
+        assert fig.title.startswith("timeline")
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown timeline metric"):
+            self._timelines().figure("bogus")
+
+    def test_render_produces_ascii(self):
+        art = render_timelines(
+            _trace([QueueSampled(time=5.0, length=4)]),
+            metrics=("queue",),
+            num_windows=4,
+        )
+        assert "pull-queue length" in art
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        payload = self._timelines().to_dict()
+        json.dumps(payload)  # must not raise
+        assert set(payload) >= {"window", "centers", "queue_length"}
+
+    def test_round_windows_validation(self):
+        with pytest.raises(ValueError, match="num_windows"):
+            build_timelines(_trace([]), num_windows=0)
+
+    def test_horizon_inferred_without_meta(self):
+        trace = Trace(meta={}, events=[QueueSampled(time=8.0, length=1)])
+        timelines = build_timelines(trace, num_windows=2)
+        assert isinstance(timelines, TraceTimelines)
+        assert timelines.centers[-1] == pytest.approx(6.0)

@@ -1,0 +1,103 @@
+"""Regression: tracing is observation only — it never changes results.
+
+With tracing *disabled* the fast path is untouched (the golden
+equivalence suite pins that); with tracing *enabled* the recorder
+consumes no randomness and mutates no simulator state, so the
+:class:`~repro.sim.metrics.SimulationResult` must be bit-identical
+across seeds, pull modes and the fault layer — and the overhead on a
+small run must stay under 2x.
+"""
+
+import time
+
+import pytest
+
+from repro.core import FaultConfig, HybridConfig
+from repro.sim import run_single, run_traced
+
+FAULTS = FaultConfig(
+    downlink_loss=0.12,
+    uplink_loss=0.08,
+    max_retries=2,
+    backoff_base=1.0,
+    queue_capacity=25,
+    class_deadlines=(80.0, 60.0, 40.0),
+)
+
+SEEDS = (0, 7, 123)
+HORIZON = 400.0
+WARMUP = 40.0
+
+
+def _config(with_faults: bool) -> HybridConfig:
+    return HybridConfig(
+        num_items=40,
+        cutoff=15,
+        arrival_rate=1.5,
+        num_clients=50,
+        faults=FAULTS if with_faults else FaultConfig(),
+    )
+
+
+@pytest.mark.parametrize("pull_mode", ["serial", "concurrent"])
+@pytest.mark.parametrize("with_faults", [False, True], ids=["ideal", "faulty"])
+class TestBitIdenticalResults:
+    def test_traced_equals_plain_across_seeds(self, pull_mode, with_faults):
+        config = _config(with_faults)
+        for seed in SEEDS:
+            plain = run_single(
+                config, seed=seed, horizon=HORIZON, warmup=WARMUP, pull_mode=pull_mode
+            )
+            traced, trace = run_traced(
+                config, seed=seed, horizon=HORIZON, warmup=WARMUP, pull_mode=pull_mode
+            )
+            assert traced == plain, f"tracing changed the result for seed {seed}"
+            assert len(trace.events) > 0
+
+
+class TestTraceContents:
+    def test_trace_meta_describes_the_run(self):
+        config = _config(False)
+        _, trace = run_traced(config, seed=1, horizon=HORIZON, warmup=WARMUP)
+        assert trace.meta["seed"] == 1
+        assert trace.meta["horizon"] == HORIZON
+        assert trace.meta["warmup"] == WARMUP
+        assert trace.meta["pull_mode"] == "serial"
+        assert len(trace.meta["config_hash"]) == 64
+
+    def test_gamma_snapshots_can_be_disabled(self):
+        config = _config(False)
+        _, with_snaps = run_traced(config, seed=1, horizon=200.0, warmup=20.0)
+        _, without = run_traced(
+            config, seed=1, horizon=200.0, warmup=20.0, gamma_snapshots=False
+        )
+        assert with_snaps.counts().get("gamma_snapshot", 0) > 0
+        assert without.counts().get("gamma_snapshot", 0) == 0
+        # Everything else is unchanged.
+        for kind, count in without.counts().items():
+            assert with_snaps.counts()[kind] == count
+
+
+class TestOverhead:
+    def test_tracing_overhead_below_2x(self):
+        config = _config(False)
+
+        def best_of(fn, repeats=3):
+            return min(
+                _timed(fn) for _ in range(repeats)
+            )
+
+        def _timed(fn):
+            started = time.perf_counter()
+            fn()
+            return time.perf_counter() - started
+
+        plain = best_of(
+            lambda: run_single(config, seed=2, horizon=HORIZON, warmup=WARMUP)
+        )
+        traced = best_of(
+            lambda: run_traced(config, seed=2, horizon=HORIZON, warmup=WARMUP)
+        )
+        assert traced < 2.0 * plain + 0.05, (
+            f"tracing overhead too high: {traced:.4f}s vs {plain:.4f}s plain"
+        )

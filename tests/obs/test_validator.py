@@ -1,0 +1,184 @@
+"""TraceValidator: hand-built traces exercising every invariant check."""
+
+import pytest
+
+from repro.obs import (
+    GammaSnapshot,
+    PullServed,
+    PushBroadcast,
+    QueueSampled,
+    RequestArrived,
+    RequestSatisfied,
+    Trace,
+    TraceInvariantError,
+    TraceValidator,
+)
+
+
+def _arrived(time, req, item_id=0):
+    return RequestArrived(
+        time=time,
+        req=req,
+        item_id=item_id,
+        client_id=0,
+        class_rank=0,
+        priority=1.0,
+        gen_time=time,
+    )
+
+
+def _satisfied(time, req, item_id=0):
+    return RequestSatisfied(
+        time=time, req=req, item_id=item_id, class_rank=0, via_push=True, delay=1.0
+    )
+
+
+def _pull(time, end, item_id, requests=(), corrupted=False, gamma=1.0):
+    return PullServed(
+        time=time,
+        end=end,
+        item_id=item_id,
+        gamma=gamma,
+        class_rank=0,
+        demand=1.0,
+        requests=tuple(requests),
+        corrupted=corrupted,
+    )
+
+
+def _push(time, end, item_id, satisfied=()):
+    return PushBroadcast(
+        time=time, end=end, item_id=item_id, satisfied=tuple(satisfied), corrupted=False
+    )
+
+
+def _trace(events, **meta):
+    meta.setdefault("pull_mode", "serial")
+    return Trace(meta=meta, events=list(events))
+
+
+class TestConservation:
+    def test_clean_lifecycle_passes(self):
+        report = TraceValidator(
+            _trace([_arrived(0.0, 0), _satisfied(1.0, 0)])
+        ).validate()
+        assert report.ok
+        assert (report.arrived, report.satisfied, report.live) == (1, 1, 0)
+
+    def test_live_requests_balance(self):
+        report = TraceValidator(_trace([_arrived(0.0, 0), _arrived(0.5, 1)])).validate()
+        assert report.live == 2
+
+    def test_double_arrival_rejected(self):
+        with pytest.raises(TraceInvariantError, match="arrived twice"):
+            TraceValidator(_trace([_arrived(0.0, 0), _arrived(1.0, 0)])).validate()
+
+    def test_double_terminal_rejected(self):
+        with pytest.raises(TraceInvariantError, match="terminated twice"):
+            TraceValidator(
+                _trace([_arrived(0.0, 0), _satisfied(1.0, 0), _satisfied(2.0, 0)])
+            ).validate()
+
+    def test_terminal_without_arrival_rejected(self):
+        with pytest.raises(TraceInvariantError, match="without a recorded arrival"):
+            TraceValidator(_trace([_satisfied(1.0, 9)])).validate()
+
+    def test_pull_carried_request_must_be_satisfied(self):
+        events = [_arrived(0.0, 0), _pull(1.0, 2.0, 30, requests=(0,))]
+        with pytest.raises(TraceInvariantError, match="no satisfaction was recorded"):
+            TraceValidator(_trace(events)).validate()
+
+    def test_corrupted_pull_requests_stay_live(self):
+        events = [_arrived(0.0, 0), _pull(1.0, 2.0, 30, requests=(0,), corrupted=True)]
+        report = TraceValidator(_trace(events)).validate()
+        assert report.ok and report.live == 1
+
+    def test_truncated_trace_refused(self):
+        trace = _trace([_arrived(0.0, 0)])
+        trace.dropped = 3
+        with pytest.raises(TraceInvariantError, match="truncated"):
+            TraceValidator(trace).validate()
+
+    def test_strict_false_returns_report(self):
+        report = TraceValidator(_trace([_satisfied(1.0, 9)])).validate(strict=False)
+        assert not report.ok
+        assert "INVALID" in report.summary()
+
+
+class TestNonPreemption:
+    def test_alternating_channel_passes(self):
+        events = [_push(0.0, 1.0, 1), _pull(1.0, 2.0, 30), _push(2.0, 3.0, 2)]
+        assert TraceValidator(_trace(events)).validate().ok
+
+    def test_pull_overlapping_push_rejected_in_serial(self):
+        events = [_push(0.0, 2.0, 1), _pull(1.0, 3.0, 30)]
+        with pytest.raises(TraceInvariantError, match="non-preemption broken"):
+            TraceValidator(_trace(events)).validate()
+
+    def test_pull_overlap_allowed_in_concurrent(self):
+        events = [_push(0.0, 2.0, 1), _pull(1.0, 3.0, 30)]
+        report = TraceValidator(_trace(events, pull_mode="concurrent")).validate()
+        assert report.ok
+
+    def test_push_push_overlap_rejected_even_concurrent(self):
+        events = [_push(0.0, 2.0, 1), _push(1.0, 3.0, 2)]
+        with pytest.raises(TraceInvariantError, match="push slots overlap"):
+            TraceValidator(_trace(events, pull_mode="concurrent")).validate()
+
+    def test_touching_endpoints_are_not_overlap(self):
+        events = [_push(0.0, 1.0, 1), _push(1.0, 2.0, 2)]
+        assert TraceValidator(_trace(events)).validate().ok
+
+    def test_unknown_pull_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown pull mode"):
+            TraceValidator(_trace([]), pull_mode="bogus")
+
+
+class TestGammaTieBreak:
+    def test_max_score_selection_passes(self):
+        snap = GammaSnapshot(time=1.0, served_item=3, scores=((3, 0.9), (5, 0.4)))
+        report = TraceValidator(_trace([snap])).validate()
+        assert report.ok and report.selections_checked == 1
+
+    def test_non_maximal_selection_rejected(self):
+        snap = GammaSnapshot(time=1.0, served_item=5, scores=((3, 0.9), (5, 0.4)))
+        with pytest.raises(TraceInvariantError, match="scored higher"):
+            TraceValidator(_trace([snap])).validate()
+
+    def test_tie_must_go_to_smaller_id(self):
+        snap = GammaSnapshot(time=1.0, served_item=5, scores=((3, 0.9), (5, 0.9)))
+        with pytest.raises(TraceInvariantError, match="tie-break broken"):
+            TraceValidator(_trace([snap])).validate()
+
+    def test_tie_to_smaller_id_passes(self):
+        snap = GammaSnapshot(time=1.0, served_item=3, scores=((3, 0.9), (5, 0.9)))
+        assert TraceValidator(_trace([snap])).validate().ok
+
+    def test_served_item_missing_from_snapshot_rejected(self):
+        snap = GammaSnapshot(time=1.0, served_item=7, scores=((3, 0.9),))
+        with pytest.raises(TraceInvariantError, match="absent from the queue"):
+            TraceValidator(_trace([snap])).validate()
+
+
+class TestTimeAndQueues:
+    def test_emission_time_must_not_run_backwards(self):
+        events = [QueueSampled(time=5.0, length=1), QueueSampled(time=4.0, length=1)]
+        with pytest.raises(TraceInvariantError, match="time ran backwards"):
+            TraceValidator(_trace(events)).validate()
+
+    def test_interval_events_checked_at_completion(self):
+        # A push over [0, 2] is emitted at t=2; a queue sample at t=1.5
+        # recorded before it is legal (the sample was emitted earlier).
+        events = [QueueSampled(time=1.5, length=1), _push(0.0, 2.0, 1)]
+        assert TraceValidator(_trace(events)).validate().ok
+
+    def test_negative_queue_length_rejected(self):
+        with pytest.raises(TraceInvariantError, match="negative queue length"):
+            TraceValidator(
+                _trace([QueueSampled(time=0.0, length=-1)])
+            ).validate()
+
+    def test_violation_list_is_capped(self):
+        events = [_satisfied(float(i), i) for i in range(100)]
+        report = TraceValidator(_trace(events)).validate(strict=False)
+        assert len(report.violations) <= TraceValidator.MAX_REPORTED

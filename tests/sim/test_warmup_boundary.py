@@ -1,0 +1,86 @@
+"""The warm-up window convention: closed at the boundary, decided by arrival.
+
+The measured window is ``[warmup, horizon]``.  A request arriving
+*exactly* at ``warmup`` is measured — once — and a request arriving
+before ``warmup`` advances system state but never enters any tally,
+even when its satisfaction lands inside the measured window.
+"""
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector
+from repro.workload.arrivals import Request
+
+
+def _collector(warmup=10.0):
+    return MetricsCollector(
+        class_names=["A", "B", "C"],
+        class_priorities=[3.0, 2.0, 1.0],
+        warmup=warmup,
+    )
+
+
+def _request(time, class_rank=0):
+    return Request(
+        time=time, item_id=1, client_id=0, class_rank=class_rank, priority=3.0
+    )
+
+
+class TestBoundaryArrival:
+    def test_arrival_exactly_at_warmup_is_measured_once(self):
+        metrics = _collector(warmup=10.0)
+        boundary = _request(time=10.0)
+        metrics.record_arrival(boundary)
+        assert metrics.arrivals_by_class["A"].count == 1
+        metrics.record_satisfied(boundary, now=14.0, via_push=True)
+        assert metrics.delay_by_class["A"].count == 1
+        assert metrics.delay_by_class["A"].mean == pytest.approx(4.0)
+
+    def test_arrival_just_before_warmup_is_not_measured(self):
+        metrics = _collector(warmup=10.0)
+        early = _request(time=10.0 - 1e-9)
+        metrics.record_arrival(early)
+        assert metrics.arrivals_by_class["A"].count == 0
+
+    def test_boundary_blocked_and_reneged_follow_arrival_side(self):
+        metrics = _collector(warmup=10.0)
+        boundary = _request(time=10.0, class_rank=1)
+        metrics.record_arrival(boundary)
+        metrics.record_blocked(boundary)
+        assert metrics.blocked_by_class["B"].count == 1
+        early = _request(time=9.0, class_rank=1)
+        metrics.record_arrival(early)
+        metrics.record_reneged(early)
+        assert metrics.reneged_by_class["B"].count == 0
+
+
+class TestWarmupRequestsAdvanceStateOnly:
+    def test_late_satisfaction_of_warmup_request_not_tallied(self):
+        # Arrives during warm-up, satisfied well inside the measured
+        # window: state advanced (raw counts) but no tally entries.
+        metrics = _collector(warmup=10.0)
+        early = _request(time=3.0)
+        metrics.record_arrival(early)
+        metrics.record_satisfied(early, now=25.0, via_push=False)
+        assert metrics.raw_arrivals == 1
+        assert metrics.raw_satisfied == 1
+        assert metrics.arrivals_by_class["A"].count == 0
+        assert metrics.delay_by_class["A"].count == 0
+        assert metrics.delay_overall.count == 0
+        assert metrics.delay_pull.count == 0
+
+    def test_membership_is_decided_once_per_request(self):
+        # The same request object is consistently in or out across every
+        # outcome hook — no outcome can flip its measured status.
+        metrics = _collector(warmup=10.0)
+        for request in (_request(time=10.0), _request(time=9.999)):
+            metrics.record_arrival(request)
+            metrics.record_satisfied(request, now=30.0, via_push=True)
+        assert metrics.arrivals_by_class["A"].count == 1
+        assert metrics.delay_by_class["A"].count == 1
+        assert metrics.raw_satisfied == 2
+
+    def test_zero_warmup_measures_time_zero_arrival(self):
+        metrics = _collector(warmup=0.0)
+        metrics.record_arrival(_request(time=0.0))
+        assert metrics.arrivals_by_class["A"].count == 1
