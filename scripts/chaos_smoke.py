@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Chaos smoke test: kill a sweep mid-flight, resume, demand equality.
+
+The end-to-end drill behind docs/resilience.md:
+
+1. run a reference checkpointed sweep to completion (no chaos);
+2. launch the same sweep as a subprocess, wait until it has persisted
+   some-but-not-all runs, SIGKILL one of its worker processes and then
+   the driver itself — the harshest interruption a sweep can suffer;
+3. resume the killed sweep with ``--resume``;
+4. assert the resumed checkpoint is file-for-file identical to the
+   reference.
+
+Exit code 0 means the checkpoint layer honoured its contract: a kill
+costs wall-clock time, never correctness.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/chaos_smoke.py --workdir chaos/
+"""
+
+import argparse
+import json
+import math
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SWEEP_ARGS = [
+    "--runs", "6",
+    "--seed", "11",
+    "--horizon", "600",
+    "--items", "30",
+    "--cutoff", "10",
+    "--rate", "1.5",
+    "--clients", "30",
+    "--faults",
+]
+
+
+def _sweep_command(checkpoint: Path, *extra: str) -> list:
+    return [
+        sys.executable, "-m", "repro", "sweep", "run",
+        "--checkpoint", str(checkpoint), *SWEEP_ARGS, *extra,
+    ]
+
+
+def _nan_equal(left, right) -> bool:
+    """Structural equality where NaN == NaN (JSON payload comparison)."""
+    if isinstance(left, float) and isinstance(right, float):
+        return left == right or (math.isnan(left) and math.isnan(right))
+    if isinstance(left, dict) and isinstance(right, dict):
+        return left.keys() == right.keys() and all(
+            _nan_equal(left[k], right[k]) for k in left
+        )
+    if isinstance(left, list) and isinstance(right, list):
+        return len(left) == len(right) and all(
+            _nan_equal(a, b) for a, b in zip(left, right)
+        )
+    return left == right
+
+
+def _worker_pids(driver: subprocess.Popen) -> list:
+    """Best-effort list of the driver's pool-worker child pids."""
+    try:
+        out = subprocess.run(
+            ["ps", "--ppid", str(driver.pid), "-o", "pid="],
+            capture_output=True, text=True, timeout=10,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return []
+    return [int(token) for token in out.split() if token.isdigit()]
+
+
+def _kill_driver_and_workers(driver: subprocess.Popen) -> None:
+    """SIGKILL one worker, then the driver, then reap the orphans.
+
+    Worker pids must be collected *before* the driver dies — SIGKILL
+    gives the pool no chance to clean up, so surviving workers are
+    reparented to init and can no longer be found via --ppid.  Leaving
+    them alive would leak processes (and hold the script's stdout pipe
+    open past its own exit).
+    """
+    import os
+
+    workers = _worker_pids(driver)
+    if workers:
+        os.kill(workers[0], signal.SIGKILL)
+        print(f"chaos: SIGKILLed worker pid {workers[0]}")
+    driver.send_signal(signal.SIGKILL)
+    driver.wait(timeout=30)
+    for pid in workers[1:]:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir", default="chaos-smoke", help="scratch directory for checkpoints"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="worker processes for the chaos sweep"
+    )
+    args = parser.parse_args()
+    workdir = Path(args.workdir)
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    workdir.mkdir(parents=True)
+    reference = workdir / "reference"
+    chaos = workdir / "chaos"
+
+    print("[1/4] reference sweep (uninterrupted)...")
+    subprocess.run(_sweep_command(reference), check=True)
+    expected = sorted(p.name for p in reference.glob("run-*.json"))
+    if not expected:
+        print("FAIL: reference sweep persisted no runs", file=sys.stderr)
+        return 1
+
+    print(f"[2/4] chaos sweep with --jobs {args.jobs}, killing it mid-flight...")
+    driver = subprocess.Popen(_sweep_command(chaos, "--jobs", str(args.jobs)))
+    deadline = time.monotonic() + 120.0
+    killed_mid_flight = False
+    while time.monotonic() < deadline:
+        done = len(list(chaos.glob("run-*.json")))
+        if driver.poll() is not None:
+            break  # finished before we struck — resume is then a no-op
+        if 0 < done < len(expected):
+            _kill_driver_and_workers(driver)
+            killed_mid_flight = True
+            print(f"chaos: SIGKILLed driver with {done}/{len(expected)} runs on disk")
+            break
+        time.sleep(0.05)
+    else:
+        print("FAIL: chaos sweep made no progress within 120 s", file=sys.stderr)
+        driver.kill()
+        return 1
+    if not killed_mid_flight:
+        print("note: sweep finished before the kill landed; resume will be a no-op")
+
+    print("[3/4] resuming the killed sweep...")
+    subprocess.run(_sweep_command(chaos, "--jobs", str(args.jobs), "--resume"), check=True)
+
+    print("[4/4] comparing checkpoints...")
+    resumed = sorted(p.name for p in chaos.glob("run-*.json"))
+    if resumed != expected:
+        print(
+            f"FAIL: run sets differ: reference={expected} resumed={resumed}",
+            file=sys.stderr,
+        )
+        return 1
+    for name in expected:
+        left = json.loads((reference / name).read_text())
+        right = json.loads((chaos / name).read_text())
+        if not _nan_equal(left, right):
+            print(f"FAIL: {name} differs between reference and resumed sweep",
+                  file=sys.stderr)
+            return 1
+    print(f"OK: {len(expected)} runs identical after kill + resume "
+          f"(mid-flight kill: {'yes' if killed_mid_flight else 'no'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

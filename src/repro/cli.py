@@ -12,6 +12,9 @@ Usage::
     python -m repro trace validate out.jsonl
     python -m repro trace diff a.jsonl b.jsonl
 
+    python -m repro sweep run --checkpoint ck/ --runs 20 --jobs 4
+    python -m repro sweep run --checkpoint ck/ --resume   # finish a killed sweep
+
 Also installed as the ``repro-experiments`` console script.
 """
 
@@ -27,7 +30,14 @@ from typing import Optional, Sequence
 from .experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from .experiments.specs import FULL, QUICK, ExperimentScale
 
-__all__ = ["main", "build_parser", "build_trace_parser", "trace_main"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_trace_parser",
+    "trace_main",
+    "build_sweep_parser",
+    "sweep_main",
+]
 
 
 def build_trace_parser() -> argparse.ArgumentParser:
@@ -185,6 +195,124 @@ def trace_main(argv: Sequence[str]) -> int:
     return handler(args)
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Parser of the ``sweep`` subcommand family (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description=(
+            "Run replication sweeps with crash-safe checkpointing and "
+            "fault-tolerant workers (see docs/resilience.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a checkpointed, fault-tolerant replication sweep"
+    )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory (atomic per-run persistence)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint directory, skipping completed runs",
+    )
+    run.add_argument("--runs", type=int, default=5, help="number of replications")
+    run.add_argument("--seed", type=int, default=0, help="base seed of the sweep")
+    run.add_argument("--horizon", type=float, default=500.0, help="simulated horizon")
+    run.add_argument(
+        "--warmup", type=float, default=None, help="warm-up span (default 10%% of horizon)"
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (-1 = all cores); results identical for every N",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock timeout (needs --jobs > 1 to be enforced)",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="attempts beyond the first before a run is quarantined",
+    )
+    run.add_argument(
+        "--pull-mode", choices=("serial", "concurrent"), default="serial"
+    )
+    run.add_argument("--items", type=int, default=50, help="catalog size")
+    run.add_argument("--cutoff", type=int, default=15, help="push/pull cutoff K")
+    run.add_argument("--rate", type=float, default=2.0, help="aggregate arrival rate")
+    run.add_argument("--clients", type=int, default=50, help="population size")
+    run.add_argument(
+        "--faults", action="store_true", help="arm the fault-injection layer"
+    )
+    return parser
+
+
+def _sweep_run(args: argparse.Namespace) -> int:
+    from .core import FaultConfig, HybridConfig
+    from .resilience import CheckpointMismatch, ResilienceConfig
+    from .sim import run_replications
+
+    faults = FaultConfig()
+    if args.faults:
+        faults = FaultConfig(
+            downlink_loss=0.12,
+            uplink_loss=0.08,
+            max_retries=2,
+            backoff_base=1.0,
+            queue_capacity=25,
+            class_deadlines=(80.0, 60.0, 40.0),
+        )
+    config = HybridConfig(
+        num_items=args.items,
+        cutoff=args.cutoff,
+        arrival_rate=args.rate,
+        num_clients=args.clients,
+        faults=faults,
+    )
+    try:
+        resilience = ResilienceConfig(
+            timeout=args.timeout, max_retries=args.max_retries
+        )
+        aggregate = run_replications(
+            config,
+            num_runs=args.runs,
+            horizon=args.horizon,
+            warmup=args.warmup,
+            base_seed=args.seed,
+            pull_mode=args.pull_mode,
+            n_jobs=args.jobs,
+            checkpoint_dir=args.checkpoint,
+            resume=args.resume,
+            resilience=resilience,
+        )
+    except (CheckpointMismatch, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(aggregate.summary())
+    if args.checkpoint is not None:
+        print(f"checkpoint: {args.checkpoint} ({aggregate.num_runs} runs persisted)")
+    return 1 if aggregate.quarantine else 0
+
+
+def sweep_main(argv: Sequence[str]) -> int:
+    """Entry point of ``repro sweep <command>``; returns an exit code."""
+    args = build_sweep_parser().parse_args(list(argv))
+    handler = {"run": _sweep_run}[args.command]
+    return handler(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -271,6 +399,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _dispatch(argv: list) -> int:
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":

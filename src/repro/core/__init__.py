@@ -16,6 +16,7 @@ from .classifier import ClassAssignment, classify_by_quantiles, classify_by_thre
 from .config import ClassSpec, HybridConfig, ServiceRateConvention
 from .cutoff import CutoffSweep, optimize_cutoff_analytical, optimize_cutoff_simulated
 from .faults import SHEDDING_POLICIES, FaultConfig
+from .overload import OverloadConfig, admission_limits
 from .importance import (
     equivalence_weight,
     expected_importance,
@@ -40,6 +41,8 @@ __all__ = [
     "ServiceRateConvention",
     "FaultConfig",
     "SHEDDING_POLICIES",
+    "OverloadConfig",
+    "admission_limits",
     "CutoffSweep",
     "optimize_cutoff_analytical",
     "optimize_cutoff_simulated",

@@ -19,6 +19,7 @@ import numpy as np
 from ..workload.clients import ClientPopulation, ServiceClass
 from ..workload.items import ItemCatalog, LengthLaw
 from .faults import FaultConfig
+from .overload import OverloadConfig
 
 __all__ = ["ClassSpec", "HybridConfig", "ServiceRateConvention"]
 
@@ -142,6 +143,11 @@ class HybridConfig:
     #: (all rates zero, unbounded queue, no deadlines) is inert and
     #: reproduces the paper's ideal-channel behaviour exactly.
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Server-side overload controller layered on the bounded pull
+    #: queue: class-aware admission that sheds lowest-priority entries
+    #: first above a queue-occupancy threshold.  The default (no
+    #: threshold) is inert and reproduces pre-overload results exactly.
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
 
     def __post_init__(self) -> None:
         if self.num_items < 1:
@@ -177,6 +183,24 @@ class HybridConfig:
             raise ValueError(f"uplink_rate must be > 0, got {self.uplink_rate}")
         if self.uplink_buffer < 0:
             raise ValueError(f"uplink_buffer must be >= 0, got {self.uplink_buffer}")
+        if self.min_length < 1:
+            raise ValueError(f"min_length must be >= 1, got {self.min_length}")
+        if self.max_length < self.min_length:
+            raise ValueError(
+                f"max_length {self.max_length} below min_length {self.min_length}"
+            )
+        if not self.min_length <= self.mean_length <= self.max_length:
+            raise ValueError(
+                f"mean_length {self.mean_length} outside the length support "
+                f"[{self.min_length}, {self.max_length}]; no length law can "
+                "realise it"
+            )
+        if self.overload.active and self.faults.queue_capacity is None:
+            raise ValueError(
+                "overload admission control needs a bounded pull queue: set "
+                "faults.queue_capacity (the admission threshold is a fraction "
+                "of that capacity) or disable it with OverloadConfig()"
+            )
 
     # -- derived objects -----------------------------------------------------
     def build_catalog(self) -> ItemCatalog:
@@ -260,6 +284,10 @@ class HybridConfig:
     def with_faults(self, faults: FaultConfig) -> "HybridConfig":
         """Copy of this config under a different fault/degradation model."""
         return replace(self, faults=faults)
+
+    def with_overload(self, overload: OverloadConfig) -> "HybridConfig":
+        """Copy of this config under a different overload controller."""
+        return replace(self, overload=overload)
 
     def with_bandwidth_shares(self, shares: Sequence[float]) -> "HybridConfig":
         """Copy with new per-class bandwidth shares (rank order)."""

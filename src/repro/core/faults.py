@@ -133,9 +133,11 @@ class FaultConfig:
             raise ValueError(f"uplink_loss must be in [0, 1), got {self.uplink_loss}")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
-        if self.backoff_base <= 0:
-            raise ValueError(f"backoff_base must be > 0, got {self.backoff_base}")
-        if self.backoff_cap < self.backoff_base:
+        if not (math.isfinite(self.backoff_base) and self.backoff_base > 0):
+            raise ValueError(
+                f"backoff_base must be finite and > 0, got {self.backoff_base}"
+            )
+        if math.isnan(self.backoff_cap) or self.backoff_cap < self.backoff_base:
             raise ValueError(
                 f"backoff_cap {self.backoff_cap} below backoff_base {self.backoff_base}"
             )
@@ -154,9 +156,11 @@ class FaultConfig:
                 f"unknown shedding policy {self.shedding_policy!r}; "
                 f"known: {list(SHEDDING_POLICIES)}"
             )
-        if self.watchdog_interval <= 0:
+        if not (math.isfinite(self.watchdog_interval) and self.watchdog_interval > 0):
             raise ValueError(
-                f"watchdog_interval must be > 0, got {self.watchdog_interval}"
+                f"watchdog_interval must be finite and > 0, got "
+                f"{self.watchdog_interval}; the periodic audit sleeps exactly "
+                "this long between checks"
             )
 
     # -- derived Gilbert-Elliott parameters ----------------------------------

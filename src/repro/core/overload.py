@@ -1,0 +1,91 @@
+"""Overload-control configuration: class-aware admission under saturation.
+
+The bounded pull queue of :class:`~repro.core.faults.FaultConfig` sheds
+*after* the queue is already full — by then every class has paid the
+queueing delay of a saturated buffer.  :class:`OverloadConfig` describes
+the server-side admission controller (:mod:`repro.sim.overload`) that
+engages *before* saturation: above a queue-occupancy threshold, new pull
+entries from the lowest service classes are refused first, in strict
+rank order, so the premium class keeps finding room while best-effort
+admissions are thinned out.  This is the classic trunk-reservation /
+layered-admission defense against flash crowds, specialised to the
+paper's A > B > C service classification.
+
+``OverloadConfig()`` (no threshold) is inert: the simulator takes
+exactly the pre-overload code paths and results are bit-for-bit
+identical to a system without the controller.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["OverloadConfig", "admission_limits"]
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Class-aware admission-control knobs (inert by default).
+
+    Attributes
+    ----------
+    threshold:
+        Occupancy fraction of the pull-queue capacity at which the
+        *lowest* class stops being admitted.  Classes in between are cut
+        off at occupancies interpolated linearly up to the full
+        capacity, which is always reserved for the most important class
+        (rank 0).  ``None`` disables the controller entirely.  Must lie
+        in ``(0, 1]``; ``1.0`` grants every class the full capacity
+        (the controller is then redundant with capacity shedding).
+    """
+
+    threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.threshold is not None:
+            if not math.isfinite(self.threshold):
+                raise ValueError(
+                    f"overload threshold must be finite, got {self.threshold}"
+                )
+            if not 0 < self.threshold <= 1:
+                raise ValueError(
+                    f"overload threshold must be in (0, 1], got {self.threshold}; "
+                    "use None to disable admission control"
+                )
+
+    @property
+    def active(self) -> bool:
+        """Whether admission control is armed."""
+        return self.threshold is not None
+
+
+def admission_limits(threshold: float, capacity: int, num_classes: int) -> tuple[int, ...]:
+    """Per-class queue-occupancy admission limits (rank order).
+
+    Rank 0 (most important) may always fill the whole queue; the lowest
+    rank is cut off once occupancy reaches ``threshold * capacity``;
+    intermediate ranks interpolate linearly.  The limits are therefore
+    monotonically non-increasing in rank, which *provably* preserves the
+    paper's A > B > C ordering under saturation: whenever a class is
+    refused admission, every less important class is refused too.
+
+    A new pull entry of class rank ``r`` is admitted iff the current
+    queue occupancy is strictly below ``limits[r]``.
+    """
+    if not 0 < threshold <= 1:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    if num_classes < 1:
+        raise ValueError(f"num_classes must be >= 1, got {num_classes}")
+    if num_classes == 1:
+        return (capacity,)
+    limits = []
+    for rank in range(num_classes):
+        fraction = threshold + (1.0 - threshold) * (num_classes - 1 - rank) / (
+            num_classes - 1
+        )
+        limits.append(max(1, math.ceil(capacity * fraction)))
+    return tuple(limits)

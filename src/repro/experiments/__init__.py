@@ -15,6 +15,7 @@ from .compare import analytical_vs_simulation
 from .cost import cost_vs_cutoff, optimal_cost_vs_alpha
 from .degradation import DEFAULT_LOSS_GRID, degradation_under_loss
 from .delay import delay_vs_alpha, delay_vs_cutoff
+from .flash_crowd import SurgeSpec, flash_crowd
 from .export import (
     FIGURE_FACTORIES,
     export_all_figures,
@@ -46,6 +47,8 @@ __all__ = [
     "optimal_cost_vs_alpha",
     "DEFAULT_LOSS_GRID",
     "degradation_under_loss",
+    "SurgeSpec",
+    "flash_crowd",
     "delay_vs_alpha",
     "delay_vs_cutoff",
     "FIGURE_FACTORIES",

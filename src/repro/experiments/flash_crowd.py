@@ -1,0 +1,301 @@
+"""E14 — flash-crowd admission: overload control under a demand surge.
+
+Drives the pull-only system (the regime of the degradation study, E13)
+through a three-phase nonstationary workload — steady state, a flash
+crowd that multiplies the aggregate request rate, then recovery — with
+the class-aware overload controller
+(:class:`~repro.sim.overload.OverloadController`) armed on the bounded
+pull queue.  The controller caps lower-priority queue occupancy above a
+threshold, so during the surge refusals concentrate on Class C while
+Class A keeps near-full access to the queue.
+
+The claim under test (the admission-control side of the paper's
+differentiated-QoS story): **during the surge, Class A's blocking and
+delay degrade strictly less than Class C's.**  Per-phase metrics come
+from the event trace — each request is bucketed by the phase its
+*generation time* falls in — and are aggregated across independent
+replications with Student-t confidence half-widths.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, replace
+
+from ..core import OverloadConfig
+from ..core.faults import FaultConfig
+from ..sim.runner import _mean_ci, spawn_seeds
+from .specs import ExperimentScale, paper_config
+from .tables import render_table
+
+__all__ = ["SurgeSpec", "flash_crowd", "DEFAULT_SURGE_MULTIPLIER"]
+
+#: How many times the steady-state arrival rate the flash crowd brings.
+#: Chosen so the surge saturates the bounded queue without refusing so
+#: much Class-C traffic that its surviving-delay statistic collapses to
+#: the lucky few (survivorship censoring at higher multipliers).
+DEFAULT_SURGE_MULTIPLIER = 3.0
+
+#: Steady-state aggregate rate — the stable pull-only operating point of
+#: the degradation study (ρ ≈ 0.6), so only the surge saturates.
+BASE_RATE = 0.45
+
+#: Pull-queue bound shared with E13.
+QUEUE_CAPACITY = 20
+
+#: Occupancy fraction above which lower-priority admissions are cut.
+OVERLOAD_THRESHOLD = 0.4
+
+
+@dataclass(frozen=True)
+class SurgeSpec:
+    """A piecewise-constant arrival-rate profile for a flash crowd.
+
+    Attributes
+    ----------
+    starts:
+        Absolute start time of each phase.  The first phase must start
+        at 0 and starts must be strictly increasing — the phases tile
+        the horizon in order.
+    rates:
+        Aggregate arrival rate during each phase.
+    labels:
+        Human-readable phase names for the report.
+    """
+
+    starts: tuple[float, ...] = ()
+    rates: tuple[float, ...] = ()
+    labels: tuple[str, ...] = ("before", "surge", "after")
+
+    def __post_init__(self) -> None:
+        if not self.starts:
+            raise ValueError("a surge needs at least one phase")
+        if not (len(self.starts) == len(self.rates) == len(self.labels)):
+            raise ValueError(
+                f"starts, rates and labels must align: got {len(self.starts)} "
+                f"starts, {len(self.rates)} rates, {len(self.labels)} labels"
+            )
+        if self.starts[0] != 0.0:
+            raise ValueError(
+                f"the first surge phase must start at t=0 (it defines the "
+                f"steady state), got start={self.starts[0]}"
+            )
+        for i in range(1, len(self.starts)):
+            if self.starts[i] <= self.starts[i - 1]:
+                raise ValueError(
+                    f"surge phase start times must be strictly increasing: "
+                    f"phase {i} ({self.labels[i]!r}) starts at {self.starts[i]} "
+                    f"but phase {i - 1} ({self.labels[i - 1]!r}) starts at "
+                    f"{self.starts[i - 1]}; reorder the phases or drop the "
+                    f"duplicate"
+                )
+        for label, rate in zip(self.labels, self.rates):
+            if not (math.isfinite(rate) and rate > 0):
+                raise ValueError(
+                    f"phase {label!r} needs a positive finite arrival rate, "
+                    f"got {rate!r}"
+                )
+
+    @classmethod
+    def flash(
+        cls,
+        horizon: float,
+        base_rate: float = BASE_RATE,
+        multiplier: float = DEFAULT_SURGE_MULTIPLIER,
+    ) -> "SurgeSpec":
+        """Canonical before/surge/after profile over ``horizon``.
+
+        The surge occupies the middle fifth of the horizon at
+        ``multiplier ×`` the steady-state rate.
+        """
+        return cls(
+            starts=(0.0, 0.4 * horizon, 0.6 * horizon),
+            rates=(base_rate, multiplier * base_rate, base_rate),
+        )
+
+    def workload_phases(self, horizon: float, theta: float):
+        """Materialise the profile as :class:`WorkloadPhase` objects.
+
+        The phases exactly tile ``[0, horizon]`` (no cycling), all with
+        the same item popularity law ``theta`` — a flash crowd changes
+        *how much* is asked for, not *what*.
+        """
+        from ..workload.nonstationary import WorkloadPhase
+
+        if horizon <= self.starts[-1]:
+            raise ValueError(
+                f"horizon {horizon} ends before the last surge phase starts "
+                f"({self.starts[-1]}); extend the horizon or shift the phases"
+            )
+        ends = list(self.starts[1:]) + [float(horizon)]
+        return [
+            WorkloadPhase(duration=end - start, theta=theta, rate=rate)
+            for start, end, rate in zip(self.starts, ends, self.rates)
+        ]
+
+    def phase_index(self, t: float) -> int:
+        """Index of the phase that contains time ``t``."""
+        return max(0, bisect_right(self.starts, t) - 1)
+
+
+def _flash_run(config, spec: SurgeSpec, seed: int, horizon: float, warmup: float):
+    """One replication; returns per-(phase, class) counts from the trace.
+
+    Result: ``stats[phase_label][class_name] = {"arrivals": int,
+    "refused": int, "delays": [float, ...]}`` over requests generated at
+    or after ``warmup``, plus the run's
+    :class:`~repro.sim.metrics.SimulationResult`.
+    """
+    from ..des import RandomStreams
+    from ..obs import TraceRecorder
+    from ..obs.events import (
+        RequestArrived,
+        RequestBlocked,
+        RequestReneged,
+        RequestSatisfied,
+        RequestShed,
+    )
+    from ..sim.system import HybridSystem
+    from ..workload.nonstationary import PhasedArrivalProcess
+
+    # Build workload pieces exactly as HybridSystem would, then swap in
+    # the surging demand law (same wiring as the adaptive experiment).
+    streams = RandomStreams(seed=seed)
+    arrivals = PhasedArrivalProcess(
+        catalog=config.build_catalog(),
+        population=config.build_population(),
+        phases=spec.workload_phases(horizon, theta=config.theta),
+        default_rate=config.arrival_rate,
+        rng=streams.stream("arrivals"),
+    )
+    tracer = TraceRecorder(gamma_snapshots=False)
+    system = HybridSystem(
+        config, seed=seed, warmup=warmup, arrivals=arrivals, tracer=tracer
+    )
+    result = system.run(horizon)
+    class_names = config.class_names()
+    stats: dict = {
+        label: {
+            name: {"arrivals": 0, "refused": 0, "delays": []}
+            for name in class_names
+        }
+        for label in spec.labels
+    }
+    where: dict[int, tuple[str, str]] = {}  # req -> (phase label, class name)
+    for event in tracer.trace().events:
+        if isinstance(event, RequestArrived):
+            if event.gen_time < warmup:
+                continue
+            label = spec.labels[spec.phase_index(event.gen_time)]
+            name = class_names[event.class_rank]
+            where[event.req] = (label, name)
+            stats[label][name]["arrivals"] += 1
+        elif isinstance(event, (RequestBlocked, RequestShed, RequestReneged)):
+            if event.req in where:
+                label, name = where[event.req]
+                stats[label][name]["refused"] += 1
+        elif isinstance(event, RequestSatisfied):
+            if event.req in where:
+                label, name = where[event.req]
+                stats[label][name]["delays"].append(event.delay)
+    return stats, result
+
+
+def flash_crowd(
+    scale: ExperimentScale,
+    spec: SurgeSpec | None = None,
+    threshold: float = OVERLOAD_THRESHOLD,
+    theta: float = 0.20,
+) -> str:
+    """Run the flash-crowd study and render the per-phase report.
+
+    Uses the degradation study's stable pull-only operating point
+    (``K = 0``, ``alpha = 0``, low skew) so the surge — not the steady
+    state — is what saturates the bounded pull queue and triggers the
+    overload controller.
+    """
+    horizon = max(scale.horizon, 1_000.0)
+    warmup = scale.warmup_fraction * horizon
+    if spec is None:
+        spec = SurgeSpec.flash(horizon)
+    config = replace(paper_config(theta=theta, alpha=0.0, cutoff=0), arrival_rate=BASE_RATE)
+    config = config.with_faults(
+        FaultConfig(
+            queue_capacity=QUEUE_CAPACITY, shedding_policy="drop-lowest-priority"
+        )
+    ).with_overload(OverloadConfig(threshold=threshold))
+    class_names = config.class_names()
+    seeds = spawn_seeds(23, scale.num_seeds)
+    per_seed = []
+    rejections = 0
+    for seed in seeds:
+        stats, result = _flash_run(config, spec, seed, horizon, warmup)
+        per_seed.append(stats)
+        rejections += result.overload_rejections
+
+    def across_seeds(label: str, name: str, fn) -> tuple[float, float]:
+        return _mean_ci([fn(s[label][name]) for s in per_seed])
+
+    def blocking_of(cell) -> float:
+        return cell["refused"] / cell["arrivals"] if cell["arrivals"] else math.nan
+
+    def delay_of(cell) -> float:
+        return (
+            sum(cell["delays"]) / len(cell["delays"]) if cell["delays"] else math.nan
+        )
+
+    lines = [
+        f"Flash-crowd admission (pull-only K=0, capacity={QUEUE_CAPACITY}, "
+        f"overload threshold={threshold}, surge x{spec.rates[1] / spec.rates[0]:g} "
+        f"over [{spec.starts[1]:g}, {spec.starts[2]:g}), "
+        f"{scale.num_seeds} replication(s))"
+    ]
+    surge_label = spec.labels[1]
+    blocking: dict[tuple[str, str], tuple[float, float]] = {}
+    delay: dict[tuple[str, str], tuple[float, float]] = {}
+    for label in spec.labels:
+        rows = []
+        for name in class_names:
+            arrivals = sum(s[label][name]["arrivals"] for s in per_seed)
+            b, bh = across_seeds(label, name, blocking_of)
+            d, dh = across_seeds(label, name, delay_of)
+            blocking[label, name] = (b, bh)
+            delay[label, name] = (d, dh)
+            rows.append(
+                [
+                    name,
+                    arrivals,
+                    f"{b:6.2%} ± {0.0 if math.isnan(bh) else bh:.2%}",
+                    f"{d:7.2f} ± {0.0 if math.isnan(dh) else dh:.2f}",
+                ]
+            )
+        lines.append(
+            f"\nphase {label!r}:\n"
+            + render_table(["class", "arrivals", "blocking", "delay"], rows)
+        )
+    premium, best_effort = class_names[0], class_names[-1]
+    surge_block_gap = (
+        blocking[surge_label, best_effort][0] - blocking[surge_label, premium][0]
+    )
+    degrade = {
+        name: delay[surge_label, name][0] / delay[spec.labels[0], name][0]
+        for name in (premium, best_effort)
+    }
+    lines.append(
+        f"\noverload rejections across runs: {rejections} "
+        f"(all absorbed below Class {premium}'s admission limit)"
+    )
+    lines.append(
+        f"surge blocking: Class {premium} "
+        f"{blocking[surge_label, premium][0]:.2%} < Class {best_effort} "
+        f"{blocking[surge_label, best_effort][0]:.2%}: "
+        f"{'yes' if surge_block_gap > 0 else 'NO'}"
+    )
+    lines.append(
+        f"surge delay degradation (surge/before): Class {premium} "
+        f"{degrade[premium]:.2f}x < Class {best_effort} "
+        f"{degrade[best_effort]:.2f}x: "
+        f"{'yes' if degrade[premium] < degrade[best_effort] else 'NO'}"
+    )
+    return "\n".join(lines)

@@ -26,6 +26,7 @@ from .ablations import (
 from .ascii_plot import ascii_plot
 from .degradation import degradation_under_loss
 from .delay import delay_vs_alpha, delay_vs_cutoff
+from .flash_crowd import flash_crowd
 from .specs import FULL, QUICK, ExperimentScale
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "experiment_ids"]
@@ -304,6 +305,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Section 5 (extension)",
             "Per-class delay degradation vs downlink loss under bounded-queue shedding",
             _degradation,
+        ),
+        Experiment(
+            "flash-crowd",
+            "Section 5 (extension)",
+            "Class-aware overload admission under a flash-crowd arrival surge",
+            flash_crowd,
         ),
     )
 }

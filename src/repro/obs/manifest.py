@@ -25,6 +25,7 @@ __all__ = [
     "build_manifest",
     "write_manifest",
     "read_manifest",
+    "manifest_mismatches",
 ]
 
 
@@ -111,3 +112,20 @@ def write_manifest(manifest: dict, path: str | Path) -> Path:
 def read_manifest(path: str | Path) -> dict:
     """Load a manifest written by :func:`write_manifest`."""
     return json.loads(Path(path).read_text())
+
+
+def manifest_mismatches(manifest: dict, **expected) -> list[str]:
+    """Compare provenance fields of ``manifest`` against expected values.
+
+    Returns one human-readable line per mismatching key (empty list =
+    full agreement).  Used by consumers that must *refuse* to mix
+    artifacts from different experiments — e.g. the sweep checkpoint
+    store, which rejects a resume when the stored ``config_hash``
+    disagrees with the config being resumed.
+    """
+    problems = []
+    for key, want in expected.items():
+        have = manifest.get(key)
+        if have != want:
+            problems.append(f"{key}: checkpoint has {have!r}, run requests {want!r}")
+    return problems

@@ -1,0 +1,349 @@
+"""Fault-tolerant parallel execution of replication sweeps.
+
+:class:`~repro.sim.parallel.ParallelExecutor` assumes a well-behaved
+world: every worker returns, nothing hangs, nothing crashes.  Long
+sweeps on shared machines violate all three.  :class:`ResilientExecutor`
+keeps the same contract — order-preserving map of a pure function over
+payloads — but adds:
+
+* **per-run wall-clock timeouts** (a hung worker cannot stall the sweep;
+  the pool is killed and rebuilt, innocent in-flight runs are resubmitted
+  without being charged an attempt);
+* **bounded retry** with a fresh worker after a crash
+  (:class:`~concurrent.futures.process.BrokenProcessPool`), an exception,
+  or a timeout;
+* a **quarantine list** for runs that keep failing: after
+  ``max_retries + 1`` attempts a run is recorded as a
+  :class:`QuarantinedRun` — reported in the sweep summary, never
+  silently dropped;
+* **clean ``KeyboardInterrupt`` shutdown**: already-finished results are
+  harvested (so the checkpoint callback can flush them) before the pool
+  is torn down with ``cancel_futures=True``.
+
+Results stay bit-identical to the plain executor: retries re-run the
+same pure ``(config, seed)`` payload, and completion order never affects
+the returned task-order tuple.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..sim.parallel import resolve_jobs
+
+__all__ = [
+    "ResilienceConfig",
+    "QuarantinedRun",
+    "SweepOutcome",
+    "ResilientExecutor",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-tolerance policy of a :class:`ResilientExecutor`.
+
+    Parameters
+    ----------
+    timeout:
+        Per-run wall-clock budget in seconds, measured from submission
+        to a worker.  ``None`` disables the timeout.  Only enforced when
+        running on a process pool (``n_jobs > 1``); the serial path has
+        no safe way to interrupt a hung in-process run.
+    max_retries:
+        How many times a failing run is re-attempted before quarantine.
+        ``0`` quarantines after the first failure; the total attempt
+        budget per run is ``max_retries + 1``.
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and not (
+            math.isfinite(self.timeout) and self.timeout > 0
+        ):
+            raise ValueError(
+                f"per-run timeout must be a positive finite number of seconds, "
+                f"got {self.timeout!r}; use timeout=None to disable the deadline"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0 (0 quarantines a run after its first "
+                f"failure), got {self.max_retries}"
+            )
+
+    @property
+    def attempts_allowed(self) -> int:
+        """Total attempts granted to each run before quarantine."""
+        return self.max_retries + 1
+
+
+@dataclass(frozen=True)
+class QuarantinedRun:
+    """A run that exhausted its attempt budget and was set aside.
+
+    Quarantined runs are excluded from aggregates but always surface in
+    :meth:`~repro.sim.runner.ReplicatedResult.summary` — a sweep never
+    silently loses a seed.
+    """
+
+    seed: int
+    attempts: int
+    error: str
+
+    def describe(self) -> str:
+        """One-line report for sweep summaries."""
+        return f"seed {self.seed}: gave up after {self.attempts} attempt(s) — {self.error}"
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Everything a resilient sweep produced.
+
+    ``results`` is in task order with ``None`` holes for quarantined
+    runs; ``quarantined`` lists those holes explicitly.
+    """
+
+    results: tuple
+    quarantined: tuple[QuarantinedRun, ...] = ()
+
+    @property
+    def completed(self) -> tuple:
+        """Successful results only, still in task order."""
+        return tuple(value for value in self.results if value is not None)
+
+
+class ResilientExecutor:
+    """Order-preserving, fault-tolerant map over a process pool.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes; ``1`` runs in-process (retries still apply,
+        timeouts cannot be enforced), ``-1`` uses every core.
+    resilience:
+        The :class:`ResilienceConfig` policy; defaults to one retry and
+        no timeout.
+    """
+
+    def __init__(
+        self, n_jobs: int = 1, resilience: Optional[ResilienceConfig] = None
+    ) -> None:
+        self.n_jobs = resolve_jobs(n_jobs)
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+
+    def run(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        keys: Optional[Sequence[int]] = None,
+        on_result: Optional[Callable[[int, object], None]] = None,
+    ) -> SweepOutcome:
+        """Apply ``fn`` to every payload with retries and quarantine.
+
+        Parameters
+        ----------
+        fn:
+            Module-level pure function (picklable for pool dispatch).
+        payloads:
+            One argument per run.
+        keys:
+            Stable per-run identity (the spawned seed in sweeps), used
+            for quarantine reports and the ``on_result`` callback;
+            defaults to the payload index.
+        on_result:
+            Called as ``on_result(key, value)`` the moment each run
+            completes — the checkpoint hook.  Runs completed before a
+            ``KeyboardInterrupt`` are still delivered to it, so an
+            interrupted sweep flushes everything it finished.
+        """
+        payloads = list(payloads)
+        keys = list(keys) if keys is not None else list(range(len(payloads)))
+        if len(keys) != len(payloads):
+            raise ValueError(
+                f"keys and payloads must align: {len(keys)} keys for "
+                f"{len(payloads)} payloads"
+            )
+        if self.n_jobs == 1 or len(payloads) <= 1:
+            return self._run_serial(fn, payloads, keys, on_result)
+        return self._run_parallel(fn, payloads, keys, on_result)
+
+    # -- serial ----------------------------------------------------------------
+    def _run_serial(self, fn, payloads, keys, on_result) -> SweepOutcome:
+        allowed = self.resilience.attempts_allowed
+        results: list = [None] * len(payloads)
+        quarantined: list[QuarantinedRun] = []
+        for index, payload in enumerate(payloads):
+            for attempt in range(1, allowed + 1):
+                try:
+                    value = fn(payload)
+                except Exception as exc:  # KeyboardInterrupt propagates
+                    if attempt == allowed:
+                        quarantined.append(
+                            QuarantinedRun(
+                                seed=keys[index],
+                                attempts=attempt,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                else:
+                    results[index] = value
+                    if on_result is not None:
+                        on_result(keys[index], value)
+                    break
+        return SweepOutcome(results=tuple(results), quarantined=tuple(quarantined))
+
+    # -- parallel --------------------------------------------------------------
+    def _run_parallel(self, fn, payloads, keys, on_result) -> SweepOutcome:
+        cfg = self.resilience
+        allowed = cfg.attempts_allowed
+        results: list = [None] * len(payloads)
+        quarantined: dict[int, QuarantinedRun] = {}
+        attempts = [0] * len(payloads)
+        pending: deque[int] = deque(range(len(payloads)))
+        in_flight: dict = {}  # future -> (index, deadline | None)
+        pool: Optional[ProcessPoolExecutor] = None
+
+        def record(index: int, value) -> None:
+            results[index] = value
+            if on_result is not None:
+                on_result(keys[index], value)
+
+        def failed(index: int, error: str) -> None:
+            if attempts[index] >= allowed:
+                quarantined[index] = QuarantinedRun(
+                    seed=keys[index], attempts=attempts[index], error=error
+                )
+            else:
+                pending.append(index)
+
+        def harvest(future, index: int) -> None:
+            try:
+                value = future.result()
+            except BrokenProcessPool:
+                raise
+            except Exception as exc:
+                failed(index, f"{type(exc).__name__}: {exc}")
+            else:
+                record(index, value)
+
+        try:
+            while pending or in_flight:
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=self.n_jobs)
+                # Sliding window: at most n_jobs in flight; the deadline
+                # starts at submission so queue wait never counts.
+                while pending and len(in_flight) < self.n_jobs:
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    deadline = (
+                        None if cfg.timeout is None else time.monotonic() + cfg.timeout
+                    )
+                    in_flight[pool.submit(fn, payloads[index])] = (index, deadline)
+                wait_for = None
+                if cfg.timeout is not None:
+                    nearest = min(deadline for _, deadline in in_flight.values())
+                    wait_for = max(0.0, nearest - time.monotonic())
+                done, _ = futures_wait(
+                    in_flight, timeout=wait_for, return_when=FIRST_COMPLETED
+                )
+                broken = False
+                for future in done:
+                    index, _ = in_flight.pop(future)
+                    try:
+                        harvest(future, index)
+                    except BrokenProcessPool as exc:
+                        # A worker died mid-run.  The pool is unusable and
+                        # we cannot tell which run killed it, so every
+                        # in-flight run is charged one attempt.
+                        broken = True
+                        failed(index, f"worker crashed: {type(exc).__name__}: {exc}")
+                if broken:
+                    for future, (index, _) in list(in_flight.items()):
+                        failed(index, "worker pool broke while this run was in flight")
+                    in_flight.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                    continue
+                if cfg.timeout is None or not in_flight:
+                    continue
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_, deadline) in in_flight.items()
+                    if deadline <= now and not future.done()
+                ]
+                if not expired:
+                    continue
+                # Collect runs that finished between wait() and now before
+                # tearing anything down.
+                for future in [
+                    f for f in list(in_flight) if f.done() and f not in expired
+                ]:
+                    index, _ = in_flight.pop(future)
+                    try:
+                        harvest(future, index)
+                    except BrokenProcessPool as exc:
+                        failed(index, f"worker crashed: {type(exc).__name__}: {exc}")
+                # A hung worker holds the pool's task pipe; the only safe
+                # remedy is to kill the whole pool and rebuild it.
+                for future in expired:
+                    index, _ = in_flight.pop(future)
+                    failed(
+                        index,
+                        f"run exceeded the {cfg.timeout:g}s wall-clock timeout",
+                    )
+                for future, (index, _) in in_flight.items():
+                    # Innocent casualties of the pool kill: resubmit
+                    # without charging an attempt.
+                    attempts[index] -= 1
+                    pending.append(index)
+                in_flight.clear()
+                self._kill_pool(pool)
+                pool = None
+        except KeyboardInterrupt:
+            # Flush whatever already finished so the checkpoint keeps it,
+            # then let the finally block cancel the rest.
+            for future, (index, _) in list(in_flight.items()):
+                if future.done() and not future.cancelled():
+                    try:
+                        record(index, future.result())
+                    except Exception:
+                        pass
+            raise
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        ordered = tuple(quarantined[index] for index in sorted(quarantined))
+        return SweepOutcome(results=tuple(results), quarantined=ordered)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Forcibly terminate a pool whose workers may be hung.
+
+        ``shutdown`` alone would block on the hung worker; terminating
+        the processes first guarantees progress.  ``_processes`` is a
+        private attribute, so degrade gracefully if it disappears.
+        """
+        processes = list(getattr(pool, "_processes", {}).values())
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead process
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"<ResilientExecutor n_jobs={self.n_jobs} "
+            f"timeout={self.resilience.timeout} "
+            f"max_retries={self.resilience.max_retries}>"
+        )

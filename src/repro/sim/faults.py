@@ -252,6 +252,11 @@ class ConservationWatchdog:
         Optional client-side fault front (generated/backoff accounting).
     seed:
         Replication seed, attached to violations for reproducibility.
+    config_hash:
+        Content hash of the run's :class:`~repro.core.config.HybridConfig`
+        (see :func:`repro.obs.manifest.config_hash`), embedded in every
+        violation message so a broken ledger is reproducible from the
+        message alone: ``(config_hash, seed)`` pins the exact run.
     interval:
         Period of continuous checks; ``None`` disables the periodic
         process (explicit :meth:`check` calls still work).
@@ -265,6 +270,7 @@ class ConservationWatchdog:
         uplink=None,
         front=None,
         seed: Optional[int] = None,
+        config_hash: Optional[str] = None,
         interval: Optional[float] = None,
     ) -> None:
         self.env = env
@@ -273,6 +279,7 @@ class ConservationWatchdog:
         self.uplink = uplink
         self.front = front
         self.seed = seed
+        self.config_hash = config_hash
         self.checks_performed = 0
         self.last_snapshot: Optional[ConservationSnapshot] = None
         if interval is not None:
@@ -310,6 +317,19 @@ class ConservationWatchdog:
             in_flight=self.server.in_flight_pull_requests,
         )
 
+    def _provenance(self) -> str:
+        """``[seed=... config=...]`` suffix making violations reproducible.
+
+        The pair identifies the exact run: re-simulating the config with
+        that hash under the same seed replays the violated ledger.
+        """
+        parts = []
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        if self.config_hash is not None:
+            parts.append(f"config={self.config_hash}")
+        return f" [{' '.join(parts)}]" if parts else ""
+
     # -- checks ----------------------------------------------------------------
     def check(self) -> ConservationSnapshot:
         """Audit both invariants now; raises :class:`InvariantViolation`."""
@@ -318,8 +338,7 @@ class ConservationWatchdog:
         self.last_snapshot = snap
         if snap.balance != 0:
             raise InvariantViolation(
-                f"request conservation violated: {snap.describe()}"
-                + (f" [seed={self.seed}]" if self.seed is not None else ""),
+                f"request conservation violated: {snap.describe()}" + self._provenance(),
                 invariant="request-conservation",
                 snapshot=snap,
                 seed=self.seed,
@@ -333,7 +352,8 @@ class ConservationWatchdog:
         if active != implied or active < 0:
             raise InvariantViolation(
                 f"pull service accounting broken at t={snap.time:g}: "
-                f"{active} active transmissions but started-completed-corrupted={implied}",
+                f"{active} active transmissions but started-completed-corrupted={implied}"
+                + self._provenance(),
                 invariant="no-preemption",
                 snapshot=snap,
                 seed=self.seed,
@@ -341,7 +361,7 @@ class ConservationWatchdog:
         if self.server.pull_mode == "serial" and active > 1:
             raise InvariantViolation(
                 f"no-preemption violated at t={snap.time:g}: {active} concurrent pull "
-                "transmissions in serial mode",
+                "transmissions in serial mode" + self._provenance(),
                 invariant="no-preemption",
                 snapshot=snap,
                 seed=self.seed,

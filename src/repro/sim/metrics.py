@@ -69,6 +69,11 @@ class MetricsCollector:
         self.arrivals_by_class: dict[str, Counter] = {n: Counter() for n in class_names}
         self.reneged_by_class: dict[str, Counter] = {n: Counter() for n in class_names}
         self.shed_by_class: dict[str, Counter] = {n: Counter() for n in class_names}
+        #: Subset of sheds decided by the overload admission controller
+        #: (before the queue was full), per class.
+        self.overload_rejected_by_class: dict[str, Counter] = {
+            n: Counter() for n in class_names
+        }
         self.queue_length = TimeWeighted()
         self.push_broadcasts = Counter()
         self.pull_services = Counter()
@@ -141,6 +146,20 @@ class MetricsCollector:
         self.raw_shed += 1
         if self._measured(request):
             self.shed_by_class[self.class_names[request.class_rank]].increment()
+
+    def record_overload_rejected(self, request: Request) -> None:
+        """A request was refused admission by the overload controller.
+
+        Counts as a shed for conservation and per-class loss statistics
+        (the request terminates unserved) *and* in the dedicated overload
+        counters so admission-control losses stay distinguishable from
+        capacity shedding.
+        """
+        self.record_shed(request)
+        if self._measured(request):
+            self.overload_rejected_by_class[
+                self.class_names[request.class_rank]
+            ].increment()
 
     def record_uplink_abandoned(self, request: Request) -> None:
         """A request was lost at the uplink after exhausting its retries."""
@@ -216,6 +235,12 @@ class MetricsCollector:
             shed_requests=sum(c.count for c in self.shed_by_class.values()),
             per_class_reneged={n: c.count for n, c in self.reneged_by_class.items()},
             per_class_shed={n: c.count for n, c in self.shed_by_class.items()},
+            overload_rejections=sum(
+                c.count for c in self.overload_rejected_by_class.values()
+            ),
+            per_class_overload_rejected={
+                n: c.count for n, c in self.overload_rejected_by_class.items()
+            },
             client_retries=self.client_retries.count,
             corrupted_push_slots=self.corrupted_push_slots.count,
             corrupted_pull_transmissions=self.corrupted_pull_transmissions.count,
@@ -255,6 +280,10 @@ class SimulationResult:
     shed_requests: int = 0
     per_class_reneged: Mapping[str, int] = field(default_factory=dict)
     per_class_shed: Mapping[str, int] = field(default_factory=dict)
+    #: Sheds decided by the overload admission controller (a subset of
+    #: ``shed_requests``; the queue still had room when they were refused).
+    overload_rejections: int = 0
+    per_class_overload_rejected: Mapping[str, int] = field(default_factory=dict)
     #: Uplink retry attempts made by clients after lost offers.
     client_retries: int = 0
     #: Downlink-corrupted push slots (waiters catch a later cycle).
@@ -281,8 +310,14 @@ class SimulationResult:
             f"mean pull-queue length {self.mean_queue_length:.2f}",
         ]
         if self.reneged_requests or self.shed_requests:
+            overload = (
+                f" (overload-rejected={self.overload_rejections})"
+                if self.overload_rejections
+                else ""
+            )
             lines.append(
-                f"degradation: reneged={self.reneged_requests} shed={self.shed_requests}"
+                f"degradation: reneged={self.reneged_requests} "
+                f"shed={self.shed_requests}{overload}"
             )
         if self.corrupted_push_slots or self.corrupted_pull_transmissions or self.client_retries:
             lines.append(

@@ -1,0 +1,75 @@
+"""Server-side overload controller: class-aware admission to the pull queue.
+
+Runtime half of :class:`~repro.core.overload.OverloadConfig`.  The
+controller sits in front of the bounded pull queue and decides, per
+incoming request that would open a *new* queue entry, whether the
+request's service class is still admitted at the current occupancy.
+Folding into an existing entry is always allowed — it costs no queue
+slot and satisfies an extra client for free.
+
+Admission limits come from
+:func:`~repro.core.overload.admission_limits`: rank 0 (Class A) may fill
+the whole queue, the lowest rank is refused once occupancy reaches
+``threshold * capacity``, intermediate ranks interpolate.  Because the
+limits are monotonically non-increasing in rank, a refused class implies
+every less important class is refused too — the A > B > C ordering of
+the paper survives saturation by construction.
+
+The controller is deterministic and draws no randomness, so arming it
+never perturbs the simulator's random streams; with the inert default
+config it is never constructed at all and results are bit-identical to
+the pre-overload code path.
+"""
+
+from __future__ import annotations
+
+from ..core.overload import OverloadConfig, admission_limits
+
+__all__ = ["OverloadController"]
+
+
+class OverloadController:
+    """Decides pull-queue admission per service class under load.
+
+    Parameters
+    ----------
+    config:
+        The armed overload configuration (``config.active`` must hold).
+    capacity:
+        The pull queue's entry capacity (``faults.queue_capacity``).
+    num_classes:
+        Number of service classes (rank order).
+    """
+
+    def __init__(self, config: OverloadConfig, capacity: int, num_classes: int) -> None:
+        if not config.active:
+            raise ValueError("OverloadController needs an armed OverloadConfig")
+        self.config = config
+        self.capacity = int(capacity)
+        #: Per-rank occupancy limits; a new entry of rank ``r`` is
+        #: admitted iff the queue currently holds fewer than
+        #: ``limits[r]`` entries.
+        self.limits: tuple[int, ...] = admission_limits(
+            config.threshold, capacity, num_classes
+        )
+        #: Total admission refusals decided by this controller.
+        self.rejections = 0
+        #: Refusals per class rank.
+        self.rejections_by_rank = [0] * num_classes
+
+    def admits(self, class_rank: int, occupancy: int) -> bool:
+        """Whether a new entry of ``class_rank`` is admitted right now.
+
+        Counts the refusal when the answer is ``False``.
+        """
+        if occupancy < self.limits[class_rank]:
+            return True
+        self.rejections += 1
+        self.rejections_by_rank[class_rank] += 1
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"<OverloadController limits={self.limits} "
+            f"rejections={self.rejections}>"
+        )

@@ -62,13 +62,28 @@ class ParallelExecutor:
         self._pool: Optional[ProcessPoolExecutor] = None
 
     def map(self, fn: Callable[[_T], _R], tasks: Iterable[_T]) -> list[_R]:
-        """Apply ``fn`` to every task, returning results in task order."""
+        """Apply ``fn`` to every task, returning results in task order.
+
+        If the map is aborted — ``KeyboardInterrupt``, a worker raising,
+        the pool breaking — the pool is shut down in the ``finally``
+        block with ``cancel_futures=True`` so queued work is dropped and
+        worker processes are reaped instead of leaking past the
+        interrupt (they would otherwise keep simulating orphaned tasks).
+        """
         tasks = list(tasks)
         if self.n_jobs == 1 or len(tasks) <= 1:
             return [fn(task) for task in tasks]
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.n_jobs)
-        return list(self._pool.map(fn, tasks))
+        completed = False
+        try:
+            results = list(self._pool.map(fn, tasks))
+            completed = True
+            return results
+        finally:
+            if not completed and self._pool is not None:
+                pool, self._pool = self._pool, None
+                pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         """Shut down the worker pool (no-op if none was created)."""

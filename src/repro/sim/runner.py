@@ -166,6 +166,11 @@ class ReplicatedResult:
     #: also holds the merged stream (``trace-merged.jsonl``) and the run
     #: manifest (``manifest.json``).
     trace_paths: tuple[str, ...] | None = None
+    #: Runs that exhausted their retry budget under a resilient sweep
+    #: (tuple of :class:`~repro.resilience.QuarantinedRun`).  Quarantined
+    #: runs are excluded from every aggregate above but always listed in
+    #: :meth:`summary` — a sweep never silently drops a seed.
+    quarantine: tuple = ()
 
     def __post_init__(self) -> None:
         if not self.runs:
@@ -243,7 +248,18 @@ class ReplicatedResult:
         reneged = sum(r.reneged_requests for r in self.runs)
         shed = sum(r.shed_requests for r in self.runs)
         if reneged or shed:
-            lines.append(f"degradation: reneged={reneged} shed={shed} (totals across runs)")
+            line = f"degradation: reneged={reneged} shed={shed}"
+            rejected = sum(r.overload_rejections for r in self.runs)
+            if rejected:
+                line += f" (overload-rejected={rejected})"
+            lines.append(line + " (totals across runs)")
+        if self.quarantine:
+            lines.append(
+                f"quarantined: {len(self.quarantine)} run(s) excluded from the "
+                "aggregates after repeated failure"
+            )
+            for entry in self.quarantine:
+                lines.append(f"  {entry.describe()}")
         return "\n".join(lines)
 
 
@@ -256,6 +272,9 @@ def run_replications(
     pull_mode: PullMode = "serial",
     n_jobs: int = 1,
     trace_dir: str | Path | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    resilience=None,
 ) -> ReplicatedResult:
     """Run ``num_runs`` independent replications of ``config``.
 
@@ -275,9 +294,46 @@ def run_replications(
     (``trace-merged.jsonl``) plus a run manifest (``manifest.json``).
     Results stay bit-identical with tracing on or off and for every
     ``n_jobs``.
+
+    ``checkpoint_dir`` arms crash-safe sweeps: every completed
+    replication is persisted atomically
+    (:class:`~repro.resilience.CheckpointStore`), and ``resume=True``
+    skips the runs already on disk — the resumed aggregate is
+    bit-identical to an uninterrupted sweep because runs are pure
+    functions of ``(config, seed)``.  A checkpoint of a *different*
+    sweep (config hash, base seed, horizon, warm-up or pull mode
+    mismatch) refuses to resume with
+    :class:`~repro.resilience.CheckpointMismatch`.
+
+    ``resilience`` (a :class:`~repro.resilience.ResilienceConfig`) arms
+    fault-tolerant execution: per-run timeouts, crash retries, and a
+    quarantine list on the returned aggregate.  With both
+    ``checkpoint_dir`` and ``resilience`` unset the driver takes the
+    exact legacy code path, so default calls stay bit-identical to
+    earlier releases.
     """
     if num_runs < 1:
         raise ValueError(f"num_runs must be >= 1, got {num_runs}")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
+    if checkpoint_dir is not None or resilience is not None:
+        if trace_dir is not None:
+            raise ValueError(
+                "trace_dir cannot be combined with checkpointed/resilient sweeps; "
+                "record traces in a plain run_replications call"
+            )
+        return _run_replications_resilient(
+            config,
+            num_runs=num_runs,
+            horizon=horizon,
+            warmup=warmup,
+            base_seed=base_seed,
+            pull_mode=pull_mode,
+            n_jobs=n_jobs,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            resilience=resilience,
+        )
     seeds = spawn_seeds(base_seed, num_runs)
     trace_paths: Optional[list[Path]] = None
     if trace_dir is not None:
@@ -322,6 +378,90 @@ def run_replications(
     )
 
 
+def _open_checkpoint(
+    checkpoint_dir, config, base_seed, seeds, horizon, warmup, pull_mode, resume, extra
+):
+    """Create/verify a sweep checkpoint store; ``None`` when not armed."""
+    if checkpoint_dir is None:
+        return None
+    # Lazy import: repro.resilience imports sim.metrics, so a top-level
+    # import here would be circular.
+    from ..resilience import CheckpointStore
+
+    store = CheckpointStore(checkpoint_dir)
+    store.open(
+        config,
+        base_seed=base_seed,
+        seeds=seeds,
+        horizon=horizon,
+        warmup=warmup,
+        pull_mode=pull_mode,
+        resume=resume,
+        extra=extra,
+    )
+    return store
+
+
+def _run_replications_resilient(
+    config: HybridConfig,
+    num_runs: int,
+    horizon: float,
+    warmup: float | None,
+    base_seed: int,
+    pull_mode: PullMode,
+    n_jobs: int,
+    checkpoint_dir,
+    resume: bool,
+    resilience,
+) -> ReplicatedResult:
+    """Checkpointed / fault-tolerant body of :func:`run_replications`."""
+    from ..resilience import ResilienceConfig, ResilientExecutor
+
+    seeds = spawn_seeds(base_seed, num_runs)
+    store = _open_checkpoint(
+        checkpoint_dir,
+        config,
+        base_seed,
+        seeds,
+        horizon,
+        warmup,
+        pull_mode,
+        resume,
+        extra={"num_runs": num_runs, "n_jobs": n_jobs},
+    )
+    by_seed: dict[int, SimulationResult] = {}
+    if store is not None and resume:
+        for seed in store.completed_seeds() & set(seeds):
+            loaded = store.load(seed)
+            if loaded is not None:
+                by_seed[seed] = loaded
+    todo = [seed for seed in seeds if seed not in by_seed]
+    quarantine: tuple = ()
+    if todo:
+        executor = ResilientExecutor(
+            n_jobs=n_jobs,
+            resilience=resilience if resilience is not None else ResilienceConfig(),
+        )
+        on_result = None if store is None else store.save
+        outcome = executor.run(
+            _replication_task,
+            [(config, seed, horizon, warmup, pull_mode, None) for seed in todo],
+            keys=todo,
+            on_result=on_result,
+        )
+        for seed, value in zip(todo, outcome.results):
+            if value is not None:
+                by_seed[seed] = value
+        quarantine = outcome.quarantined
+    runs = tuple(by_seed[seed] for seed in seeds if seed in by_seed)
+    if not runs:
+        raise RuntimeError(
+            f"every replication was quarantined ({len(quarantine)} of "
+            f"{num_runs}); first failure: {quarantine[0].describe()}"
+        )
+    return ReplicatedResult(runs=runs, quarantine=quarantine)
+
+
 def run_until_precision(
     config: HybridConfig,
     rel_halfwidth: float = 0.05,
@@ -333,6 +473,9 @@ def run_until_precision(
     base_seed: int = 0,
     pull_mode: PullMode = "serial",
     n_jobs: int = 1,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    resilience=None,
 ) -> ReplicatedResult:
     """Add replications until the CI half-width is small enough.
 
@@ -355,11 +498,20 @@ def run_until_precision(
         ``"overall_delay"``, ``"total_cost"``, or a per-class selector
         ``"delay:<class>"``, ``"cost:<class>"`` or ``"blocking:<class>"``
         (e.g. ``"delay:A"``, ``"blocking:C"``).
+    checkpoint_dir, resume, resilience:
+        Crash-safe / fault-tolerant sweep controls, exactly as in
+        :func:`run_replications`.  Because the stopping rule consumes
+        runs strictly in seed order, a resumed sequential sweep stops at
+        the same run and returns a bit-identical aggregate.  Seeds whose
+        runs are quarantined are skipped by the stopping rule and listed
+        on the result.  Both unset → the exact legacy code path.
     """
     if not 0 < rel_halfwidth < 1:
         raise ValueError(f"rel_halfwidth must be in (0,1), got {rel_halfwidth}")
     if not 1 <= min_runs <= max_runs:
         raise ValueError(f"need 1 <= min_runs <= max_runs, got {min_runs}, {max_runs}")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
 
     _per_class = {"delay": ReplicatedResult.delay, "cost": ReplicatedResult.cost,
                   "blocking": ReplicatedResult.blocking}
@@ -378,6 +530,24 @@ def run_until_precision(
                 )
             return _per_class[kind](agg, class_name)
         raise ValueError(f"unknown metric {metric!r}")
+
+    if checkpoint_dir is not None or resilience is not None:
+        return _run_until_precision_resilient(
+            config,
+            precision=precision,
+            rel_halfwidth=rel_halfwidth,
+            metric=metric,
+            min_runs=min_runs,
+            max_runs=max_runs,
+            horizon=horizon,
+            warmup=warmup,
+            base_seed=base_seed,
+            pull_mode=pull_mode,
+            n_jobs=n_jobs,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            resilience=resilience,
+        )
 
     tasks = [
         (config, seed, horizon, warmup, pull_mode, None)
@@ -407,3 +577,125 @@ def run_until_precision(
                 buffered.extend(executor.map(_replication_task, batch))
                 next_task += len(batch)
             runs.append(buffered.popleft())
+
+
+def _run_until_precision_resilient(
+    config: HybridConfig,
+    precision,
+    rel_halfwidth: float,
+    metric: str,
+    min_runs: int,
+    max_runs: int,
+    horizon: float,
+    warmup: float | None,
+    base_seed: int,
+    pull_mode: PullMode,
+    n_jobs: int,
+    checkpoint_dir,
+    resume: bool,
+    resilience,
+) -> ReplicatedResult:
+    """Checkpointed / fault-tolerant body of :func:`run_until_precision`.
+
+    The stopping rule still consumes runs one at a time in seed order,
+    so for a given config the stop point — and therefore the returned
+    aggregate — is identical whether the sweep ran uninterrupted or was
+    resumed from any checkpoint prefix.
+    """
+    from ..resilience import ResilienceConfig, ResilientExecutor
+
+    seeds = spawn_seeds(base_seed, max_runs)
+    store = _open_checkpoint(
+        checkpoint_dir,
+        config,
+        base_seed,
+        seeds,
+        horizon,
+        warmup,
+        pull_mode,
+        resume,
+        extra={"max_runs": max_runs, "metric": metric, "n_jobs": n_jobs},
+    )
+    executor = ResilientExecutor(
+        n_jobs=n_jobs,
+        resilience=resilience if resilience is not None else ResilienceConfig(),
+    )
+    available: dict[int, SimulationResult] = {}
+    if store is not None and resume:
+        for seed in store.completed_seeds() & set(seeds):
+            loaded = store.load(seed)
+            if loaded is not None:
+                available[seed] = loaded
+    quarantine: list = []
+    quarantined_seeds: set[int] = set()
+    on_result = None if store is None else store.save
+    consumed = 0
+
+    def next_result() -> SimulationResult | None:
+        """Next run in seed order, simulating a batch on demand.
+
+        Returns ``None`` when the seed schedule is exhausted; seeds that
+        end up quarantined are skipped.
+        """
+        nonlocal consumed
+        while consumed < len(seeds):
+            seed = seeds[consumed]
+            if seed in available:
+                consumed += 1
+                return available.pop(seed)
+            if seed in quarantined_seeds:
+                consumed += 1
+                continue
+            batch = [
+                s
+                for s in seeds[consumed:]
+                if s not in available and s not in quarantined_seeds
+            ][: executor.n_jobs]
+            outcome = executor.run(
+                _replication_task,
+                [(config, s, horizon, warmup, pull_mode, None) for s in batch],
+                keys=batch,
+                on_result=on_result,
+            )
+            for s, value in zip(batch, outcome.results):
+                if value is not None:
+                    available[s] = value
+            for entry in outcome.quarantined:
+                quarantine.append(entry)
+                quarantined_seeds.add(entry.seed)
+        return None
+
+    runs: list[SimulationResult] = []
+    exhausted = False
+    while len(runs) < min_runs:
+        result = next_result()
+        if result is None:
+            exhausted = True
+            break
+        runs.append(result)
+    if not runs:
+        raise RuntimeError(
+            f"every replication was quarantined ({len(quarantine)} of "
+            f"{max_runs}); first failure: {quarantine[0].describe()}"
+        )
+    while True:
+        aggregate = ReplicatedResult(runs=tuple(runs))
+        mean, half = precision(aggregate)
+        if (
+            len(runs) >= min_runs
+            and not math.isnan(half)
+            and mean != 0
+            and half / abs(mean) <= rel_halfwidth
+        ):
+            return ReplicatedResult(
+                runs=tuple(runs), precision_met=True, quarantine=tuple(quarantine)
+            )
+        if exhausted or len(runs) >= max_runs:
+            return ReplicatedResult(
+                runs=tuple(runs), precision_met=False, quarantine=tuple(quarantine)
+            )
+        result = next_result()
+        if result is None:
+            exhausted = True
+            continue
+        runs.append(result)

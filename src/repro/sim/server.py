@@ -53,6 +53,7 @@ from ..workload.items import ItemCatalog
 from .bandwidth_pool import BandwidthPool
 from .faults import select_shed_victim
 from .metrics import MetricsCollector
+from .overload import OverloadController
 
 __all__ = ["HybridServer", "PullMode"]
 
@@ -134,6 +135,15 @@ class HybridServer:
         #: Current cut-off point; mutable to support the §3 periodic
         #: re-optimisation (see :meth:`reconfigure_cutoff`).
         self.cutoff = config.cutoff
+        #: Class-aware admission controller; ``None`` (inert default
+        #: config) keeps the exact pre-overload admission path.
+        self.overload: OverloadController | None = None
+        if config.overload.active:
+            self.overload = OverloadController(
+                config.overload,
+                capacity=config.faults.queue_capacity,
+                num_classes=len(config.class_specs),
+            )
         self.pull_queue = PullQueue(catalog)
         if pull_scheduler.incremental:
             # Mutation-invariant scores: serve selections from the queue's
@@ -235,8 +245,23 @@ class HybridServer:
         When the queue is at capacity and the request would open a new
         entry, the configured shedding policy sacrifices either a queued
         entry (all its pending requests are shed) or the incoming request.
+
+        An armed overload controller is consulted first: above its
+        class-specific occupancy limit a new entry is refused outright
+        (lowest classes first), before the queue ever reaches capacity.
+        Requests folding into an existing entry bypass the controller —
+        they consume no queue slot.
         """
         capacity = self._fault_cfg.queue_capacity
+        if (
+            self.overload is not None
+            and self.pull_queue.peek(request.item_id) is None
+            and not self.overload.admits(request.class_rank, len(self.pull_queue))
+        ):
+            self.metrics.record_overload_rejected(request)
+            if self.tracer is not None:
+                self._emit_lifecycle(RequestShed, request)
+            return
         if (
             capacity is not None
             and self.pull_queue.peek(request.item_id) is None

@@ -137,9 +137,12 @@ class HybridSystem:
             profiler=profiler,
             **(server_kwargs or {}),
         )
-        if tracer is not None:
-            from ..obs.manifest import config_hash
+        from ..obs.manifest import config_hash
 
+        #: Content hash of ``config`` — stamped on traces, checkpoints
+        #: and watchdog violations so any artifact names its exact run.
+        self.config_hash = config_hash(config)
+        if tracer is not None:
             tracer.meta.update(
                 seed=self.seed,
                 warmup=self.warmup,
@@ -149,7 +152,7 @@ class HybridSystem:
                 class_names=config.class_names(),
                 pull_scheduler=config.pull_scheduler,
                 push_scheduler=config.push_scheduler,
-                config_hash=config_hash(config),
+                config_hash=self.config_hash,
             )
         self.uplink = UplinkChannel(
             env=self.env,
@@ -180,6 +183,7 @@ class HybridSystem:
             uplink=self.uplink,
             front=self.front,
             seed=self.seed,
+            config_hash=self.config_hash,
             interval=config.faults.watchdog_interval if config.faults.active else None,
         )
         if trace is not None and arrivals is not None:

@@ -65,6 +65,30 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             HybridConfig(num_clients=2)
 
+    def test_length_law_support(self):
+        # Hardened in PR 4 alongside the overload validation sweep: an
+        # impossible length support must fail at construction, not when
+        # the workload sampler first divides by it.
+        with pytest.raises(ValueError, match="min_length"):
+            HybridConfig(min_length=0)
+        with pytest.raises(ValueError, match="max_length"):
+            HybridConfig(min_length=3, max_length=2, mean_length=3.0)
+        with pytest.raises(ValueError, match="mean_length"):
+            HybridConfig(min_length=1, max_length=5, mean_length=6.0)
+        with pytest.raises(ValueError, match="mean_length"):
+            HybridConfig(min_length=2, max_length=5, mean_length=1.0)
+
+    def test_overload_requires_bounded_queue(self):
+        from repro.core import FaultConfig, OverloadConfig
+
+        with pytest.raises(ValueError, match="bounded pull queue"):
+            HybridConfig(overload=OverloadConfig(threshold=0.5))
+        # With a capacity the same config constructs fine.
+        HybridConfig(
+            overload=OverloadConfig(threshold=0.5),
+            faults=FaultConfig(queue_capacity=10),
+        )
+
 
 class TestDerivedObjects:
     def test_catalog_matches_config(self):

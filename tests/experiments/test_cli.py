@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_sweep_parser, main
 
 
 class TestParser:
@@ -51,3 +51,59 @@ class TestExportCommand:
         assert "exported" in captured
         assert any(out.glob("*.json"))
         assert any(out.glob("*.csv"))
+
+
+class TestSweepCommand:
+    """The resilient-sweep CLI surface added in PR 4."""
+
+    SMALL = [
+        "--runs", "2", "--horizon", "80", "--items", "20",
+        "--cutoff", "6", "--rate", "1.0", "--clients", "20",
+    ]
+
+    def test_sweep_parser_defaults(self):
+        args = build_sweep_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.checkpoint is None
+        assert not args.resume
+        assert args.jobs == 1 and args.max_retries == 1
+
+    def test_sweep_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_sweep_parser().parse_args([])
+
+    def test_sweep_runs_without_checkpoint(self, capsys):
+        assert main(["sweep", "run", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "replications" in out
+
+    def test_sweep_checkpoints_and_resumes(self, capsys, tmp_path):
+        ck = tmp_path / "ck"
+        assert main(["sweep", "run", *self.SMALL, "--checkpoint", str(ck)]) == 0
+        first = capsys.readouterr().out
+        assert "checkpoint:" in first
+        assert len(list(ck.glob("run-*.json"))) == 2
+        # Resume over a complete checkpoint recomputes nothing and
+        # reports the identical aggregate.
+        assert (
+            main(["sweep", "run", *self.SMALL, "--checkpoint", str(ck), "--resume"])
+            == 0
+        )
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_sweep_resume_refuses_mismatched_config(self, capsys, tmp_path):
+        ck = tmp_path / "ck"
+        assert main(["sweep", "run", *self.SMALL, "--checkpoint", str(ck)]) == 0
+        capsys.readouterr()
+        changed = [arg if arg != "6" else "8" for arg in self.SMALL]
+        assert (
+            main(["sweep", "run", *changed, "--checkpoint", str(ck), "--resume"])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "config_hash" in err
+
+    def test_sweep_resume_without_checkpoint_rejected(self, capsys):
+        assert main(["sweep", "run", *self.SMALL, "--resume"]) == 2
+        assert "checkpoint" in capsys.readouterr().err

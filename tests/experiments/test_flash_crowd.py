@@ -1,0 +1,78 @@
+"""Tests for the flash-crowd admission experiment (PR 4).
+
+Validation must catch malformed surge profiles at construction, and a
+tiny end-to-end run must emit the per-phase report with both verdict
+lines.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentScale, SurgeSpec, flash_crowd
+from repro.experiments.flash_crowd import BASE_RATE, DEFAULT_SURGE_MULTIPLIER
+
+
+class TestSurgeSpecValidation:
+    def test_flash_profile_is_canonical(self):
+        spec = SurgeSpec.flash(1000.0)
+        assert spec.starts == (0.0, 400.0, 600.0)
+        assert spec.rates[1] == DEFAULT_SURGE_MULTIPLIER * BASE_RATE
+        assert spec.labels == ("before", "surge", "after")
+
+    def test_rejects_empty_profile(self):
+        with pytest.raises(ValueError, match="at least one phase"):
+            SurgeSpec(starts=(), rates=(), labels=())
+
+    def test_rejects_misaligned_lengths(self):
+        with pytest.raises(ValueError, match="align"):
+            SurgeSpec(starts=(0.0, 10.0), rates=(1.0,), labels=("a", "b"))
+
+    def test_rejects_late_first_phase(self):
+        with pytest.raises(ValueError, match="start at t=0"):
+            SurgeSpec(
+                starts=(5.0, 10.0, 20.0), rates=(1.0, 2.0, 1.0)
+            )
+
+    @pytest.mark.parametrize("starts", [(0.0, 10.0, 10.0), (0.0, 20.0, 10.0)])
+    def test_rejects_non_increasing_starts(self, starts):
+        # Satellite hardening: duplicated or reordered phase starts must
+        # fail loudly instead of silently producing zero-length phases.
+        with pytest.raises(ValueError, match="strictly increasing"):
+            SurgeSpec(starts=starts, rates=(1.0, 2.0, 1.0))
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.nan, math.inf])
+    def test_rejects_bad_rates(self, bad):
+        with pytest.raises(ValueError, match="positive finite"):
+            SurgeSpec(starts=(0.0, 10.0, 20.0), rates=(1.0, bad, 1.0))
+
+    def test_workload_phases_tile_the_horizon(self):
+        spec = SurgeSpec.flash(1000.0)
+        phases = spec.workload_phases(1000.0, theta=0.2)
+        assert [p.duration for p in phases] == [400.0, 200.0, 400.0]
+        assert sum(p.duration for p in phases) == 1000.0
+        assert [p.rate for p in phases] == list(spec.rates)
+
+    def test_workload_phases_reject_short_horizon(self):
+        spec = SurgeSpec.flash(1000.0)
+        with pytest.raises(ValueError, match="horizon"):
+            spec.workload_phases(500.0, theta=0.2)
+
+    def test_phase_index(self):
+        spec = SurgeSpec.flash(1000.0)
+        assert spec.phase_index(0.0) == 0
+        assert spec.phase_index(399.9) == 0
+        assert spec.phase_index(400.0) == 1
+        assert spec.phase_index(599.9) == 1
+        assert spec.phase_index(600.0) == 2
+        assert spec.phase_index(999.0) == 2
+
+
+class TestFlashCrowdReport:
+    def test_tiny_run_emits_report(self):
+        report = flash_crowd(ExperimentScale(horizon=1_000.0, num_seeds=1))
+        for label in ("before", "surge", "after"):
+            assert f"phase {label!r}:" in report
+        assert "overload rejections across runs:" in report
+        assert "surge blocking: Class A" in report
+        assert "surge delay degradation (surge/before): Class A" in report

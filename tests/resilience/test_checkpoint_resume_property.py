@@ -1,0 +1,128 @@
+"""Property test: checkpoint-resume equals the uninterrupted sweep.
+
+For any interruption point — any subset of ``k`` completed runs left on
+disk out of ``n`` — resuming the sweep must produce an aggregate
+bit-identical (NaN-safe) to the sweep that never died, across base
+seeds, both pull modes, and with the fault layer on or off.  This is
+the checkpoint layer's core guarantee: a kill costs wall-clock time,
+never correctness.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FaultConfig, HybridConfig
+from repro.resilience import CheckpointStore, results_identical
+from repro.sim import run_replications, spawn_seeds
+
+NUM_RUNS = 4
+HORIZON = 150.0
+WARMUP = 15.0
+
+BASE = HybridConfig(num_items=20, cutoff=6, arrival_rate=1.2, num_clients=24)
+FAULTS = FaultConfig(
+    downlink_loss=0.10,
+    uplink_loss=0.06,
+    max_retries=2,
+    backoff_base=1.0,
+    queue_capacity=15,
+    class_deadlines=(80.0, 60.0, 40.0),
+)
+
+#: One completed checkpointed sweep per (seed, mode, faults) — computed
+#: once and reused by every hypothesis example that interrupts it.
+_CACHE: dict = {}
+_ROOT = Path(tempfile.mkdtemp(prefix="ck-resume-prop-"))
+
+
+def _config(with_faults: bool) -> HybridConfig:
+    return BASE.with_faults(FAULTS) if with_faults else BASE
+
+
+def _full_sweep(base_seed: int, pull_mode: str, with_faults: bool):
+    key = (base_seed, pull_mode, with_faults)
+    if key not in _CACHE:
+        directory = _ROOT / f"full-{base_seed}-{pull_mode}-{int(with_faults)}"
+        aggregate = run_replications(
+            _config(with_faults),
+            num_runs=NUM_RUNS,
+            horizon=HORIZON,
+            warmup=WARMUP,
+            base_seed=base_seed,
+            pull_mode=pull_mode,
+            checkpoint_dir=directory,
+        )
+        _CACHE[key] = (directory, aggregate)
+    return _CACHE[key]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    base_seed=st.sampled_from([0, 1, 2]),
+    pull_mode=st.sampled_from(["serial", "concurrent"]),
+    with_faults=st.booleans(),
+    survivors=st.sets(st.integers(min_value=0, max_value=NUM_RUNS - 1)),
+)
+def test_resume_after_any_kill_point_is_bit_identical(
+    base_seed, pull_mode, with_faults, survivors
+):
+    full_dir, reference = _full_sweep(base_seed, pull_mode, with_faults)
+    seeds = spawn_seeds(base_seed, NUM_RUNS)
+    # Simulate a sweep killed with exactly `survivors` runs persisted:
+    # a fresh directory holding the manifest plus that subset of run
+    # files (the checkpoint writes each run atomically, so any subset is
+    # a reachable on-disk state).
+    partial = (
+        _ROOT
+        / f"partial-{base_seed}-{pull_mode}-{int(with_faults)}-"
+        f"{''.join(map(str, sorted(survivors)))}"
+    )
+    if partial.exists():
+        shutil.rmtree(partial)
+    partial.mkdir(parents=True)
+    shutil.copy(full_dir / CheckpointStore.MANIFEST_NAME, partial)
+    for index in survivors:
+        name = f"run-{seeds[index]}.json"
+        shutil.copy(full_dir / name, partial / name)
+    resumed = run_replications(
+        _config(with_faults),
+        num_runs=NUM_RUNS,
+        horizon=HORIZON,
+        warmup=WARMUP,
+        base_seed=base_seed,
+        pull_mode=pull_mode,
+        checkpoint_dir=partial,
+        resume=True,
+    )
+    assert resumed.num_runs == reference.num_runs
+    for left, right in zip(resumed.runs, reference.runs):
+        assert results_identical(left, right)
+    shutil.rmtree(partial)
+
+
+def test_parallel_resume_equals_serial_uninterrupted(tmp_path):
+    """A resumed n_jobs=2 sweep matches the serial uninterrupted one."""
+    full_dir, reference = _full_sweep(0, "serial", False)
+    seeds = spawn_seeds(0, NUM_RUNS)
+    partial = tmp_path / "partial"
+    partial.mkdir()
+    shutil.copy(full_dir / CheckpointStore.MANIFEST_NAME, partial)
+    for seed in seeds[:2]:
+        shutil.copy(full_dir / f"run-{seed}.json", partial / f"run-{seed}.json")
+    resumed = run_replications(
+        BASE,
+        num_runs=NUM_RUNS,
+        horizon=HORIZON,
+        warmup=WARMUP,
+        base_seed=0,
+        pull_mode="serial",
+        checkpoint_dir=partial,
+        resume=True,
+        n_jobs=2,
+    )
+    for left, right in zip(resumed.runs, reference.runs):
+        assert results_identical(left, right)

@@ -46,11 +46,26 @@ class TestFaultConfigValidation:
             {"queue_capacity": 0},
             {"shedding_policy": "drop-random"},
             {"watchdog_interval": 0.0},
+            # Hardened in PR 4: NaN/inf used to slip through the simple
+            # sign checks (`nan <= 0` is False) and poison timers later.
+            {"watchdog_interval": math.nan},
+            {"watchdog_interval": math.inf},
+            {"backoff_base": math.nan},
+            {"backoff_base": math.inf},
+            {"backoff_cap": math.nan, "backoff_base": 1.0},
+            {"class_deadlines": (10.0, math.nan)},
         ],
     )
     def test_rejects_bad_parameters(self, kwargs):
         with pytest.raises(ValueError):
             FaultConfig(**kwargs)
+
+    def test_rejection_messages_are_actionable(self):
+        # Every validation error should tell the user what to set.
+        with pytest.raises(ValueError, match="watchdog_interval"):
+            FaultConfig(watchdog_interval=math.nan)
+        with pytest.raises(ValueError, match="backoff_base"):
+            FaultConfig(backoff_base=-1.0)
 
     def test_gilbert_elliott_closed_forms(self):
         cfg = FaultConfig(downlink_loss=0.2, downlink_mean_burst=5.0)
@@ -289,3 +304,68 @@ class TestBoundedQueue:
         aware = shed_per_class("drop-lowest-priority")
         # The lowest-priority class must absorb the bulk of the sacrifice.
         assert aware["C"] > aware["A"]
+
+
+class TestWatchdogProvenance:
+    """Violation messages must pin the exact run: seed + config hash."""
+
+    @staticmethod
+    def _watchdog(**overrides):
+        from types import SimpleNamespace
+
+        from repro.sim.faults import ConservationWatchdog
+
+        server = SimpleNamespace(
+            pending_push_requests=0,
+            pending_pull_requests=0,
+            in_flight_pull_requests=0,
+            active_pull_transmissions=0,
+            pull_tx_started=0,
+            pull_tx_completed=0,
+            pull_tx_corrupted=0,
+            pull_mode="serial",
+        )
+        metrics = SimpleNamespace(
+            raw_arrivals=5,
+            raw_satisfied=3,
+            raw_blocked=0,
+            raw_reneged=0,
+            raw_shed=0,
+            raw_uplink_abandoned=0,
+        )
+        kwargs = dict(seed=42, config_hash="abc123", interval=None)
+        kwargs.update(overrides)
+        env = SimpleNamespace(now=100.0)
+        return ConservationWatchdog(env, server, metrics, **kwargs)
+
+    def test_violation_carries_seed_and_config_hash(self):
+        from repro.sim.faults import InvariantViolation
+
+        # 5 generated, 3 satisfied, nothing queued anywhere: the ledger
+        # is off by 2, so check() must raise — with full provenance.
+        watchdog = self._watchdog()
+        with pytest.raises(InvariantViolation) as excinfo:
+            watchdog.check()
+        message = str(excinfo.value)
+        assert "seed=42" in message
+        assert "config=abc123" in message
+        assert excinfo.value.seed == 42
+
+    def test_provenance_omitted_when_unknown(self):
+        from repro.sim.faults import InvariantViolation
+
+        watchdog = self._watchdog(seed=None, config_hash=None)
+        with pytest.raises(InvariantViolation) as excinfo:
+            watchdog.check()
+        assert "seed=" not in str(excinfo.value)
+
+    def test_end_to_end_runs_carry_provenance(self):
+        # A healthy run never raises, but the armed watchdog must have
+        # received both identifiers from the system wiring.
+        from repro.sim import HybridSystem
+
+        config = HybridConfig().with_faults(FaultConfig(watchdog_interval=50.0))
+        system = HybridSystem(config, seed=9)
+        system.run(horizon=200.0)
+        assert system.watchdog.seed == 9
+        assert system.watchdog.config_hash

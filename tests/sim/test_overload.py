@@ -1,0 +1,130 @@
+"""Tests for the class-aware overload admission controller (PR 4).
+
+The controller's ordering guarantee is structural: per-rank admission
+limits are monotone non-increasing in rank, so under saturation a
+higher class can always occupy at least as much of the queue as any
+lower class — Class A is shielded by construction, not by luck.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import HybridConfig, OverloadConfig, admission_limits
+from repro.core.faults import FaultConfig
+from repro.resilience import results_identical
+from repro.sim import run_single
+from repro.sim.overload import OverloadController
+
+FAULTS = FaultConfig(queue_capacity=12, shedding_policy="drop-lowest-priority")
+CONFIG = HybridConfig(
+    num_items=60, cutoff=0, arrival_rate=0.8, num_clients=40, faults=FAULTS
+)
+
+
+class TestOverloadConfigValidation:
+    def test_default_is_inert(self):
+        assert not OverloadConfig().active
+
+    @pytest.mark.parametrize("bad", [0.0, -0.2, 1.5, math.nan, math.inf])
+    def test_rejects_bad_thresholds(self, bad):
+        with pytest.raises(ValueError, match="threshold"):
+            OverloadConfig(threshold=bad)
+
+    def test_full_threshold_allowed(self):
+        assert OverloadConfig(threshold=1.0).active
+
+    def test_config_requires_bounded_queue(self):
+        with pytest.raises(ValueError, match="bounded pull queue"):
+            HybridConfig(overload=OverloadConfig(threshold=0.5))
+
+
+class TestAdmissionLimits:
+    @given(
+        threshold=st.floats(min_value=0.01, max_value=1.0),
+        capacity=st.integers(min_value=1, max_value=100),
+        num_classes=st.integers(min_value=1, max_value=6),
+    )
+    def test_limits_monotone_and_bounded(self, threshold, capacity, num_classes):
+        limits = admission_limits(threshold, capacity, num_classes)
+        assert len(limits) == num_classes
+        assert limits[0] == capacity  # the premium class is never capped
+        assert all(1 <= limit <= capacity for limit in limits)
+        # Monotone non-increasing in rank: the structural shield.
+        assert all(a >= b for a, b in zip(limits, limits[1:]))
+
+    def test_known_values(self):
+        assert admission_limits(0.2, 20, 3) == (20, 13, 4)
+        assert admission_limits(1.0, 20, 3) == (20, 20, 20)
+        assert admission_limits(0.5, 10, 1) == (10,)
+
+
+class TestOverloadController:
+    def test_requires_active_config(self):
+        with pytest.raises(ValueError, match="armed"):
+            OverloadController(OverloadConfig(), capacity=10, num_classes=3)
+
+    def test_admits_below_limit_rejects_at_limit(self):
+        controller = OverloadController(
+            OverloadConfig(threshold=0.2), capacity=20, num_classes=3
+        )
+        assert controller.limits == (20, 13, 4)
+        assert controller.admits(2, occupancy=3)
+        assert not controller.admits(2, occupancy=4)
+        assert controller.admits(0, occupancy=19)
+        assert controller.rejections == 1
+        assert controller.rejections_by_rank == [0, 0, 1]
+
+
+class TestOverloadInSimulation:
+    def test_rejections_fall_on_lowest_classes(self):
+        result = run_single(
+            CONFIG.with_overload(OverloadConfig(threshold=0.3)),
+            seed=3,
+            horizon=400,
+            warmup=40,
+        )
+        rejected = result.per_class_overload_rejected
+        assert result.overload_rejections > 0
+        assert sum(rejected.values()) == result.overload_rejections
+        assert rejected["A"] == 0
+        assert rejected["C"] >= rejected["B"]
+
+    def test_premium_blocking_stays_lowest(self):
+        result = run_single(
+            CONFIG.with_overload(OverloadConfig(threshold=0.3)),
+            seed=3,
+            horizon=400,
+            warmup=40,
+        )
+        blocking = result.per_class_blocking
+        assert blocking["A"] <= blocking["B"] <= blocking["C"]
+
+    def test_rejections_counted_as_sheds(self):
+        # Overload refusals ride the shed ledger, so the conservation
+        # watchdog (which audits every run) keeps passing.
+        result = run_single(
+            CONFIG.with_overload(OverloadConfig(threshold=0.3)),
+            seed=3,
+            horizon=400,
+            warmup=40,
+        )
+        assert result.shed_requests >= result.overload_rejections
+
+    def test_inert_default_is_bit_identical(self):
+        base = run_single(CONFIG, seed=5, horizon=300, warmup=30)
+        inert = run_single(
+            CONFIG.with_overload(OverloadConfig()), seed=5, horizon=300, warmup=30
+        )
+        assert results_identical(base, inert)
+
+    def test_summary_reports_rejections(self):
+        result = run_single(
+            CONFIG.with_overload(OverloadConfig(threshold=0.3)),
+            seed=3,
+            horizon=400,
+            warmup=40,
+        )
+        assert "overload-rejected" in result.summary()

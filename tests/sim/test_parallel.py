@@ -10,6 +10,12 @@ def _square(x):
     return x * x
 
 
+def _fail_on_three(x):
+    if x == 3:
+        raise RuntimeError("worker exploded")
+    return x * x
+
+
 class TestResolveJobs:
     def test_identity_for_positive(self):
         assert resolve_jobs(1) == 1
@@ -54,6 +60,24 @@ class TestParallelExecutor:
         with ParallelExecutor(4) as executor:
             assert executor.map(_square, [7]) == [49]
             assert executor._pool is None
+
+    def test_aborted_map_reaps_the_pool(self):
+        # Regression (PR 4): an exception escaping map() used to leave
+        # the worker pool alive with queued tasks still running, leaking
+        # processes when the caller was interrupted (e.g. Ctrl-C during
+        # a sweep).  The finally block must drop and cancel the pool.
+        executor = ParallelExecutor(2)
+        with pytest.raises(RuntimeError):
+            executor.map(_fail_on_three, range(8))
+        assert executor._pool is None
+
+    def test_map_after_abort_recovers(self):
+        executor = ParallelExecutor(2)
+        with pytest.raises(RuntimeError):
+            executor.map(_fail_on_three, range(8))
+        # A fresh pool is built transparently on the next call.
+        assert executor.map(_square, range(4)) == [0, 1, 4, 9]
+        executor.close()
 
 
 class TestSpawnSeeds:
