@@ -122,9 +122,9 @@ def main() -> int:
 
     print(f"[2/4] chaos sweep with --jobs {args.jobs}, killing it mid-flight...")
     driver = subprocess.Popen(_sweep_command(chaos, "--jobs", str(args.jobs)))
-    deadline = time.monotonic() + 120.0
+    deadline = time.monotonic() + 120.0  # reprolint: disable=no-wallclock
     killed_mid_flight = False
-    while time.monotonic() < deadline:
+    while time.monotonic() < deadline:  # reprolint: disable=no-wallclock
         done = len(list(chaos.glob("run-*.json")))
         if driver.poll() is not None:
             break  # finished before we struck — resume is then a no-op

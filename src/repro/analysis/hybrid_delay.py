@@ -208,7 +208,8 @@ def _corrected_mode(
                 hi *= 2.0
                 if hi > 1e12:  # pragma: no cover - defensive
                     raise RuntimeError("batching fixed point failed to bracket")
-            for iterations in range(1, max_iter + 1):
+            for step in range(1, max_iter + 1):
+                iterations = step
                 mid = 0.5 * (lo + hi)
                 w_mid, waits_mid = mean_wait(mid)
                 if not math.isfinite(w_mid) or w_mid > mid:

@@ -15,6 +15,9 @@ Usage::
     python -m repro sweep run --checkpoint ck/ --runs 20 --jobs 4
     python -m repro sweep run --checkpoint ck/ --resume   # finish a killed sweep
 
+    python -m repro lint src/repro        # determinism static analysis
+    python -m repro lint --list-rules
+
 Also installed as the ``repro-experiments`` console script.
 """
 
@@ -401,6 +404,10 @@ def _dispatch(argv: list) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from .qa.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
@@ -425,12 +432,14 @@ def _dispatch(argv: list) -> int:
             return 2
     for target in targets:
         experiment = EXPERIMENTS[target]
-        started = time.perf_counter()
+        # Operator-facing progress timing only; never enters a result.
+        started = time.perf_counter()  # reprolint: disable=no-wallclock
         print(f"=== {experiment.experiment_id} ({experiment.paper_reference}) ===")
         print(experiment.description)
         print()
         print(run_experiment(target, scale))
-        print(f"\n[{experiment.experiment_id} done in {time.perf_counter() - started:.1f}s]\n")
+        elapsed = time.perf_counter() - started  # reprolint: disable=no-wallclock
+        print(f"\n[{experiment.experiment_id} done in {elapsed:.1f}s]\n")
     return 0
 
 

@@ -7,7 +7,7 @@ the underlying packages for finer control.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..analysis.hybrid_delay import AnalysisMode, AnalyticalResult, analyze_hybrid
 from .bandwidth import BandwidthAllocation, optimize_shares
@@ -21,6 +21,9 @@ from .cutoff import (
 
 __all__ = ["simulate_hybrid", "analyze_hybrid", "optimize_cutoff", "optimize_bandwidth"]
 
+if TYPE_CHECKING:  # deferred at runtime: sim imports core
+    from ..sim.metrics import SimulationResult
+
 
 def simulate_hybrid(
     config: HybridConfig,
@@ -28,7 +31,7 @@ def simulate_hybrid(
     horizon: float = 5_000.0,
     warmup: float | None = None,
     pull_mode: str = "serial",
-):
+) -> "SimulationResult":
     """Run one simulation of ``config`` and return its summary.
 
     Thin wrapper over :func:`repro.sim.runner.run_single`; see there for
@@ -48,7 +51,7 @@ def optimize_cutoff(
     method: str = "analytical",
     candidates: Sequence[int] | None = None,
     mode: AnalysisMode = "corrected",
-    **sim_kwargs,
+    **sim_kwargs: Any,
 ) -> CutoffSweep:
     """Sweep the cut-off point ``K`` and return the optimum.
 

@@ -17,7 +17,7 @@ simulation so that errors cannot be silently lost.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .engine import Environment
@@ -224,16 +224,16 @@ class ConditionValue:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Event]":
         return iter(self.events)
 
-    def keys(self):
+    def keys(self) -> "Iterator[Event]":
         return iter(self.events)
 
-    def values(self):
+    def values(self) -> "Iterator[Any]":
         return (e._value for e in self.events)
 
-    def items(self):
+    def items(self) -> "Iterator[tuple[Event, Any]]":
         return ((e, e._value) for e in self.events)
 
     def todict(self) -> dict[Event, Any]:

@@ -20,6 +20,8 @@ All request events work as context managers so the canonical usage is::
 from __future__ import annotations
 
 import heapq
+import math
+from types import TracebackType
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from .events import Event
@@ -66,7 +68,12 @@ class _BaseRequest(Event):
     def __enter__(self) -> "_BaseRequest":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc_value: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
         self.cancel()
 
     def cancel(self) -> None:
@@ -349,7 +356,7 @@ class Container(_BaseFacility):
     """
 
     def __init__(
-        self, env: "Environment", capacity: float = float("inf"), init: float = 0.0
+        self, env: "Environment", capacity: float = math.inf, init: float = 0.0
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
@@ -447,7 +454,7 @@ class Store(_BaseFacility):
         Maximum number of stored items (default unbounded).
     """
 
-    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+    def __init__(self, env: "Environment", capacity: float = math.inf) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
         super().__init__(env)

@@ -12,7 +12,9 @@ stream.  Streams are derived from a single root seed via
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, TypeVar
+
+_T = TypeVar("_T")
 
 import numpy as np
 
@@ -97,7 +99,7 @@ class RandomStreams:
             raise ValueError(f"empty range [{low}, {high}]")
         return int(self.stream(name).integers(low, high + 1))
 
-    def shuffle(self, name: str, items: Iterable) -> list:
+    def shuffle(self, name: str, items: Iterable[_T]) -> list[_T]:
         """Return a shuffled copy of ``items``."""
         out = list(items)
         self.stream(name).shuffle(out)

@@ -75,12 +75,14 @@ def importance_variant_ablation(
         per_class = {name: result.delay(name)[0] for name in base.class_names()}
         results[variant] = per_class
         rows.append(
-            [variant]
-            + [per_class[n] for n in base.class_names()]
-            + [result.overall_delay()[0]]
+            [
+                variant,
+                *(per_class[n] for n in base.class_names()),
+                result.overall_delay()[0],
+            ]
         )
     table = render_table(
-        ["variant"] + [f"delay-{n}" for n in base.class_names()] + ["overall"], rows
+        ["variant", *(f"delay-{n}" for n in base.class_names()), "overall"], rows
     )
     return table, results
 

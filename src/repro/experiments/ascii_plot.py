@@ -86,7 +86,7 @@ def ascii_plot(fig: FigureData, width: int = 72, height: int = 20) -> str:
             canvas[r][c] = marker
 
     lines = [fig.title, f"y: {y_lo:.3g} .. {y_hi:.3g}"]
-    for r, rowchars in enumerate(canvas):
+    for rowchars in canvas:
         prefix = "|"
         lines.append(prefix + "".join(rowchars))
     lines.append("+" + "-" * width)

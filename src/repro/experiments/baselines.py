@@ -62,12 +62,15 @@ def pull_policy_comparison(
         per_class["overall"] = result.overall_delay
         results[policy] = per_class
         rows.append(
-            [policy]
-            + [per_class[n] for n in base.class_names()]
-            + [result.overall_delay, result.total_prioritized_cost]
+            [
+                policy,
+                *(per_class[n] for n in base.class_names()),
+                result.overall_delay,
+                result.total_prioritized_cost,
+            ]
         )
     table = render_table(
-        ["policy"] + [f"delay-{n}" for n in base.class_names()] + ["overall", "cost"],
+        ["policy", *(f"delay-{n}" for n in base.class_names()), "overall", "cost"],
         rows,
     )
     return table, results

@@ -118,12 +118,13 @@ def degradation_under_loss(
             rows.append(row)
         for name in class_names:
             fig.add(f"delay {name} / baseline", list(losses), ratios[name])
-        headers = (
-            ["loss"]
-            + [f"delay {n}" for n in class_names]
-            + [f"ratio {n}" for n in class_names]
-            + ["shed", "corrupted"]
-        )
+        headers = [
+            "loss",
+            *(f"delay {n}" for n in class_names),
+            *(f"ratio {n}" for n in class_names),
+            "shed",
+            "corrupted",
+        ]
         table = render_table(headers, rows)
         premium, best_effort = class_names[0], class_names[-1]
         shielded = all(

@@ -91,9 +91,9 @@ def save_figure_csv(fig: FigureData, path: str | Path) -> Path:
             raise ValueError(f"series {s.label!r} has a different x-axis")
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow([fig.x_label] + [s.label for s in fig.series])
+        writer.writerow([fig.x_label, *(s.label for s in fig.series)])
         for i, xi in enumerate(x):
-            writer.writerow([xi] + [s.y[i] for s in fig.series])
+            writer.writerow([xi, *(s.y[i] for s in fig.series)])
     return path
 
 

@@ -128,7 +128,7 @@ class SurgeSpec:
                 f"horizon {horizon} ends before the last surge phase starts "
                 f"({self.starts[-1]}); extend the horizon or shift the phases"
             )
-        ends = list(self.starts[1:]) + [float(horizon)]
+        ends = [*self.starts[1:], float(horizon)]
         return [
             WorkloadPhase(duration=end - start, theta=theta, rate=rate)
             for start, end, rate in zip(self.starts, ends, self.rates)

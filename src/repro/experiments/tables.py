@@ -80,8 +80,8 @@ class FigureData:
         for s in self.series:
             if s.x != x:
                 raise ValueError(f"series {s.label!r} has a different x-axis")
-        headers = [self.x_label] + [s.label for s in self.series]
+        headers = [self.x_label, *(s.label for s in self.series)]
         rows = [
-            [x[i]] + [s.y[i] for s in self.series] for i in range(len(x))
+            [x[i], *(s.y[i] for s in self.series)] for i in range(len(x))
         ]
         return f"{self.title}\n{render_table(headers, rows)}"

@@ -82,7 +82,7 @@ def diff_traces(left: Trace, right: Trace) -> TraceDiff:
     counts_left, counts_right = left.counts(), right.counts()
     deltas = {
         kind: (counts_left.get(kind, 0), counts_right.get(kind, 0))
-        for kind in set(counts_left) | set(counts_right)
+        for kind in sorted(set(counts_left) | set(counts_right))
         if counts_left.get(kind, 0) != counts_right.get(kind, 0)
     }
     identical = not meta_diffs and first is None

@@ -117,7 +117,7 @@ def build_timelines(trace: Trace, num_windows: int = 24) -> TraceTimelines:
     queue_area = [0.0] * num_windows
     level, last = 0.0, 0.0
     samples = sorted(trace.of_kind("queue_sampled"), key=lambda e: e.time)
-    for event in samples + [None]:
+    for event in [*samples, None]:
         until = horizon if event is None else min(event.time, horizon)
         _accumulate_interval(queue_area, last, until, level, edges)
         if event is None:

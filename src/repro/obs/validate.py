@@ -73,7 +73,7 @@ class ValidationReport:
         )
         if self.ok:
             return f"trace OK: {head}"
-        lines = [f"trace INVALID: {head}"] + [f"  - {v}" for v in self.violations]
+        lines = [f"trace INVALID: {head}", *(f"  - {v}" for v in self.violations)]
         return "\n".join(lines)
 
 

@@ -1,0 +1,36 @@
+"""reprolint — determinism & invariant static analysis for this repo.
+
+Every guarantee the reproduction ships (bit-identical serial/parallel
+sweeps, heap==scan scheduler equivalence, checkpoint-resume equality,
+Eq. 1 gamma tie-breaks) is a *determinism* property.  The golden tests
+catch regressions after they land; this package catches the classes of
+bug that cause them — unseeded RNG, wall-clock leakage, set-iteration
+order dependence, float ``==`` on accumulated values — statically, at
+lint time.
+
+Public surface:
+
+* :class:`~repro.qa.engine.Finding`, :class:`~repro.qa.engine.Rule`,
+  :func:`~repro.qa.engine.lint_paths` — the engine.
+* :data:`~repro.qa.rules.REGISTRY` — the rule registry (see
+  ``docs/static-analysis.md`` for per-rule rationale).
+* ``repro lint`` — the CLI (:mod:`repro.qa.cli`).
+
+Suppress a finding inline with ``# reprolint: disable=<rule>`` on the
+flagged line, or ``# reprolint: disable-file=<rule>`` anywhere in the
+file.  Every suppression is counted and reported.
+"""
+
+from .engine import FileContext, Finding, LintResult, Rule, lint_paths, lint_source
+from .rules import REGISTRY, all_rules
+
+__all__ = [
+    "REGISTRY",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,117 @@
+"""``repro lint`` — run the determinism rule set over the tree.
+
+Exit codes (pinned by tests):
+
+* ``0`` — scan completed, no unsuppressed findings
+* ``1`` — scan completed, at least one finding
+* ``2`` — usage error (unknown rule, unreadable path, bad flags)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .engine import LintError, Rule, lint_paths
+from .reporter import render_json, render_text
+from .rules import REGISTRY, all_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "reprolint: determinism & invariant static analysis. "
+            "Suppress inline with `# reprolint: disable=<rule>`."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names/codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule names/codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules with their rationale and exit",
+    )
+    return parser
+
+
+def _resolve_rules(spec: str) -> list[Rule]:
+    """Turn a comma list of names/codes into rules; LintError on unknowns."""
+    by_code = {rule.code: rule for rule in REGISTRY.values()}
+    chosen: list[Rule] = []
+    for token in (t.strip() for t in spec.split(",")):
+        if not token:
+            continue
+        rule = REGISTRY.get(token) or by_code.get(token)
+        if rule is None:
+            known = ", ".join(sorted(REGISTRY))
+            raise LintError(f"unknown rule {token!r} (known: {known})")
+        if rule not in chosen:
+            chosen.append(rule)
+    if not chosen:
+        raise LintError("empty rule selection")
+    return chosen
+
+
+def _render_rule_listing() -> str:
+    lines = ["Registered rules:", ""]
+    for rule in all_rules():
+        lines.append(f"  {rule.code}  {rule.name:<24} {rule.summary}")
+        lines.append(f"         {' ' * 24} why: {rule.rationale}")
+        if rule.scopes:
+            lines.append(f"         {' ' * 24} scope: {', '.join(rule.scopes)}")
+        if rule.exempt_scopes or rule.exempt_path_parts:
+            exempt = ", ".join([*rule.exempt_scopes, *rule.exempt_path_parts])
+            lines.append(f"         {' ' * 24} exempt: {exempt}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_render_rule_listing())
+        return 0
+    try:
+        rules: Sequence[Rule] = all_rules()
+        if args.select:
+            rules = _resolve_rules(args.select)
+        if args.ignore:
+            dropped = {r.name for r in _resolve_rules(args.ignore)}
+            rules = [r for r in rules if r.name not in dropped]
+            if not rules:
+                raise LintError("--ignore removed every rule")
+        result = lint_paths([Path(p) for p in args.paths], rules)
+    except LintError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,279 @@
+"""Core of the reprolint engine: rules, findings, suppressions, traversal.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``re``) so
+it can run in any environment the simulator runs in, including CI images
+without third-party linters installed.
+
+Design
+------
+* A :class:`Rule` inspects one parsed module at a time and yields
+  :class:`Finding`\\ s.  Rules are pure: no I/O, no global state.
+* Rules can be *scoped* to dotted-module prefixes (``scopes``) and can
+  *exempt* module prefixes or path components (``exempt_scopes``,
+  ``exempt_path_parts``) — e.g. the wall-clock ban does not apply to the
+  profiler, whose whole job is reading the wall clock.
+* Inline suppressions (``# reprolint: disable=<rule>[,<rule>...]`` on the
+  flagged physical line, or ``disable-file=`` anywhere) are honoured by
+  the engine, not by individual rules, so every rule gets them for free.
+  Suppressed findings are counted and surfaced in :class:`LintResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintError",
+    "LintResult",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+]
+
+#: Matches one suppression comment.  ``disable=`` applies to the physical
+#: line carrying the comment; ``disable-file=`` applies to the whole file.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)=(?P<rules>[A-Za-z0-9_,\-]+)"
+)
+
+
+class LintError(Exception):
+    """Raised for usage errors (unknown rule name, unreadable path)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``file:line:col: CODE (rule) message`` — editor-clickable."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} ({self.rule}) {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-reporter payload for this finding."""
+        return {
+            "rule": self.rule,
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class FileContext:
+    """Everything a rule may consult about the module under analysis."""
+
+    path: str
+    module: str
+    source_lines: tuple[str, ...]
+
+    def finding(self, rule: Rule, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            rule=rule.name,
+            code=rule.code,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class Rule(abc.ABC):
+    """One static check.  Subclasses set the class attributes and ``check``.
+
+    Attributes
+    ----------
+    name / code:
+        Stable identifiers: ``name`` is the human slug used in
+        suppressions and ``--select``; ``code`` the short ``RLnnn`` id.
+    summary / rationale:
+        One-line description and the determinism guarantee the rule
+        protects — both surfaced by ``repro lint --list-rules``.
+    scopes:
+        Dotted module prefixes the rule applies to.  Empty = everywhere.
+    exempt_scopes / exempt_path_parts:
+        Module prefixes / path components where the rule is silent even
+        when in scope (e.g. the profiler for the wall-clock ban).
+    """
+
+    name: str = ""
+    code: str = ""
+    summary: str = ""
+    rationale: str = ""
+    scopes: tuple[str, ...] = ()
+    exempt_scopes: tuple[str, ...] = ()
+    exempt_path_parts: tuple[str, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs at all for the module in ``ctx``."""
+        if any(part in Path(ctx.path).parts for part in self.exempt_path_parts):
+            return False
+        if _prefixed(ctx.module, self.exempt_scopes):
+            return False
+        if self.scopes and not _prefixed(ctx.module, self.scopes):
+            return False
+        return True
+
+    @abc.abstractmethod
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+
+
+def _prefixed(module: str, prefixes: Sequence[str]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, walking up through ``__init__.py``.
+
+    Files outside any package lint under their bare stem, so scoped rules
+    (which key on the ``repro.`` namespace) stay silent for them.
+    """
+    parts = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no unsuppressed findings remain."""
+        return not self.findings
+
+    def extend(self, other: "LintResult") -> None:
+        """Fold another (single-file) result into this one."""
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_scanned += other.files_scanned
+
+
+def _suppressions(source_lines: Sequence[str]) -> tuple[dict[int, set[str]], set[str]]:
+    """Per-line and file-level suppression tables (1-based line numbers)."""
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    for lineno, text in enumerate(source_lines, start=1):
+        for match in _SUPPRESS_RE.finditer(text):
+            names = {n.strip() for n in match.group("rules").split(",") if n.strip()}
+            if match.group("kind") == "disable-file":
+                per_file |= names
+            else:
+                per_line.setdefault(lineno, set()).update(names)
+    return per_line, per_file
+
+
+def _is_suppressed(
+    finding: Finding, per_line: dict[int, set[str]], per_file: set[str]
+) -> bool:
+    for names in (per_file, per_line.get(finding.line, set())):
+        if "all" in names or finding.rule in names or finding.code in names:
+            return True
+    return False
+
+
+def lint_source(
+    source: str,
+    rules: Sequence[Rule],
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+) -> LintResult:
+    """Lint one module given as a string.  The unit every test builds on."""
+    result = LintResult(files_scanned=1)
+    lines = tuple(source.splitlines())
+    if module is None:
+        module = module_name_for(Path(path)) if path != "<string>" else "<string>"
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                rule="syntax-error",
+                code="RL000",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        )
+        return result
+    ctx = FileContext(path=path, module=module, source_lines=lines)
+    per_line, per_file = _suppressions(lines)
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(tree, ctx):
+            if _is_suppressed(finding, per_line, per_file):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return result
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files to lint, sorted."""
+    seen: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise LintError(f"not a Python file: {path}")
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(paths: Sequence[Path], rules: Sequence[Rule]) -> LintResult:
+    """Lint every Python file reachable from ``paths``."""
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:  # pragma: no cover - racy filesystem only
+            raise LintError(f"cannot read {file_path}: {exc}") from exc
+        result.extend(
+            lint_source(
+                source,
+                rules,
+                path=str(file_path),
+                module=module_name_for(file_path),
+            )
+        )
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return result

@@ -1,0 +1,41 @@
+"""Text and JSON reporters for lint results.
+
+The JSON schema is versioned and stable (tests pin it): tooling that
+consumes ``repro lint --format json`` can rely on the top-level keys
+``schema``, ``clean``, ``files_scanned``, ``findings``, ``suppressed``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one ``file:line:col`` row per finding."""
+    lines = [finding.render() for finding in result.findings]
+    noun = "file" if result.files_scanned == 1 else "files"
+    summary = (
+        f"{len(result.findings)} finding(s), {len(result.suppressed)} suppressed, "
+        f"{result.files_scanned} {noun} scanned"
+    )
+    if lines:
+        return "\n".join([*lines, summary])
+    return summary
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (sorted keys, deterministic ordering)."""
+    payload = {
+        "schema": JSON_SCHEMA_VERSION,
+        "clean": result.clean,
+        "files_scanned": result.files_scanned,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "suppressed": [finding.as_dict() for finding in result.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,552 @@
+"""The reprolint rule set, tuned to this codebase's determinism invariants.
+
+Each rule documents the guarantee it protects; ``docs/static-analysis.md``
+carries the long-form rationale.  Rules resolve names through the module's
+import table (``import numpy as np`` → ``np.random.seed`` resolves to
+``numpy.random.seed``), so aliasing cannot dodge a ban, and unresolved
+names (e.g. a local variable that happens to be called ``time``) cannot
+trigger false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import FileContext, Finding, Rule
+
+__all__ = ["REGISTRY", "all_rules", "resolve_call_target", "import_table"]
+
+REGISTRY: dict[str, Rule] = {}
+
+
+def _register(cls: type[Rule]) -> type[Rule]:
+    rule = cls()
+    if rule.name in REGISTRY or any(r.code == rule.code for r in REGISTRY.values()):
+        raise ValueError(f"duplicate rule registration: {rule.name}/{rule.code}")
+    REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in code order."""
+    return sorted(REGISTRY.values(), key=lambda r: r.code)
+
+
+def import_table(tree: ast.Module) -> dict[str, str]:
+    """Map local names to canonical dotted origins.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from datetime import datetime as dt`` → ``{"dt": "datetime.datetime"}``.
+    Names bound by ``from x import *`` are unknowable and ignored.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                table[local] = canonical
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def resolve_call_target(node: ast.expr, imports: dict[str, str]) -> str | None:
+    """Canonical dotted path of an attribute/name chain, or None.
+
+    Only chains rooted at an *imported* name resolve — a local variable
+    named ``time`` stays unresolved, which is exactly the conservative
+    behaviour a low-false-positive linter wants.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = imports.get(node.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+# --------------------------------------------------------------------------
+# RL001 — no-wallclock
+# --------------------------------------------------------------------------
+
+_WALLCLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@_register
+class NoWallclock(Rule):
+    """Simulation results must be a pure function of ``(config, seed)``.
+
+    A single wall-clock read on a simulated path makes runs unrepeatable
+    and breaks serial==parallel and checkpoint-resume golden guarantees.
+    The profiler (whose whole job is reading the wall clock) and the
+    benchmark harness are exempt; operator-facing timing (CLI progress,
+    executor timeouts) carries an explicit inline suppression so every
+    wall-clock read in the tree is deliberate and auditable.
+    """
+
+    name = "no-wallclock"
+    code = "RL001"
+    summary = "forbid wall-clock reads (time.time/perf_counter/datetime.now)"
+    rationale = (
+        "runs must be pure functions of (config, seed); wall-clock reads "
+        "break bit-identical replay"
+    )
+    exempt_scopes = ("repro.obs.profiling",)
+    exempt_path_parts = ("benchmarks",)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        imports = import_table(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, imports)
+            if target in _WALLCLOCK:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"wall-clock read `{target}` — simulated code must take "
+                    "time from the simulation clock (env.now)",
+                )
+
+
+# --------------------------------------------------------------------------
+# RL002 — no-global-rng
+# --------------------------------------------------------------------------
+
+_RNG_SCOPES = ("repro.sim", "repro.des", "repro.schedulers", "repro.core", "repro.workload")
+
+#: Legacy numpy global-state functions (np.random.<fn> module level).
+_NUMPY_LEGACY = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+        "standard_normal", "lognormal", "exponential", "poisson", "binomial",
+        "beta", "gamma", "geometric", "pareto", "zipf", "weibull",
+        "get_state", "set_state", "RandomState",
+    }
+)
+
+#: ``random`` stdlib names that are fine to import (seedable instances /
+#: types, not process-global state).
+_STDLIB_RANDOM_OK = frozenset({"Random"})
+
+
+@_register
+class NoGlobalRng(Rule):
+    """All randomness must flow from ``SeedSequence``-derived Generators.
+
+    The stdlib ``random`` module and legacy ``np.random.*`` functions
+    draw from hidden process-global state: two call sites that share it
+    entangle their streams, and adding one draw anywhere reshuffles
+    every downstream sample — the exact failure mode the per-run
+    ``SeedSequence.spawn`` discipline (PR 2) exists to prevent.
+    """
+
+    name = "no-global-rng"
+    code = "RL002"
+    summary = "forbid stdlib random.* and legacy np.random.* global-state RNG"
+    rationale = (
+        "global RNG state entangles streams across components and breaks "
+        "SeedSequence-spawned serial==parallel equality"
+    )
+    scopes = _RNG_SCOPES
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        imports = import_table(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [a.name for a in node.names if a.name not in _STDLIB_RANDOM_OK]
+                if bad:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"import of global-state RNG `random.{', random.'.join(bad)}` "
+                        "— draw from a SeedSequence-derived numpy Generator instead",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, imports)
+            if target is None:
+                continue
+            if target.startswith("random.") and target.split(".")[1] not in _STDLIB_RANDOM_OK:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"global-state RNG call `{target}` — draw from a "
+                    "SeedSequence-derived numpy Generator instead",
+                )
+            elif (
+                target.startswith("numpy.random.")
+                and target.split(".")[2] in _NUMPY_LEGACY
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"legacy numpy global RNG `{target}` — use "
+                    "numpy.random.default_rng(seed)/Generator plumbing instead",
+                )
+
+
+# --------------------------------------------------------------------------
+# RL003 — no-unseeded-rng
+# --------------------------------------------------------------------------
+
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+        "random.Random",
+    }
+)
+
+
+@_register
+class NoUnseededRng(Rule):
+    """RNG constructors must be given an explicit seed or SeedSequence.
+
+    ``default_rng()`` with no argument pulls entropy from the OS — every
+    run differs, silently.  All generators in scheduler/simulator code
+    must be derived from the run's ``SeedSequence`` so replications are
+    replayable and parallel spawns are independent *and* reproducible.
+    """
+
+    name = "no-unseeded-rng"
+    code = "RL003"
+    summary = "forbid default_rng()/Random()/SeedSequence() without a seed"
+    rationale = (
+        "OS-entropy seeding makes every run silently different; seeds "
+        "must flow from the run's SeedSequence"
+    )
+    scopes = _RNG_SCOPES
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        imports = import_table(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, imports)
+            if target in _RNG_CONSTRUCTORS and not node.args and not node.keywords:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"unseeded RNG constructor `{target}()` — pass a seed or "
+                    "a child of the run's SeedSequence",
+                )
+
+
+# --------------------------------------------------------------------------
+# RL004 — no-unordered-iteration
+# --------------------------------------------------------------------------
+
+#: Wrapping calls whose result does not depend on iteration order.
+_ORDER_INSENSITIVE_SINKS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset"}
+)
+
+
+def _is_unordered_expr(node: ast.expr) -> bool:
+    """Expression whose iteration order is unspecified (hash order)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "keys" and not node.args:
+            # dict.keys() is insertion-ordered in CPython, but scheduler
+            # code must not rely on incidental insertion order either —
+            # and bare dict iteration is the idiomatic spelling anyway.
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"union", "intersection", "difference", "symmetric_difference"}
+            and _is_unordered_expr(node.func.value)
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_unordered_expr(node.left) or _is_unordered_expr(node.right)
+    return False
+
+
+@_register
+class NoUnorderedIteration(Rule):
+    """Iterating a set (or ``.keys()``) without ``sorted`` in hot code.
+
+    The stretch/gamma tie-break semantics of Eq. 1 assume a total order
+    over candidates; iterating hash-ordered containers makes the served
+    sequence depend on ``PYTHONHASHSEED`` and insertion history.  Wrap
+    the iterable in ``sorted(...)`` (order-insensitive aggregations —
+    ``sum``/``min``/``max``/``any``/``all``/``len`` — are recognised and
+    allowed).
+    """
+
+    name = "no-unordered-iteration"
+    code = "RL004"
+    summary = "forbid iterating sets/.keys() without sorted() where order can leak"
+    rationale = (
+        "hash-ordered iteration makes tie-breaks depend on PYTHONHASHSEED "
+        "and insertion history, violating Eq. 1 semantics"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        safe_comprehensions: set[ast.AST] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_INSENSITIVE_SINKS
+            ):
+                for arg in node.args:
+                    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                        safe_comprehensions.add(arg)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_unordered_expr(node.iter):
+                yield ctx.finding(
+                    self,
+                    node.iter,
+                    "iteration over an unordered container — wrap in sorted(...) "
+                    "so tie-breaks cannot depend on hash order",
+                )
+            elif isinstance(
+                node, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)
+            ) and node not in safe_comprehensions:
+                for gen in node.generators:
+                    if _is_unordered_expr(gen.iter):
+                        yield ctx.finding(
+                            self,
+                            gen.iter,
+                            "comprehension over an unordered container — wrap in "
+                            "sorted(...) so output order cannot depend on hash order",
+                        )
+
+
+# --------------------------------------------------------------------------
+# RL005 — no-float-equality
+# --------------------------------------------------------------------------
+
+_MATH_FLOAT_FNS = frozenset(
+    {
+        "math.sqrt", "math.exp", "math.log", "math.log2", "math.log10",
+        "math.sin", "math.cos", "math.tan", "math.fsum", "math.hypot",
+        "math.pow", "math.expm1", "math.log1p",
+    }
+)
+
+
+def _is_float_expr(node: ast.expr, imports: dict[str, str]) -> bool:
+    if isinstance(node, ast.Constant):
+        # Non-zero float literals only: `x == 0.0` is the legitimate
+        # exact-degenerate guard (a sum of non-negatives is 0.0 iff every
+        # term is), and banning it would force noisy rewrites.
+        return isinstance(node.value, float) and node.value != 0.0
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(node.operand, imports)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True  # true division always produces a float
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id == "float":
+            # `float("nan")` and `float(x)` guards are casts used for
+            # identity-preserving round-trips; comparing them exactly is
+            # still a bug, so flag the call form too.
+            return True
+        target = resolve_call_target(node.func, imports)
+        if target in _MATH_FLOAT_FNS:
+            return True
+    return False
+
+
+def _is_tolerance_comparison(node: ast.expr, imports: dict[str, str]) -> bool:
+    """``pytest.approx(...)``/``math.isclose(...)`` operands are already
+    tolerance-aware; comparing against them is the *recommended* idiom."""
+    if not isinstance(node, ast.Call):
+        return False
+    if isinstance(node.func, ast.Name) and node.func.id in {"approx", "isclose"}:
+        return True
+    target = resolve_call_target(node.func, imports)
+    return target in {"pytest.approx", "math.isclose", "numpy.isclose", "numpy.allclose"}
+
+
+@_register
+class NoFloatEquality(Rule):
+    """``==``/``!=`` against float expressions accumulates rounding error.
+
+    Stretch and gamma values are built from long chains of float
+    arithmetic; exact comparison against a non-zero float literal (or a
+    division/``math.*`` result) is order-of-evaluation dependent.  Use
+    ``math.isclose`` for tolerance checks or compare the integer inputs.
+    Comparison against the literal ``0.0`` stays legal: it is the exact
+    degenerate-input guard, not a tolerance check.
+    """
+
+    name = "no-float-equality"
+    code = "RL005"
+    summary = "forbid ==/!= on float expressions (math.isclose or integer keys)"
+    rationale = (
+        "accumulated stretch/gamma floats are order-of-evaluation "
+        "sensitive; exact equality belongs only to golden replay tests"
+    )
+    # Golden tests pin bit-exact floats *on purpose* — exact replay is
+    # the property under test — so the rule targets production logic.
+    exempt_path_parts = ("tests",)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        imports = import_table(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_tolerance_comparison(o, imports) for o in operands):
+                continue  # pytest.approx / math.isclose already tolerate
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_expr(left, imports) or _is_float_expr(right, imports):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "exact ==/!= on a float expression — use math.isclose "
+                        "(tolerance) or compare the exact integer inputs",
+                    )
+                    break
+
+
+# --------------------------------------------------------------------------
+# RL006 — no-mutable-default
+# --------------------------------------------------------------------------
+
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque", "bytearray"}
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORIES
+    )
+
+
+@_register
+class NoMutableDefault(Rule):
+    """Mutable default arguments are shared across *all* calls.
+
+    A ``def f(xs=[])`` default is evaluated once at import; state leaks
+    between replications through it, which is exactly the cross-run
+    contamination the checkpoint-resume equality tests exist to catch.
+    """
+
+    name = "no-mutable-default"
+    code = "RL006"
+    summary = "forbid mutable default arguments (list/dict/set literals or calls)"
+    rationale = (
+        "defaults evaluate once at import; shared mutable state leaks "
+        "between replications and breaks run independence"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in [*args.defaults, *[d for d in args.kw_defaults if d is not None]]:
+                if _is_mutable_default(default):
+                    yield ctx.finding(
+                        self,
+                        default,
+                        "mutable default argument — use None and create the "
+                        "container inside the function body",
+                    )
+
+
+# --------------------------------------------------------------------------
+# RL007 — no-bare-dataclass-eq
+# --------------------------------------------------------------------------
+
+_VALUE_EQ_SCOPES = (
+    "repro.des.monitor",
+    "repro.obs.events",
+    "repro.core.config",
+    "repro.core.faults",
+    "repro.core.overload",
+)
+
+
+@_register
+class NoBareDataclassEq(Rule):
+    """Dataclasses in golden-comparison modules must keep value ``__eq__``.
+
+    Trace round-trips, checkpoint-resume equality and tracing-on ==
+    tracing-off pins all compare these objects *by value*.  A
+    ``@dataclass(eq=False)`` silently downgrades them to identity
+    comparison, making golden comparisons vacuously pass (same object)
+    or spuriously fail (equal values, different objects).
+    """
+
+    name = "no-bare-dataclass-eq"
+    code = "RL007"
+    summary = "forbid @dataclass(eq=False) where value __eq__ is load-bearing"
+    rationale = (
+        "golden comparisons (trace round-trip, checkpoint equality) "
+        "compare these objects by value; identity __eq__ breaks them"
+    )
+    scopes = _VALUE_EQ_SCOPES
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                if not isinstance(decorator, ast.Call):
+                    continue
+                func = decorator.func
+                name = func.id if isinstance(func, ast.Name) else (
+                    func.attr if isinstance(func, ast.Attribute) else None
+                )
+                if name != "dataclass":
+                    continue
+                for kw in decorator.keywords:
+                    if (
+                        kw.arg == "eq"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False
+                    ):
+                        yield ctx.finding(
+                            self,
+                            decorator,
+                            f"@dataclass(eq=False) on `{node.name}` in a "
+                            "golden-comparison module — value __eq__ is "
+                            "load-bearing here",
+                        )

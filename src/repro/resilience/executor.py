@@ -245,13 +245,17 @@ class ResilientExecutor:
                     index = pending.popleft()
                     attempts[index] += 1
                     deadline = (
-                        None if cfg.timeout is None else time.monotonic() + cfg.timeout
+                        None
+                        if cfg.timeout is None
+                        # Timeouts police *real* elapsed time by design; no
+                        # simulated quantity is derived from these reads.
+                        else time.monotonic() + cfg.timeout  # reprolint: disable=no-wallclock
                     )
                     in_flight[pool.submit(fn, payloads[index])] = (index, deadline)
                 wait_for = None
                 if cfg.timeout is not None:
                     nearest = min(deadline for _, deadline in in_flight.values())
-                    wait_for = max(0.0, nearest - time.monotonic())
+                    wait_for = max(0.0, nearest - time.monotonic())  # reprolint: disable=no-wallclock
                 done, _ = futures_wait(
                     in_flight, timeout=wait_for, return_when=FIRST_COMPLETED
                 )
@@ -267,7 +271,7 @@ class ResilientExecutor:
                         broken = True
                         failed(index, f"worker crashed: {type(exc).__name__}: {exc}")
                 if broken:
-                    for future, (index, _) in list(in_flight.items()):
+                    for _future, (index, _) in list(in_flight.items()):
                         failed(index, "worker pool broke while this run was in flight")
                     in_flight.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
@@ -275,7 +279,7 @@ class ResilientExecutor:
                     continue
                 if cfg.timeout is None or not in_flight:
                     continue
-                now = time.monotonic()
+                now = time.monotonic()  # reprolint: disable=no-wallclock
                 expired = [
                     future
                     for future, (_, deadline) in in_flight.items()
@@ -301,7 +305,7 @@ class ResilientExecutor:
                         index,
                         f"run exceeded the {cfg.timeout:g}s wall-clock timeout",
                     )
-                for future, (index, _) in in_flight.items():
+                for _future, (index, _) in in_flight.items():
                     # Innocent casualties of the pool kill: resubmit
                     # without charging an attempt.
                     attempts[index] -= 1

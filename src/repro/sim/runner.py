@@ -431,7 +431,7 @@ def _run_replications_resilient(
     )
     by_seed: dict[int, SimulationResult] = {}
     if store is not None and resume:
-        for seed in store.completed_seeds() & set(seeds):
+        for seed in sorted(store.completed_seeds() & set(seeds)):
             loaded = store.load(seed)
             if loaded is not None:
                 by_seed[seed] = loaded
@@ -622,7 +622,7 @@ def _run_until_precision_resilient(
     )
     available: dict[int, SimulationResult] = {}
     if store is not None and resume:
-        for seed in store.completed_seeds() & set(seeds):
+        for seed in sorted(store.completed_seeds() & set(seeds)):
             loaded = store.load(seed)
             if loaded is not None:
                 available[seed] = loaded

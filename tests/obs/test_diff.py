@@ -53,3 +53,19 @@ class TestDivergence:
         assert diff.count_deltas["queue_sampled"] == (1, 0)
         assert diff.count_deltas["request_blocked"] == (0, 1)
         assert "count queue_sampled: 1 vs 0" in diff.summary()
+
+    def test_count_deltas_sorted_regardless_of_event_order(self):
+        """Key order of count_deltas must not depend on hash/insertion order.
+
+        The deltas dict feeds JSON exports; building it over an unsorted
+        set union made its key order (and therefore serialized reports)
+        vary with PYTHONHASHSEED.  Regression for the reprolint
+        no-unordered-iteration fix in repro.obs.diff.
+        """
+        blocked = RequestBlocked(time=1.0, req=0, item_id=0, class_rank=0)
+        sampled = QueueSampled(time=1.0, length=2)
+        one = diff_traces(_trace([sampled, blocked, blocked], seed=1), _trace([], seed=1))
+        other = diff_traces(_trace([blocked, sampled, sampled], seed=1), _trace([], seed=1))
+        assert list(one.count_deltas) == sorted(one.count_deltas)
+        assert list(other.count_deltas) == sorted(other.count_deltas)
+        assert list(one.count_deltas) == list(other.count_deltas)

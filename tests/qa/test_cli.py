@@ -1,0 +1,103 @@
+"""CLI contract tests: exit codes, JSON schema, rule selection, dispatch."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.qa.cli import main as lint_main
+from repro.qa.reporter import JSON_SCHEMA_VERSION
+
+CLEAN = "def f(x: int) -> int:\n    return x + 1\n"
+DIRTY = "def f(xs=[]):\n    return xs\n"
+
+
+@pytest.fixture()
+def clean_file(tmp_path: Path) -> Path:
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture()
+def dirty_file(tmp_path: Path) -> Path:
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    return path
+
+
+def test_exit_zero_on_clean(clean_file: Path, capsys: pytest.CaptureFixture) -> None:
+    assert lint_main([str(clean_file)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+    assert "1 file scanned" in out
+
+
+def test_exit_one_on_findings(dirty_file: Path, capsys: pytest.CaptureFixture) -> None:
+    assert lint_main([str(dirty_file)]) == 1
+    out = capsys.readouterr().out
+    assert "no-mutable-default" in out
+    assert f"{dirty_file}:1:" in out  # file:line:col, editor-clickable
+
+
+def test_exit_two_on_missing_path(capsys: pytest.CaptureFixture) -> None:
+    assert lint_main(["does/not/exist.py"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_exit_two_on_unknown_rule(clean_file: Path, capsys: pytest.CaptureFixture) -> None:
+    assert lint_main([str(clean_file), "--select", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err and "no-wallclock" in err
+
+
+def test_exit_two_on_bad_flag(capsys: pytest.CaptureFixture) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main(["--format", "yaml"])
+    assert excinfo.value.code == 2
+
+
+def test_select_and_ignore(dirty_file: Path, capsys: pytest.CaptureFixture) -> None:
+    assert lint_main([str(dirty_file), "--select", "no-wallclock"]) == 0
+    assert lint_main([str(dirty_file), "--ignore", "no-mutable-default"]) == 0
+    assert lint_main([str(dirty_file), "--select", "RL006"]) == 1
+    capsys.readouterr()
+
+
+def test_json_reporter_schema(dirty_file: Path, capsys: pytest.CaptureFixture) -> None:
+    assert lint_main([str(dirty_file), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == JSON_SCHEMA_VERSION
+    assert payload["clean"] is False
+    assert payload["files_scanned"] == 1
+    assert payload["suppressed"] == []
+    (finding,) = payload["findings"]
+    assert set(finding) == {"rule", "code", "path", "line", "col", "message"}
+    assert finding["rule"] == "no-mutable-default"
+    assert finding["code"] == "RL006"
+    assert finding["line"] == 1
+
+
+def test_json_reports_suppressions(tmp_path: Path, capsys: pytest.CaptureFixture) -> None:
+    path = tmp_path / "sup.py"
+    path.write_text("def f(xs=[]):  # reprolint: disable=no-mutable-default\n    return xs\n")
+    assert lint_main([str(path), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is True
+    assert [s["rule"] for s in payload["suppressed"]] == ["no-mutable-default"]
+
+
+def test_list_rules(capsys: pytest.CaptureFixture) -> None:
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
+        assert code in out
+    assert "why:" in out
+
+
+def test_repro_cli_dispatches_lint(clean_file: Path, capsys: pytest.CaptureFixture) -> None:
+    assert repro_main(["lint", str(clean_file)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Engine-level tests: suppressions, module resolution, traversal."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa import all_rules, lint_paths, lint_source
+from repro.qa.engine import LintError, iter_python_files, module_name_for
+
+BAD_RNG = "import random\nx = random.random()\n"
+
+
+def test_line_suppression_by_name_and_code() -> None:
+    by_name = "import random\nx = random.random()  # reprolint: disable=no-global-rng\n"
+    by_code = "import random\nx = random.random()  # reprolint: disable=RL002\n"
+    for source in (by_name, by_code):
+        result = lint_source(source, all_rules(), module="repro.sim.m")
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["no-global-rng"]
+
+
+def test_line_suppression_only_covers_its_line() -> None:
+    source = (
+        "import random\n"
+        "x = random.random()  # reprolint: disable=no-global-rng\n"
+        "y = random.random()\n"
+    )
+    result = lint_source(source, all_rules(), module="repro.sim.m")
+    assert [(f.rule, f.line) for f in result.findings] == [("no-global-rng", 3)]
+    assert len(result.suppressed) == 1
+
+
+def test_file_level_suppression_and_disable_all() -> None:
+    file_level = "# reprolint: disable-file=no-global-rng\n" + BAD_RNG
+    all_rules_off = "import random\nx = random.random()  # reprolint: disable=all\n"
+    for source in (file_level, all_rules_off):
+        result = lint_source(source, all_rules(), module="repro.sim.m")
+        assert result.findings == []
+        assert result.suppressed
+
+
+def test_suppressing_one_rule_keeps_others() -> None:
+    source = (
+        "import random\n"
+        "def f(xs=[]):  # reprolint: disable=no-mutable-default\n"
+        "    return random.random()\n"
+    )
+    result = lint_source(source, all_rules(), module="repro.sim.m")
+    assert [f.rule for f in result.findings] == ["no-global-rng"]
+    assert [f.rule for f in result.suppressed] == ["no-mutable-default"]
+
+
+def test_syntax_error_becomes_rl000_finding() -> None:
+    result = lint_source("def broken(:\n", all_rules(), module="repro.sim.m")
+    assert [f.code for f in result.findings] == ["RL000"]
+    assert not result.clean
+
+
+def test_module_name_resolution(tmp_path: Path) -> None:
+    pkg = tmp_path / "mypkg" / "sub"
+    pkg.mkdir(parents=True)
+    (tmp_path / "mypkg" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("")
+    assert module_name_for(pkg / "mod.py") == "mypkg.sub.mod"
+    assert module_name_for(pkg / "__init__.py") == "mypkg.sub"
+    loose = tmp_path / "script.py"
+    loose.write_text("")
+    assert module_name_for(loose) == "script"
+
+
+def test_iter_python_files_skips_pycache_and_dedups(tmp_path: Path) -> None:
+    (tmp_path / "a.py").write_text("")
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "a.cpython-311.py").write_text("")
+    files = list(iter_python_files([tmp_path, tmp_path / "a.py"]))
+    assert files == [tmp_path / "a.py"]
+
+
+def test_lint_paths_missing_path_raises() -> None:
+    with pytest.raises(LintError, match="no such file"):
+        lint_paths([Path("does/not/exist")], all_rules())
+
+
+def test_findings_sorted_by_location(tmp_path: Path) -> None:
+    (tmp_path / "b.py").write_text("def f(xs=[]):\n    return xs\n")
+    (tmp_path / "a.py").write_text("def g(ys={}):\n    return ys\n")
+    result = lint_paths([tmp_path], all_rules())
+    assert [Path(f.path).name for f in result.findings] == ["a.py", "b.py"]
+    assert result.files_scanned == 2

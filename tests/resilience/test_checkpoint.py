@@ -156,3 +156,38 @@ class TestCheckpointStore:
         store = CheckpointStore(tmp_path / "ck")
         with pytest.raises(RuntimeError, match="open"):
             store.save(1, result)
+
+
+class TestResumeLoadOrder:
+    def test_resume_loads_checkpoints_in_sorted_seed_order(self, tmp_path, monkeypatch):
+        """Resume must consult the store in sorted seed order.
+
+        ``completed_seeds()`` returns a *set*; iterating it directly made
+        the sequence of ``load()`` calls (checkpoint file I/O) follow
+        hash order.  Results were unaffected — lookups are keyed — but
+        the I/O schedule of a resumed sweep should be reproducible too.
+        Regression for the reprolint no-unordered-iteration fix in
+        repro.sim.runner.
+        """
+        from repro.sim import run_replications
+
+        directory = tmp_path / "ck"
+        run_replications(
+            CONFIG, num_runs=4, horizon=HORIZON, warmup=WARMUP,
+            base_seed=5, checkpoint_dir=directory,
+        )
+        loads: list[int] = []
+        original = CheckpointStore.load
+
+        def recording_load(self, seed):
+            loads.append(seed)
+            return original(self, seed)
+
+        monkeypatch.setattr(CheckpointStore, "load", recording_load)
+        resumed = run_replications(
+            CONFIG, num_runs=4, horizon=HORIZON, warmup=WARMUP,
+            base_seed=5, checkpoint_dir=directory, resume=True,
+        )
+        assert len(loads) == 4
+        assert loads == sorted(loads)
+        assert len(resumed.runs) == 4
