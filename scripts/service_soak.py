@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Service soak drill: boot the live service, soak it under faults, audit it.
+
+The end-to-end check behind docs/service.md, run by the ``service-soak``
+CI job:
+
+1. boot ``repro serve`` as a subprocess with downlink corruption armed
+   and an obs trace attached;
+2. replay a seeded paper workload through ``repro loadgen`` with a
+   flash-crowd surge and an uplink-loss phase — the fault-injected soak;
+3. snapshot ``/metrics`` and audit the robustness spine: brownout must
+   shed strictly C before B before A (Class A never shed), levels must
+   move stepwise, and the health machine must have walked only
+   documented edges;
+4. SIGTERM the service and demand a clean drain: exit code 0 and a
+   balanced conservation ledger with nothing queued or in flight;
+5. run ``repro trace validate`` over the emitted trace — the same
+   conservation / non-preemption / gamma-tie-break auditor the
+   simulator uses.
+
+Exit code 0 means every check passed.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/service_soak.py --workdir soak/
+"""
+
+import argparse
+import json
+import shutil
+import signal
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+#: Documented health edges reachable before the drain begins.
+LEGAL_EDGES = {
+    ("starting", "ready"),
+    ("ready", "brownout"),
+    ("brownout", "ready"),
+}
+
+SERVE_ARGS = [
+    "--items", "30",
+    "--cutoff", "8",
+    "--time-scale", "0.02",
+    "--deadlines", "3.0,2.0,1.5",
+    "--ingress-capacity", "6",
+    "--downlink-loss", "0.2",
+    "--brownout-window", "0.05",
+    "--seed", "11",
+    "--drain-timeout", "20",
+]
+
+LOADGEN_ARGS = [
+    "--rate", "150",
+    "--duration", "1.5",
+    "--concurrency", "32",
+    "--seed", "11",
+    "--max-retries", "2",
+    "--backoff-base", "0.02",
+    "--backoff-cap", "0.2",
+    "--surge", "0.3:0.9:3.0",
+    "--loss", "0.5:0.8:0.3",
+    "--items", "30",
+    "--cutoff", "8",
+]
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def audit_metrics(metrics: dict) -> list:
+    """Return the list of robustness violations found in ``/metrics``."""
+    problems = []
+    shed = metrics["ledger"]["by_rank"]["shed"]
+    if shed[0] != 0:
+        problems.append(f"Class A was shed: shed_by_rank={shed}")
+    if sum(shed[1:]) and shed[-1] == 0:
+        problems.append(f"B shed without C shedding first: shed_by_rank={shed}")
+    transitions = metrics["brownout"]["transitions"]
+    if not transitions:
+        problems.append("sustained overload never engaged brownout")
+    for row in transitions:
+        if abs(row["to"] - row["from"]) != 1:
+            problems.append(f"brownout level jumped: {row}")
+    path = [(row["from"], row["to"]) for row in metrics["health"]["history"]]
+    illegal = set(path) - LEGAL_EDGES
+    if illegal:
+        problems.append(f"undocumented health transitions: {sorted(illegal)}")
+    if not path or path[0] != ("starting", "ready"):
+        problems.append(f"health machine never reached ready: {path}")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir", default="service-soak", help="scratch directory for artifacts"
+    )
+    args = parser.parse_args()
+    workdir = Path(args.workdir)
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    workdir.mkdir(parents=True)
+    trace_path = workdir / "soak-trace.jsonl"
+    report_path = workdir / "loadgen-report.json"
+    metrics_path = workdir / "metrics.json"
+
+    print("[1/5] booting the service...")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--trace", str(trace_path), *SERVE_ARGS],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        listening = json.loads(server.stdout.readline())
+        if listening.get("event") != "listening":
+            return fail(f"unexpected first server line: {listening}")
+        port = listening["port"]
+        print(f"service listening on port {port}")
+
+        print("[2/5] fault-injected soak (surge + uplink loss + downlink loss)...")
+        loadgen = subprocess.run(
+            [sys.executable, "-m", "repro", "loadgen", "--port", str(port),
+             "--report", str(report_path), *LOADGEN_ARGS],
+            stdout=subprocess.DEVNULL,
+            timeout=300,
+        )
+        if loadgen.returncode != 0:
+            return fail(f"loadgen exited {loadgen.returncode}")
+        report = json.loads(report_path.read_text())
+        print(
+            f"soak done: planned={report['planned']} attempts={report['attempts']} "
+            f"retries={report['retries']} uplink_lost={report['uplink_lost']} "
+            f"outcomes={report['outcomes']}"
+        )
+        if report["outcomes"].get("served", 0) == 0:
+            return fail("soak served nothing — the service did no real work")
+        if report["retries"] == 0:
+            return fail("no retries — the fault phases cannot have fired")
+
+        print("[3/5] auditing /metrics (shed order, brownout steps, health edges)...")
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=10) as rsp:
+            metrics = json.loads(rsp.read())
+        metrics_path.write_text(json.dumps(metrics, indent=2))
+        problems = audit_metrics(metrics)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"shed_by_rank={metrics['ledger']['by_rank']['shed']} "
+            f"brownout_transitions={len(metrics['brownout']['transitions'])} "
+            f"health={metrics['health']['state']}"
+        )
+
+        print("[4/5] SIGTERM, demanding a clean drain...")
+        server.send_signal(signal.SIGTERM)
+        out, _err = server.communicate(timeout=60)
+        if server.returncode != 0:
+            return fail(f"server exited {server.returncode} after SIGTERM")
+        drained = next(
+            json.loads(line) for line in out.splitlines()
+            if line.startswith("{") and json.loads(line).get("event") == "drained"
+        )
+        ledger = drained["ledger"]
+        if ledger["balance"] != 0 or ledger["queued"] or ledger["in_flight"]:
+            return fail(f"conservation violated at drain: {ledger}")
+        print(f"drained clean: {ledger}")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate()
+
+    print("[5/5] validating the emitted obs trace...")
+    validate = subprocess.run(
+        [sys.executable, "-m", "repro", "trace", "validate", str(trace_path)],
+        timeout=120,
+    )
+    if validate.returncode != 0:
+        return fail("trace validation found violations")
+    print("OK: soak survived faults with a balanced ledger, "
+          "C->B->A shedding and a valid trace")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

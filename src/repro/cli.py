@@ -18,6 +18,9 @@ Usage::
     python -m repro lint src/repro        # determinism static analysis
     python -m repro lint --list-rules
 
+    python -m repro serve --port 8080 --trace soak.jsonl   # live service
+    python -m repro loadgen --port 8080 --rate 80 --surge 2:4:3
+
 Also installed as the ``repro-experiments`` console script.
 """
 
@@ -408,6 +411,14 @@ def _dispatch(argv: list) -> int:
         from .qa.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .service.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from .service.cli import loadgen_main
+
+        return loadgen_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":

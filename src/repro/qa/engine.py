@@ -16,6 +16,14 @@ Design
   flagged physical line, or ``disable-file=`` anywhere) are honoured by
   the engine, not by individual rules, so every rule gets them for free.
   Suppressed findings are counted and surfaced in :class:`LintResult`.
+* *Audited scoped exemptions* (``audited_scopes``) are the path-scoped
+  middle ground between a blanket ``exempt_scopes`` (findings vanish)
+  and per-line suppressions (noisy at scale): the rule still runs and
+  every finding is collected in :class:`LintResult.exempted`, but the
+  findings do not fail the scan.  A test pins the exact exempted count,
+  so the exemption stays a reviewed budget, not a blind spot — this is
+  how ``repro.service`` (a real-time server, where the wall clock is the
+  domain) coexists with the RL001 wall-clock ban everywhere else.
 """
 
 from __future__ import annotations
@@ -112,6 +120,13 @@ class Rule(abc.ABC):
     exempt_scopes / exempt_path_parts:
         Module prefixes / path components where the rule is silent even
         when in scope (e.g. the profiler for the wall-clock ban).
+    audited_scopes:
+        Module prefixes where findings are *exempted but still counted*:
+        the rule runs, its findings land in :class:`LintResult.exempted`
+        instead of failing the scan, and a pinned-count test keeps the
+        budget reviewed.  Use for subsystems where the banned construct
+        is the domain (the live service reads the wall clock on purpose)
+        — unlike ``exempt_scopes``, growth is visible and audited.
     """
 
     name: str = ""
@@ -121,6 +136,11 @@ class Rule(abc.ABC):
     scopes: tuple[str, ...] = ()
     exempt_scopes: tuple[str, ...] = ()
     exempt_path_parts: tuple[str, ...] = ()
+    audited_scopes: tuple[str, ...] = ()
+
+    def audits(self, ctx: FileContext) -> bool:
+        """Whether findings in ``ctx`` fall under an audited exemption."""
+        return _prefixed(ctx.module, self.audited_scopes)
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Whether this rule runs at all for the module in ``ctx``."""
@@ -157,10 +177,17 @@ def module_name_for(path: Path) -> str:
 
 @dataclass(slots=True)
 class LintResult:
-    """Outcome of one lint run."""
+    """Outcome of one lint run.
+
+    ``exempted`` collects findings that fall under a rule's audited
+    scoped exemption (:attr:`Rule.audited_scopes`): they do not make the
+    result unclean, but they are fully reported so their count can be
+    pinned by tests.
+    """
 
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
+    exempted: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
 
     @property
@@ -172,6 +199,7 @@ class LintResult:
         """Fold another (single-file) result into this one."""
         self.findings.extend(other.findings)
         self.suppressed.extend(other.suppressed)
+        self.exempted.extend(other.exempted)
         self.files_scanned += other.files_scanned
 
 
@@ -229,8 +257,14 @@ def lint_source(
     for rule in rules:
         if not rule.applies_to(ctx):
             continue
+        audited = rule.audits(ctx)
         for finding in rule.check(tree, ctx):
-            if _is_suppressed(finding, per_line, per_file):
+            if audited:
+                # Scoped exemption beats inline suppression: exempted
+                # modules need no suppression comments, and the audit
+                # count stays the single source of truth.
+                result.exempted.append(finding)
+            elif _is_suppressed(finding, per_line, per_file):
                 result.suppressed.append(finding)
             else:
                 result.findings.append(finding)
@@ -276,4 +310,5 @@ def lint_paths(paths: Sequence[Path], rules: Sequence[Rule]) -> LintResult:
             )
         )
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    result.exempted.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return result

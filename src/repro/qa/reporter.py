@@ -2,7 +2,9 @@
 
 The JSON schema is versioned and stable (tests pin it): tooling that
 consumes ``repro lint --format json`` can rely on the top-level keys
-``schema``, ``clean``, ``files_scanned``, ``findings``, ``suppressed``.
+``schema``, ``clean``, ``files_scanned``, ``findings``, ``suppressed``
+and (since schema 2) ``exempted`` — findings covered by an audited
+scoped exemption (:attr:`repro.qa.engine.Rule.audited_scopes`).
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ from .engine import LintResult
 
 __all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(result: LintResult) -> str:
@@ -22,6 +24,7 @@ def render_text(result: LintResult) -> str:
     noun = "file" if result.files_scanned == 1 else "files"
     summary = (
         f"{len(result.findings)} finding(s), {len(result.suppressed)} suppressed, "
+        f"{len(result.exempted)} exempted (audited scopes), "
         f"{result.files_scanned} {noun} scanned"
     )
     if lines:
@@ -37,5 +40,6 @@ def render_json(result: LintResult) -> str:
         "files_scanned": result.files_scanned,
         "findings": [finding.as_dict() for finding in result.findings],
         "suppressed": [finding.as_dict() for finding in result.suppressed],
+        "exempted": [finding.as_dict() for finding in result.exempted],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

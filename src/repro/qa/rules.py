@@ -107,6 +107,13 @@ class NoWallclock(Rule):
     benchmark harness are exempt; operator-facing timing (CLI progress,
     executor timeouts) carries an explicit inline suppression so every
     wall-clock read in the tree is deliberate and auditable.
+
+    ``repro.service`` — the live server façade, where wall-clock time is
+    the *domain*, not an accident — holds an audited scoped exemption:
+    its findings are collected in :attr:`LintResult.exempted` and their
+    exact count is pinned by ``tests/qa/test_self_clean.py``, so new
+    wall-clock reads in the service still require a reviewed budget bump
+    instead of scattering inline suppressions.
     """
 
     name = "no-wallclock"
@@ -118,6 +125,7 @@ class NoWallclock(Rule):
     )
     exempt_scopes = ("repro.obs.profiling",)
     exempt_path_parts = ("benchmarks",)
+    audited_scopes = ("repro.service",)
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
         imports = import_table(tree)
@@ -138,7 +146,17 @@ class NoWallclock(Rule):
 # RL002 — no-global-rng
 # --------------------------------------------------------------------------
 
-_RNG_SCOPES = ("repro.sim", "repro.des", "repro.schedulers", "repro.core", "repro.workload")
+#: ``repro.service`` is deliberately in scope: the live load generator's
+#: backoff jitter and the service's fault draws must flow from
+#: ``SeedSequence``-derived generators so soaks replay (RL003).
+_RNG_SCOPES = (
+    "repro.sim",
+    "repro.des",
+    "repro.schedulers",
+    "repro.core",
+    "repro.workload",
+    "repro.service",
+)
 
 #: Legacy numpy global-state functions (np.random.<fn> module level).
 _NUMPY_LEGACY = frozenset(

@@ -1,0 +1,55 @@
+"""Live broadcast service façade: the hybrid scheduler as a real server.
+
+The packages below this one simulate the paper's hybrid push/pull
+scheduler under a discrete-event clock; :mod:`repro.service` runs the
+same scheduling core — Eq. 1 importance selection, per-class bandwidth
+pools, class-aware overload admission — against *wall-clock* time, behind
+an asyncio HTTP/WebSocket front.  Robustness is the headline:
+
+* per-request **deadlines** with class-specific timeout budgets,
+* a bounded ingress queue with **backpressure** (HTTP 429 + Retry-After
+  derived from the current queue drain estimate),
+* a **brownout** controller that sheds Class C before B before A under
+  sustained overload (never the premium class first),
+* a **health state machine** (`/healthz`, `/readyz`) with graceful
+  SIGTERM drain of in-flight requests,
+* a seeded **load generator** with retry + full-jitter exponential
+  backoff that replays :mod:`repro.workload` traces, including
+  flash-crowd surges and injected fault phases.
+
+Every scheduling decision is emitted in the :mod:`repro.obs` trace
+schema, so ``repro trace validate`` proves conservation and ordering on
+a *live* soak exactly as it does on a simulated run.
+
+This is the only package in the tree allowed to read the wall clock —
+under an audited reprolint exemption whose finding count is pinned by
+``tests/qa/test_self_clean.py``.
+"""
+
+from .app import BroadcastService
+from .brownout import BrownoutController
+from .clock import ServiceClock
+from .config import LoadGenConfig, LossPhase, ServiceConfig, SurgePhase
+from .core import SchedulerCore
+from .health import HealthMonitor, HealthState
+from .ledger import LedgerViolation, ServiceLedger
+from .loadgen import LoadGenReport, build_plan, plan_histogram, run_loadgen
+
+__all__ = [
+    "BroadcastService",
+    "BrownoutController",
+    "HealthMonitor",
+    "HealthState",
+    "LedgerViolation",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "LossPhase",
+    "SchedulerCore",
+    "ServiceClock",
+    "ServiceConfig",
+    "ServiceLedger",
+    "SurgePhase",
+    "build_plan",
+    "plan_histogram",
+    "run_loadgen",
+]

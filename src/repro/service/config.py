@@ -1,0 +1,302 @@
+"""Configuration of the live service and its load generator.
+
+Both configs follow the hardening discipline of
+:class:`~repro.core.faults.FaultConfig`: every numeric knob is validated
+at construction with an actionable message — NaN, infinities and
+negative values are rejected *before* they can silently poison a soak
+(a NaN rate would make the load generator sleep forever; an infinite
+deadline would pin requests in the queue past any drain).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.config import HybridConfig
+
+__all__ = ["ServiceConfig", "LoadGenConfig", "SurgePhase", "LossPhase"]
+
+
+def _require_finite_positive(name: str, value: float, hint: str) -> None:
+    """Reject NaN/inf/non-positive values with a message naming the fix."""
+    if math.isnan(value):
+        raise ValueError(f"{name} is NaN — {hint}")
+    if math.isinf(value):
+        raise ValueError(f"{name} is infinite — {hint}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value} — {hint}")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the live broadcast service needs beyond the scheduler.
+
+    Attributes
+    ----------
+    hybrid:
+        The scheduling system description (catalog, classes, schedulers,
+        bandwidth pools) — the same object the simulator consumes, so a
+        soak and a simulation of the same config are directly comparable.
+    time_scale:
+        Wall-clock seconds per broadcast unit.  Item lengths and push
+        slots are multiplied by this; soak tests run with a tiny scale
+        (e.g. ``0.002``) so thousands of requests complete in seconds.
+    class_deadlines:
+        Per-class deadline budget in *seconds*, rank order (index 0 =
+        Class A).  A queued request past its budget is answered 504 and
+        recorded as reneged.  ``None`` disables deadlines.
+    ingress_capacity:
+        Bound on distinct pull-queue entries.  A request that would open
+        an entry beyond the bound is answered 429 with a Retry-After
+        derived from the queue drain estimate.
+    brownout_window:
+        Seconds per brownout observation window.
+    brownout_high / brownout_low:
+        Occupancy fractions (of ``ingress_capacity``): sustained windows
+        above ``high`` escalate the brownout level, sustained windows
+        below ``low`` de-escalate — the gap is the hysteresis band.
+    brownout_engage / brownout_release:
+        Consecutive windows above/below the water marks required to
+        move one brownout level up/down.
+    brownout_max_level:
+        Ceiling on the brownout level.  Level ``k`` sheds the ``k``
+        lowest-ranked classes; the default (``num_classes - 1``) can
+        shed everything *except* Class A, so the premium class is never
+        browned out — the paper's ordering, enforced by construction.
+        ``None`` resolves to ``num_classes - 1`` at service start.
+    downlink_loss:
+        Probability that a transmission is corrupted on air (seeded
+        Bernoulli): the air time and bandwidth are spent, nobody is
+        satisfied, and the pending requests re-enter the queue unless
+        their deadlines have expired — the live twin of the simulator's
+        server-side ARQ path.
+    drain_timeout:
+        Upper bound in seconds on the graceful SIGTERM drain; pending
+        requests still unserved at the bound are failed as timed out
+        (never silently dropped — the ledger accounts for every one).
+    seed:
+        Root seed of all service randomness (bandwidth demand draws,
+        downlink corruption) via ``SeedSequence`` spawning.
+    """
+
+    hybrid: HybridConfig = field(default_factory=HybridConfig)
+    time_scale: float = 0.05
+    class_deadlines: Optional[tuple[float, ...]] = None
+    ingress_capacity: int = 64
+    brownout_window: float = 0.5
+    brownout_high: float = 0.85
+    brownout_low: float = 0.5
+    brownout_engage: int = 2
+    brownout_release: int = 3
+    brownout_max_level: Optional[int] = None
+    downlink_loss: float = 0.0
+    drain_timeout: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require_finite_positive(
+            "time_scale", self.time_scale,
+            "pass wall-clock seconds per broadcast unit (e.g. 0.05)",
+        )
+        if self.class_deadlines is not None:
+            if len(self.class_deadlines) != len(self.hybrid.class_specs):
+                raise ValueError(
+                    f"class_deadlines has {len(self.class_deadlines)} entries for "
+                    f"{len(self.hybrid.class_specs)} classes — give one budget per "
+                    "class, rank order (A first)"
+                )
+            for name, deadline in zip(self.hybrid.class_names(), self.class_deadlines):
+                _require_finite_positive(
+                    f"class_deadlines[{name}]", deadline,
+                    "give the class a finite positive timeout budget in seconds",
+                )
+        if self.ingress_capacity < 1:
+            raise ValueError(
+                f"ingress_capacity must be >= 1, got {self.ingress_capacity} — "
+                "the bounded ingress queue needs at least one slot"
+            )
+        _require_finite_positive(
+            "brownout_window", self.brownout_window,
+            "the brownout controller samples occupancy once per window",
+        )
+        if not 0 < self.brownout_high <= 1:
+            raise ValueError(
+                f"brownout_high must be in (0, 1], got {self.brownout_high}"
+            )
+        if not 0 <= self.brownout_low < self.brownout_high:
+            raise ValueError(
+                f"need 0 <= brownout_low < brownout_high, got "
+                f"{self.brownout_low} vs {self.brownout_high} — the gap between "
+                "them is the hysteresis band that prevents shed/unshed thrash"
+            )
+        if self.brownout_engage < 1 or self.brownout_release < 1:
+            raise ValueError(
+                "brownout_engage and brownout_release must be >= 1, got "
+                f"{self.brownout_engage}/{self.brownout_release}"
+            )
+        if self.brownout_max_level is not None and not (
+            0 <= self.brownout_max_level <= len(self.hybrid.class_specs)
+        ):
+            raise ValueError(
+                f"brownout_max_level must be in [0, {len(self.hybrid.class_specs)}], "
+                f"got {self.brownout_max_level}"
+            )
+        if math.isnan(self.downlink_loss) or not 0 <= self.downlink_loss < 1:
+            raise ValueError(
+                f"downlink_loss must be in [0, 1), got {self.downlink_loss}"
+            )
+        _require_finite_positive(
+            "drain_timeout", self.drain_timeout,
+            "the SIGTERM drain needs a finite upper bound",
+        )
+
+    @property
+    def num_classes(self) -> int:
+        """Number of service classes (rank order, A first)."""
+        return len(self.hybrid.class_specs)
+
+    def deadline_for(self, class_rank: int) -> Optional[float]:
+        """Deadline budget in seconds for one class, or ``None``."""
+        if self.class_deadlines is None:
+            return None
+        return self.class_deadlines[class_rank]
+
+    def resolved_max_level(self) -> int:
+        """The effective brownout ceiling (defaults to sparing Class A)."""
+        if self.brownout_max_level is None:
+            return self.num_classes - 1
+        return self.brownout_max_level
+
+
+@dataclass(frozen=True)
+class SurgePhase:
+    """One flash-crowd window of the load generator.
+
+    During ``[start, end)`` seconds into the run, the offered rate is
+    multiplied by ``multiplier``.
+    """
+
+    start: float
+    end: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.start) or self.start < 0:
+            raise ValueError(f"surge start must be >= 0, got {self.start}")
+        if math.isnan(self.end) or math.isinf(self.end) or self.end <= self.start:
+            raise ValueError(
+                f"surge end must be finite and > start, got [{self.start}, {self.end})"
+            )
+        _require_finite_positive(
+            "surge multiplier", self.multiplier,
+            "a flash crowd multiplies the base rate by a positive factor",
+        )
+
+
+@dataclass(frozen=True)
+class LossPhase:
+    """One injected-fault window of the load generator.
+
+    During ``[start, end)`` seconds into the run, each send attempt is
+    independently lost with probability ``probability`` before reaching
+    the service (uplink loss); the client retries with full-jitter
+    exponential backoff.
+    """
+
+    start: float
+    end: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.start) or self.start < 0:
+            raise ValueError(f"loss-phase start must be >= 0, got {self.start}")
+        if math.isnan(self.end) or math.isinf(self.end) or self.end <= self.start:
+            raise ValueError(
+                f"loss-phase end must be finite and > start, got [{self.start}, {self.end})"
+            )
+        if math.isnan(self.probability) or not 0 <= self.probability < 1:
+            raise ValueError(
+                f"loss probability must be in [0, 1), got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Knobs of the seeded load-generator client.
+
+    Attributes
+    ----------
+    rate:
+        Base offered load in requests per wall-clock second.
+    duration:
+        Run length in seconds (generation stops; in-flight requests may
+        complete after).
+    concurrency:
+        Number of client workers, each holding one connection.
+    seed:
+        Root seed: arrival times, item/class draws and backoff jitter
+        all flow from one ``SeedSequence`` so a soak is replayable.
+    max_retries:
+        Send attempts beyond the first for retryable failures (429,
+        connection errors, injected uplink loss).
+    backoff_base / backoff_cap:
+        Full-jitter exponential backoff: attempt ``n`` sleeps
+        ``uniform(0, min(cap, base · 2ⁿ))`` seconds, honouring a 429's
+        Retry-After as a floor.
+    surges / losses:
+        Flash-crowd and fault-injection phases (may overlap).
+    """
+
+    rate: float = 50.0
+    duration: float = 5.0
+    concurrency: int = 4
+    seed: int = 0
+    max_retries: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    surges: tuple[SurgePhase, ...] = ()
+    losses: tuple[LossPhase, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require_finite_positive(
+            "rate", self.rate,
+            "pass the offered load in requests per second (e.g. --rate 50)",
+        )
+        _require_finite_positive(
+            "duration", self.duration,
+            "pass the run length in seconds (e.g. --duration 10)",
+        )
+        if self.concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {self.concurrency} — "
+                "the load generator needs at least one worker"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        _require_finite_positive(
+            "backoff_base", self.backoff_base,
+            "the first retry sleeps up to this many seconds",
+        )
+        if math.isnan(self.backoff_cap) or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"backoff_cap {self.backoff_cap} below backoff_base "
+                f"{self.backoff_base} — the cap bounds the jitter window"
+            )
+
+    def rate_at(self, elapsed: float) -> float:
+        """Offered rate ``elapsed`` seconds into the run (surges applied)."""
+        rate = self.rate
+        for surge in self.surges:
+            if surge.start <= elapsed < surge.end:
+                rate *= surge.multiplier
+        return rate
+
+    def loss_at(self, elapsed: float) -> float:
+        """Injected uplink-loss probability at ``elapsed`` seconds."""
+        probability = 0.0
+        for phase in self.losses:
+            if phase.start <= elapsed < phase.end:
+                probability = max(probability, phase.probability)
+        return probability

@@ -1,0 +1,713 @@
+"""The live scheduler core: Eq. 1 selection against the wall clock.
+
+:class:`SchedulerCore` is the service-side twin of
+:class:`~repro.sim.server.HybridServer`: the same pull queue, the same
+registry-built push/pull schedulers (Eq. 1 importance selection with its
+smaller-id tie-break), the same per-class :class:`~repro.sim.bandwidth_pool.
+BandwidthPool` admission, the same alternating push/pull service loop —
+but ``yield env.timeout(length)`` becomes ``await asyncio.sleep(length ·
+time_scale)`` and arrivals come from an HTTP front instead of a DES
+driver.
+
+The robustness spine lives here:
+
+* **deadlines** — every admitted request arms a class-budget timer; on
+  expiry a request still waiting is answered 504 and recorded reneged;
+* **backpressure** — a request that would open a queue entry beyond
+  ``ingress_capacity`` is refused with a Retry-After derived from the
+  current drain estimate;
+* **brownout** — the :class:`~repro.service.brownout.BrownoutController`
+  gates admission per class, fed occupancy windows by the monitor loop;
+* **conservation** — every transition is double-entry booked in the
+  :class:`~repro.service.ledger.ServiceLedger` *and* emitted as a
+  :mod:`repro.obs` trace event, so ``repro trace validate`` proves the
+  soak's conservation and ordering offline.
+
+The core never reads the wall clock directly — all timestamps flow from
+the injected :class:`~repro.service.clock.ServiceClock` — and all
+randomness (bandwidth demand, downlink corruption) comes from
+``SeedSequence``-spawned generators, so two soaks with the same request
+sequence draw identical demands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..obs.events import (
+    GammaSnapshot,
+    PullDropped,
+    PullServed,
+    PushBroadcast,
+    QueueSampled,
+    RequestArrived,
+    RequestBlocked,
+    RequestReneged,
+    RequestSatisfied,
+    RequestShed,
+)
+from ..obs.recorder import TraceRecorder
+from ..schedulers.base import PullQueue
+from ..schedulers.registry import make_pull_scheduler, make_push_scheduler
+from ..sim.bandwidth_pool import BandwidthPool
+from ..workload.arrivals import Request
+from .brownout import BrownoutController
+from .clock import ServiceClock
+from .config import ServiceConfig
+from .health import HealthMonitor, HealthState
+from .ledger import ServiceLedger
+
+__all__ = ["SchedulerCore", "RequestOutcome"]
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What the service decided about one submitted request.
+
+    ``status`` is one of served / blocked / rejected / shed / timed_out /
+    failed / draining; ``http`` the response code the front should send;
+    ``retry_after`` a client hint in seconds for retryable refusals.
+    """
+
+    status: str
+    http: int
+    delay: Optional[float] = None
+    via_push: Optional[bool] = None
+    retry_after: Optional[float] = None
+
+    def body(self) -> dict[str, object]:
+        """JSON response payload."""
+        payload: dict[str, object] = {"outcome": self.status}
+        if self.delay is not None:
+            payload["delay"] = self.delay
+        if self.via_push is not None:
+            payload["via_push"] = self.via_push
+        if self.retry_after is not None:
+            payload["retry_after"] = self.retry_after
+        return payload
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one admitted, not-yet-terminal request."""
+
+    request: Request
+    future: asyncio.Future
+    timer: Optional[asyncio.TimerHandle] = None
+    #: Deadline fired while the request rode a transmission; decided at
+    #: transmission end (a corrupted transfer then times it out).
+    expired: bool = False
+
+
+@dataclass
+class _Window:
+    """One monitor window of the live timeline (JSON-ready)."""
+
+    time: float
+    queue_entries: int
+    occupancy: float
+    brownout_level: int
+    health: str
+    served: int
+    shed: int
+    rejected: int
+    timed_out: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "time": self.time,
+            "queue_entries": self.queue_entries,
+            "occupancy": self.occupancy,
+            "brownout_level": self.brownout_level,
+            "health": self.health,
+            "served": self.served,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "timed_out": self.timed_out,
+        }
+
+
+class SchedulerCore:
+    """The wall-clock hybrid scheduler behind the HTTP front.
+
+    Parameters
+    ----------
+    config:
+        Service configuration (embeds the :class:`~repro.core.config.
+        HybridConfig` the schedulers and pools are built from).
+    clock:
+        Injected clock; tests may pass a pre-warmed one.
+    tracer:
+        Optional :class:`~repro.obs.TraceRecorder`; when installed every
+        decision is emitted in the simulator's trace schema.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        clock: Optional[ServiceClock] = None,
+        tracer: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.config = config
+        hybrid = config.hybrid
+        self.clock = clock if clock is not None else ServiceClock()
+        self.tracer = tracer
+        self.catalog = hybrid.build_catalog()
+        self.cutoff = hybrid.cutoff
+        self.pull_scheduler = make_pull_scheduler(hybrid.pull_scheduler, alpha=hybrid.alpha)
+        self.push_scheduler = make_push_scheduler(
+            hybrid.push_scheduler, self.catalog, hybrid.cutoff
+        )
+        self.pool = BandwidthPool(hybrid.class_bandwidth())
+        self.queue = PullQueue(self.catalog)
+        if self.pull_scheduler.incremental:
+            self.queue.attach_scorer(self.pull_scheduler)
+        self.brownout = BrownoutController.from_config(config)
+        self.ledger = ServiceLedger(num_classes=config.num_classes)
+        self.health = HealthMonitor()
+        seq = np.random.SeedSequence(config.seed)
+        bandwidth_seq, downlink_seq = seq.spawn(2)
+        self._bandwidth_rng = np.random.default_rng(bandwidth_seq)
+        self._downlink_rng = np.random.default_rng(downlink_seq)
+        self._push_waiters: dict[int, list[Request]] = {}
+        self._pending: dict[int, _Pending] = {}  # keyed by id(request)
+        self._wakeup: Optional[asyncio.Event] = None
+        self._tasks: list[asyncio.Task] = []
+        self._draining = False
+        self.windows: list[_Window] = []
+        self._subscribers: list[asyncio.Queue] = []
+        self._last_totals = (0, 0, 0, 0)
+        if tracer is not None:
+            tracer.meta.update(
+                service=True,
+                pull_mode="serial",
+                cutoff=hybrid.cutoff,
+                num_items=hybrid.num_items,
+                class_names=hybrid.class_names(),
+                pull_scheduler=hybrid.pull_scheduler,
+                push_scheduler=hybrid.push_scheduler,
+                seed=config.seed,
+                time_scale=config.time_scale,
+                warmup=0.0,
+            )
+
+    # -- life-cycle -------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the service loops and report READY."""
+        self._wakeup = asyncio.Event()
+        self._tasks = [
+            asyncio.create_task(self._run(), name="scheduler-loop"),
+            asyncio.create_task(self._monitor(), name="monitor-loop"),
+        ]
+        self.health.transition(HealthState.READY, self.clock.now())
+
+    async def drain(self) -> None:
+        """Graceful shutdown: serve what is queued/in flight, then stop.
+
+        Flips the health machine to DRAINING (readiness goes 503) first,
+        keeps the scheduler running until the ledger's live terms hit
+        zero or ``drain_timeout`` elapses, force-fails any leftovers
+        (ledger outcome ``failed`` — never silently dropped), and lands
+        in STOPPED.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self.health.transition(HealthState.DRAINING, self.clock.now())
+        self._wake()
+        bound = self.clock.now() + self.config.drain_timeout
+        while (self.ledger.queued or self.ledger.in_flight) and self.clock.now() < bound:
+            await asyncio.sleep(min(0.02, self.config.drain_timeout / 10))
+        for pending in list(self._pending.values()):
+            self._force_fail(pending)
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+        now = self.clock.now()
+        self.health.transition(HealthState.STOPPED, now)
+        if self.tracer is not None:
+            self.tracer.meta["horizon"] = now
+
+    def _force_fail(self, pending: _Pending) -> None:
+        """Drain bound hit: terminate one leftover request as ``failed``."""
+        if pending.future.done():
+            return
+        request = pending.request
+        if self.queue.remove_request(request) or self._unpark(request):
+            from_flight = False
+        else:
+            from_flight = True  # riding a transmission the drain abandoned
+        self.ledger.finish("failed", request.class_rank, from_flight=from_flight)
+        if self.tracer is not None:
+            self._emit_lifecycle(RequestReneged, request)
+        self._resolve(pending, RequestOutcome(status="failed", http=503))
+
+    # -- submission -------------------------------------------------------------
+    async def submit(
+        self,
+        item_id: int,
+        class_rank: int,
+        priority: Optional[float] = None,
+        client_id: int = 0,
+    ) -> RequestOutcome:
+        """Accept one client request and await its terminal outcome.
+
+        Raises ``ValueError`` for out-of-range items/classes (the front
+        maps that to HTTP 400); every in-range submission is booked in
+        the ledger under exactly one outcome.
+        """
+        if not 0 <= item_id < len(self.catalog):
+            raise ValueError(
+                f"item_id {item_id} outside catalog [0, {len(self.catalog)})"
+            )
+        if not 0 <= class_rank < self.config.num_classes:
+            raise ValueError(
+                f"class_rank {class_rank} outside [0, {self.config.num_classes})"
+            )
+        if priority is None:
+            priority = float(self.config.hybrid.class_specs[class_rank].priority)
+        if not self.health.accepting:
+            return RequestOutcome(status="draining", http=503)
+        now = self.clock.now()
+        request = Request(
+            time=now,
+            item_id=item_id,
+            client_id=client_id,
+            class_rank=class_rank,
+            priority=priority,
+        )
+        self.ledger.submit(class_rank)
+        if item_id >= self.cutoff:
+            refusal = self._admission_refusal(request)
+            if refusal is not None:
+                return refusal
+        if self.tracer is not None:
+            self.tracer.emit(
+                RequestArrived(
+                    time=now,
+                    req=self.tracer.rid(request),
+                    item_id=item_id,
+                    client_id=client_id,
+                    class_rank=class_rank,
+                    priority=priority,
+                    gen_time=now,
+                )
+            )
+        pending = _Pending(request=request, future=asyncio.get_running_loop().create_future())
+        self._pending[id(request)] = pending
+        self.ledger.enqueue()
+        if item_id < self.cutoff:
+            self._push_waiters.setdefault(item_id, []).append(request)
+        else:
+            self.queue.add(request)
+            self._emit_queue_length()
+        deadline = self.config.deadline_for(class_rank)
+        if deadline is not None:
+            pending.timer = asyncio.get_running_loop().call_later(
+                deadline, self._expire, pending
+            )
+        self._wake()
+        return await pending.future
+
+    def _admission_refusal(self, request: Request) -> Optional[RequestOutcome]:
+        """Backpressure/brownout gate for requests opening a new entry.
+
+        Requests folding into an existing entry always pass — they cost
+        no queue slot and one broadcast satisfies them all.  Returns the
+        refusal outcome, or ``None`` when admitted.
+        """
+        if self.queue.peek(request.item_id) is not None:
+            return None
+        occupancy = len(self.queue)
+        # Capacity first: a full queue is backpressure (429) for *every*
+        # class.  Brownout/trunk-reservation shedding (503) only ever
+        # fires below capacity, so a Class A refusal can never be
+        # mislabelled as a brownout shed (its trunk limit is the full
+        # capacity by construction).
+        if occupancy >= self.config.ingress_capacity:
+            self.ledger.finish("rejected", request.class_rank)
+            self._emit_refused(request)
+            return RequestOutcome(
+                status="rejected", http=429, retry_after=self._retry_after()
+            )
+        if not self.brownout.admits(request.class_rank, occupancy):
+            self.ledger.finish("shed", request.class_rank)
+            self._emit_refused(request)
+            return RequestOutcome(
+                status="shed", http=503, retry_after=self._retry_after()
+            )
+        return None
+
+    def _retry_after(self) -> float:
+        """Client wait hint: the current queue's estimated drain time.
+
+        One alternating service cycle transmits one push slot and one
+        pull entry, so draining ``n`` queued entries takes about
+        ``n · 2 · mean_length · time_scale`` seconds.
+        """
+        mean_length = float(np.mean(self.catalog.lengths))
+        cycle = 2.0 * mean_length * self.config.time_scale
+        estimate = max(1, len(self.queue)) * cycle
+        return round(max(0.05, estimate), 3)
+
+    # -- deadline enforcement -----------------------------------------------------
+    def _expire(self, pending: _Pending) -> None:
+        """Class deadline fired: time the request out if it still waits."""
+        if pending.future.done():
+            return
+        request = pending.request
+        if self.queue.remove_request(request):
+            self._emit_queue_length()
+        elif not self._unpark(request):
+            # On air: a successful transmission still serves it; a
+            # corrupted one will honour the expiry at transfer end.
+            pending.expired = True
+            return
+        self.ledger.finish("timed_out", request.class_rank)
+        if self.tracer is not None:
+            self._emit_lifecycle(RequestReneged, request)
+        self._resolve(pending, RequestOutcome(status="timed_out", http=504))
+
+    def _unpark(self, request: Request) -> bool:
+        """Remove one parked push waiter (identity match); True if found."""
+        waiters = self._push_waiters.get(request.item_id)
+        if not waiters:
+            return False
+        for index, waiting in enumerate(waiters):
+            if waiting is request:
+                del waiters[index]
+                if not waiters:
+                    del self._push_waiters[request.item_id]
+                return True
+        return False
+
+    # -- resolution helpers -------------------------------------------------------
+    def _resolve(self, pending: _Pending, outcome: RequestOutcome) -> None:
+        if pending.timer is not None:
+            pending.timer.cancel()
+            pending.timer = None
+        self._pending.pop(id(pending.request), None)
+        if not pending.future.done():
+            pending.future.set_result(outcome)
+
+    def _emit_lifecycle(self, event_cls, request: Request) -> None:
+        self.tracer.emit(
+            event_cls(
+                time=self.clock.now(),
+                req=self.tracer.rid(request),
+                item_id=request.item_id,
+                class_rank=request.class_rank,
+            )
+        )
+
+    def _emit_refused(self, request: Request) -> None:
+        """Trace one pre-admission refusal (brownout or backpressure)."""
+        if self.tracer is None:
+            return
+        now = self.clock.now()
+        self.tracer.emit(
+            RequestArrived(
+                time=now,
+                req=self.tracer.rid(request),
+                item_id=request.item_id,
+                client_id=request.client_id,
+                class_rank=request.class_rank,
+                priority=request.priority,
+                gen_time=request.time,
+            )
+        )
+        self._emit_lifecycle(RequestShed, request)
+
+    def _emit_queue_length(self) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                QueueSampled(time=self.clock.now(), length=len(self.queue))
+            )
+
+    def _wake(self) -> None:
+        if self._wakeup is not None and not self._wakeup.is_set():
+            self._wakeup.set()
+
+    # -- service loops ------------------------------------------------------------
+    async def _run(self) -> None:
+        """Figure 1 on the wall clock: push one slot, serve one pull entry."""
+        while True:
+            try:
+                pushed = await self._broadcast_next_push()
+                served = await self._serve_next_pull()
+                self.health.record_success()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                if self.health.record_failure(self.clock.now()):
+                    raise
+                continue
+            if self._draining and not self.ledger.queued and not self.ledger.in_flight:
+                # Nothing left to drain; the drain loop will reap us.
+                await asyncio.sleep(self.config.time_scale)
+                continue
+            if not pushed and not served:
+                self._wakeup.clear()
+                if len(self.queue) or self._push_waiters:
+                    continue
+                await self._wakeup.wait()
+
+    async def _broadcast_next_push(self) -> bool:
+        """Broadcast one push slot; True if air time was spent.
+
+        Idle air is not burned when nobody is parked — unlike the
+        simulator (where slots are free), a wall-clock service sleeping
+        ``length · time_scale`` per empty slot would add real latency to
+        the pull path for no benefit.
+        """
+        if not self._push_waiters:
+            return False
+        item_id = self.push_scheduler.next_item()
+        if item_id is None:
+            return False
+        started = self.clock.now()
+        length = self.catalog[item_id].length
+        await asyncio.sleep(length * self.config.time_scale)
+        now = self.clock.now()
+        if self._downlink_lost():
+            if self.tracer is not None:
+                self.tracer.emit(
+                    PushBroadcast(
+                        time=started, end=now, item_id=item_id,
+                        satisfied=(), corrupted=True,
+                    )
+                )
+            return True
+        satisfied: list[Request] = []
+        waiters = self._push_waiters.get(item_id)
+        if waiters:
+            still_waiting = []
+            for request in waiters:
+                if request.time <= started:
+                    satisfied.append(request)
+                else:
+                    still_waiting.append(request)
+            if still_waiting:
+                self._push_waiters[item_id] = still_waiting
+            else:
+                del self._push_waiters[item_id]
+        if self.tracer is not None:
+            rids = tuple(self.tracer.rid(request) for request in satisfied)
+            self.tracer.emit(
+                PushBroadcast(
+                    time=started, end=now, item_id=item_id,
+                    satisfied=rids, corrupted=False,
+                )
+            )
+        for request in satisfied:
+            self._finish_served(request, via_push=True, from_flight=False, now=now)
+        return True
+
+    async def _serve_next_pull(self) -> bool:
+        """Serve (or drop) the max-importance entry; True if one was taken."""
+        now = self.clock.now()
+        entry = self.pull_scheduler.select(self.queue, now)
+        if entry is None:
+            return False
+        if self.tracer is not None:
+            gamma = self.pull_scheduler.score(entry, now)
+            self.tracer.note_gamma(entry, gamma)
+            if self.tracer.gamma_snapshots:
+                self.tracer.emit(
+                    GammaSnapshot(
+                        time=now,
+                        served_item=entry.item_id,
+                        scores=tuple(
+                            (e.item_id, self.pull_scheduler.score(e, now))
+                            for e in self.queue
+                        ),
+                    )
+                )
+        self.queue.pop(entry.item_id)
+        self._emit_queue_length()
+        demand = float(self._bandwidth_rng.poisson(self.config.hybrid.bandwidth_demand_mean))
+        rank = min(request.class_rank for request in entry.requests)
+        if not self.pool.try_acquire(rank, demand):
+            if self.tracer is not None:
+                self.tracer.emit(
+                    PullDropped(
+                        time=self.clock.now(),
+                        item_id=entry.item_id,
+                        class_rank=rank,
+                        demand=demand,
+                        requests=tuple(
+                            self.tracer.rid(request) for request in entry.requests
+                        ),
+                    )
+                )
+            for request in entry.requests:
+                self.ledger.finish("blocked", request.class_rank)
+                if self.tracer is not None:
+                    self._emit_lifecycle(RequestBlocked, request)
+                pending = self._pending.get(id(request))
+                if pending is not None:
+                    self._resolve(pending, RequestOutcome(status="blocked", http=502))
+            return True
+        self.ledger.start_flight(entry.num_requests)
+        started = self.clock.now()
+        await asyncio.sleep(entry.length * self.config.time_scale)
+        now = self.clock.now()
+        corrupted = self._downlink_lost()
+        if self.tracer is not None:
+            self.tracer.emit(
+                PullServed(
+                    time=started,
+                    end=now,
+                    item_id=entry.item_id,
+                    gamma=self.tracer.take_gamma(entry),
+                    class_rank=rank,
+                    demand=demand,
+                    requests=tuple(
+                        self.tracer.rid(request) for request in entry.requests
+                    ),
+                    corrupted=corrupted,
+                )
+            )
+        self.pool.release(rank, demand)
+        if corrupted:
+            # Server-side ARQ: the air time is lost; expired requests
+            # renege, the rest re-enter the queue for another attempt.
+            for request in entry.requests:
+                pending = self._pending.get(id(request))
+                if pending is None:
+                    continue
+                if pending.expired:
+                    self.ledger.finish(
+                        "timed_out", request.class_rank, from_flight=True
+                    )
+                    if self.tracer is not None:
+                        self._emit_lifecycle(RequestReneged, request)
+                    self._resolve(
+                        pending, RequestOutcome(status="timed_out", http=504)
+                    )
+                else:
+                    self.ledger.requeue(1)
+                    self.queue.add(request)
+            self._emit_queue_length()
+            return True
+        for request in entry.requests:
+            self._finish_served(request, via_push=False, from_flight=True, now=now)
+        self.pull_scheduler.observe_service(entry, now)
+        return True
+
+    def _finish_served(
+        self, request: Request, via_push: bool, from_flight: bool, now: float
+    ) -> None:
+        pending = self._pending.get(id(request))
+        if pending is None:
+            return
+        delay = now - request.time
+        self.ledger.finish("served", request.class_rank, from_flight=from_flight)
+        if self.tracer is not None:
+            self.tracer.emit(
+                RequestSatisfied(
+                    time=now,
+                    req=self.tracer.rid(request),
+                    item_id=request.item_id,
+                    class_rank=request.class_rank,
+                    via_push=via_push,
+                    delay=delay,
+                )
+            )
+        self._resolve(
+            pending,
+            RequestOutcome(status="served", http=200, delay=delay, via_push=via_push),
+        )
+
+    def _downlink_lost(self) -> bool:
+        if self.config.downlink_loss <= 0:
+            return False
+        return bool(self._downlink_rng.random() < self.config.downlink_loss)
+
+    # -- monitor / timelines --------------------------------------------------------
+    async def _monitor(self) -> None:
+        """Feed the brownout controller one occupancy window at a time."""
+        while True:
+            await asyncio.sleep(self.config.brownout_window)
+            now = self.clock.now()
+            occupancy = len(self.queue) / self.config.ingress_capacity
+            level = self.brownout.observe(occupancy)
+            self._emit_queue_length()
+            if self.health.state is HealthState.READY and level > 0:
+                self.health.transition(HealthState.BROWNOUT, now)
+            elif self.health.state is HealthState.BROWNOUT and level == 0:
+                self.health.transition(HealthState.READY, now)
+            totals = (
+                self.ledger.served,
+                self.ledger.shed,
+                self.ledger.rejected,
+                self.ledger.timed_out,
+            )
+            deltas = tuple(t - p for t, p in zip(totals, self._last_totals))
+            self._last_totals = totals
+            window = _Window(
+                time=now,
+                queue_entries=len(self.queue),
+                occupancy=round(occupancy, 4),
+                brownout_level=level,
+                health=self.health.state.value,
+                served=deltas[0],
+                shed=deltas[1],
+                rejected=deltas[2],
+                timed_out=deltas[3],
+            )
+            self.windows.append(window)
+            if len(self.windows) > 512:
+                del self.windows[: len(self.windows) - 512]
+            payload = window.to_dict()
+            for queue in self._subscribers:
+                if not queue.full():
+                    queue.put_nowait(payload)
+
+    def subscribe(self) -> asyncio.Queue:
+        """Register one live-timeline subscriber (``/stream`` clients)."""
+        queue: asyncio.Queue = asyncio.Queue(maxsize=64)
+        self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        """Drop one subscriber."""
+        if queue in self._subscribers:
+            self._subscribers.remove(queue)
+
+    # -- introspection ---------------------------------------------------------------
+    def metrics(self) -> dict[str, object]:
+        """The ``/metrics`` JSON payload."""
+        pool = {
+            name: {
+                "capacity": self.pool.capacity(rank),
+                "in_use": self.pool.in_use(rank),
+            }
+            for rank, name in enumerate(self.config.hybrid.class_names())
+        }
+        if not math.isfinite(self.clock.now()):  # pragma: no cover - paranoia
+            raise RuntimeError("service clock went non-finite")
+        return {
+            "time": self.clock.now(),
+            "health": {
+                "state": self.health.state.value,
+                "history": self.health.history_dicts(),
+            },
+            "ledger": self.ledger.to_dict(),
+            "brownout": self.brownout.to_dict(),
+            "queue_entries": len(self.queue),
+            "queue_requests": self.queue.total_requests,
+            "ingress_capacity": self.config.ingress_capacity,
+            "pool": pool,
+            "windows": [w.to_dict() for w in self.windows[-32:]],
+        }

@@ -1,0 +1,142 @@
+"""Health/readiness state machine of the live service.
+
+The service is always in exactly one :class:`HealthState`; transitions
+are restricted to the documented edges (``docs/service.md`` carries the
+diagram) and every transition is timestamped and kept in history, so
+tests — and operators reading ``/metrics`` — can audit the exact path a
+process took through an incident.
+
+::
+
+    STARTING ──▶ READY ◀──▶ BROWNOUT
+        │          │            │
+        │          ▼            ▼
+        └─────▶ DRAINING ──▶ STOPPED
+                   ▲
+       (any state) │  FAILED is terminal and reachable from
+        FAILED ◀───┘  everywhere (circuit breaker / crash)
+
+* ``/healthz`` is liveness: 200 unless the process is FAILED.
+* ``/readyz`` is readiness: 200 only while traffic is accepted
+  (READY, BROWNOUT); 503 in STARTING, DRAINING, STOPPED, FAILED —
+  and the DRAINING flip happens *before* the listener closes, so load
+  balancers stop routing while in-flight requests finish.
+
+The circuit breaker rides the same machine: ``trip()`` forces FAILED
+after ``max_consecutive_failures`` scheduler-loop errors, taking the
+instance out of rotation rather than serving a corrupt schedule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["HealthState", "HealthMonitor", "IllegalTransition"]
+
+
+class HealthState(str, enum.Enum):
+    """The service life-cycle states (values are the wire strings)."""
+
+    STARTING = "starting"
+    READY = "ready"
+    BROWNOUT = "brownout"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+    FAILED = "failed"
+
+
+#: Documented edges; FAILED is additionally reachable from every state.
+_ALLOWED: dict[HealthState, frozenset[HealthState]] = {
+    HealthState.STARTING: frozenset({HealthState.READY, HealthState.DRAINING}),
+    HealthState.READY: frozenset({HealthState.BROWNOUT, HealthState.DRAINING}),
+    HealthState.BROWNOUT: frozenset({HealthState.READY, HealthState.DRAINING}),
+    HealthState.DRAINING: frozenset({HealthState.STOPPED}),
+    HealthState.STOPPED: frozenset(),
+    HealthState.FAILED: frozenset(),
+}
+
+#: States in which the service accepts new requests.
+_ACCEPTING = frozenset({HealthState.READY, HealthState.BROWNOUT})
+
+
+class IllegalTransition(RuntimeError):
+    """A state change outside the documented machine was attempted."""
+
+
+@dataclass
+class HealthMonitor:
+    """Tracks the current state, its history, and the circuit breaker.
+
+    Parameters
+    ----------
+    max_consecutive_failures:
+        Scheduler-loop errors tolerated before :meth:`record_failure`
+        trips the breaker into FAILED.
+    """
+
+    max_consecutive_failures: int = 3
+    state: HealthState = HealthState.STARTING
+    #: ``(timestamp, from, to)`` triples, oldest first.
+    history: list[tuple[float, str, str]] = field(default_factory=list)
+    consecutive_failures: int = 0
+
+    def transition(self, new: HealthState, now: float) -> None:
+        """Move to ``new`` at time ``now``; raises on undocumented edges."""
+        if new is self.state:
+            return
+        if new is not HealthState.FAILED and new not in _ALLOWED[self.state]:
+            raise IllegalTransition(
+                f"illegal health transition {self.state.value} -> {new.value}; "
+                f"allowed: {sorted(s.value for s in _ALLOWED[self.state])} (+ failed)"
+            )
+        self.history.append((now, self.state.value, new.value))
+        self.state = new
+
+    # -- circuit breaker ------------------------------------------------------
+    def record_failure(self, now: float) -> bool:
+        """Count one internal failure; returns True if the breaker tripped."""
+        self.consecutive_failures += 1
+        if (
+            self.consecutive_failures >= self.max_consecutive_failures
+            and self.state is not HealthState.FAILED
+        ):
+            self.transition(HealthState.FAILED, now)
+            return True
+        return self.state is HealthState.FAILED
+
+    def record_success(self) -> None:
+        """A clean scheduler cycle resets the breaker."""
+        self.consecutive_failures = 0
+
+    # -- probes ----------------------------------------------------------------
+    @property
+    def accepting(self) -> bool:
+        """Whether new requests are admitted in the current state."""
+        return self.state in _ACCEPTING
+
+    @property
+    def live(self) -> bool:
+        """Liveness: anything but FAILED reports alive."""
+        return self.state is not HealthState.FAILED
+
+    def healthz(self) -> tuple[int, dict[str, object]]:
+        """``/healthz`` status code and JSON body."""
+        return (200 if self.live else 500), {
+            "state": self.state.value,
+            "live": self.live,
+            "consecutive_failures": self.consecutive_failures,
+        }
+
+    def readyz(self) -> tuple[int, dict[str, object]]:
+        """``/readyz`` status code and JSON body."""
+        return (200 if self.accepting else 503), {
+            "state": self.state.value,
+            "ready": self.accepting,
+        }
+
+    def history_dicts(self) -> list[dict[str, object]]:
+        """Transition history as JSON rows (for ``/metrics`` and audits)."""
+        return [
+            {"time": t, "from": src, "to": dst} for t, src, dst in self.history
+        ]

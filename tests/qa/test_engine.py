@@ -91,3 +91,31 @@ def test_findings_sorted_by_location(tmp_path: Path) -> None:
     result = lint_paths([tmp_path], all_rules())
     assert [Path(f.path).name for f in result.findings] == ["a.py", "b.py"]
     assert result.files_scanned == 2
+
+
+WALLCLOCK = "import time\nt = time.monotonic()\n"
+
+
+def test_audited_scope_exempts_but_collects() -> None:
+    """Findings in a rule's audited scope land in ``exempted``, not ``findings``."""
+    result = lint_source(WALLCLOCK, all_rules(), module="repro.service.anything")
+    assert result.findings == []
+    assert result.suppressed == []
+    assert [f.rule for f in result.exempted] == ["no-wallclock"]
+    assert result.clean
+
+
+def test_audited_scope_does_not_leak_to_other_modules() -> None:
+    """The same source outside the audited scope is a real finding."""
+    result = lint_source(WALLCLOCK, all_rules(), module="repro.sim.anything")
+    assert [f.rule for f in result.findings] == ["no-wallclock"]
+    assert result.exempted == []
+    assert not result.clean
+
+
+def test_audited_scope_only_covers_its_rule() -> None:
+    """Only RL001 is audited in repro.service; other rules still fire there."""
+    result = lint_source(BAD_RNG, all_rules(), module="repro.service.anything")
+    assert [f.rule for f in result.findings] == ["no-global-rng"]
+    assert result.exempted == []
+    assert not result.clean

@@ -49,3 +49,22 @@ def test_suppressions_stay_audited() -> None:
     result = lint_paths([p for p in paths if p.exists()], all_rules())
     suppressed = sorted({(Path(f.path).name, f.line, f.rule) for f in result.suppressed})
     assert len(suppressed) == 9, suppressed
+
+
+def test_audited_exemptions_stay_pinned() -> None:
+    """The service's wall-clock budget is exactly two reads, both in the clock.
+
+    ``repro.service`` runs against real time, so RL001 findings there are
+    *exempted* rather than suppressed — but they are still collected, and
+    this pin is the audit: a new ``time.monotonic()``/``time.time()`` call
+    anywhere in the service package fails here until the budget is
+    deliberately re-reviewed.  Timestamps must flow through
+    :class:`repro.service.clock.ServiceClock`, never from fresh reads.
+    """
+    result = lint_paths([REPO_ROOT / "src" / "repro"], all_rules())
+    exempted = sorted((Path(f.path).name, f.line, f.rule) for f in result.exempted)
+    assert len(exempted) == 2, exempted
+    assert all(name == "clock.py" and rule == "no-wallclock" for name, _, rule in exempted), (
+        "wall-clock reads outside repro/service/clock.py are not part of the "
+        f"audited budget: {exempted}"
+    )

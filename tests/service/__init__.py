@@ -1,0 +1,1 @@
+"""Tests of the live service facade (repro.service)."""

@@ -1,0 +1,104 @@
+"""Brownout controller tests: hysteresis and the strict C → B → A order."""
+
+from __future__ import annotations
+
+from repro.service import BrownoutController, ServiceConfig
+
+
+def make(engage: int = 2, release: int = 3, max_level: int = 2) -> BrownoutController:
+    return BrownoutController(
+        num_classes=3,
+        capacity=10,
+        high=0.8,
+        low=0.3,
+        engage=engage,
+        release=release,
+        max_level=max_level,
+    )
+
+
+def test_engage_requires_consecutive_hot_windows() -> None:
+    controller = make(engage=3)
+    assert controller.observe(0.9) == 0
+    assert controller.observe(0.9) == 0
+    assert controller.observe(0.9) == 1  # third consecutive hot window
+
+
+def test_dead_band_resets_both_counters() -> None:
+    controller = make(engage=2)
+    controller.observe(0.9)
+    controller.observe(0.5)  # dead band: neither hot nor cool
+    assert controller.observe(0.9) == 0  # streak restarted
+    assert controller.observe(0.9) == 1
+
+
+def test_release_requires_consecutive_cool_windows() -> None:
+    controller = make(engage=1, release=2)
+    controller.observe(0.9)
+    assert controller.level == 1
+    controller.observe(0.2)
+    assert controller.level == 1
+    controller.observe(0.2)
+    assert controller.level == 0
+
+
+def test_levels_move_stepwise_and_respect_the_ceiling() -> None:
+    controller = make(engage=1, max_level=2)
+    for _ in range(5):
+        controller.observe(0.95)
+    assert controller.level == 2  # capped — Class A is never browned out
+    for window, old, new in controller.transitions:
+        assert abs(new - old) == 1, "levels must move one step at a time"
+
+
+def test_shed_order_is_strictly_c_then_b_never_a() -> None:
+    controller = make(engage=1, max_level=2)
+    # Level 0: everyone with room is admitted.
+    assert controller.admits(0, occupancy=1)
+    assert controller.admits(1, occupancy=1)
+    assert controller.admits(2, occupancy=1)
+    controller.observe(0.95)  # level 1: C shed
+    assert controller.admits(0, occupancy=1)
+    assert controller.admits(1, occupancy=1)
+    assert not controller.admits(2, occupancy=1)
+    controller.observe(0.95)  # level 2: B and C shed, A still admitted
+    assert controller.admits(0, occupancy=1)
+    assert not controller.admits(1, occupancy=1)
+    assert not controller.admits(2, occupancy=1)
+    assert controller.shed_by_rank[0] == 0, "Class A must never be shed"
+
+
+def test_trunk_reservation_limits_apply_within_a_level() -> None:
+    controller = make()
+    assert controller.level == 0
+    # Rank 0's limit is the full capacity; lower ranks cut off earlier.
+    assert controller.limits[0] == 10
+    assert controller.limits[2] < controller.limits[0]
+    assert controller.admits(0, occupancy=9)
+    assert not controller.admits(2, occupancy=9)
+
+
+def test_from_config_wires_the_service_knobs() -> None:
+    config = ServiceConfig(
+        ingress_capacity=20,
+        brownout_high=0.75,
+        brownout_low=0.25,
+        brownout_engage=4,
+        brownout_release=6,
+    )
+    controller = BrownoutController.from_config(config)
+    assert controller.capacity == 20
+    assert controller.high == 0.75
+    assert controller.engage == 4
+    assert controller.max_level == 2
+    assert len(controller.limits) == 3
+
+
+def test_to_dict_exposes_the_audit_trail() -> None:
+    controller = make(engage=1)
+    controller.observe(0.95)
+    controller.admits(2, occupancy=1)
+    payload = controller.to_dict()
+    assert payload["level"] == 1
+    assert payload["shed_by_rank"] == [0, 0, 1]
+    assert payload["transitions"] == [{"window": 1, "from": 0, "to": 1}]

@@ -1,0 +1,113 @@
+"""CLI validation tests: bad flags fail fast with actionable messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cli import (
+    _parse_deadlines,
+    _parse_phases,
+    build_loadgen_parser,
+    build_serve_parser,
+    loadgen_main,
+    serve_main,
+)
+
+
+class TestLoadgenValidation:
+    """Satellite: NaN/inf/negative flags exit 2 before any socket opens."""
+
+    def run(self, *extra: str) -> int:
+        return loadgen_main(["--port", "1", *extra])
+
+    def test_nan_rate_exits_2(self, capsys) -> None:
+        assert self.run("--rate", "nan") == 2
+        err = capsys.readouterr().err
+        assert "rate" in err and "NaN" in err
+
+    def test_negative_rate_exits_2(self, capsys) -> None:
+        assert self.run("--rate", "-5") == 2
+        assert "rate" in capsys.readouterr().err
+
+    def test_infinite_duration_exits_2(self, capsys) -> None:
+        assert self.run("--duration", "inf") == 2
+        assert "duration" in capsys.readouterr().err
+
+    def test_negative_duration_exits_2(self, capsys) -> None:
+        assert self.run("--duration", "-1") == 2
+        assert "duration" in capsys.readouterr().err
+
+    def test_zero_concurrency_exits_2(self, capsys) -> None:
+        assert self.run("--concurrency", "0") == 2
+        assert "concurrency" in capsys.readouterr().err
+
+    def test_negative_retries_exits_2(self, capsys) -> None:
+        assert self.run("--max-retries", "-1") == 2
+        assert "max_retries" in capsys.readouterr().err
+
+    def test_backoff_cap_below_base_exits_2(self, capsys) -> None:
+        assert self.run("--backoff-base", "1.0", "--backoff-cap", "0.5") == 2
+        assert "backoff_cap" in capsys.readouterr().err
+
+    def test_malformed_surge_exits_2(self, capsys) -> None:
+        assert self.run("--surge", "2.0:4.0") == 2
+        err = capsys.readouterr().err
+        assert "--surge" in err and "START:END:MULTIPLIER" in err
+
+    def test_non_numeric_loss_exits_2(self, capsys) -> None:
+        assert self.run("--loss", "a:b:c") == 2
+        assert "--loss" in capsys.readouterr().err
+
+    def test_loss_probability_above_one_exits_2(self, capsys) -> None:
+        assert self.run("--loss", "1.0:2.0:1.5") == 2
+        assert "probability" in capsys.readouterr().err
+
+
+class TestServeValidation:
+    def test_bad_deadlines_exits_2(self, capsys) -> None:
+        assert serve_main(["--deadlines", "fast,slow"]) == 2
+        err = capsys.readouterr().err
+        assert "--deadlines" in err and "comma-separated" in err
+
+    def test_wrong_deadline_arity_exits_2(self, capsys) -> None:
+        assert serve_main(["--deadlines", "1.0,2.0"]) == 2
+        assert "class" in capsys.readouterr().err
+
+    def test_nan_time_scale_exits_2(self, capsys) -> None:
+        assert serve_main(["--time-scale", "nan"]) == 2
+        assert "time_scale" in capsys.readouterr().err
+
+    def test_zero_ingress_capacity_exits_2(self, capsys) -> None:
+        assert serve_main(["--ingress-capacity", "0"]) == 2
+        assert "ingress_capacity" in capsys.readouterr().err
+
+    def test_downlink_loss_of_one_exits_2(self, capsys) -> None:
+        assert serve_main(["--downlink-loss", "1.0"]) == 2
+        assert "downlink_loss" in capsys.readouterr().err
+
+
+class TestParsers:
+    def test_phase_parser_round_trips(self) -> None:
+        (surge,) = _parse_phases(["2.0:4.0:3.0"], "surge")
+        assert (surge.start, surge.end, surge.multiplier) == (2.0, 4.0, 3.0)
+        (loss,) = _parse_phases(["1.0:3.0:0.25"], "loss")
+        assert (loss.start, loss.end, loss.probability) == (1.0, 3.0, 0.25)
+
+    def test_phase_parser_rejects_wrong_field_count(self) -> None:
+        with pytest.raises(ValueError, match="START:END:PROBABILITY"):
+            _parse_phases(["1.0"], "loss")
+
+    def test_deadline_parser(self) -> None:
+        assert _parse_deadlines("6.0,4.0,2.5") == (6.0, 4.0, 2.5)
+        assert _parse_deadlines(None) is None
+        with pytest.raises(ValueError, match="comma-separated seconds"):
+            _parse_deadlines("1.0,x")
+
+    def test_serve_parser_defaults(self) -> None:
+        args = build_serve_parser().parse_args([])
+        assert args.port == 0 and args.items == 50 and args.deadlines is None
+
+    def test_loadgen_parser_requires_port(self, capsys) -> None:
+        with pytest.raises(SystemExit):
+            build_loadgen_parser().parse_args([])
+        assert "--port" in capsys.readouterr().err

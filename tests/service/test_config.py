@@ -1,0 +1,135 @@
+"""Validation tests: bad knobs must fail fast with actionable messages."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import HybridConfig
+from repro.service import LoadGenConfig, LossPhase, ServiceConfig, SurgePhase
+
+
+class TestLoadGenValidation:
+    def test_nan_rate_rejected_with_hint(self) -> None:
+        with pytest.raises(ValueError, match="rate is NaN.*requests per second"):
+            LoadGenConfig(rate=math.nan)
+
+    def test_infinite_rate_rejected(self) -> None:
+        with pytest.raises(ValueError, match="rate is infinite"):
+            LoadGenConfig(rate=math.inf)
+
+    def test_negative_rate_rejected(self) -> None:
+        with pytest.raises(ValueError, match="rate must be > 0, got -5"):
+            LoadGenConfig(rate=-5.0)
+
+    def test_nan_duration_rejected(self) -> None:
+        with pytest.raises(ValueError, match="duration is NaN"):
+            LoadGenConfig(duration=math.nan)
+
+    def test_zero_duration_rejected(self) -> None:
+        with pytest.raises(ValueError, match="duration must be > 0"):
+            LoadGenConfig(duration=0.0)
+
+    def test_zero_concurrency_rejected(self) -> None:
+        with pytest.raises(ValueError, match="concurrency must be >= 1"):
+            LoadGenConfig(concurrency=0)
+
+    def test_negative_retries_rejected(self) -> None:
+        with pytest.raises(ValueError, match="max_retries must be >= 0"):
+            LoadGenConfig(max_retries=-1)
+
+    def test_cap_below_base_rejected(self) -> None:
+        with pytest.raises(ValueError, match="backoff_cap.*below backoff_base"):
+            LoadGenConfig(backoff_base=1.0, backoff_cap=0.5)
+
+    def test_nan_cap_rejected(self) -> None:
+        with pytest.raises(ValueError, match="backoff_cap"):
+            LoadGenConfig(backoff_cap=math.nan)
+
+
+class TestPhaseValidation:
+    def test_surge_end_before_start_rejected(self) -> None:
+        with pytest.raises(ValueError, match="end must be finite and > start"):
+            SurgePhase(start=5.0, end=2.0, multiplier=3.0)
+
+    def test_surge_nan_multiplier_rejected(self) -> None:
+        with pytest.raises(ValueError, match="surge multiplier is NaN"):
+            SurgePhase(start=0.0, end=1.0, multiplier=math.nan)
+
+    def test_loss_probability_one_rejected(self) -> None:
+        with pytest.raises(ValueError, match=r"loss probability must be in \[0, 1\)"):
+            LossPhase(start=0.0, end=1.0, probability=1.0)
+
+    def test_negative_loss_start_rejected(self) -> None:
+        with pytest.raises(ValueError, match="start must be >= 0"):
+            LossPhase(start=-1.0, end=1.0, probability=0.1)
+
+
+class TestRateSchedule:
+    def test_surge_multiplies_base_rate_inside_window_only(self) -> None:
+        config = LoadGenConfig(rate=10.0, surges=(SurgePhase(2.0, 4.0, 3.0),))
+        assert config.rate_at(1.0) == 10.0
+        assert config.rate_at(2.0) == 30.0
+        assert config.rate_at(3.9) == 30.0
+        assert config.rate_at(4.0) == 10.0
+
+    def test_overlapping_surges_compound(self) -> None:
+        config = LoadGenConfig(
+            rate=10.0,
+            surges=(SurgePhase(0.0, 5.0, 2.0), SurgePhase(2.0, 3.0, 3.0)),
+        )
+        assert config.rate_at(2.5) == 60.0
+
+    def test_overlapping_losses_take_the_max(self) -> None:
+        config = LoadGenConfig(
+            losses=(LossPhase(0.0, 5.0, 0.1), LossPhase(2.0, 3.0, 0.4))
+        )
+        assert config.loss_at(2.5) == 0.4
+        assert config.loss_at(1.0) == 0.1
+        assert config.loss_at(6.0) == 0.0
+
+
+class TestServiceConfigValidation:
+    def test_nan_time_scale_rejected(self) -> None:
+        with pytest.raises(ValueError, match="time_scale is NaN"):
+            ServiceConfig(time_scale=math.nan)
+
+    def test_deadline_arity_must_match_classes(self) -> None:
+        with pytest.raises(ValueError, match="2 entries for 3 classes"):
+            ServiceConfig(class_deadlines=(1.0, 2.0))
+
+    def test_infinite_deadline_rejected_naming_the_class(self) -> None:
+        with pytest.raises(ValueError, match=r"class_deadlines\[B\] is infinite"):
+            ServiceConfig(class_deadlines=(1.0, math.inf, 1.0))
+
+    def test_inverted_hysteresis_band_rejected(self) -> None:
+        with pytest.raises(ValueError, match="brownout_low < brownout_high"):
+            ServiceConfig(brownout_low=0.9, brownout_high=0.8)
+
+    def test_downlink_loss_of_one_rejected(self) -> None:
+        with pytest.raises(ValueError, match=r"downlink_loss must be in \[0, 1\)"):
+            ServiceConfig(downlink_loss=1.0)
+
+    def test_zero_ingress_capacity_rejected(self) -> None:
+        with pytest.raises(ValueError, match="ingress_capacity must be >= 1"):
+            ServiceConfig(ingress_capacity=0)
+
+    def test_max_level_defaults_to_sparing_class_a(self) -> None:
+        config = ServiceConfig()
+        assert config.num_classes == 3
+        assert config.resolved_max_level() == 2
+
+    def test_explicit_max_level_respected(self) -> None:
+        assert ServiceConfig(brownout_max_level=1).resolved_max_level() == 1
+
+    def test_deadline_lookup_per_rank(self) -> None:
+        config = ServiceConfig(class_deadlines=(6.0, 4.0, 2.0))
+        assert config.deadline_for(0) == 6.0
+        assert config.deadline_for(2) == 2.0
+        assert ServiceConfig().deadline_for(1) is None
+
+    def test_embeds_hybrid_config(self) -> None:
+        config = ServiceConfig(hybrid=HybridConfig(num_items=20, cutoff=5))
+        assert config.hybrid.num_items == 20
+        assert config.num_classes == len(config.hybrid.class_specs)

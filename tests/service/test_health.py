@@ -1,0 +1,107 @@
+"""Health state machine tests: only the documented edges exist."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import HealthMonitor, HealthState
+from repro.service.health import IllegalTransition
+
+
+def test_nominal_life_cycle_path() -> None:
+    monitor = HealthMonitor()
+    for state in (
+        HealthState.READY,
+        HealthState.BROWNOUT,
+        HealthState.READY,
+        HealthState.DRAINING,
+        HealthState.STOPPED,
+    ):
+        monitor.transition(state, now=1.0)
+    assert [(src, dst) for _, src, dst in monitor.history] == [
+        ("starting", "ready"),
+        ("ready", "brownout"),
+        ("brownout", "ready"),
+        ("ready", "draining"),
+        ("draining", "stopped"),
+    ]
+
+
+@pytest.mark.parametrize(
+    ("src", "dst"),
+    [
+        (HealthState.STARTING, HealthState.STOPPED),
+        (HealthState.STARTING, HealthState.BROWNOUT),
+        (HealthState.READY, HealthState.STOPPED),
+        (HealthState.DRAINING, HealthState.READY),
+        (HealthState.STOPPED, HealthState.READY),
+    ],
+)
+def test_undocumented_edges_raise(src: HealthState, dst: HealthState) -> None:
+    monitor = HealthMonitor()
+    monitor.state = src
+    with pytest.raises(IllegalTransition, match="illegal health transition"):
+        monitor.transition(dst, now=0.0)
+
+
+@pytest.mark.parametrize(
+    "src",
+    [HealthState.STARTING, HealthState.READY, HealthState.BROWNOUT, HealthState.DRAINING],
+)
+def test_failed_reachable_from_everywhere(src: HealthState) -> None:
+    monitor = HealthMonitor()
+    monitor.state = src
+    monitor.transition(HealthState.FAILED, now=0.0)
+    assert monitor.state is HealthState.FAILED
+
+
+def test_failed_is_terminal() -> None:
+    monitor = HealthMonitor()
+    monitor.transition(HealthState.FAILED, now=0.0)
+    with pytest.raises(IllegalTransition):
+        monitor.transition(HealthState.READY, now=1.0)
+
+
+def test_same_state_transition_is_a_noop() -> None:
+    monitor = HealthMonitor()
+    monitor.transition(HealthState.READY, now=0.0)
+    monitor.transition(HealthState.READY, now=1.0)
+    assert len(monitor.history) == 1
+
+
+def test_circuit_breaker_trips_after_threshold() -> None:
+    monitor = HealthMonitor(max_consecutive_failures=3)
+    monitor.transition(HealthState.READY, now=0.0)
+    assert not monitor.record_failure(1.0)
+    assert not monitor.record_failure(2.0)
+    assert monitor.record_failure(3.0)
+    assert monitor.state is HealthState.FAILED
+    assert not monitor.live
+
+
+def test_success_resets_the_breaker() -> None:
+    monitor = HealthMonitor(max_consecutive_failures=2)
+    monitor.transition(HealthState.READY, now=0.0)
+    monitor.record_failure(1.0)
+    monitor.record_success()
+    assert not monitor.record_failure(2.0)
+    assert monitor.state is HealthState.READY
+
+
+@pytest.mark.parametrize(
+    ("state", "healthz", "readyz"),
+    [
+        (HealthState.STARTING, 200, 503),
+        (HealthState.READY, 200, 200),
+        (HealthState.BROWNOUT, 200, 200),
+        (HealthState.DRAINING, 200, 503),
+        (HealthState.STOPPED, 200, 503),
+        (HealthState.FAILED, 500, 503),
+    ],
+)
+def test_probe_codes_per_state(state: HealthState, healthz: int, readyz: int) -> None:
+    monitor = HealthMonitor()
+    monitor.state = state
+    assert monitor.healthz()[0] == healthz
+    assert monitor.readyz()[0] == readyz
+    assert monitor.accepting is (readyz == 200)

@@ -1,0 +1,158 @@
+"""Protocol-layer tests: HTTP parsing bounds and the RFC 6455 handshake."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.service.http import (
+    HttpError,
+    HttpResponse,
+    WebSocketConnection,
+    read_request,
+    websocket_accept_key,
+    websocket_handshake_response,
+)
+
+
+def feed_reader(data: bytes) -> asyncio.StreamReader:
+    """Build a pre-filled StreamReader (call from inside a running loop)."""
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def parse(data: bytes):
+    async def scenario():
+        return await read_request(feed_reader(data))
+
+    return asyncio.run(scenario())
+
+
+def test_post_with_json_body_and_query() -> None:
+    request = parse(
+        b"POST /request?debug=1 HTTP/1.1\r\n"
+        b"Host: x\r\nContent-Type: application/json\r\nContent-Length: 13\r\n\r\n"
+        b'{"item_id":3}'
+    )
+    assert request.method == "POST"
+    assert request.path == "/request"
+    assert request.query == {"debug": "1"}
+    assert request.json() == {"item_id": 3}
+
+
+def test_clean_eof_returns_none() -> None:
+    assert parse(b"") is None
+
+
+def test_malformed_request_line_is_400() -> None:
+    with pytest.raises(HttpError, match="malformed request line"):
+        parse(b"NONSENSE\r\n\r\n")
+
+
+def test_bad_content_length_is_400() -> None:
+    with pytest.raises(HttpError, match="bad Content-Length"):
+        parse(b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+
+
+def test_oversized_body_is_400() -> None:
+    with pytest.raises(HttpError, match="Content-Length"):
+        parse(b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+
+
+def test_non_object_json_body_is_400() -> None:
+    request = parse(b"POST / HTTP/1.1\r\nContent-Length: 7\r\n\r\n[1,2,3]")
+    with pytest.raises(HttpError, match="must be a JSON object"):
+        request.json()
+
+
+def test_headers_are_lower_cased() -> None:
+    request = parse(b"GET / HTTP/1.1\r\nX-Custom-Header: Yes\r\n\r\n")
+    assert request.headers["x-custom-header"] == "Yes"
+
+
+def test_response_encoding_includes_extra_headers() -> None:
+    raw = HttpResponse(429, {"outcome": "rejected"}, {"Retry-After": "2"}).encode()
+    text = raw.decode()
+    assert text.startswith("HTTP/1.1 429 Too Many Requests\r\n")
+    assert "Retry-After: 2\r\n" in text
+    assert text.endswith('{"outcome": "rejected"}')
+
+
+def test_websocket_accept_key_matches_rfc6455_example() -> None:
+    # The worked example from RFC 6455 §1.3.
+    assert (
+        websocket_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+        == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+    )
+
+
+def test_handshake_response_shape() -> None:
+    raw = websocket_handshake_response("dGhlIHNhbXBsZSBub25jZQ==").decode()
+    assert raw.startswith("HTTP/1.1 101 Switching Protocols\r\n")
+    assert "Sec-WebSocket-Accept: s3pPLMBiTxaQ9kYGzzhZRbK+xOo=\r\n" in raw
+
+
+def mask_frame(opcode: int, payload: bytes, mask: bytes = b"\x01\x02\x03\x04") -> bytes:
+    """Build one masked client frame (short payloads only)."""
+    assert len(payload) < 126
+    masked = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+    return bytes([0x80 | opcode, 0x80 | len(payload)]) + mask + masked
+
+
+class _SinkWriter:
+    """Collects writes; drain is immediate (no real socket)."""
+
+    def __init__(self) -> None:
+        self.chunks: list[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(data)
+
+    async def drain(self) -> None:
+        pass
+
+
+def test_read_frame_unmasks_client_payload() -> None:
+    async def scenario():
+        reader = feed_reader(mask_frame(WebSocketConnection.TEXT, b"hello"))
+        ws = WebSocketConnection(reader, _SinkWriter())
+        return await ws.read_frame()
+
+    opcode, payload = asyncio.run(scenario())
+    assert opcode == WebSocketConnection.TEXT
+    assert payload == b"hello"
+
+
+def test_ping_is_answered_with_pong_inline() -> None:
+    async def scenario():
+        reader = feed_reader(
+            mask_frame(WebSocketConnection.PING, b"ka")
+            + mask_frame(WebSocketConnection.CLOSE, struct.pack("!H", 1000))
+        )
+        writer = _SinkWriter()
+        ws = WebSocketConnection(reader, writer)
+        opcode, _payload = await ws.read_frame()
+        return opcode, writer.chunks
+
+    opcode, chunks = asyncio.run(scenario())
+    assert opcode == WebSocketConnection.CLOSE
+    pong = chunks[0]
+    assert pong[0] & 0x0F == WebSocketConnection.PONG
+    assert pong[2:] == b"ka"  # unmasked server frame carries the ping payload
+
+
+def test_server_frames_are_unmasked_text() -> None:
+    async def scenario():
+        writer = _SinkWriter()
+        ws = WebSocketConnection(feed_reader(b""), writer)
+        await ws.send_json({"kind": "window"})
+        return writer.chunks[0]
+
+    frame = asyncio.run(scenario())
+    assert frame[0] == 0x80 | WebSocketConnection.TEXT  # FIN + text
+    assert not frame[1] & 0x80  # no mask bit on server frames
+    assert frame[2:] == b'{"kind": "window"}'

@@ -1,0 +1,87 @@
+"""Conservation ledger tests: no request is ever lost or double-counted."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import LedgerViolation, ServiceLedger
+
+
+def test_full_life_cycle_balances() -> None:
+    ledger = ServiceLedger(num_classes=3)
+    ledger.submit(0)
+    ledger.enqueue()
+    ledger.start_flight(1)
+    ledger.finish("served", 0, from_flight=True)
+    snap = ledger.check(drained=True)
+    assert snap.submitted == snap.served == 1
+    assert snap.balance == 0
+
+
+def test_pre_admission_refusals_never_touch_live_counters() -> None:
+    ledger = ServiceLedger(num_classes=3)
+    ledger.submit(2)
+    ledger.finish("shed", 2)
+    ledger.submit(1)
+    ledger.finish("rejected", 1)
+    snap = ledger.check(drained=True)
+    assert snap.shed == 1 and snap.rejected == 1
+    assert snap.queued == 0 and snap.in_flight == 0
+    assert ledger.shed_by_rank == [0, 0, 1]
+    assert ledger.rejected_by_rank == [0, 1, 0]
+
+
+def test_requeue_moves_flight_back_to_queue() -> None:
+    ledger = ServiceLedger()
+    ledger.submit(0)
+    ledger.enqueue()
+    ledger.start_flight(1)
+    ledger.requeue(1)
+    assert ledger.queued == 1 and ledger.in_flight == 0
+    ledger.finish("timed_out", 0)
+    ledger.check(drained=True)
+
+
+def test_unknown_outcome_rejected() -> None:
+    ledger = ServiceLedger()
+    with pytest.raises(ValueError, match="unknown outcome 'vanished'"):
+        ledger.finish("vanished", 0)
+
+
+def test_lost_request_raises_violation() -> None:
+    ledger = ServiceLedger()
+    ledger.submit(0)  # submitted but never terminal, queued or in flight
+    with pytest.raises(LedgerViolation, match="conservation violated"):
+        ledger.check()
+
+
+def test_double_count_raises_violation() -> None:
+    ledger = ServiceLedger()
+    ledger.submit(0)
+    ledger.enqueue()
+    ledger.finish("served", 0)
+    ledger.finish("served", 0)  # second terminal for the same request
+    with pytest.raises(LedgerViolation):
+        ledger.check()
+
+
+def test_drained_check_rejects_leftovers() -> None:
+    ledger = ServiceLedger()
+    ledger.submit(0)
+    ledger.enqueue()
+    ledger.check()  # balanced while queued
+    with pytest.raises(LedgerViolation, match="drain incomplete: 1 queued"):
+        ledger.check(drained=True)
+
+
+def test_snapshot_describe_and_dict_round_trip() -> None:
+    ledger = ServiceLedger()
+    ledger.submit(1)
+    ledger.enqueue()
+    ledger.finish("timed_out", 1)
+    snap = ledger.snapshot()
+    assert "timed-out 1" in snap.describe()
+    payload = ledger.to_dict()
+    assert payload["timed_out"] == 1
+    assert payload["by_rank"]["timed_out"] == [0, 1, 0]
+    assert payload["balance"] == 0

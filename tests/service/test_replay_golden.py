@@ -1,0 +1,81 @@
+"""Replay golden test: the loadgen plan IS the offline workload trace.
+
+The acceptance criterion: for the same seed, the per-(item, class)
+request counts the load generator offers must be identical to what the
+offline DES workload generator produces — the live soak and the
+simulation stress the scheduler with the *same* demand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HybridConfig
+from repro.service import LoadGenConfig, SurgePhase, build_plan, plan_histogram
+from repro.service.loadgen import schedule_wall_times
+from repro.workload import ArrivalProcess
+
+
+def test_plan_is_bit_identical_to_offline_generator() -> None:
+    hybrid = HybridConfig(num_items=30, cutoff=10)
+    config = LoadGenConfig(rate=40.0, duration=2.0, seed=7)
+    plan = build_plan(hybrid, config)
+
+    # The offline path, spelled out: same SeedSequence stream, same
+    # arrival process, same horizon.
+    rng = np.random.default_rng(np.random.SeedSequence(7).spawn(3)[0])
+    process = ArrivalProcess(
+        catalog=hybrid.build_catalog(),
+        population=hybrid.build_population(),
+        rate=hybrid.arrival_rate,
+        rng=rng,
+    )
+    offline = process.generate(config.duration * config.rate / hybrid.arrival_rate)
+
+    assert plan == offline, "live plan diverged from the offline workload"
+    assert plan_histogram(plan) == plan_histogram(offline)
+    assert len(plan) > 0
+
+
+def test_histograms_differ_across_seeds_but_not_across_calls() -> None:
+    hybrid = HybridConfig(num_items=30, cutoff=10)
+    first = plan_histogram(build_plan(hybrid, LoadGenConfig(seed=1, duration=2.0)))
+    again = plan_histogram(build_plan(hybrid, LoadGenConfig(seed=1, duration=2.0)))
+    other = plan_histogram(build_plan(hybrid, LoadGenConfig(seed=2, duration=2.0)))
+    assert first == again
+    assert first != other
+
+
+def test_histogram_keys_respect_catalog_and_classes() -> None:
+    hybrid = HybridConfig(num_items=25, cutoff=10)
+    histogram = plan_histogram(build_plan(hybrid, LoadGenConfig(seed=3, duration=2.0)))
+    for item_id, class_rank in histogram:
+        assert 0 <= item_id < 25
+        assert 0 <= class_rank < 3
+
+
+def test_wall_schedule_is_monotone_and_rate_scaled() -> None:
+    hybrid = HybridConfig(num_items=30, cutoff=10)
+    config = LoadGenConfig(rate=40.0, duration=4.0, seed=5)
+    plan = build_plan(hybrid, config)
+    offsets = schedule_wall_times(plan, hybrid.arrival_rate, config)
+    assert all(b >= a for a, b in zip(offsets, offsets[1:]))
+    # The virtual horizon maps back to roughly the configured duration.
+    assert 0.5 * config.duration < offsets[-1] < 2.0 * config.duration
+
+
+def test_surge_compresses_the_schedule_without_changing_the_plan() -> None:
+    hybrid = HybridConfig(num_items=30, cutoff=10)
+    base = LoadGenConfig(rate=40.0, duration=4.0, seed=5)
+    surged = LoadGenConfig(
+        rate=40.0,
+        duration=4.0,
+        seed=5,
+        surges=(SurgePhase(0.5, 2.0, 4.0),),
+    )
+    plan_base = build_plan(hybrid, base)
+    plan_surged = build_plan(hybrid, surged)
+    assert plan_base == plan_surged, "a surge must not alter the request sequence"
+    span_base = schedule_wall_times(plan_base, hybrid.arrival_rate, base)[-1]
+    span_surged = schedule_wall_times(plan_surged, hybrid.arrival_rate, surged)[-1]
+    assert span_surged < span_base, "a flash crowd sends the same requests sooner"
