@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Refresh the committed perf baseline (``BENCH_sim.json``).
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/perf/perf_baseline.py --quick --label pr7
+
+Run this on the reference machine when a PR legitimately moves a
+speedup ratio (new fast path, retuned workload); commit the updated
+``BENCH_sim.json`` and ``BENCH_history.jsonl`` with the PR so the gate
+tracks the new expectation.  All logic lives in :mod:`repro.perf.cli`.
+"""
+
+import sys
+
+from repro.perf.cli import baseline_main
+
+if __name__ == "__main__":
+    sys.exit(baseline_main())

@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""CI perf gate: measure, compare to the committed baseline, log history.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/perf/perf_delta.py --quick \\
+        --label "$GITHUB_SHA" --summary "$GITHUB_STEP_SUMMARY"
+
+Exits 1 when a guarded benchmark regresses past tolerance (ratio
+benchmarks) or below the host profile's absolute floor (parallel
+sweep).  Appends the run to ``BENCH_history.jsonl`` unless
+``--no-history`` is given, and prints the speedup trajectory chart.
+All logic lives in :mod:`repro.perf.cli`.
+"""
+
+import sys
+
+from repro.perf.cli import delta_main
+
+if __name__ == "__main__":
+    sys.exit(delta_main())

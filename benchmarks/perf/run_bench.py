@@ -1,256 +1,29 @@
 #!/usr/bin/env python
-"""Performance harness: hot-loop and replication-throughput benchmarks.
+"""Back-compat shim over ``repro bench`` (see :mod:`repro.perf`).
 
-Times the two fast paths introduced in PR 2 — heap-indexed pull
-selection and process-parallel replications — against their reference
-implementations, and writes the measurements to ``BENCH_sim.json`` so
-the performance trajectory is tracked from this PR onward.
+The harness moved into the package (``src/repro/perf``) so ``repro
+bench`` and the test suite can drive it; this script keeps the original
+invocation working::
 
-Usage (from the repository root)::
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --quick \\
+        --compare benchmarks/perf/BENCH_sim.json --tolerance 0.25
 
-    PYTHONPATH=src python benchmarks/perf/run_bench.py                 # full mode
-    PYTHONPATH=src python benchmarks/perf/run_bench.py --quick         # CI smoke
-    PYTHONPATH=src python benchmarks/perf/run_bench.py \\
-        --compare benchmarks/perf/BENCH_sim.json --tolerance 0.25      # regression gate
-
-Regression checking compares *speedup ratios* (scan/heap, serial/
-parallel), which transfer across machines far better than absolute
-wall-clock; a benchmark only participates in the gate when its
-``guard`` flag is true on both sides (e.g. the parallel sweep is
-informational on hosts with fewer cores than ``--jobs``).
+Flags are forwarded to ``repro bench`` unchanged, except that — as
+before — the report is always written (default ``./BENCH_sim.json``).
+Prefer ``perf_delta.py`` (CI gate + history) or ``perf_baseline.py``
+(baseline refresh) for new automation.
 """
 
-from __future__ import annotations
-
-import argparse
-import json
-import os
-import platform
 import sys
-import time
-from pathlib import Path
 
-from repro.core import HybridConfig
-from repro.schedulers import PullQueue, make_pull_scheduler
-from repro.sim import HybridSystem, run_replications
-from repro.workload import ItemCatalog, Request
-
-SCHEMA_VERSION = 1
-
-#: Timing repeats per measurement; the minimum is reported.  Shared CI
-#: hosts jitter badly enough that single-shot timings flake a 25% gate.
-REPEATS = 3
-
-
-# -- configurations -------------------------------------------------------------
-
-def _hot_queue_config(quick: bool) -> dict:
-    return {
-        "queue_len": 250,
-        "cycles": 2_000 if quick else 10_000,
-    }
-
-
-def _single_run_config(quick: bool) -> tuple[HybridConfig, float]:
-    """A pure-pull system whose queue sustains >= 200 distinct entries."""
-    config = HybridConfig(
-        num_items=1_500,
-        cutoff=0,
-        arrival_rate=3.0,
-        theta=0.1,
-        num_clients=200,
-        min_length=1,
-        max_length=1,
-        mean_length=1.0,
-        length_law="constant",
-    )
-    return config, (400.0 if quick else 800.0)
-
-
-def _sweep_config(quick: bool) -> tuple[HybridConfig, float, int]:
-    config = HybridConfig(num_items=100, cutoff=40, arrival_rate=5.0)
-    horizon = 400.0 if quick else 1_500.0
-    num_runs = 4 if quick else 8
-    return config, horizon, num_runs
-
-
-# -- benchmarks -----------------------------------------------------------------
-
-def bench_select_hot_loop(quick: bool) -> dict:
-    """Micro-benchmark of select+pop+refill cycles at queue length >= 200."""
-    params = _hot_queue_config(quick)
-    queue_len, cycles = params["queue_len"], params["cycles"]
-
-    def build(indexed: bool):
-        catalog = ItemCatalog.generate(num_items=queue_len * 2, theta=0.2)
-        queue = PullQueue(catalog)
-        scheduler = make_pull_scheduler("importance", alpha=0.75)
-        if indexed:
-            queue.attach_scorer(scheduler)
-        for item in range(queue_len):
-            queue.add(Request(time=0.0, item_id=item, client_id=0,
-                              class_rank=item % 3, priority=float(1 + item % 3)))
-        return queue, scheduler
-
-    def drive(queue, scheduler) -> float:
-        # Steady state: every served item is immediately re-requested, so
-        # the queue holds `queue_len` entries throughout.
-        clock = 1.0
-        started = time.perf_counter()
-        for cycle in range(cycles):
-            clock += 1.0
-            entry = scheduler.select(queue, clock)
-            queue.pop(entry.item_id)
-            queue.add(Request(time=clock, item_id=entry.item_id, client_id=0,
-                              class_rank=cycle % 3, priority=float(1 + cycle % 3)))
-        return time.perf_counter() - started
-
-    scan_s = min(drive(*build(indexed=False)) for _ in range(REPEATS))
-    heap_s = min(drive(*build(indexed=True)) for _ in range(REPEATS))
-    return {
-        "description": f"select+pop+refill cycle, queue length {queue_len}",
-        "queue_len": queue_len,
-        "cycles": cycles,
-        "scan_us_per_cycle": 1e6 * scan_s / cycles,
-        "heap_us_per_cycle": 1e6 * heap_s / cycles,
-        "speedup": scan_s / heap_s,
-        "guard": True,
-    }
-
-
-def bench_single_run(quick: bool) -> dict:
-    """End-to-end run_single wall-clock, heap vs scan, queue length >= 200."""
-    config, horizon = _single_run_config(quick)
-
-    def run(detach: bool):
-        system = HybridSystem(config, seed=1, warmup=0.0)
-        if detach:
-            system.server.pull_queue.detach_scorer()
-        started = time.perf_counter()
-        result = system.run(horizon)
-        return result, time.perf_counter() - started
-
-    heap_result, heap_s = run(detach=False)
-    scan_result, scan_s = run(detach=True)
-    if heap_result.overall_delay != scan_result.overall_delay:
-        raise AssertionError("heap and scan runs diverged — selection bug")
-    for _ in range(REPEATS - 1):
-        heap_s = min(heap_s, run(detach=False)[1])
-        scan_s = min(scan_s, run(detach=True)[1])
-    return {
-        "description": "run_single, pure-pull importance scheduling",
-        "horizon": horizon,
-        "mean_queue_length": heap_result.mean_queue_length,
-        "scan_s": scan_s,
-        "heap_s": heap_s,
-        "speedup": scan_s / heap_s,
-        "guard": True,
-    }
-
-
-def bench_sweep_parallel(quick: bool, n_jobs: int) -> dict:
-    """Replication-sweep throughput, serial vs n_jobs worker processes."""
-    config, horizon, num_runs = _sweep_config(quick)
-    cores = os.cpu_count() or 1
-
-    started = time.perf_counter()
-    serial = run_replications(config, num_runs=num_runs, horizon=horizon, n_jobs=1)
-    serial_s = time.perf_counter() - started
-
-    started = time.perf_counter()
-    parallel = run_replications(config, num_runs=num_runs, horizon=horizon, n_jobs=n_jobs)
-    parallel_s = time.perf_counter() - started
-
-    if [r.seed for r in serial.runs] != [r.seed for r in parallel.runs]:
-        raise AssertionError("serial and parallel sweeps diverged — seed bug")
-    return {
-        "description": f"run_replications x{num_runs}, n_jobs={n_jobs}",
-        "horizon": horizon,
-        "num_runs": num_runs,
-        "n_jobs": n_jobs,
-        "cores": cores,
-        "serial_s": serial_s,
-        "parallel_s": parallel_s,
-        "speedup": serial_s / parallel_s,
-        # A host with fewer cores than workers cannot demonstrate the
-        # parallel speedup; record the numbers but keep them out of the
-        # regression gate.
-        "guard": cores >= n_jobs,
-    }
-
-
-# -- harness --------------------------------------------------------------------
-
-def run_all(quick: bool, n_jobs: int) -> dict:
-    benches = {}
-    print(f"running perf harness ({'quick' if quick else 'full'} mode, jobs={n_jobs})")
-    for name, fn in (
-        ("select_hot_loop", lambda: bench_select_hot_loop(quick)),
-        ("single_run_q200", lambda: bench_single_run(quick)),
-        ("sweep_parallel", lambda: bench_sweep_parallel(quick, n_jobs)),
-    ):
-        benches[name] = fn()
-        print(f"  {name:<18} speedup {benches[name]['speedup']:5.2f}x"
-              f"{'' if benches[name]['guard'] else '  (informational: unguarded)'}")
-    return {
-        "schema": SCHEMA_VERSION,
-        "mode": "quick" if quick else "full",
-        "host": {
-            "cores": os.cpu_count() or 1,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
-        "benchmarks": benches,
-    }
-
-
-def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
-    """Regression messages for guarded speedups below baseline*(1-tol)."""
-    failures = []
-    for name, base in baseline.get("benchmarks", {}).items():
-        cur = current["benchmarks"].get(name)
-        if cur is None:
-            failures.append(f"{name}: present in baseline but not measured")
-            continue
-        if not (base.get("guard") and cur.get("guard")):
-            continue
-        floor = base["speedup"] * (1.0 - tolerance)
-        if cur["speedup"] < floor:
-            failures.append(
-                f"{name}: speedup {cur['speedup']:.2f}x fell below "
-                f"{floor:.2f}x (baseline {base['speedup']:.2f}x - {tolerance:.0%})"
-            )
-    return failures
+from repro.perf.cli import bench_main
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="CI smoke scale (seconds, not minutes)")
-    parser.add_argument("--jobs", type=int, default=4, metavar="N",
-                        help="worker processes for the parallel sweep (default 4)")
-    parser.add_argument("--out", default="BENCH_sim.json",
-                        help="output JSON path (default ./BENCH_sim.json)")
-    parser.add_argument("--compare", default=None, metavar="BASELINE",
-                        help="baseline BENCH_sim.json to gate against")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional speedup regression (default 0.25)")
-    args = parser.parse_args(argv)
-
-    report = run_all(quick=args.quick, n_jobs=args.jobs)
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.out}")
-
-    if args.compare:
-        baseline = json.loads(Path(args.compare).read_text())
-        failures = compare(report, baseline, args.tolerance)
-        if failures:
-            print("PERF REGRESSION:", file=sys.stderr)
-            for failure in failures:
-                print(f"  {failure}", file=sys.stderr)
-            return 1
-        print(f"no regression vs {args.compare} (tolerance {args.tolerance:.0%})")
-    return 0
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not any(arg == "--out" or arg.startswith("--out=") for arg in argv):
+        argv += ["--out", "BENCH_sim.json"]
+    return bench_main(argv)
 
 
 if __name__ == "__main__":

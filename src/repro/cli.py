@@ -255,6 +255,16 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--pull-mode", choices=("serial", "concurrent"), default="serial"
     )
+    run.add_argument(
+        "--engine",
+        choices=("reference", "fast"),
+        default="reference",
+        help=(
+            "simulation core: the generator-process reference engine or the "
+            "flat-calendar fast engine (statistically equivalent, ~3x faster; "
+            "see docs/performance.md)"
+        ),
+    )
     run.add_argument("--items", type=int, default=50, help="catalog size")
     run.add_argument("--cutoff", type=int, default=15, help="push/pull cutoff K")
     run.add_argument("--rate", type=float, default=2.0, help="aggregate arrival rate")
@@ -302,6 +312,7 @@ def _sweep_run(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint,
             resume=args.resume,
             resilience=resilience,
+            engine=args.engine,
         )
     except (CheckpointMismatch, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -411,6 +422,10 @@ def _dispatch(argv: list) -> int:
         from .qa.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .perf.cli import bench_main
+
+        return bench_main(argv[1:])
     if argv and argv[0] == "serve":
         from .service.cli import serve_main
 

@@ -16,6 +16,7 @@ streams and output-analysis monitors.  Public surface:
 
 from .engine import EmptySchedule, Environment, StopSimulation
 from .events import NORMAL, PENDING, URGENT, AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .fastengine import FastEnvironment
 from .monitor import Counter, Tally, TimeWeighted, batch_means_ci
 from .process import Interrupt, Process, ProcessGenerator
 from .resources import (
@@ -37,6 +38,7 @@ from .warmup import MSERResult, mser_truncation, suggest_warmup
 
 __all__ = [
     "Environment",
+    "FastEnvironment",
     "EmptySchedule",
     "StopSimulation",
     "Event",

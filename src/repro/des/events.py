@@ -322,12 +322,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that triggers once *all* of ``events`` have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that triggers once *any* of ``events`` has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

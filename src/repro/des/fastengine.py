@@ -1,0 +1,219 @@
+"""Fast-path simulation core: a flat calendar without generator frames.
+
+:class:`FastEnvironment` is a drop-in alternative to
+:class:`~repro.des.engine.Environment` that keeps the exact same public
+surface (``now``/``schedule``/``event``/``timeout``/``process``/``run``
+...) while adding a *direct-callback* scheduling path:
+
+* :meth:`FastEnvironment.schedule_call` pushes a flat
+  ``(time, priority, seq, (fn, arg))`` record onto the binary heap — no
+  :class:`~repro.des.events.Event` object, no generator frame, no
+  callback list.  Popping such a record costs one tuple unpack and one
+  function call.
+* The classic event path still works: generator processes
+  (:class:`~repro.des.process.Process`), timeouts and conditions behave
+  exactly as on the reference engine, so cold-path components (the
+  fault-aware client front, the finite-rate uplink, the conservation
+  watchdog's periodic audit) run unchanged on either engine.
+
+The two record kinds share one calendar and are ordered by
+``(time, priority, seq)``; ``seq`` is unique and strictly increasing, so
+heap comparisons never reach the payload and the mixed heap stays
+deterministic: same-time records fire in scheduling order within a
+priority band, exactly like the reference engine.
+
+Hot-path components (:class:`~repro.sim.fastpath.FastHybridServer`, the
+vectorised arrival driver) are written against ``schedule_call`` and are
+where the speedup comes from; see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional, Union
+
+from .engine import EmptySchedule, StopSimulation
+from .events import NORMAL, PENDING, AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGenerator
+
+__all__ = ["FastEnvironment"]
+
+#: A direct-callback calendar payload: ``fn(arg)`` runs at the scheduled
+#: time.  Plain tuple — deliberately not a dataclass; this is *below* the
+#: API boundary (`slots=True` dataclasses start at `Request`).
+CallRecord = tuple[Callable[[Any], None], Any]
+
+_Record = Union[Event, CallRecord]
+
+
+class FastEnvironment:
+    """A discrete-event environment with a flat-record fast path.
+
+    API-compatible with :class:`~repro.des.engine.Environment`; the
+    additional :meth:`schedule_call` lets performance-critical components
+    bypass Event construction entirely.
+
+    Examples
+    --------
+    >>> env = FastEnvironment()
+    >>> fired = []
+    >>> env.schedule_call(3.0, fired.append)
+    >>> env.run()
+    >>> fired
+    [None]
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, _Record]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock & introspection ----------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled record, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __len__(self) -> int:
+        """Number of scheduled (not yet processed) calendar records."""
+        return len(self._queue)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Insert a triggered ``event`` into the calendar after ``delay``."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def schedule_call(
+        self,
+        delay: float,
+        fn: Callable[[Any], None],
+        arg: Any = None,
+        priority: int = NORMAL,
+    ) -> None:
+        """Schedule ``fn(arg)`` after ``delay`` — the no-Event fast path.
+
+        The callback runs exactly once when the clock reaches
+        ``now + delay``; there is nothing to cancel or wait on.  Use it
+        for hot-path state machines; use :meth:`timeout`/:meth:`process`
+        when another component needs to observe or join the activity.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, (fn, arg)))
+
+    # -- event factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that triggers after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new :class:`Process` executing ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition that triggers when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- execution ----------------------------------------------------------
+    def _dispatch_event(self, event: Event) -> None:
+        """Run one classic event's callbacks (reference-engine semantics)."""
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive; cannot normally happen
+            return
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            # Nobody handled this failure: abort the simulation loudly.
+            exc = event._value
+            assert isinstance(exc, BaseException)
+            raise exc
+
+    def step(self) -> None:
+        """Process the next scheduled record.
+
+        Raises
+        ------
+        EmptySchedule
+            If the calendar is empty.
+        BaseException
+            A failed event whose exception nobody defused aborts the run
+            by re-raising that exception here.
+        """
+        try:
+            self._now, _, _, record = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        if isinstance(record, tuple):
+            fn, arg = record
+            fn(arg)
+        else:
+            self._dispatch_event(record)
+
+    def run(self, until: Optional[Union[float, Event]] = None) -> Any:
+        """Run the simulation; semantics match the reference engine.
+
+        ``until`` may be ``None`` (drain the calendar), a number (advance
+        the clock exactly to that time) or an :class:`Event` (stop when
+        it is processed and return its value).
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until={at} lies in the past (now={self._now})")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            # Priority below NORMAL ensures all events at `at` run first.
+            self.schedule(until, priority=NORMAL + 1, delay=at - self._now)
+        elif isinstance(until, Event):
+            if until.callbacks is None:
+                # Already processed — nothing to run.
+                return until.value
+
+        if isinstance(until, Event):
+            assert until.callbacks is not None
+            until.callbacks.append(StopSimulation.callback)
+
+        # Inlined hot loop: one heappop + type test per record.  The
+        # callable path costs a tuple unpack and a call; the Event path
+        # delegates to the reference semantics in _dispatch_event.
+        queue = self._queue
+        pop = heapq.heappop
+        try:
+            while queue:
+                self._now, _, _, record = pop(queue)
+                if isinstance(record, tuple):
+                    fn, arg = record
+                    fn(arg)
+                else:
+                    self._dispatch_event(record)
+        except StopSimulation as exc:
+            return exc.args[0]
+        if isinstance(until, Event) and until._value is PENDING:
+            raise RuntimeError(
+                "no more events scheduled but the `until` event never triggered"
+            )
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"<FastEnvironment t={self._now} queued={len(self._queue)}>"

@@ -8,7 +8,7 @@ intervals, time-averages, batch means) are computed in one audited place.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 from scipy import stats as _sstats
@@ -43,10 +43,46 @@ class Tally:
         delta = value - self._mean
         self._mean += delta / self._n
         self._m2 += delta * (value - self._mean)
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
         if self._values is not None:
             self._values.append(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations.
+
+        Exactly equivalent to calling :meth:`observe` once per value —
+        the same Welford recurrence runs in the same order, so the
+        resulting statistical state (and :meth:`__eq__`) is bit-identical
+        to the sequential path.  State access is hoisted into locals so
+        batched hot paths (the fast engine's metric accumulation) pay one
+        method call per batch instead of one per observation.
+        """
+        n = self._n
+        mean = self._mean
+        m2 = self._m2
+        lo = self._min
+        hi = self._max
+        keep = self._values
+        for raw in values:
+            value = float(raw)
+            n += 1
+            delta = value - mean
+            mean += delta / n
+            m2 += delta * (value - mean)
+            if value < lo:
+                lo = value
+            if value > hi:
+                hi = value
+            if keep is not None:
+                keep.append(value)
+        self._n = n
+        self._mean = mean
+        self._m2 = m2
+        self._min = lo
+        self._max = hi
 
     @property
     def count(self) -> int:
@@ -174,8 +210,10 @@ class TimeWeighted:
             raise ValueError(f"time ran backwards: {now} < {self._last_time}")
         self._area += self._level * (now - self._last_time)
         self._last_time = now
-        self._level = float(level)
-        self._max = max(self._max, self._level)
+        level = float(level)
+        self._level = level
+        if level > self._max:
+            self._max = level
 
     def add(self, now: float, delta: float) -> None:
         """Increment the level by ``delta`` at time ``now``."""

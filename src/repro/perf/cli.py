@@ -1,0 +1,134 @@
+"""Command-line entry points of the perf harness.
+
+Three front doors over :mod:`repro.perf.harness`:
+
+* ``bench_main`` — ``repro bench``: measure, optionally gate, optionally
+  persist.  The general-purpose door.
+* ``baseline_main`` — ``benchmarks/perf/perf_baseline.py``: refresh the
+  committed baseline and append a history line (run on the reference
+  machine when a PR legitimately moves a ratio).
+* ``delta_main`` — ``benchmarks/perf/perf_delta.py``: the CI gate.
+  Measures, compares against the committed baseline, appends history,
+  renders the trajectory chart, and exits non-zero on regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .harness import append_history, compare, history_chart, load_history, run_suite
+
+__all__ = ["bench_main", "baseline_main", "delta_main"]
+
+#: Repo-relative locations of the committed perf artifacts.
+DEFAULT_BASELINE = "benchmarks/perf/BENCH_sim.json"
+DEFAULT_HISTORY = "benchmarks/perf/BENCH_history.jsonl"
+
+
+def _add_measure_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale (seconds, not minutes)")
+    parser.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="worker processes for the parallel sweep (default 4)")
+
+
+def _write_report(report: dict, out: Optional[str]) -> None:
+    if out:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+
+
+def _gate(report: dict, baseline_path: str, tolerance: float) -> int:
+    baseline = json.loads(Path(baseline_path).read_text())
+    failures = compare(report, baseline, tolerance)
+    if failures:
+        print("PERF REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"no regression vs {baseline_path} (tolerance {tolerance:.0%})")
+    return 0
+
+
+def bench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro bench`` — run the suite; gate/persist on request."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the performance benchmark suite (see docs/performance.md).",
+    )
+    _add_measure_args(parser)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the report JSON to PATH")
+    parser.add_argument("--compare", default=None, metavar="BASELINE",
+                        help="baseline BENCH_sim.json to gate against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional ratio regression (default 0.25)")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    report = run_suite(quick=args.quick, n_jobs=args.jobs)
+    _write_report(report, args.out)
+    if args.compare:
+        return _gate(report, args.compare, args.tolerance)
+    return 0
+
+
+def baseline_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Refresh the committed baseline and append a history line."""
+    parser = argparse.ArgumentParser(
+        description="Record a new committed perf baseline (BENCH_sim.json).",
+    )
+    _add_measure_args(parser)
+    parser.add_argument("--out", default=DEFAULT_BASELINE, metavar="PATH",
+                        help=f"baseline path (default {DEFAULT_BASELINE})")
+    parser.add_argument("--history", default=DEFAULT_HISTORY, metavar="PATH",
+                        help=f"history JSONL path (default {DEFAULT_HISTORY})")
+    parser.add_argument("--label", default=None,
+                        help="history label (e.g. a PR number or git SHA)")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    report = run_suite(quick=args.quick, n_jobs=args.jobs)
+    _write_report(report, args.out)
+    append_history(args.history, report, label=args.label)
+    print(f"appended history to {args.history}")
+    return 0
+
+
+def delta_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Measure, gate against the committed baseline, log the trajectory."""
+    parser = argparse.ArgumentParser(
+        description="Gate the working tree against the committed perf baseline.",
+    )
+    _add_measure_args(parser)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE, metavar="PATH",
+                        help=f"baseline to gate against (default {DEFAULT_BASELINE})")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional ratio regression (default 0.25)")
+    parser.add_argument("--history", default=DEFAULT_HISTORY, metavar="PATH",
+                        help=f"history JSONL to append to (default {DEFAULT_HISTORY})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the history append (e.g. scratch runs)")
+    parser.add_argument("--label", default=None,
+                        help="history label (e.g. a PR number or git SHA)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the raw report JSON to PATH")
+    parser.add_argument("--summary", default=None, metavar="PATH",
+                        help="append a markdown trajectory chart to PATH "
+                             "(e.g. $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    report = run_suite(quick=args.quick, n_jobs=args.jobs)
+    _write_report(report, args.out)
+    if not args.no_history:
+        append_history(args.history, report, label=args.label)
+    status = _gate(report, args.baseline, args.tolerance)
+
+    chart = history_chart(load_history(args.history), mode=report["mode"])
+    print(chart)
+    if args.summary:
+        with Path(args.summary).open("a") as stream:
+            stream.write("### Perf trajectory\n\n```\n" + chart + "\n```\n")
+    return status

@@ -26,7 +26,7 @@ from __future__ import annotations
 import abc
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from ..workload.arrivals import Request
 from ..workload.items import ItemCatalog
@@ -72,7 +72,8 @@ class PendingEntry:
             )
         self.num_requests += 1
         self.total_priority += request.priority
-        self.first_arrival = min(self.first_arrival, request.time)
+        if request.time < self.first_arrival:
+            self.first_arrival = request.time
         self.requests.append(request)
 
     def remove(self, request: Request) -> None:
@@ -126,6 +127,7 @@ class PullQueue:
         self._total_requests = 0
         # Lazy max-heap index; populated only once a scorer is attached.
         self._scheduler: Optional["PullScheduler"] = None
+        self._score: Optional[Callable[[PendingEntry, float], float]] = None
         self._heap: list[tuple[float, int, int]] = []
         self._versions: dict[int, int] = {}
 
@@ -143,6 +145,7 @@ class PullQueue:
                 "change outside queue mutations and cannot be heap-indexed"
             )
         self._scheduler = scheduler
+        self._score = scheduler.score
         self._heap = []
         self._versions = {}
         for entry in self._entries.values():
@@ -151,6 +154,7 @@ class PullQueue:
     def detach_scorer(self) -> None:
         """Drop the heap index; selection falls back to the linear scan."""
         self._scheduler = None
+        self._score = None
         self._heap = []
         self._versions = {}
 
@@ -160,12 +164,13 @@ class PullQueue:
 
     def _reindex(self, entry: PendingEntry) -> None:
         """Push a fresh heap record for ``entry``, superseding older ones."""
-        version = self._versions.get(entry.item_id, 0) + 1
-        self._versions[entry.item_id] = version
-        score = self._scheduler.score(entry, 0.0)
+        item_id = entry.item_id
+        versions = self._versions
+        version = versions.get(item_id, 0) + 1
+        versions[item_id] = version
         # min-heap on (-score, item_id): max score first, smaller item id
         # winning ties — the same key order as the linear scan.
-        heapq.heappush(self._heap, (-score, entry.item_id, version))
+        heapq.heappush(self._heap, (-self._score(entry, 0.0), item_id, version))
 
     def _unindex(self, item_id: int) -> None:
         """Invalidate all heap records of a removed entry (lazy deletion)."""
@@ -190,21 +195,36 @@ class PullQueue:
 
     # -- mutations ---------------------------------------------------------------
     def add(self, request: Request) -> PendingEntry:
-        """Insert ``request``, creating or updating its item's entry."""
-        entry = self._entries.get(request.item_id)
+        """Insert ``request``, creating or updating its item's entry.
+
+        The bodies of :meth:`PendingEntry.add` and :meth:`_reindex` are
+        inlined — this runs once per arrival on the hot path, and the
+        entry lookup by ``request.item_id`` already guarantees the
+        cross-item guard those methods carry cannot fire here.
+        """
+        item_id = request.item_id
+        entry = self._entries.get(item_id)
         if entry is None:
-            item = self._catalog[request.item_id]
+            item = self._catalog[item_id]
             entry = PendingEntry(
                 item_id=item.item_id,
                 length=item.length,
                 probability=item.probability,
                 first_arrival=request.time,
             )
-            self._entries[request.item_id] = entry
-        entry.add(request)
+            self._entries[item_id] = entry
+        entry.num_requests += 1
+        entry.total_priority += request.priority
+        if request.time < entry.first_arrival:
+            entry.first_arrival = request.time
+        entry.requests.append(request)
         self._total_requests += 1
-        if self._scheduler is not None:
-            self._reindex(entry)
+        score = self._score
+        if score is not None:
+            versions = self._versions
+            version = versions.get(item_id, 0) + 1
+            versions[item_id] = version
+            heapq.heappush(self._heap, (-score(entry, 0.0), item_id, version))
         return entry
 
     def pop(self, item_id: int) -> PendingEntry:

@@ -49,6 +49,7 @@ class ImportanceFactorScheduler(PullScheduler):
         if not 0 <= alpha <= 1:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
         self.alpha = float(alpha)
+        self._one_minus_alpha = 1.0 - self.alpha
         self.normalize = bool(normalize)
         # Raw Eq. 1 is a pure function of (R_i, L_i, Q_i) and qualifies for
         # the queue's heap index; normalisation couples entries through the
@@ -61,21 +62,34 @@ class ImportanceFactorScheduler(PullScheduler):
         """The importance factor of one entry (Eq. 1)."""
         return (
             self.alpha * entry.stretch / self._stretch_scale
-            + (1.0 - self.alpha) * entry.total_priority / self._priority_scale
+            + self._one_minus_alpha * entry.total_priority / self._priority_scale
         )
 
     def score(self, entry: PendingEntry, now: float) -> float:
-        """Alias for :meth:`gamma`; time plays no role in Eq. 1."""
-        return self.gamma(entry)
+        """Eq. 1, inlined; time plays no role.
+
+        The heap index calls this once per queue mutation, so the
+        ``stretch`` property and the :meth:`gamma` dispatch are flattened
+        into one expression — keep in sync with :meth:`gamma`.
+        """
+        return (
+            self.alpha
+            * (entry.num_requests / (entry.length * entry.length))
+            / self._stretch_scale
+            + self._one_minus_alpha * entry.total_priority / self._priority_scale
+        )
 
     def select(self, queue: PullQueue, now: float) -> PendingEntry | None:
         """Max-γ entry; refreshes normalisation scales first if enabled."""
-        if self.normalize and queue:
-            self._stretch_scale = max((e.stretch for e in queue), default=1.0) or 1.0
-            self._priority_scale = max((e.total_priority for e in queue), default=1.0) or 1.0
-        else:
-            self._stretch_scale = 1.0
-            self._priority_scale = 1.0
+        if self.normalize:
+            # Scales stay pinned at 1.0 whenever normalisation is off, so
+            # only this branch ever needs to touch them.
+            if queue:
+                self._stretch_scale = max((e.stretch for e in queue), default=1.0) or 1.0
+                self._priority_scale = max((e.total_priority for e in queue), default=1.0) or 1.0
+            else:
+                self._stretch_scale = 1.0
+                self._priority_scale = 1.0
         return super().select(queue, now)
 
 
@@ -113,6 +127,10 @@ class ExpectedImportanceScheduler(ImportanceFactorScheduler):
             self.alpha * weight / (entry.length * entry.length)
             + (1.0 - self.alpha) * weight * entry.total_priority
         )
+
+    def score(self, entry: PendingEntry, now: float) -> float:
+        """Eq. 6 via :meth:`gamma` (the parent inlines Eq. 1 instead)."""
+        return self.gamma(entry)
 
     def select(self, queue: PullQueue, now: float) -> PendingEntry | None:
         """Update the E[L_pull] estimate, then pick the max-ϱ entry."""

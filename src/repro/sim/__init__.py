@@ -27,8 +27,9 @@ from .runner import (
     run_until_precision,
     spawn_seeds,
 )
+from .fastpath import FastArrivalDriver, FastHybridServer
 from .server import HybridServer, PullMode
-from .system import HybridSystem
+from .system import Engine, HybridSystem
 from .uplink import UplinkChannel
 
 __all__ = [
@@ -52,6 +53,9 @@ __all__ = [
     "HybridServer",
     "PullMode",
     "HybridSystem",
+    "Engine",
+    "FastHybridServer",
+    "FastArrivalDriver",
     "UplinkChannel",
     "ParallelExecutor",
     "resolve_jobs",

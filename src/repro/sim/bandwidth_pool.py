@@ -28,14 +28,18 @@ class BandwidthPool:
     """
 
     def __init__(self, capacities: np.ndarray | list[float]) -> None:
-        self._capacity = np.asarray(capacities, dtype=float).copy()
-        if self._capacity.ndim != 1 or len(self._capacity) == 0:
+        arr = np.asarray(capacities, dtype=float)
+        if arr.ndim != 1 or len(arr) == 0:
             raise ValueError("capacities must be a non-empty 1-D array")
-        if np.any(self._capacity < 0):
-            raise ValueError(f"capacities must be >= 0, got {self._capacity}")
-        self._in_use = np.zeros_like(self._capacity)
-        self._admitted = np.zeros(len(self._capacity), dtype=int)
-        self._rejected = np.zeros(len(self._capacity), dtype=int)
+        if np.any(arr < 0):
+            raise ValueError(f"capacities must be >= 0, got {arr}")
+        # Plain Python lists: the accounting is all scalar indexing on the
+        # server's hot path, where ndarray item access costs ~1 µs a touch.
+        # Arithmetic is identical either way (both are IEEE doubles).
+        self._capacity: list[float] = arr.tolist()
+        self._in_use: list[float] = [0.0] * len(self._capacity)
+        self._admitted: list[int] = [0] * len(self._capacity)
+        self._rejected: list[int] = [0] * len(self._capacity)
 
     @property
     def num_classes(self) -> int:

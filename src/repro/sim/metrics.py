@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Optional
 
 from ..des.monitor import Counter, Tally, TimeWeighted
 from ..workload.arrivals import Request
@@ -74,6 +74,15 @@ class MetricsCollector:
         self.overload_rejected_by_class: dict[str, Counter] = {
             n: Counter() for n in class_names
         }
+        # Rank-indexed views of the per-class maps above (same underlying
+        # monitor objects).  Hot-path recording indexes by ``class_rank``
+        # directly instead of the name-keyed dicts; the dicts stay the
+        # public reporting surface.
+        self._delay_by_rank = [self.delay_by_class[n] for n in class_names]
+        self._push_delay_by_rank = [self.push_delay_by_class[n] for n in class_names]
+        self._pull_delay_by_rank = [self.pull_delay_by_class[n] for n in class_names]
+        self._arrivals_by_rank = [self.arrivals_by_class[n] for n in class_names]
+
         self.queue_length = TimeWeighted()
         self.push_broadcasts = Counter()
         self.pull_services = Counter()
@@ -106,28 +115,79 @@ class MetricsCollector:
     def record_arrival(self, request: Request) -> None:
         """A request entered the system."""
         self.raw_arrivals += 1
-        if self._measured(request):
-            self.arrivals_by_class[self.class_names[request.class_rank]].increment()
+        if request.time >= self.warmup:
+            self._arrivals_by_rank[request.class_rank].increment()
 
     def record_satisfied(self, request: Request, now: float, via_push: bool) -> None:
         """A request was satisfied at time ``now`` (delay = now − arrival)."""
         self.raw_satisfied += 1
-        if not self._measured(request):
+        if request.time < self.warmup:
             return
         delay = now - request.time
         if delay < 0:
             raise ValueError(f"negative delay: satisfied at {now}, arrived {request.time}")
-        name = self.class_names[request.class_rank]
-        self.delay_by_class[name].observe(delay)
+        rank = request.class_rank
+        self._delay_by_rank[rank].observe(delay)
         self.delay_overall.observe(delay)
         if via_push:
             self.delay_push.observe(delay)
-            self.push_delay_by_class[name].observe(delay)
+            self._push_delay_by_rank[rank].observe(delay)
         else:
             self.delay_pull.observe(delay)
-            self.pull_delay_by_class[name].observe(delay)
+            self._pull_delay_by_rank[rank].observe(delay)
         if self.qos_recorder is not None:
-            self.qos_recorder.record(request.class_rank, request.item_id, delay)
+            self.qos_recorder.record(rank, request.item_id, delay)
+
+    def record_satisfied_many(self, requests, now: float, via_push: bool) -> None:
+        """Batch form of :meth:`record_satisfied` for one transmission.
+
+        Bit-identical to calling :meth:`record_satisfied` per request in
+        order: every tally receives the same observation subsequence in
+        the same order (``Tally.observe_many`` replays the exact Welford
+        recurrence), so the fast engine's batched accumulation and the
+        reference server's per-request calls produce equal statistics
+        for equal request sequences.
+        """
+        if len(requests) == 1:
+            # One-request transmissions dominate sparse workloads; the
+            # scalar path skips the per-batch list plumbing.
+            self.record_satisfied(requests[0], now, via_push)
+            return
+        self.raw_satisfied += len(requests)
+        warmup = self.warmup
+        qos = self.qos_recorder
+        delays: list[float] = []
+        by_rank: list[Optional[list[float]]] = [None] * len(self._delay_by_rank)
+        for request in requests:
+            if request.time < warmup:
+                continue
+            delay = now - request.time
+            if delay < 0:
+                raise ValueError(
+                    f"negative delay: satisfied at {now}, arrived {request.time}"
+                )
+            rank = request.class_rank
+            delays.append(delay)
+            bucket = by_rank[rank]
+            if bucket is None:
+                by_rank[rank] = [delay]
+            else:
+                bucket.append(delay)
+            if qos is not None:
+                qos.record(rank, request.item_id, delay)
+        if not delays:
+            return
+        self.delay_overall.observe_many(delays)
+        if via_push:
+            self.delay_push.observe_many(delays)
+            per_rank = self._push_delay_by_rank
+        else:
+            self.delay_pull.observe_many(delays)
+            per_rank = self._pull_delay_by_rank
+        for rank, class_delays in enumerate(by_rank):
+            if class_delays is not None:
+                self._delay_by_rank[rank].observe_many(class_delays)
+                per_rank[rank].observe_many(class_delays)
 
     def record_blocked(self, request: Request) -> None:
         """A request was dropped because bandwidth admission failed."""

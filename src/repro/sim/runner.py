@@ -27,7 +27,7 @@ from ..core.config import HybridConfig
 from .metrics import SimulationResult
 from .parallel import ParallelExecutor
 from .server import PullMode
-from .system import HybridSystem
+from .system import Engine, HybridSystem
 
 __all__ = [
     "run_single",
@@ -63,6 +63,7 @@ def run_single(
     warmup: float | None = None,
     pull_mode: PullMode = "serial",
     trace_path: str | Path | None = None,
+    engine: Engine = "reference",
 ) -> SimulationResult:
     """Run one replication of ``config``.
 
@@ -70,16 +71,22 @@ def run_single(
     given, the run records a full event trace
     (:class:`~repro.obs.TraceRecorder`) and writes it there as JSONL;
     results are bit-identical with tracing on or off.
+
+    ``engine="fast"`` selects the flat-calendar fast core (statistically
+    equivalent, not bit-identical; incompatible with ``trace_path``).
     """
     if warmup is None:
         warmup = 0.1 * horizon
     tracer = None
     if trace_path is not None:
+        if engine != "reference":
+            raise ValueError("trace recording requires engine='reference'")
         from ..obs import TraceRecorder
 
         tracer = TraceRecorder()
     system = HybridSystem(
-        config, seed=seed, warmup=warmup, pull_mode=pull_mode, tracer=tracer
+        config, seed=seed, warmup=warmup, pull_mode=pull_mode, tracer=tracer,
+        engine=engine,
     )
     result = system.run(horizon)
     if tracer is not None:
@@ -124,7 +131,7 @@ def run_traced(
 
 def _replication_task(task: tuple) -> SimulationResult:
     """Module-level worker payload: one replication (picklable for pools)."""
-    config, seed, horizon, warmup, pull_mode, trace_path = task
+    config, seed, horizon, warmup, pull_mode, trace_path, engine = task
     return run_single(
         config,
         seed=seed,
@@ -132,6 +139,7 @@ def _replication_task(task: tuple) -> SimulationResult:
         warmup=warmup,
         pull_mode=pull_mode,
         trace_path=trace_path,
+        engine=engine,
     )
 
 
@@ -275,6 +283,7 @@ def run_replications(
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
     resilience=None,
+    engine: Engine = "reference",
 ) -> ReplicatedResult:
     """Run ``num_runs`` independent replications of ``config``.
 
@@ -316,6 +325,8 @@ def run_replications(
         raise ValueError(f"num_runs must be >= 1, got {num_runs}")
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
+    if trace_dir is not None and engine != "reference":
+        raise ValueError("trace_dir requires engine='reference'")
     if checkpoint_dir is not None or resilience is not None:
         if trace_dir is not None:
             raise ValueError(
@@ -333,6 +344,7 @@ def run_replications(
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             resilience=resilience,
+            engine=engine,
         )
     seeds = spawn_seeds(base_seed, num_runs)
     trace_paths: Optional[list[Path]] = None
@@ -351,6 +363,7 @@ def run_replications(
             warmup,
             pull_mode,
             None if trace_paths is None else trace_paths[index],
+            engine,
         )
         for index, seed in enumerate(seeds)
     ]
@@ -413,6 +426,7 @@ def _run_replications_resilient(
     checkpoint_dir,
     resume: bool,
     resilience,
+    engine: Engine = "reference",
 ) -> ReplicatedResult:
     """Checkpointed / fault-tolerant body of :func:`run_replications`."""
     from ..resilience import ResilienceConfig, ResilientExecutor
@@ -427,7 +441,7 @@ def _run_replications_resilient(
         warmup,
         pull_mode,
         resume,
-        extra={"num_runs": num_runs, "n_jobs": n_jobs},
+        extra={"num_runs": num_runs, "n_jobs": n_jobs, "engine": engine},
     )
     by_seed: dict[int, SimulationResult] = {}
     if store is not None and resume:
@@ -445,7 +459,7 @@ def _run_replications_resilient(
         on_result = None if store is None else store.save
         outcome = executor.run(
             _replication_task,
-            [(config, seed, horizon, warmup, pull_mode, None) for seed in todo],
+            [(config, seed, horizon, warmup, pull_mode, None, engine) for seed in todo],
             keys=todo,
             on_result=on_result,
         )
@@ -476,6 +490,7 @@ def run_until_precision(
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
     resilience=None,
+    engine: Engine = "reference",
 ) -> ReplicatedResult:
     """Add replications until the CI half-width is small enough.
 
@@ -547,10 +562,11 @@ def run_until_precision(
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             resilience=resilience,
+            engine=engine,
         )
 
     tasks = [
-        (config, seed, horizon, warmup, pull_mode, None)
+        (config, seed, horizon, warmup, pull_mode, None, engine)
         for seed in spawn_seeds(base_seed, max_runs)
     ]
     with ParallelExecutor(n_jobs) as executor:
@@ -594,6 +610,7 @@ def _run_until_precision_resilient(
     checkpoint_dir,
     resume: bool,
     resilience,
+    engine: Engine = "reference",
 ) -> ReplicatedResult:
     """Checkpointed / fault-tolerant body of :func:`run_until_precision`.
 
@@ -614,7 +631,8 @@ def _run_until_precision_resilient(
         warmup,
         pull_mode,
         resume,
-        extra={"max_runs": max_runs, "metric": metric, "n_jobs": n_jobs},
+        extra={"max_runs": max_runs, "metric": metric, "n_jobs": n_jobs,
+               "engine": engine},
     )
     executor = ResilientExecutor(
         n_jobs=n_jobs,
@@ -653,7 +671,7 @@ def _run_until_precision_resilient(
             ][: executor.n_jobs]
             outcome = executor.run(
                 _replication_task,
-                [(config, s, horizon, warmup, pull_mode, None) for s in batch],
+                [(config, s, horizon, warmup, pull_mode, None, engine) for s in batch],
                 keys=batch,
                 on_result=on_result,
             )

@@ -11,19 +11,26 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional
 
+from typing import Literal
+
 from ..core.config import HybridConfig
 from ..des import Environment, RandomStreams
+from ..des.fastengine import FastEnvironment
 from ..schedulers.registry import make_pull_scheduler, make_push_scheduler
 from ..workload.arrivals import ArrivalProcess
+from ..workload.batched import BatchedArrivals
 from ..workload.trace import RequestTrace
 from .bandwidth_pool import BandwidthPool
 from .client import FaultAwareFront, drive_arrivals, drive_trace
+from .fastpath import FastArrivalDriver, FastHybridServer
 from .faults import ConservationWatchdog, FaultInjector
 from .metrics import MetricsCollector, SimulationResult
 from .server import HybridServer, PullMode
 from .uplink import UplinkChannel
 
-__all__ = ["HybridSystem"]
+__all__ = ["HybridSystem", "Engine"]
+
+Engine = Literal["reference", "fast"]
 
 
 class _UplinkFront:
@@ -76,6 +83,15 @@ class HybridSystem:
         Optional :class:`~repro.obs.PhaseProfiler` collecting per-phase
         wall-time counters (scheduler selections, metrics
         finalisation).
+    engine:
+        ``"reference"`` (default) runs the generator-process DES core;
+        ``"fast"`` runs the flat-calendar
+        :class:`~repro.des.fastengine.FastEnvironment` with
+        :class:`~repro.sim.fastpath.FastHybridServer` and vectorised
+        arrival pre-generation.  Fast runs are statistically equivalent
+        but not bit-identical to reference runs (random streams are
+        consumed in blocks) and do not support ``tracer``/``profiler``/
+        custom ``server_cls``; see ``docs/performance.md``.
     """
 
     def __init__(
@@ -91,20 +107,33 @@ class HybridSystem:
         server_kwargs: Optional[dict] = None,
         tracer=None,
         profiler=None,
+        engine: Engine = "reference",
     ) -> None:
+        if engine not in ("reference", "fast"):
+            raise ValueError(f"unknown engine {engine!r}; use 'reference' or 'fast'")
         if tracer is not None and server_cls is not HybridServer:
             raise ValueError(
                 "tracing instruments HybridServer's decision points; custom "
                 f"server classes ({server_cls.__name__}) override them and "
                 "would record an incomplete trace"
             )
+        if engine == "fast":
+            # The fast engine swaps in its own server state machine; hooks
+            # that instrument or replace HybridServer need the reference
+            # engine (FastHybridServer also rejects tracer/profiler).
+            if server_cls is not HybridServer or server_kwargs:
+                raise ValueError(
+                    "engine='fast' uses FastHybridServer; custom server "
+                    "classes/kwargs require engine='reference'"
+                )
         self.config = config
         self.seed = int(seed)
         self.warmup = float(warmup)
         self.tracer = tracer
         self.profiler = profiler
+        self.engine: Engine = engine
 
-        self.env = Environment()
+        self.env = FastEnvironment() if engine == "fast" else Environment()
         self.streams = RandomStreams(seed=seed)
         self.catalog = config.build_catalog()
         self.population = config.build_population()
@@ -122,7 +151,8 @@ class HybridSystem:
         self.injector = (
             FaultInjector(config.faults, self.streams) if config.faults.channel_faults else None
         )
-        self.server = server_cls(
+        impl = FastHybridServer if engine == "fast" else server_cls
+        self.server = impl(
             env=self.env,
             catalog=self.catalog,
             config=config,
@@ -190,7 +220,29 @@ class HybridSystem:
             raise ValueError("pass either a trace or an arrivals source, not both")
         if trace is not None:
             self.driver = drive_trace(self.env, front, trace)
+        elif engine == "fast" and arrivals is None:
+            # Vectorised chunked pre-generation; this is where the fast
+            # engine's arrival-path speedup lives.
+            batched = BatchedArrivals(
+                catalog=self.catalog,
+                population=self.population,
+                rate=config.arrival_rate,
+                rng=self.streams.stream("arrivals"),
+                priority_weighted=config.priority_weighted_demand,
+            )
+            if front is self.server:
+                # Ideal uplink, no client front: the server drains the
+                # chunks itself at its queue-touch points — zero calendar
+                # records per arrival (see FastHybridServer.attach_arrivals).
+                self.server.attach_arrivals(batched)
+                self.driver = None
+            else:
+                # Arrivals pass through the uplink/fault front: one flat
+                # calendar record per arrival keeps delivery timing exact.
+                self.driver = FastArrivalDriver(self.env, front, batched)
         else:
+            # Custom arrival sources stay on the generator driver — they
+            # run unchanged on either engine, just without vectorisation.
             if arrivals is None:
                 arrivals = ArrivalProcess(
                     catalog=self.catalog,
@@ -222,6 +274,11 @@ class HybridSystem:
                 result = self.metrics.result(horizon=horizon, seed=self.seed)
         else:
             self.env.run(until=horizon)
+            if self.engine == "fast":
+                # Admit buffered arrivals between the last service event
+                # and the horizon so end-of-run accounting matches the
+                # reference engine (which processes every arrival event).
+                self.server.finalize(horizon)
             self.watchdog.check()
             result = self.metrics.result(horizon=horizon, seed=self.seed)
         return replace(

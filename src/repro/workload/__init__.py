@@ -6,6 +6,7 @@ priority classes, Poisson request arrivals and replayable request traces.
 """
 
 from .arrivals import ArrivalProcess, Request
+from .batched import BatchedArrivals
 from .clients import Client, ClientPopulation, ServiceClass, paper_classes
 from .items import Item, ItemCatalog, calibrate_geometric, truncated_geometric_pmf
 from .nonstationary import PhasedArrivalProcess, WorkloadPhase
@@ -21,6 +22,7 @@ from .zipf import (
 
 __all__ = [
     "ArrivalProcess",
+    "BatchedArrivals",
     "Request",
     "Client",
     "ClientPopulation",

@@ -1,0 +1,138 @@
+"""Chunked, numpy-vectorised Poisson request generation.
+
+:class:`BatchedArrivals` produces the same workload *distribution* as the
+lazy :class:`~repro.workload.arrivals.ArrivalProcess` — exponential
+inter-arrival gaps at aggregate rate ``λ'``, Zipf item draws, uniform or
+priority-weighted client draws — but samples whole chunks of variates at
+once instead of three scalar numpy calls per arrival.  Per-call numpy
+dispatch overhead (~1 µs each) dominates the reference arrival path, so
+batching it is one of the fast engine's main levers.
+
+The draws are consumed from the same named stream in a different order
+(blocked per-variate instead of interleaved per-arrival), so a batched
+run is **statistically identical but not bit-identical** to a reference
+run of the same seed; see ``docs/performance.md``.
+
+Chunking bounds memory: only ``chunk_size`` requests exist at a time, so
+an unbounded-horizon stream never materialises the whole trace.
+:class:`~repro.workload.arrivals.Request` objects (``slots=True``
+dataclasses) are built once per chunk from plain-Python scalars
+(``ndarray.tolist``) — the struct-of-arrays representation stays internal
+and the API boundary still speaks ``Request``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .arrivals import Request
+from .clients import ClientPopulation
+from .items import ItemCatalog
+
+__all__ = ["BatchedArrivals"]
+
+
+class BatchedArrivals:
+    """Vectorised equivalent of :class:`~repro.workload.arrivals.ArrivalProcess`.
+
+    Parameters
+    ----------
+    catalog:
+        Item catalog supplying the Zipf item law.
+    population:
+        Client population supplying the class mix.
+    rate:
+        Aggregate Poisson rate ``λ'`` (requests per broadcast unit).
+    rng:
+        numpy Generator; pass a named stream from
+        :class:`repro.des.RandomStreams` for reproducibility.
+    priority_weighted:
+        Draw the originating client proportionally to its priority weight
+        ``q_j`` instead of uniformly (§4.2's ``λ_i = λ·p_i·q_j``).
+    chunk_size:
+        Arrivals generated per batch.  Larger chunks amortise numpy
+        dispatch further but hold more ``Request`` objects alive; the
+        default keeps a chunk comfortably inside L2-cache-sized lists.
+    """
+
+    def __init__(
+        self,
+        catalog: ItemCatalog,
+        population: ClientPopulation,
+        rate: float,
+        rng: np.random.Generator,
+        priority_weighted: bool = False,
+        chunk_size: int = 4096,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be > 0, got {rate}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.catalog = catalog
+        self.population = population
+        self.rate = float(rate)
+        self.rng = rng
+        self.priority_weighted = bool(priority_weighted)
+        self.chunk_size = int(chunk_size)
+        self._num_items = len(catalog)
+        self._num_clients = len(population)
+        self._client_class_rank = np.array(
+            [c.service_class.rank for c in population], dtype=int
+        )
+        self._client_priority = np.array([c.priority for c in population], dtype=float)
+        if priority_weighted:
+            weights = self._client_priority / self._client_priority.sum()
+            self._client_cdf: np.ndarray | None = np.cumsum(weights)
+        else:
+            self._client_cdf = None
+        self._item_cdf = np.cumsum(catalog.probabilities)
+        #: Clock of the last generated arrival; the next chunk continues
+        #: from here, so consecutive chunks form one Poisson process.
+        self._t = 0.0
+
+    def next_chunk(self) -> list[Request]:
+        """Generate the next ``chunk_size`` arrivals, in time order.
+
+        One exponential block, one item-uniform block and one client
+        block replace ``3 × chunk_size`` scalar draws.  Times are a
+        running cumulative sum, so they continue seamlessly from the
+        previous chunk and are non-decreasing by construction.
+        """
+        n = self.chunk_size
+        rng = self.rng
+        times = self._t + np.cumsum(rng.exponential(1.0 / self.rate, size=n))
+        self._t = float(times[-1])
+        item_ids = np.minimum(
+            np.searchsorted(self._item_cdf, rng.random(n), side="right"),
+            self._num_items - 1,
+        )
+        if self._client_cdf is None:
+            client_ids = rng.integers(0, self._num_clients, size=n)
+        else:
+            client_ids = np.minimum(
+                np.searchsorted(self._client_cdf, rng.random(n), side="right"),
+                self._num_clients - 1,
+            )
+        ranks = self._client_class_rank[client_ids]
+        priorities = self._client_priority[client_ids]
+        return [
+            Request(time=t, item_id=i, client_id=c, class_rank=k, priority=p)
+            for t, i, c, k, p in zip(
+                times.tolist(),
+                item_ids.tolist(),
+                client_ids.tolist(),
+                ranks.tolist(),
+                priorities.tolist(),
+            )
+        ]
+
+    def __iter__(self) -> Iterator[Request]:
+        """Infinite lazy stream of requests in time order (chunk-backed).
+
+        Lets a ``BatchedArrivals`` double as a generic arrivals source
+        (e.g. for ``drive_arrivals`` on the reference engine).
+        """
+        while True:
+            yield from self.next_chunk()

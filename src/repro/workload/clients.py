@@ -24,7 +24,7 @@ from .zipf import zipf_probabilities
 __all__ = ["ServiceClass", "Client", "ClientPopulation", "paper_classes"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceClass:
     """One priority class of clients.
 
@@ -51,7 +51,7 @@ class ServiceClass:
             raise ValueError(f"rank must be >= 0, got {self.rank}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Client:
     """One client device, bound to a service class."""
 

@@ -27,7 +27,7 @@ __all__ = ["Item", "ItemCatalog", "truncated_geometric_pmf", "calibrate_geometri
 LengthLaw = Literal["truncated_geometric", "uniform", "constant"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Item:
     """One data item in the server database.
 

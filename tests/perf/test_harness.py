@@ -1,0 +1,196 @@
+"""Unit tests for the perf-regression harness logic (no timing involved).
+
+The measurement functions are exercised by the bench scripts themselves;
+here we pin the *decision* layer: host bucketing, the two gating regimes
+(portable ratios vs absolute parallel floors), schema-1 back-compat, and
+the history/chart pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    PARALLEL_FLOORS,
+    append_history,
+    compare,
+    history_chart,
+    history_record,
+    load_history,
+    machine_profile,
+)
+
+
+def _report(
+    mode: str = "quick",
+    fast_speedup: float = 3.2,
+    fast_guard: bool = True,
+    sweep_speedup: float = 2.1,
+    sweep_cores: int = 8,
+) -> dict:
+    return {
+        "schema": 2,
+        "mode": mode,
+        "host": {"cores": sweep_cores, "python": "3.11", "machine": "x86_64",
+                 "profile": machine_profile(sweep_cores)},
+        "benchmarks": {
+            "select_hot_loop": {"speedup": 20.0, "guard": True},
+            "single_run_q200": {"speedup": 2.7, "guard": True},
+            "fast_engine": {"speedup": fast_speedup, "guard": fast_guard},
+            "sweep_parallel": {
+                "speedup": sweep_speedup,
+                "cores": sweep_cores,
+                "guard": sweep_cores >= 4,
+            },
+        },
+        "parallel_floors": dict(PARALLEL_FLOORS),
+    }
+
+
+class TestMachineProfile:
+    @pytest.mark.parametrize(
+        ("cores", "profile"),
+        [(1, "1-core"), (2, "2-3-core"), (3, "2-3-core"), (4, "multi-core"),
+         (64, "multi-core")],
+    )
+    def test_buckets(self, cores, profile):
+        assert machine_profile(cores) == profile
+
+    def test_default_uses_host_cores(self):
+        assert machine_profile() in PARALLEL_FLOORS
+
+
+class TestRatioGating:
+    def test_clean_pass(self):
+        assert compare(_report(), _report(), tolerance=0.25) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        current = _report(fast_speedup=2.0)
+        baseline = _report(fast_speedup=3.2)
+        failures = compare(current, baseline, tolerance=0.25)
+        assert any("fast_engine" in f for f in failures)
+
+    def test_regression_within_tolerance_passes(self):
+        current = _report(fast_speedup=2.5)
+        baseline = _report(fast_speedup=3.2)
+        assert compare(current, baseline, tolerance=0.25) == []
+
+    def test_mode_mismatch_skips_ratio_gate(self):
+        # A full-mode run measures a different workload than the quick
+        # baseline; a huge "regression" must not gate.
+        current = _report(mode="full", fast_speedup=1.0)
+        baseline = _report(mode="quick", fast_speedup=3.2)
+        assert compare(current, baseline, tolerance=0.25) == []
+
+    def test_unguarded_measurement_skips_ratio_gate(self):
+        current = _report(fast_speedup=0.5, fast_guard=False)
+        baseline = _report(fast_speedup=3.2)
+        assert compare(current, baseline, tolerance=0.25) == []
+
+    def test_missing_benchmark_fails_loudly(self):
+        current = _report()
+        del current["benchmarks"]["fast_engine"]
+        failures = compare(current, _report(), tolerance=0.25)
+        assert any("not measured" in f for f in failures)
+
+    def test_benchmark_absent_from_baseline_is_fine(self):
+        baseline = _report()
+        del baseline["benchmarks"]["fast_engine"]
+        assert compare(_report(), baseline, tolerance=0.25) == []
+
+
+class TestParallelFloorGating:
+    def test_multicore_below_floor_fails_even_vs_1core_baseline(self):
+        # The satellite fix: the committed baseline was recorded on a
+        # 1-core box (speedup 0.75, guard false) — a ratio gate there is
+        # vacuous.  An 8-core host measuring 1.1x must still fail the
+        # 1.5x multi-core floor.
+        current = _report(sweep_speedup=1.1, sweep_cores=8)
+        baseline = _report(sweep_speedup=0.75, sweep_cores=1)
+        failures = compare(current, baseline, tolerance=0.25)
+        assert any("multi-core floor 1.50x" in f for f in failures)
+
+    def test_multicore_above_floor_passes(self):
+        current = _report(sweep_speedup=2.4, sweep_cores=8)
+        baseline = _report(sweep_speedup=0.75, sweep_cores=1)
+        assert compare(current, baseline, tolerance=0.25) == []
+
+    def test_1core_host_only_guards_pathological_overhead(self):
+        assert compare(
+            _report(sweep_speedup=0.7, sweep_cores=1), _report(), tolerance=0.25
+        ) == []
+        failures = compare(
+            _report(sweep_speedup=0.2, sweep_cores=1), _report(), tolerance=0.25
+        )
+        assert any("1-core floor" in f for f in failures)
+
+    def test_floors_read_from_baseline_when_present(self):
+        baseline = _report()
+        baseline["parallel_floors"]["multi-core"] = 3.0
+        failures = compare(
+            _report(sweep_speedup=2.1, sweep_cores=8), baseline, tolerance=0.25
+        )
+        assert any("floor 3.00x" in f for f in failures)
+
+    def test_schema1_baseline_falls_back_to_builtin_floors(self):
+        # Pre-fast-engine baselines: no floors table, no fast_engine entry.
+        baseline = {
+            "schema": 1,
+            "mode": "quick",
+            "benchmarks": {
+                "select_hot_loop": {"speedup": 20.0, "guard": True},
+                "single_run_q200": {"speedup": 2.7, "guard": True},
+                "sweep_parallel": {"speedup": 0.75, "cores": 1, "guard": False},
+            },
+        }
+        assert compare(_report(sweep_speedup=2.0), baseline, tolerance=0.25) == []
+        failures = compare(
+            _report(sweep_speedup=1.0, sweep_cores=8), baseline, tolerance=0.25
+        )
+        assert any("multi-core floor 1.50x" in f for f in failures)
+
+
+class TestHistory:
+    def test_record_shape(self):
+        record = history_record(_report(), label="abc123")
+        assert record["label"] == "abc123"
+        assert record["mode"] == "quick"
+        assert record["speedups"]["fast_engine"] == 3.2
+        assert record["guards"]["sweep_parallel"] is True
+        # RL001: history lines carry no wall-clock timestamps.
+        assert "time" not in json.dumps(record).lower()
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, _report(), label="one")
+        append_history(path, _report(fast_speedup=3.0), label="two")
+        records = load_history(path)
+        assert [r["label"] for r in records] == ["one", "two"]
+        assert records[1]["speedups"]["fast_engine"] == 3.0
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_chart_renders_and_filters_by_mode(self):
+        records = [
+            history_record(_report(fast_speedup=3.2), label="rev-aaa"),
+            history_record(_report(fast_speedup=2.9), label="rev-bbb"),
+            history_record(_report(mode="full", fast_speedup=2.2), label="rev-ccc"),
+        ]
+        chart = history_chart(records, mode="quick")
+        assert "fast_engine" in chart
+        assert "rev-aaa" in chart and "rev-bbb" in chart and "rev-ccc" not in chart
+        assert "3.20x" in chart
+        # The peak row carries a full-width bar.
+        assert "#" * 10 in chart
+
+    def test_chart_handles_missing_series_points(self):
+        sparse = history_record(_report(), label="old")
+        del sparse["speedups"]["fast_engine"]
+        chart = history_chart([sparse, history_record(_report(), label="new")])
+        assert "(not measured)" in chart
+
+    def test_chart_empty_history(self):
+        assert history_chart([]) == "(no history)"

@@ -112,7 +112,7 @@ class TestWorkerTask:
         from repro.core import HybridConfig
 
         config = HybridConfig(num_items=20, cutoff=8, arrival_rate=1.0, num_clients=30)
-        task = (config, 3, 200.0, 20.0, "serial", None)
+        task = (config, 3, 200.0, 20.0, "serial", None, "reference")
         # The worker contract: payload and result must survive pickling.
         result = _replication_task(pickle.loads(pickle.dumps(task)))
         assert result.seed == 3
