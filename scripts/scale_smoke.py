@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Scale smoke test: climb the N-ladder and grade it against the fluid model.
+
+The end-to-end drill behind docs/scale.md: the population-aggregated
+DES engine (``engine="population"``) runs the §5.1 workload at
+N ∈ {10³, 10⁴, 10⁵} (``--full`` adds the 10⁶ rung) with the per-client
+rate fixed, and every rung is checked against the fluid/mean-field
+predictor:
+
+1. **agreement bounds** — simulated overall delay and blocking must
+   land within ``CI half-width + model tolerance`` of the fluid
+   prediction on *every* rung;
+2. **mean-field concentration** — the per-class satisfied-traffic mix
+   error must shrink monotonically as the ladder climbs (a 1/√N
+   observable), demonstrating convergence to the fluid limit.
+
+The full agreement-bounds report is written to
+``<workdir>/scale-ladder.json`` (the CI artifact).  Exit code 0 means
+both gates passed; 1 means at least one rung disagreed or the mix error
+failed to concentrate.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/scale_smoke.py --workdir scale-smoke/
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import n_ladder  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", type=Path, default=Path("scale-smoke"),
+                        help="artifact directory (default: scale-smoke/)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="replications per rung (default: 3)")
+    parser.add_argument("--horizon", type=float, default=800.0,
+                        help="simulated horizon per run (default: 800)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per rung (default: 1)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; rung i uses seed+i (default: 0)")
+    parser.add_argument("--full", action="store_true",
+                        help="add the million-client rung")
+    args = parser.parse_args(argv)
+
+    populations = (1_000, 10_000, 100_000)
+    if args.full:
+        populations = populations + (1_000_000,)
+
+    print(f"climbing the N-ladder: {', '.join(f'{p:,}' for p in populations)}")
+    report = n_ladder(
+        populations=populations,
+        num_runs=args.runs,
+        horizon=args.horizon,
+        base_seed=args.seed,
+        n_jobs=args.jobs,
+        checkpoint_dir=args.workdir / "checkpoints",
+        resume=True,
+    )
+
+    artifact = report.save_json(args.workdir / "scale-ladder.json")
+    print(report.render())
+    print(f"\nagreement-bounds artifact: {artifact}")
+
+    if not report.all_within_bounds:
+        print("FAIL: at least one rung disagrees with the fluid model",
+              file=sys.stderr)
+        return 1
+    if not report.converged:
+        print("FAIL: satisfied-traffic mix error did not shrink up the ladder "
+              f"({report.mix_errors})", file=sys.stderr)
+        return 1
+    print("scale smoke passed: fluid agreement on every rung, "
+          "mean-field concentration monotone")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ comparator behind Fig. 7.
 
 from .birth_death import BirthDeathSolution, HybridBirthDeathChain
 from .erlang import concurrent_blocking_estimate, erlang_b, erlang_c
+from .fluid import FluidPrediction, fluid_predict, lead_class_distribution
 from .hybrid_delay import AnalysisMode, AnalyticalResult, analyze_hybrid
 from .littles import (
     littles_consistency,
@@ -38,6 +39,9 @@ __all__ = [
     "concurrent_blocking_estimate",
     "AnalyticalResult",
     "analyze_hybrid",
+    "FluidPrediction",
+    "fluid_predict",
+    "lead_class_distribution",
     "littles_consistency",
     "littles_l",
     "littles_lambda",

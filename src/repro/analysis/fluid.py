@@ -1,0 +1,363 @@
+"""Fluid / mean-field predictor for the population-aggregated scale path.
+
+At population size ``N`` with per-client request rate ``λ`` the hybrid
+system sees an aggregate Poisson stream of rate ``λ′ = N·λ``; as
+``N → ∞`` (rates fixed) the per-class QoS metrics concentrate around a
+deterministic fluid limit.  This module evaluates that limit so the
+``n-ladder`` experiment can check the DES against it at every rung.
+Two regimes are solved and the binding (smaller-wait) one is reported:
+
+* **Light load** — the simulator-faithful corrected analysis
+  (:func:`~repro.analysis.hybrid_delay.analyze_hybrid`): alternation- and
+  batching-corrected Cobham waits.  A mean-field *purity collapse* is
+  applied on top: a tagged class-``j`` request waits with its group, and
+  a mixed group is scored by its aggregate priority mass, so the Cobham
+  class spread only applies while the group stays pure class ``j``
+  (probability ``π_j → 0`` as batching grows, collapsing every class to
+  the common wait — exactly what the DES exhibits).
+
+* **Saturation (equalized Eq. 1 scores)** — when every pull item stays
+  queued, the scheduler serves item ``i`` each time its importance
+  factor ``γ_i ≈ R_i·c_i`` reaches the running service threshold, where
+  ``c_i = α/L_i² + (1−α)·q̄`` (requests accumulate at rate ``r_i``, each
+  carrying mean priority mass ``q̄``).  Items are therefore attempted in
+  proportion to ``r_i·c_i`` — short items far more often under the
+  stretch term — and the per-item service period, attempt rate and
+  admitted-transmission time budget form a fixed point solved here by
+  damped iteration.  A tagged request arrives uniformly inside its
+  item's period, so it waits half of it.
+
+* **Blocking** uses a *lead-class composition* model of the §3 bandwidth
+  pools in both regimes.  A pull transmission's Poisson(``m``) demand is
+  charged to the most important class among the requests batched into
+  it, and the whole group is dropped when the pool cannot cover the
+  demand.  Over a batching window ``w`` class-``k`` co-requests for item
+  ``i`` arrive as Poisson(``r_i·f_k·w``), so lead-class probabilities
+  are differences of exponentials and the per-pool admission failure is
+  the exact Poisson tail ``P[Poisson(m) > B_k]``
+  (:func:`~repro.core.bandwidth.poisson_tail`).  Rejected groups consume
+  their interleaved push slot but no transmission time, which feeds back
+  into the saturated time budget.
+
+The model covers the serial pull-service discipline (the paper's §3
+semantics, one transmission holding bandwidth at a time); concurrent
+mode admits overlapping holds and needs an Erlang-style occupancy model
+(:func:`~repro.analysis.erlang.concurrent_blocking_estimate`) instead.
+
+Consistency invariants (property-tested in ``tests/analysis/test_fluid.py``):
+
+* the lead-class distribution is a proper distribution (rows sum to 1);
+* per-class backlog satisfies Little's law ``L_j = λ′·f_j·P_pull·W_j``;
+* throughput + blocked rate conserves the offered load exactly;
+* overall delay is monotone non-decreasing in the aggregate load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core.bandwidth import poisson_tail
+from ..core.config import HybridConfig
+from .hybrid_delay import AnalysisMode, AnalyticalResult, analyze_hybrid
+
+__all__ = ["FluidPrediction", "fluid_predict", "lead_class_distribution"]
+
+
+def lead_class_distribution(
+    request_rates: np.ndarray,
+    item_weights: np.ndarray,
+    class_fractions: np.ndarray,
+    mean_wait: float,
+) -> np.ndarray:
+    """``P[group lead class = k | tagged request class = j]`` as a (J, J) matrix.
+
+    Parameters
+    ----------
+    request_rates:
+        Aggregate request rate per pull item (``r_i = λ′·p_i``).
+    item_weights:
+        Probability that a tagged pull request targets item ``i``
+        (conditional pull law ``p_i / P_pull``); must sum to 1.
+    class_fractions:
+        Class mix ``f_j`` of the request stream, rank order.
+    mean_wait:
+        Group lifetime ``w`` — the batching window during which
+        co-requests accumulate.
+
+    Notes
+    -----
+    While a tagged class-``j`` request waits, class-``k`` co-requests for
+    its item arrive as Poisson(``r_i·f_k·w``).  With ``F_k = Σ_{m≤k} f_m``:
+
+        P[lead = k | item i] = exp(−r_i·w·F_{k−1}) − exp(−r_i·w·F_k)   (k < j)
+        P[lead = j | item i] = exp(−r_i·w·F_{j−1})
+
+    (the tagged request itself caps the lead at ``j``).  The telescoping
+    sum makes every row an exact probability distribution.
+    """
+    num_classes = len(class_fractions)
+    if len(request_rates) == 0:
+        return np.eye(num_classes)
+    exposure = np.asarray(request_rates, dtype=float) * max(mean_wait, 0.0)
+    cum = np.concatenate([[0.0], np.cumsum(np.asarray(class_fractions, dtype=float))])
+    # survivors[k][i] = P[no class <= k-1 co-request on item i] = exp(-r_i w F_{k-1})
+    survivors = np.exp(-np.outer(cum, exposure))
+    weights = np.asarray(item_weights, dtype=float)
+    matrix = np.zeros((num_classes, num_classes))
+    for tagged in range(num_classes):
+        for lead in range(tagged):
+            matrix[tagged, lead] = float(
+                weights @ (survivors[lead] - survivors[lead + 1])
+            )
+        matrix[tagged, tagged] = float(weights @ survivors[tagged])
+    return matrix
+
+
+@dataclass(frozen=True)
+class _SaturatedSolution:
+    """Fixed point of the equalized-score saturation model."""
+
+    attempt_rate: float
+    periods: np.ndarray
+    mean_wait: float
+    pull_delay: float
+    push_delay: float
+    block_given_pull: np.ndarray
+    lead: np.ndarray
+
+
+def _solve_saturated(
+    request_rates: np.ndarray,
+    lengths: np.ndarray,
+    item_weights: np.ndarray,
+    fractions: np.ndarray,
+    priorities: np.ndarray,
+    alpha: float,
+    slot: float,
+    num_push: int,
+    tails: np.ndarray,
+    max_iter: int = 200,
+    tol: float = 1e-10,
+) -> _SaturatedSolution:
+    """Solve the saturated regime's attempt-rate fixed point.
+
+    Every pull item stays queued; item ``i`` is attempted in proportion
+    to ``r_i·c_i`` (Eq. 1 with requests accruing at rate ``r_i``), each
+    attempt is admitted against its group's lead-class pool, and the
+    wall-clock budget ``A·(slot + Σ share_i·(1−p_rej,i)·L_i) = 1``
+    closes the loop.
+    """
+    q_bar = float(fractions @ priorities)
+    c = alpha / (lengths * lengths) + (1.0 - alpha) * q_bar
+    shares = request_rates * c
+    shares = shares / shares.sum()
+    cum = np.concatenate([[0.0], np.cumsum(fractions)])
+
+    attempt_rate = 1.0 / (slot + float(shares @ lengths))
+    for _ in range(max_iter):
+        periods = 1.0 / (attempt_rate * shares)
+        exposure = request_rates * periods
+        survivors = np.exp(-np.outer(cum, exposure))
+        nonempty = 1.0 - survivors[-1]
+        # Group-level lead distribution (conditioned on a non-empty group).
+        group_lead = (survivors[:-1] - survivors[1:]) / np.maximum(nonempty, 1e-300)
+        p_rej = tails @ group_lead
+        new_rate = 1.0 / (slot + float(shares @ ((1.0 - p_rej) * lengths)))
+        if abs(new_rate - attempt_rate) <= tol * max(1.0, attempt_rate):
+            attempt_rate = new_rate
+            break
+        attempt_rate = 0.5 * (attempt_rate + new_rate)
+    periods = 1.0 / (attempt_rate * shares)
+    survivors = np.exp(-np.outer(cum, request_rates * periods))
+
+    # Tagged-request view: arrival lands uniformly inside its item's
+    # period, waiting half of it; co-requests over the full period set
+    # the group's lead class.
+    num_classes = len(fractions)
+    lead = np.zeros((num_classes, num_classes))
+    block_given_pull = np.zeros(num_classes)
+    for tagged in range(num_classes):
+        for k in range(tagged):
+            lead[tagged, k] = float(item_weights @ (survivors[k] - survivors[k + 1]))
+        lead[tagged, tagged] = float(item_weights @ survivors[tagged])
+        block_given_pull[tagged] = float(
+            sum(lead[tagged, k] * tails[k] for k in range(tagged + 1))
+        )
+    mean_wait = float(item_weights @ (periods / 2.0))
+    pull_delay = float(item_weights @ (periods / 2.0 + lengths))
+    push_delay = num_push / (2.0 * attempt_rate) + slot if num_push > 0 else 0.0
+    return _SaturatedSolution(
+        attempt_rate=attempt_rate,
+        periods=periods,
+        mean_wait=mean_wait,
+        pull_delay=pull_delay,
+        push_delay=push_delay,
+        block_given_pull=block_given_pull,
+        lead=lead,
+    )
+
+
+@dataclass(frozen=True)
+class FluidPrediction:
+    """Mean-field QoS prediction for one population size.
+
+    Rates are aggregate (requests per broadcast time unit); ``backlog``
+    is the stationary number of waiting pull requests per class (Little's
+    law over the queueing wait — blocked requests wait too, since
+    admission happens at service start).  ``regime`` names the binding
+    model: ``"light"`` (corrected Cobham) or ``"saturated"``
+    (equalized-score tour).
+    """
+
+    num_clients: int
+    arrival_rate: float
+    pull_mass: float
+    regime: str
+    per_class_delay: Mapping[str, float]
+    per_class_pull_wait: Mapping[str, float]
+    per_class_blocking: Mapping[str, float]
+    per_class_arrival_rate: Mapping[str, float]
+    per_class_blocked_rate: Mapping[str, float]
+    per_class_throughput: Mapping[str, float]
+    per_class_backlog: Mapping[str, float]
+    overall_delay: float
+    overall_blocking: float
+    lead_class_matrix: np.ndarray
+    analytical: AnalyticalResult
+
+    def delay_of(self, class_name: str) -> float:
+        """Mean access-time prediction for one class."""
+        return self.per_class_delay[class_name]
+
+    def blocking_of(self, class_name: str) -> float:
+        """Predicted blocked fraction of one class's requests."""
+        return self.per_class_blocking[class_name]
+
+
+def fluid_predict(
+    config: HybridConfig,
+    mode: AnalysisMode = "corrected",
+    service_model: str = "mm1",
+) -> FluidPrediction:
+    """Evaluate the fluid limit of ``config`` (serial pull service).
+
+    Delays take the binding of the light-load corrected analysis
+    (:func:`analyze_hybrid`) and the saturated equalized-score model;
+    blocking adds the lead-class composition model over the §3 per-class
+    bandwidth pools (see module docstring).  The prediction depends on
+    ``N`` only through the aggregate rate ``λ′ = config.arrival_rate``,
+    which is exactly why the population-aggregated engine can match it
+    at any scale.
+    """
+    analytical = analyze_hybrid(config, mode=mode, service_model=service_model)
+    catalog = config.build_catalog()
+    population = config.build_population()
+    names = config.class_names()
+    fractions = np.asarray(population.class_fractions, dtype=float)
+    priorities = np.asarray(config.class_priorities(), dtype=float)
+    pull_mass = catalog.pull_probability(config.cutoff)
+    push_mass = catalog.push_probability(config.cutoff)
+    K = config.cutoff
+
+    capacities = config.class_bandwidth()
+    tails = np.asarray(
+        [poisson_tail(config.bandwidth_demand_mean, float(c)) for c in capacities]
+    )
+
+    waits_a = np.asarray([analytical.per_class_pull_wait[n] for n in names])
+    waits_a = np.where(np.isfinite(waits_a), waits_a, 0.0)
+    mean_wait_a = float(fractions @ waits_a)
+
+    regime = "light"
+    if pull_mass > 0:
+        pull_probs = catalog.probabilities[K:]
+        lengths = np.asarray([catalog[i].length for i in range(K, config.num_items)])
+        request_rates = config.arrival_rate * pull_probs
+        item_weights = pull_probs / pull_mass
+        slot = catalog.broadcast_cycle_length(K) / K if K > 0 else 0.0
+
+        saturated = _solve_saturated(
+            request_rates,
+            lengths,
+            item_weights,
+            fractions,
+            priorities,
+            config.alpha,
+            slot,
+            K,
+            tails,
+        )
+        if saturated.mean_wait < mean_wait_a:
+            regime = "saturated"
+            waits = np.full(len(names), saturated.mean_wait)
+            lead = saturated.lead
+            block_given_pull = saturated.block_given_pull
+            push_delay = saturated.push_delay
+            pull_sojourns = np.full(len(names), saturated.pull_delay)
+        else:
+            lead = lead_class_distribution(
+                request_rates, item_weights, fractions, mean_wait_a
+            )
+            block_given_pull = lead @ tails
+            # Mean-field class-spread collapse: the Cobham spread applies
+            # only while a tagged request's group stays pure — the
+            # no-co-arrival probability π_j over the batching window.
+            purity = np.asarray(
+                [
+                    float(
+                        item_weights
+                        @ np.exp(-request_rates * mean_wait_a * (1.0 - f))
+                    )
+                    for f in fractions
+                ]
+            )
+            waits = purity * waits_a + (1.0 - purity) * mean_wait_a
+            push_delay = analytical.push_term / push_mass if push_mass > 0 else 0.0
+            pull_sojourns = waits + catalog.mean_pull_service_time(K)
+    else:
+        lead = np.eye(len(names))
+        block_given_pull = np.zeros(len(names))
+        waits = waits_a
+        push_delay = analytical.push_term / push_mass if push_mass > 0 else 0.0
+        pull_sojourns = waits
+
+    blocking = pull_mass * block_given_pull
+
+    lam = config.arrival_rate * fractions
+    blocked_rate = lam * blocking
+    throughput = lam - blocked_rate
+    # Blocked groups wait the full queueing time before the admission
+    # check, so backlog counts every pull request: L_j = λ_j·P_pull·W_j.
+    backlog = lam * pull_mass * waits
+
+    # Access time over *satisfied* requests (the DES's delay estimator):
+    # push requests always complete; a blocked pull group records no delay.
+    satisfied_mass = push_mass + pull_mass * (1.0 - block_given_pull)
+    delays = (
+        push_mass * push_delay + pull_mass * (1.0 - block_given_pull) * pull_sojourns
+    ) / np.maximum(satisfied_mass, 1e-300)
+
+    def as_map(values: np.ndarray) -> dict[str, float]:
+        return {n: float(v) for n, v in zip(names, values)}
+
+    overall_blocking = float(fractions @ blocking)
+    return FluidPrediction(
+        num_clients=config.num_clients,
+        arrival_rate=config.arrival_rate,
+        pull_mass=pull_mass,
+        regime=regime,
+        per_class_delay=as_map(delays),
+        per_class_pull_wait=as_map(waits),
+        per_class_blocking=as_map(blocking),
+        per_class_arrival_rate=as_map(lam),
+        per_class_blocked_rate=as_map(blocked_rate),
+        per_class_throughput=as_map(throughput),
+        per_class_backlog=as_map(backlog),
+        overall_delay=float(fractions @ delays),
+        overall_blocking=overall_blocking,
+        lead_class_matrix=lead,
+        analytical=analytical,
+    )

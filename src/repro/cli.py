@@ -257,12 +257,13 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--engine",
-        choices=("reference", "fast"),
+        choices=("reference", "fast", "population"),
         default="reference",
         help=(
-            "simulation core: the generator-process reference engine or the "
+            "simulation core: the generator-process reference engine, the "
             "flat-calendar fast engine (statistically equivalent, ~3x faster; "
-            "see docs/performance.md)"
+            "see docs/performance.md), or the population-aggregated engine "
+            "for million-client scenarios (see docs/scale.md)"
         ),
     )
     run.add_argument("--items", type=int, default=50, help="catalog size")

@@ -84,6 +84,44 @@ class Tally:
         self._min = lo
         self._max = hi
 
+    def observe_moments(
+        self,
+        n: int,
+        total: float,
+        sq_total: float,
+        minimum: float,
+        maximum: float,
+    ) -> None:
+        """Merge a pre-aggregated moment summary in place (Chan et al.).
+
+        ``(n, Σx, Σx², min, max)`` fully determines the tally state for a
+        batch, so the population-aggregated engine can fold thousands of
+        folded observations into one call.  The merge is the same pairwise
+        update :meth:`merge` uses — *statistically exact* (identical count,
+        mean, variance, min, max in exact arithmetic) but not bit-identical
+        to replaying :meth:`observe`, because floating-point summation
+        order differs.  Not available with ``keep_values=True``: the raw
+        observations were never materialised.
+        """
+        if self._values is not None:
+            raise RuntimeError("observe_moments cannot reconstruct kept values")
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if n == 0:
+            return
+        mean_b = total / n
+        # Non-negative by Cauchy–Schwarz; clamp the float residue.
+        m2_b = max(sq_total - total * mean_b, 0.0)
+        combined = self._n + n
+        delta = mean_b - self._mean
+        self._mean += delta * n / combined
+        self._m2 += m2_b + delta * delta * self._n * n / combined
+        self._n = combined
+        if minimum < self._min:
+            self._min = minimum
+        if maximum > self._max:
+            self._max = maximum
+
     @property
     def count(self) -> int:
         """Number of observations recorded."""

@@ -16,6 +16,7 @@ from .cost import cost_vs_cutoff, optimal_cost_vs_alpha
 from .degradation import DEFAULT_LOSS_GRID, degradation_under_loss
 from .delay import delay_vs_alpha, delay_vs_cutoff
 from .flash_crowd import SurgeSpec, flash_crowd
+from .n_ladder import LadderReport, RungReport, ladder_config, n_ladder
 from .export import (
     FIGURE_FACTORIES,
     export_all_figures,
@@ -49,6 +50,10 @@ __all__ = [
     "degradation_under_loss",
     "SurgeSpec",
     "flash_crowd",
+    "LadderReport",
+    "RungReport",
+    "ladder_config",
+    "n_ladder",
     "delay_vs_alpha",
     "delay_vs_cutoff",
     "FIGURE_FACTORIES",

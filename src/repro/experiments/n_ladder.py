@@ -1,0 +1,366 @@
+"""Experiment E13 — the N-ladder: million-client scale-path validation.
+
+Runs the population-aggregated DES engine (``engine="population"``) at
+geometrically increasing population sizes with the per-client request
+rate held at the paper's §5.1 value, and checks every rung against the
+fluid/mean-field predictor (:func:`~repro.analysis.fluid.fluid_predict`):
+
+* **Agreement bounds** — per rung, the simulated overall delay and
+  blocking must fall within ``CI half-width + model tolerance`` of the
+  fluid prediction.  The tolerance absorbs the fluid model's documented
+  bias (≈10% on delay in saturation); the CI term absorbs seed noise.
+
+* **Mean-field concentration** — the per-class satisfied-traffic mix is
+  a 1/√N-concentrating observable (its estimator averages O(N·horizon)
+  arrivals), so its deviation from the fluid mix must shrink as the
+  ladder climbs.  This is the monotone-convergence gate of the
+  ``scale-smoke`` CI job.
+
+Rungs shard across worker processes via
+:func:`~repro.sim.runner.run_replications` and can checkpoint/resume
+per rung (``checkpoint_dir``), so an interrupted ladder resumes without
+re-simulating completed populations.  Wall-clock per rung is recorded in
+the report — the acceptance target is minutes, not hours, at N = 10⁶.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..analysis.fluid import FluidPrediction, fluid_predict
+from ..core.config import HybridConfig
+from ..sim.runner import ReplicatedResult, run_replications
+from .specs import QUICK, ExperimentScale
+from .tables import render_table
+
+__all__ = ["RungReport", "LadderReport", "n_ladder", "ladder_config"]
+
+#: Paper §5.1 nominal load: λ′ = 5 requests/unit for N = 300 clients.
+PER_CLIENT_RATE = 5.0 / 300.0
+
+#: Default ladder bandwidth — low enough that blocking is a frequent
+#: event (≈11% of requests), so rung agreement is tested on a
+#: non-trivial operating point instead of an all-zeros column.
+LADDER_BANDWIDTH = 9.0
+
+
+def ladder_config(
+    num_clients: int,
+    per_client_rate: float = PER_CLIENT_RATE,
+    total_bandwidth: float = LADDER_BANDWIDTH,
+) -> HybridConfig:
+    """The §5.1 system scaled to ``num_clients`` (aggregate rate ∝ N)."""
+    return replace(
+        HybridConfig(total_bandwidth=total_bandwidth),
+        num_clients=int(num_clients),
+        arrival_rate=per_client_rate * num_clients,
+    )
+
+
+def _mean_half(values: Sequence[float], level: float = 0.95) -> tuple[float, float]:
+    """(mean, normal-approximation CI half-width) of a small sample."""
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, 1.96 * math.sqrt(var / n)
+
+
+def _satisfied_shares(result: ReplicatedResult, names: Sequence[str]) -> list[float]:
+    """Mean per-class share of satisfied traffic across the replications."""
+    shares = [0.0] * len(names)
+    for run in result.runs:
+        counts = [run.delay_tallies[n].count for n in names]
+        total = sum(counts) or 1
+        for index, c in enumerate(counts):
+            shares[index] += c / total
+    return [s / len(result.runs) for s in shares]
+
+
+@dataclass(frozen=True)
+class RungReport:
+    """Fluid-vs-DES agreement at one population size."""
+
+    num_clients: int
+    arrival_rate: float
+    num_runs: int
+    horizon: float
+    warmup: float
+    elapsed_seconds: float
+    regime: str
+    delay_sim: float
+    delay_half: float
+    delay_fluid: float
+    delay_bound: float
+    blocking_sim: float
+    blocking_half: float
+    blocking_fluid: float
+    blocking_bound: float
+    mix_error: float
+    per_class: Mapping[str, Mapping[str, float]]
+
+    @property
+    def delay_agrees(self) -> bool:
+        """Simulated delay within the rung's agreement bound."""
+        return abs(self.delay_sim - self.delay_fluid) <= self.delay_bound
+
+    @property
+    def blocking_agrees(self) -> bool:
+        """Simulated blocking within the rung's agreement bound."""
+        return abs(self.blocking_sim - self.blocking_fluid) <= self.blocking_bound
+
+    def to_dict(self) -> dict:
+        """JSON-ready rung record (the CI artifact row)."""
+        return {
+            "num_clients": self.num_clients,
+            "arrival_rate": self.arrival_rate,
+            "num_runs": self.num_runs,
+            "horizon": self.horizon,
+            "warmup": self.warmup,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "regime": self.regime,
+            "delay": {
+                "sim": self.delay_sim,
+                "half_width": self.delay_half,
+                "fluid": self.delay_fluid,
+                "bound": self.delay_bound,
+                "agrees": self.delay_agrees,
+            },
+            "blocking": {
+                "sim": self.blocking_sim,
+                "half_width": self.blocking_half,
+                "fluid": self.blocking_fluid,
+                "bound": self.blocking_bound,
+                "agrees": self.blocking_agrees,
+            },
+            "mix_error": self.mix_error,
+            "per_class": {k: dict(v) for k, v in self.per_class.items()},
+        }
+
+
+@dataclass(frozen=True)
+class LadderReport:
+    """The full ladder: one rung per population size, plus the gates."""
+
+    rungs: tuple[RungReport, ...]
+    delay_tol: float
+    blocking_tol: float
+
+    @property
+    def mix_errors(self) -> list[float]:
+        """Per-rung mean-field concentration errors, ladder order."""
+        return [r.mix_error for r in self.rungs]
+
+    @property
+    def converged(self) -> bool:
+        """Mean-field gate: the mix error shrinks up the whole ladder."""
+        errors = self.mix_errors
+        return all(b < a for a, b in zip(errors, errors[1:]))
+
+    @property
+    def all_within_bounds(self) -> bool:
+        """Agreement gate: fluid matches DES on every rung."""
+        return all(r.delay_agrees and r.blocking_agrees for r in self.rungs)
+
+    def to_dict(self) -> dict:
+        """JSON-ready ladder summary (uploaded as the CI artifact)."""
+        return {
+            "delay_tol": self.delay_tol,
+            "blocking_tol": self.blocking_tol,
+            "converged": self.converged,
+            "all_within_bounds": self.all_within_bounds,
+            "mix_errors": self.mix_errors,
+            "rungs": [r.to_dict() for r in self.rungs],
+        }
+
+    def save_json(self, path: str | Path) -> Path:
+        """Write the agreement-bounds artifact and return its path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def render(self) -> str:
+        """Human-readable verdict table."""
+        rows = []
+        for r in self.rungs:
+            rows.append(
+                [
+                    f"{r.num_clients:,}",
+                    r.regime,
+                    f"{r.delay_sim:.2f}±{r.delay_half:.2f}",
+                    f"{r.delay_fluid:.2f}",
+                    "ok" if r.delay_agrees else "FAIL",
+                    f"{r.blocking_sim:.4f}±{r.blocking_half:.4f}",
+                    f"{r.blocking_fluid:.4f}",
+                    "ok" if r.blocking_agrees else "FAIL",
+                    f"{r.mix_error:.5f}",
+                    f"{r.elapsed_seconds:.1f}s",
+                ]
+            )
+        table = render_table(
+            [
+                "N",
+                "regime",
+                "delay sim",
+                "fluid",
+                "ok",
+                "blocking sim",
+                "fluid",
+                "ok",
+                "mix err",
+                "wall",
+            ],
+            rows,
+        )
+        gates = (
+            f"agreement bounds: {'PASS' if self.all_within_bounds else 'FAIL'}  "
+            f"(delay tol {self.delay_tol:.0%} rel, blocking tol "
+            f"{self.blocking_tol:.3f} abs)\n"
+            f"mean-field concentration (mix error monotone): "
+            f"{'PASS' if self.converged else 'FAIL'}  {self.mix_errors}"
+        )
+        return f"{table}\n\n{gates}"
+
+
+def n_ladder(
+    populations: Sequence[int] = (1_000, 10_000, 100_000),
+    per_client_rate: float = PER_CLIENT_RATE,
+    total_bandwidth: float = LADDER_BANDWIDTH,
+    num_runs: int = 3,
+    horizon: float = 800.0,
+    warmup_fraction: float = 0.1,
+    base_seed: int = 0,
+    n_jobs: int = 1,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    resilience=None,
+    delay_tol: float = 0.2,
+    blocking_tol: float = 0.06,
+) -> LadderReport:
+    """Climb the population ladder and grade every rung against the fluid model.
+
+    Parameters
+    ----------
+    populations:
+        Rung sizes, ascending.  Each rung keeps ``per_client_rate`` fixed
+        so the aggregate load grows ∝ N (the mean-field scaling).
+    num_runs, horizon, warmup_fraction, base_seed, n_jobs:
+        Replication plan per rung, forwarded to
+        :func:`~repro.sim.runner.run_replications`; rung ``i`` uses
+        ``base_seed + i`` so rungs draw independent seed families.
+    checkpoint_dir, resume, resilience:
+        Crash-safe sharding: each rung checkpoints under its own
+        ``n<N>/`` subdirectory and ``resume=True`` skips completed runs.
+    delay_tol, blocking_tol:
+        Agreement bounds: ``|sim − fluid| ≤ CI half-width +
+        delay_tol·|fluid|`` for delay (relative) and ``... +
+        blocking_tol`` for blocking (absolute).
+    """
+    if list(populations) != sorted(set(int(p) for p in populations)):
+        raise ValueError(f"populations must be strictly ascending, got {populations}")
+    rungs = []
+    for index, num_clients in enumerate(populations):
+        config = ladder_config(num_clients, per_client_rate, total_bandwidth)
+        fluid: FluidPrediction = fluid_predict(config)
+        warmup = warmup_fraction * horizon
+        rung_dir = None if checkpoint_dir is None else Path(checkpoint_dir) / f"n{num_clients}"
+        # A crash can leave earlier rungs checkpointed and later ones
+        # untouched; resume only where a manifest actually exists so one
+        # flag restarts the whole ladder.
+        rung_resume = resume and rung_dir is not None and (
+            rung_dir / "checkpoint.json"
+        ).exists()
+        # Operator-facing rung timing (the <5-minute acceptance target
+        # at N=1e6), not simulated time — same audited category as the
+        # CLI's experiment timer.
+        started = time.perf_counter()  # reprolint: disable=no-wallclock
+        result = run_replications(
+            config,
+            num_runs=num_runs,
+            horizon=horizon,
+            warmup=warmup,
+            base_seed=base_seed + index,
+            n_jobs=n_jobs,
+            checkpoint_dir=rung_dir,
+            resume=rung_resume,
+            resilience=resilience,
+            engine="population",
+        )
+        elapsed = time.perf_counter() - started  # reprolint: disable=no-wallclock
+
+        names = config.class_names()
+        fractions = config.build_population().class_fractions
+        delay_sim, delay_half = result.overall_delay()
+        blocking_values = [
+            r.blocked_requests / max(r.blocked_requests + r.satisfied_requests, 1)
+            for r in result.runs
+        ]
+        blocking_sim, blocking_half = _mean_half(blocking_values)
+
+        shares_sim = _satisfied_shares(result, names)
+        throughput = [fluid.per_class_throughput[n] for n in names]
+        total_throughput = sum(throughput) or 1.0
+        shares_fluid = [t / total_throughput for t in throughput]
+        mix_error = max(abs(s - f) for s, f in zip(shares_sim, shares_fluid))
+
+        per_class = {}
+        for name, fraction, share_sim, share_fluid in zip(
+            names, fractions, shares_sim, shares_fluid
+        ):
+            d, dh = result.delay(name)
+            b, bh = result.blocking(name)
+            per_class[name] = {
+                "fraction": float(fraction),
+                "delay_sim": d,
+                "delay_half": dh,
+                "delay_fluid": fluid.delay_of(name),
+                "blocking_sim": b,
+                "blocking_half": bh,
+                "blocking_fluid": fluid.blocking_of(name),
+                "share_sim": share_sim,
+                "share_fluid": share_fluid,
+            }
+
+        rungs.append(
+            RungReport(
+                num_clients=int(num_clients),
+                arrival_rate=config.arrival_rate,
+                num_runs=num_runs,
+                horizon=horizon,
+                warmup=warmup,
+                elapsed_seconds=elapsed,
+                regime=fluid.regime,
+                delay_sim=delay_sim,
+                delay_half=delay_half,
+                delay_fluid=fluid.overall_delay,
+                delay_bound=delay_half + delay_tol * abs(fluid.overall_delay),
+                blocking_sim=blocking_sim,
+                blocking_half=blocking_half,
+                blocking_fluid=fluid.overall_blocking,
+                blocking_bound=blocking_half + blocking_tol,
+                mix_error=mix_error,
+                per_class=per_class,
+            )
+        )
+    return LadderReport(rungs=tuple(rungs), delay_tol=delay_tol, blocking_tol=blocking_tol)
+
+
+def n_ladder_report(scale: ExperimentScale = QUICK) -> str:
+    """Registry runner: quick 3-rung ladder (FULL adds the 10⁶ rung)."""
+    populations = (1_000, 10_000, 100_000)
+    if scale.horizon >= 4_000:  # FULL-ish scales earn the million-client rung
+        populations = populations + (1_000_000,)
+    report = n_ladder(
+        populations=populations,
+        num_runs=max(scale.num_seeds, 3),
+        horizon=800.0,
+        n_jobs=scale.n_jobs,
+    )
+    return report.render()

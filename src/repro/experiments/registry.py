@@ -27,6 +27,7 @@ from .ascii_plot import ascii_plot
 from .degradation import degradation_under_loss
 from .delay import delay_vs_alpha, delay_vs_cutoff
 from .flash_crowd import flash_crowd
+from .n_ladder import n_ladder_report
 from .specs import FULL, QUICK, ExperimentScale
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "experiment_ids"]
@@ -311,6 +312,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Section 5 (extension)",
             "Class-aware overload admission under a flash-crowd arrival surge",
             flash_crowd,
+        ),
+        Experiment(
+            "n-ladder",
+            "Section 5 (scale extension)",
+            "Population-aggregated DES vs fluid model on an N ladder up to 10^6 clients",
+            n_ladder_report,
         ),
     )
 }

@@ -14,6 +14,7 @@ from .benches import (
     BENCHMARKS,
     REPEATS,
     bench_fast_engine,
+    bench_population_scale,
     bench_select_hot_loop,
     bench_single_run,
     bench_sweep_parallel,
@@ -21,6 +22,7 @@ from .benches import (
 )
 from .harness import (
     PARALLEL_FLOORS,
+    POPULATION_FLOORS,
     SCHEMA_VERSION,
     append_history,
     compare,
@@ -36,9 +38,11 @@ __all__ = [
     "BENCHMARKS",
     "REPEATS",
     "PARALLEL_FLOORS",
+    "POPULATION_FLOORS",
     "SCHEMA_VERSION",
     "bench_fast_engine",
     "bench_select_hot_loop",
+    "bench_population_scale",
     "bench_single_run",
     "bench_sweep_parallel",
     "single_run_config",

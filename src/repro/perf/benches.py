@@ -30,6 +30,7 @@ __all__ = [
     "bench_single_run",
     "bench_fast_engine",
     "bench_sweep_parallel",
+    "bench_population_scale",
     "single_run_config",
 ]
 
@@ -222,10 +223,61 @@ def bench_sweep_parallel(quick: bool, n_jobs: int) -> dict:
     }
 
 
+def bench_population_scale(quick: bool) -> dict:
+    """Population-aggregated engine at N = 10⁶ clients vs the fast engine.
+
+    The million-client workload of the ``n-ladder`` experiment: both
+    engines simulate the identical aggregate request stream (λ′ ∝ N),
+    but the fast engine pays O(N) client materialisation while the
+    population engine folds arrivals into per-(item, class) counters and
+    is O(1) in N.  The speedup ratio captures exactly that collapse.
+    The bench is additionally gated by an absolute per-host-profile
+    floor on arrival throughput (``POPULATION_FLOORS`` in the harness):
+    a ratio alone could pass while both engines crawl.
+    """
+    from ..experiments.n_ladder import ladder_config
+
+    config = ladder_config(1_000_000)
+    horizon = 20.0 if quick else 60.0
+    arrivals = config.arrival_rate * horizon
+
+    def run(engine: str):
+        system = HybridSystem(config, seed=1, warmup=0.0, engine=engine)
+        started = time.perf_counter()
+        result = system.run(horizon)
+        return result, time.perf_counter() - started
+
+    pop_result, pop_s = run("population")
+    fast_result, fast_s = run("fast")
+    drift = abs(pop_result.satisfied_requests - fast_result.satisfied_requests)
+    if drift > 0.2 * max(fast_result.satisfied_requests, 1):
+        raise AssertionError(
+            "population and fast engines diverged: "
+            f"{pop_result.satisfied_requests} vs {fast_result.satisfied_requests} "
+            "satisfied requests"
+        )
+    for _ in range(REPEATS - 1):
+        pop_s = min(pop_s, run("population")[1])
+    return {
+        "description": "run_single at N=1e6 clients, population vs fast engine",
+        "num_clients": config.num_clients,
+        "horizon": horizon,
+        "arrivals": arrivals,
+        "satisfied_population": pop_result.satisfied_requests,
+        "satisfied_fast": fast_result.satisfied_requests,
+        "population_s": pop_s,
+        "fast_s": fast_s,
+        "arrivals_per_s": arrivals / pop_s,
+        "speedup": fast_s / pop_s,
+        "guard": True,
+    }
+
+
 #: Name → callable(quick, n_jobs) for the harness; order is report order.
 BENCHMARKS: dict[str, Callable[[bool, int], dict]] = {
     "select_hot_loop": lambda quick, n_jobs: bench_select_hot_loop(quick),
     "single_run_q200": lambda quick, n_jobs: bench_single_run(quick),
     "fast_engine": lambda quick, n_jobs: bench_fast_engine(quick),
     "sweep_parallel": bench_sweep_parallel,
+    "population_1e6": lambda quick, n_jobs: bench_population_scale(quick),
 }

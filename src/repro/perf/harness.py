@@ -7,15 +7,20 @@ The harness produces a schema-2 report::
       "mode": "quick" | "full",
       "host": {"cores": ..., "python": ..., "machine": ..., "profile": ...},
       "benchmarks": {name: {..., "speedup": float, "guard": bool}},
-      "parallel_floors": {"1-core": 0.4, "2-3-core": 1.0, "multi-core": 1.5}
+      "parallel_floors": {"1-core": 0.4, "2-3-core": 1.0, "multi-core": 1.5},
+      "population_floors": {"1-core": 5e4, "2-3-core": 7.5e4, "multi-core": 1e5}
     }
 
 Gating has two regimes, chosen per benchmark:
 
 * **Ratio benchmarks** (``select_hot_loop``, ``single_run_q200``,
-  ``fast_engine``) compare optimised vs reference implementations *on
-  the same host*, so their speedup ratios transfer across machines.
-  They are gated against the committed baseline ratio minus a tolerance.
+  ``fast_engine``, ``population_1e6``) compare optimised vs reference
+  implementations *on the same host*, so their speedup ratios transfer
+  across machines.  They are gated against the committed baseline ratio
+  minus a tolerance.  ``population_1e6`` is additionally gated by an
+  absolute arrival-throughput floor keyed on the host's machine profile
+  (``POPULATION_FLOORS``) — the million-client scale path's acceptance
+  is wall-clock minutes, which no ratio can certify alone.
 
 * **The parallel sweep** depends on how many cores the host has: the
   committed 1-core baseline records a speedup of ~0.7x, which made a
@@ -43,6 +48,7 @@ from .benches import BENCHMARKS
 __all__ = [
     "SCHEMA_VERSION",
     "PARALLEL_FLOORS",
+    "POPULATION_FLOORS",
     "machine_profile",
     "host_info",
     "run_suite",
@@ -67,8 +73,29 @@ PARALLEL_FLOORS: dict[str, float] = {
     "1-core": 0.4,
 }
 
+#: Absolute arrival-throughput floors (simulated arrivals drained per
+#: wall second) for the ``population_1e6`` bench, keyed by the host's
+#: machine profile.  The ratio gate alone could pass with both engines
+#: crawling; the scale path's acceptance is absolute — a million-client
+#: ladder rung must stay in the minutes, which at the ladder's λ′·T this
+#: floor guarantees with an order-of-magnitude margin (the reference
+#: measurement drains ~0.8M arrivals/s).
+POPULATION_FLOORS: dict[str, float] = {
+    "multi-core": 100_000.0,
+    "2-3-core": 75_000.0,
+    "1-core": 50_000.0,
+}
+
 #: Benchmarks whose speedup is a same-host ratio (machine-portable).
-RATIO_BENCHMARKS = ("select_hot_loop", "single_run_q200", "fast_engine")
+#: ``population_1e6`` is dual-gated: its ratio (fast engine over
+#: population engine at N = 10⁶) is machine-portable, *and* it must
+#: clear the absolute ``POPULATION_FLOORS`` throughput floor.
+RATIO_BENCHMARKS = (
+    "select_hot_loop",
+    "single_run_q200",
+    "fast_engine",
+    "population_1e6",
+)
 
 
 def machine_profile(cores: Optional[int] = None) -> str:
@@ -106,6 +133,7 @@ def run_suite(quick: bool, n_jobs: int, echo=print) -> dict:
         "host": host_info(),
         "benchmarks": benches,
         "parallel_floors": dict(PARALLEL_FLOORS),
+        "population_floors": dict(POPULATION_FLOORS),
     }
 
 
@@ -148,6 +176,17 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"sweep_parallel: speedup {sweep['speedup']:.2f}x fell below the "
                 f"{profile} floor {floor:.2f}x"
+            )
+
+    population = current_benches.get("population_1e6")
+    if population is not None:
+        profile = current.get("host", {}).get("profile") or machine_profile()
+        floors = baseline.get("population_floors") or POPULATION_FLOORS
+        floor = floors.get(profile, POPULATION_FLOORS.get(profile, 0.0))
+        if population["arrivals_per_s"] < floor:
+            failures.append(
+                f"population_1e6: {population['arrivals_per_s']:,.0f} arrivals/s "
+                f"fell below the {profile} floor {floor:,.0f}/s"
             )
     return failures
 

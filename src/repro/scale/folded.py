@@ -1,0 +1,121 @@
+"""Counter-folded pull-queue entries for the population-aggregated engine.
+
+A :class:`FoldedEntry` is a drop-in :class:`~repro.schedulers.base.PendingEntry`
+whose pending requests are *summarised* instead of stored: per service
+class it carries the waiting count and the arrival-time moments
+``(Σt, Σt², min t, max t)`` — exactly the state needed to reconstruct the
+delay statistics of the whole group at service time ``now``:
+
+    Σ delay  = n·now − Σt
+    Σ delay² = n·now² − 2·now·Σt + Σt²
+    min delay = now − max t,   max delay = now − min t
+
+``num_requests``, ``total_priority`` and ``first_arrival`` are maintained
+identically to the reference entry, so every registered pull scheduler
+(Eq. 1 importance, stretch, RxW, FCFS, ...) scores a folded entry exactly
+as it would the unfolded one.  ``requests`` stays empty by construction —
+the population engine never touches it.
+
+Warm-up requests fold into a separate per-class count (``unmeasured``):
+they advance queue state and the conservation ledger but contribute no
+moments, mirroring the reference collector's warm-up window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..schedulers.base import PendingEntry
+from ..workload.items import Item
+
+__all__ = ["FoldedEntry"]
+
+
+@dataclass(slots=True)
+class FoldedEntry(PendingEntry):
+    """Pending entry carrying per-class counts and moments, not requests.
+
+    All list attributes are rank-indexed (index 0 = most important
+    class).  ``counts`` holds measured (post-warm-up) requests only;
+    ``unmeasured`` holds warm-up requests, which have no moments.
+    """
+
+    counts: list[int] = field(default_factory=list)
+    sum_t: list[float] = field(default_factory=list)
+    sum_t2: list[float] = field(default_factory=list)
+    min_t: list[float] = field(default_factory=list)
+    max_t: list[float] = field(default_factory=list)
+    unmeasured: list[int] = field(default_factory=list)
+
+    @classmethod
+    def create(cls, item: Item, num_classes: int, first_arrival: float) -> "FoldedEntry":
+        """An empty folded entry for ``item`` (fold arrivals in afterwards)."""
+        return cls(
+            item_id=item.item_id,
+            length=item.length,
+            probability=item.probability,
+            first_arrival=first_arrival,
+            counts=[0] * num_classes,
+            sum_t=[0.0] * num_classes,
+            sum_t2=[0.0] * num_classes,
+            min_t=[math.inf] * num_classes,
+            max_t=[-math.inf] * num_classes,
+            unmeasured=[0] * num_classes,
+        )
+
+    def fold(self, rank: int, t: float, priority: float, measured: bool) -> None:
+        """Fold one class-``rank`` arrival at time ``t`` into the group."""
+        self.num_requests += 1
+        self.total_priority += priority
+        if t < self.first_arrival:
+            self.first_arrival = t
+        if measured:
+            self.counts[rank] += 1
+            self.sum_t[rank] += t
+            self.sum_t2[rank] += t * t
+            if t < self.min_t[rank]:
+                self.min_t[rank] = t
+            if t > self.max_t[rank]:
+                self.max_t[rank] = t
+        else:
+            self.unmeasured[rank] += 1
+
+    def absorb(self, other: "FoldedEntry") -> None:
+        """Merge another folded group (same item) into this one.
+
+        Used when a corrupted pull transmission re-queues its group while
+        newer arrivals already opened a fresh entry, and when a corrupted
+        push slot returns its sealed group to the open waiters.
+        """
+        self.num_requests += other.num_requests
+        self.total_priority += other.total_priority
+        if other.first_arrival < self.first_arrival:
+            self.first_arrival = other.first_arrival
+        counts, sum_t, sum_t2 = self.counts, self.sum_t, self.sum_t2
+        min_t, max_t, unmeasured = self.min_t, self.max_t, self.unmeasured
+        for rank in range(len(counts)):
+            counts[rank] += other.counts[rank]
+            sum_t[rank] += other.sum_t[rank]
+            sum_t2[rank] += other.sum_t2[rank]
+            if other.min_t[rank] < min_t[rank]:
+                min_t[rank] = other.min_t[rank]
+            if other.max_t[rank] > max_t[rank]:
+                max_t[rank] = other.max_t[rank]
+            unmeasured[rank] += other.unmeasured[rank]
+
+    @property
+    def lead_rank(self) -> int:
+        """Most important class with a waiting request (pool charging rank).
+
+        Matches the reference server's ``min(class_rank over requests)``.
+        """
+        for rank in range(len(self.counts)):
+            if self.counts[rank] or self.unmeasured[rank]:
+                return rank
+        raise ValueError(f"folded entry for item {self.item_id} is empty")
+
+    @property
+    def total_unmeasured(self) -> int:
+        """Warm-up requests folded into the group (conservation only)."""
+        return sum(self.unmeasured)

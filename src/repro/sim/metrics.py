@@ -189,6 +189,78 @@ class MetricsCollector:
                 self._delay_by_rank[rank].observe_many(class_delays)
                 per_rank[rank].observe_many(class_delays)
 
+    # -- folded (population-aggregated) intake ---------------------------------
+    # The ``repro.scale`` engine carries per-class waiting *counts* and
+    # arrival-time moments instead of request lists; these methods merge
+    # that summary state.  Statistically exact but not bit-identical to
+    # the per-request path (see ``Tally.observe_moments``); the population
+    # engine is validated against the per-client engines by CI overlap,
+    # not golden equality.
+
+    def record_satisfied_folded(
+        self,
+        now: float,
+        via_push: bool,
+        counts: list[int],
+        sum_t: list[float],
+        sum_t2: list[float],
+        min_t: list[float],
+        max_t: list[float],
+        unmeasured: int,
+    ) -> None:
+        """One transmission satisfied a folded group of requests.
+
+        ``counts[rank]`` measured requests of each class arrived with
+        arrival-time moments ``(Σt, Σt², min t, max t)``; delays at
+        service time ``now`` follow as ``Σd = n·now − Σt``,
+        ``Σd² = n·now² − 2·now·Σt + Σt²``, ``min d = now − max t`` and
+        ``max d = now − min t``.  ``unmeasured`` warm-up requests advance
+        only the raw conservation ledger.
+        """
+        self.raw_satisfied += unmeasured
+        per_rank = self._push_delay_by_rank if via_push else self._pull_delay_by_rank
+        mixed = self.delay_push if via_push else self.delay_pull
+        for rank, n in enumerate(counts):
+            if n <= 0:
+                continue
+            if max_t[rank] > now:
+                raise ValueError(
+                    f"negative delay: satisfied at {now}, arrived {max_t[rank]}"
+                )
+            self.raw_satisfied += n
+            total = n * now - sum_t[rank]
+            sq_total = n * now * now - 2.0 * now * sum_t[rank] + sum_t2[rank]
+            lo = now - max_t[rank]
+            hi = now - min_t[rank]
+            self._delay_by_rank[rank].observe_moments(n, total, sq_total, lo, hi)
+            self.delay_overall.observe_moments(n, total, sq_total, lo, hi)
+            mixed.observe_moments(n, total, sq_total, lo, hi)
+            per_rank[rank].observe_moments(n, total, sq_total, lo, hi)
+
+    def record_arrivals_folded(self, rank: int, measured: int, total: int) -> None:
+        """``total`` aggregated class-``rank`` arrivals, ``measured`` post-warm-up."""
+        self.raw_arrivals += total
+        if measured:
+            self._arrivals_by_rank[rank].increment(measured)
+
+    def record_blocked_folded(self, rank: int, measured: int, total: int) -> None:
+        """A folded group of class-``rank`` requests was blocked at admission."""
+        self.raw_blocked += total
+        if measured:
+            self.blocked_by_class[self.class_names[rank]].increment(measured)
+
+    def record_shed_folded(self, rank: int, measured: int, total: int) -> None:
+        """A folded group of class-``rank`` requests was shed by the queue."""
+        self.raw_shed += total
+        if measured:
+            self.shed_by_class[self.class_names[rank]].increment(measured)
+
+    def record_overload_rejected_folded(self, rank: int, measured: int, total: int) -> None:
+        """A folded group was refused admission by the overload controller."""
+        self.record_shed_folded(rank, measured, total)
+        if measured:
+            self.overload_rejected_by_class[self.class_names[rank]].increment(measured)
+
     def record_blocked(self, request: Request) -> None:
         """A request was dropped because bandwidth admission failed."""
         self.raw_blocked += 1

@@ -19,6 +19,7 @@ from ..des.fastengine import FastEnvironment
 from ..schedulers.registry import make_pull_scheduler, make_push_scheduler
 from ..workload.arrivals import ArrivalProcess
 from ..workload.batched import BatchedArrivals
+from ..workload.population import PopulationArrivals
 from ..workload.trace import RequestTrace
 from .bandwidth_pool import BandwidthPool
 from .client import FaultAwareFront, drive_arrivals, drive_trace
@@ -30,7 +31,7 @@ from .uplink import UplinkChannel
 
 __all__ = ["HybridSystem", "Engine"]
 
-Engine = Literal["reference", "fast"]
+Engine = Literal["reference", "fast", "population"]
 
 
 class _UplinkFront:
@@ -92,6 +93,13 @@ class HybridSystem:
         but not bit-identical to reference runs (random streams are
         consumed in blocks) and do not support ``tracer``/``profiler``/
         custom ``server_cls``; see ``docs/performance.md``.
+        ``"population"`` runs the counter-folded
+        :class:`~repro.scale.server.PopulationHybridServer` over exact
+        aggregated per-(item, class) arrival streams — per-event cost
+        independent of ``num_clients``, for million-client scenarios.
+        Statistically exact but not bit-identical to the per-client
+        engines; client-recovery faults, tracing, QoS recording and
+        custom servers are unsupported.  See ``docs/scale.md``.
     """
 
     def __init__(
@@ -109,23 +117,31 @@ class HybridSystem:
         profiler=None,
         engine: Engine = "reference",
     ) -> None:
-        if engine not in ("reference", "fast"):
-            raise ValueError(f"unknown engine {engine!r}; use 'reference' or 'fast'")
+        if engine not in ("reference", "fast", "population"):
+            raise ValueError(
+                f"unknown engine {engine!r}; use 'reference', 'fast' or 'population'"
+            )
         if tracer is not None and server_cls is not HybridServer:
             raise ValueError(
                 "tracing instruments HybridServer's decision points; custom "
                 f"server classes ({server_cls.__name__}) override them and "
                 "would record an incomplete trace"
             )
-        if engine == "fast":
-            # The fast engine swaps in its own server state machine; hooks
-            # that instrument or replace HybridServer need the reference
-            # engine (FastHybridServer also rejects tracer/profiler).
+        if engine != "reference":
+            # The fast and population engines swap in their own server
+            # state machines; hooks that instrument or replace
+            # HybridServer need the reference engine (both engine servers
+            # also reject tracer/profiler themselves).
             if server_cls is not HybridServer or server_kwargs:
                 raise ValueError(
-                    "engine='fast' uses FastHybridServer; custom server "
-                    "classes/kwargs require engine='reference'"
+                    f"engine={engine!r} uses its own server implementation; "
+                    "custom server classes/kwargs require engine='reference'"
                 )
+        if engine == "population" and trace is not None:
+            raise ValueError(
+                "the population engine folds arrivals and cannot replay "
+                "per-request traces; use engine='reference' or 'fast'"
+            )
         self.config = config
         self.seed = int(seed)
         self.warmup = float(warmup)
@@ -133,7 +149,7 @@ class HybridSystem:
         self.profiler = profiler
         self.engine: Engine = engine
 
-        self.env = FastEnvironment() if engine == "fast" else Environment()
+        self.env = Environment() if engine == "reference" else FastEnvironment()
         self.streams = RandomStreams(seed=seed)
         self.catalog = config.build_catalog()
         self.population = config.build_population()
@@ -151,7 +167,17 @@ class HybridSystem:
         self.injector = (
             FaultInjector(config.faults, self.streams) if config.faults.channel_faults else None
         )
-        impl = FastHybridServer if engine == "fast" else server_cls
+        if engine == "population":
+            # Imported lazily: repro.scale imports repro.sim submodules,
+            # so a top-level import here would cycle through the package
+            # __init__ while it is still executing.
+            from ..scale.server import PopulationHybridServer
+
+            impl = PopulationHybridServer
+        elif engine == "fast":
+            impl = FastHybridServer
+        else:
+            impl = server_cls
         self.server = impl(
             env=self.env,
             catalog=self.catalog,
@@ -240,6 +266,26 @@ class HybridSystem:
                 # Arrivals pass through the uplink/fault front: one flat
                 # calendar record per arrival keeps delivery timing exact.
                 self.driver = FastArrivalDriver(self.env, front, batched)
+        elif engine == "population" and arrivals is None:
+            # Exact aggregated per-(item, class) streams; the client
+            # population is never materialised (superposition of Poisson
+            # is Poisson — see repro.workload.population).
+            aggregated = PopulationArrivals(
+                catalog=self.catalog,
+                population=self.population,
+                rate=config.arrival_rate,
+                rng=self.streams.stream("arrivals"),
+                priority_weighted=config.priority_weighted_demand,
+            )
+            if front is self.server:
+                # Ideal uplink: the server drains struct-of-arrays blocks
+                # at its queue-touch points — no Request objects at all.
+                self.server.attach_arrivals(aggregated)
+                self.driver = None
+            else:
+                # A non-ideal uplink needs per-request delivery records;
+                # PopulationArrivals also speaks Request chunks.
+                self.driver = FastArrivalDriver(self.env, front, aggregated)
         else:
             # Custom arrival sources stay on the generator driver — they
             # run unchanged on either engine, just without vectorisation.
@@ -274,7 +320,7 @@ class HybridSystem:
                 result = self.metrics.result(horizon=horizon, seed=self.seed)
         else:
             self.env.run(until=horizon)
-            if self.engine == "fast":
+            if self.engine != "reference":
                 # Admit buffered arrivals between the last service event
                 # and the horizon so end-of-run accounting matches the
                 # reference engine (which processes every arrival event).

@@ -10,6 +10,7 @@ from .batched import BatchedArrivals
 from .clients import Client, ClientPopulation, ServiceClass, paper_classes
 from .items import Item, ItemCatalog, calibrate_geometric, truncated_geometric_pmf
 from .nonstationary import PhasedArrivalProcess, WorkloadPhase
+from .population import PopulationArrivals
 from .trace import RequestTrace
 from .zipf import (
     PAPER_THETAS,
@@ -33,6 +34,7 @@ __all__ = [
     "calibrate_geometric",
     "truncated_geometric_pmf",
     "PhasedArrivalProcess",
+    "PopulationArrivals",
     "WorkloadPhase",
     "RequestTrace",
     "PAPER_THETAS",

@@ -93,7 +93,11 @@ class ClientPopulation:
 
     classes: list[ServiceClass]
     class_counts: np.ndarray
-    _clients: list[Client] = field(init=False, repr=False)
+    #: Per-client objects, materialised on first per-client access.  The
+    #: population-aggregated scale path (``repro.scale``) only ever reads
+    #: the class-level views, so a 10M-client population stays O(classes)
+    #: until somebody actually iterates clients.
+    _clients: list[Client] | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.class_counts = np.asarray(self.class_counts, dtype=int)
@@ -106,12 +110,17 @@ class ClientPopulation:
         ranks = [c.rank for c in self.classes]
         if ranks != list(range(len(self.classes))):
             raise ValueError(f"classes must be in rank order 0..n-1, got ranks {ranks}")
-        self._clients = []
-        cid = 0
-        for svc, count in zip(self.classes, self.class_counts):
-            for _ in range(int(count)):
-                self._clients.append(Client(client_id=cid, service_class=svc))
-                cid += 1
+
+    def _materialize(self) -> list[Client]:
+        if self._clients is None:
+            clients: list[Client] = []
+            cid = 0
+            for svc, count in zip(self.classes, self.class_counts):
+                for _ in range(int(count)):
+                    clients.append(Client(client_id=cid, service_class=svc))
+                    cid += 1
+            self._clients = clients
+        return self._clients
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -157,10 +166,10 @@ class ClientPopulation:
         return int(self.class_counts.sum())
 
     def __getitem__(self, client_id: int) -> Client:
-        return self._clients[client_id]
+        return self._materialize()[client_id]
 
     def __iter__(self) -> Iterator[Client]:
-        return iter(self._clients)
+        return iter(self._materialize())
 
     # -- class-level views --------------------------------------------------------
     @property
@@ -192,7 +201,7 @@ class ClientPopulation:
     def clients_in_class(self, name: str) -> list[Client]:
         """All clients belonging to the named class."""
         svc = self.class_by_name(name)
-        return [c for c in self._clients if c.service_class is svc]
+        return [c for c in self._materialize() if c.service_class is svc]
 
     def mean_priority(self) -> float:
         """Population-average priority weight ``E[q]``."""

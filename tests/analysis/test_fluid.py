@@ -1,0 +1,176 @@
+"""Tests for the fluid / mean-field predictor (:mod:`repro.analysis.fluid`).
+
+The invariants promised by the module docstring are enforced here:
+lead-class rows are exact probability distributions, per-class backlog
+obeys Little's law, throughput plus blocked rate conserves the offered
+load to float precision, and the overall delay is monotone
+non-decreasing in the aggregate load across the light/saturated regime
+switch.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import FluidPrediction, fluid_predict, lead_class_distribution
+from repro.core import HybridConfig
+from repro.experiments import ladder_config
+
+
+def _normalized(draw, strategy, size):
+    values = np.asarray(draw(strategy), dtype=float)[:size]
+    return values / values.sum()
+
+
+@st.composite
+def _lead_inputs(draw):
+    num_items = draw(st.integers(min_value=1, max_value=12))
+    num_classes = draw(st.integers(min_value=1, max_value=5))
+    positive = st.floats(min_value=1e-3, max_value=50.0)
+    rates = np.asarray(
+        draw(st.lists(positive, min_size=num_items, max_size=num_items))
+    )
+    weights = np.asarray(
+        draw(st.lists(positive, min_size=num_items, max_size=num_items))
+    )
+    fractions = np.asarray(
+        draw(st.lists(positive, min_size=num_classes, max_size=num_classes))
+    )
+    wait = draw(st.floats(min_value=0.0, max_value=200.0))
+    return rates, weights / weights.sum(), fractions / fractions.sum(), wait
+
+
+class TestLeadClassDistribution:
+    @given(inputs=_lead_inputs())
+    @settings(max_examples=60, deadline=None)
+    def test_rows_are_probability_distributions(self, inputs):
+        rates, weights, fractions, wait = inputs
+        matrix = lead_class_distribution(rates, weights, fractions, wait)
+        assert matrix.shape == (len(fractions), len(fractions))
+        assert np.all(matrix >= -1e-12)
+        # The tagged request caps its group's lead class at its own rank.
+        assert np.allclose(np.triu(matrix, k=1), 0.0)
+        assert np.allclose(matrix.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_zero_wait_keeps_groups_pure(self):
+        # No batching window -> no co-requests -> the tagged class leads.
+        matrix = lead_class_distribution(
+            np.array([3.0, 1.0]), np.array([0.5, 0.5]), np.array([0.2, 0.3, 0.5]), 0.0
+        )
+        assert np.allclose(matrix, np.eye(3))
+
+    def test_empty_pull_set_returns_identity(self):
+        matrix = lead_class_distribution(
+            np.array([]), np.array([]), np.array([0.3, 0.7]), 10.0
+        )
+        assert np.allclose(matrix, np.eye(2))
+
+    def test_long_wait_concentrates_on_most_important_class(self):
+        # With a huge batching window some class-0 co-request always
+        # arrives, so every row collapses onto the lead column.
+        matrix = lead_class_distribution(
+            np.array([5.0]), np.array([1.0]), np.array([0.2, 0.3, 0.5]), 1e6
+        )
+        assert matrix[2, 0] == pytest.approx(1.0, abs=1e-9)
+        assert matrix[1, 0] == pytest.approx(1.0, abs=1e-9)
+
+
+class TestFluidConsistency:
+    @pytest.fixture(scope="class")
+    def saturated(self) -> FluidPrediction:
+        return fluid_predict(ladder_config(100_000))
+
+    @pytest.fixture(scope="class")
+    def light(self) -> FluidPrediction:
+        return fluid_predict(ladder_config(100_000, total_bandwidth=40.0))
+
+    @pytest.mark.parametrize("which", ["saturated", "light"])
+    def test_regime_selection(self, which, request):
+        prediction = request.getfixturevalue(which)
+        assert prediction.regime == which
+
+    @pytest.mark.parametrize("which", ["saturated", "light"])
+    def test_load_conservation_is_exact(self, which, request):
+        prediction = request.getfixturevalue(which)
+        config = ladder_config(
+            100_000,
+            total_bandwidth=9.0 if which == "saturated" else 40.0,
+        )
+        fractions = np.asarray(config.build_population().class_fractions)
+        for name, f in zip(config.class_names(), fractions):
+            lam = prediction.per_class_arrival_rate[name]
+            assert lam == pytest.approx(config.arrival_rate * f, rel=1e-12)
+            assert (
+                prediction.per_class_throughput[name]
+                + prediction.per_class_blocked_rate[name]
+            ) == pytest.approx(lam, rel=1e-12)
+
+    @pytest.mark.parametrize("which", ["saturated", "light"])
+    def test_littles_law(self, which, request):
+        prediction = request.getfixturevalue(which)
+        for name, lam in prediction.per_class_arrival_rate.items():
+            expected = (
+                lam * prediction.pull_mass * prediction.per_class_pull_wait[name]
+            )
+            assert prediction.per_class_backlog[name] == pytest.approx(
+                expected, rel=1e-12
+            )
+
+    @pytest.mark.parametrize("which", ["saturated", "light"])
+    def test_blocking_is_a_probability(self, which, request):
+        prediction = request.getfixturevalue(which)
+        for name in prediction.per_class_blocking:
+            assert 0.0 <= prediction.per_class_blocking[name] <= 1.0
+        assert 0.0 <= prediction.overall_blocking <= 1.0
+        assert np.allclose(prediction.lead_class_matrix.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_blocking_ordered_by_class_importance(self, saturated):
+        # Class pools shrink with rank and lead-class charging only adds
+        # more-important leads, so blocking grows with rank.
+        values = [saturated.per_class_blocking[n] for n in ("A", "B", "C")]
+        assert values[0] <= values[1] + 1e-12
+        assert values[1] <= values[2] + 1e-12
+
+    def test_overall_delay_monotone_in_load(self):
+        base = ladder_config(10_000)
+        per_client = base.arrival_rate / base.num_clients
+        delays = []
+        for scale in (0.25, 0.5, 1.0, 2.0, 4.0):
+            config = dataclasses.replace(
+                base, arrival_rate=per_client * base.num_clients * scale
+            )
+            delays.append(fluid_predict(config).overall_delay)
+        # Modest slack: the regime switch joins two different models.
+        for lo, hi in zip(delays, delays[1:]):
+            assert hi >= lo * 0.98, f"delay not monotone: {delays}"
+
+    def test_push_only_system_has_no_blocking(self):
+        config = HybridConfig(num_items=20, cutoff=20, arrival_rate=5.0)
+        prediction = fluid_predict(config)
+        # pull_mass carries the float residue of 1 - sum(p_i).
+        assert prediction.pull_mass == pytest.approx(0.0, abs=1e-12)
+        assert prediction.overall_blocking == pytest.approx(0.0, abs=1e-12)
+        for v in prediction.per_class_blocking.values():
+            assert v == pytest.approx(0.0, abs=1e-12)
+        for v in prediction.per_class_backlog.values():
+            assert v == pytest.approx(0.0, abs=1e-9)
+
+    def test_accessors_match_mappings(self, saturated):
+        for name in saturated.per_class_delay:
+            assert saturated.delay_of(name) == saturated.per_class_delay[name]
+            assert saturated.blocking_of(name) == saturated.per_class_blocking[name]
+
+    def test_scale_invariance_in_n(self):
+        # The fluid limit depends on N only through the aggregate rate
+        # and the class mix; the mix rounds to integer client counts, so
+        # same λ' at different N agrees up to that rounding (~1/N).
+        small = fluid_predict(ladder_config(1_000, per_client_rate=0.1))
+        large = fluid_predict(ladder_config(100_000, per_client_rate=0.001))
+        assert small.arrival_rate == pytest.approx(large.arrival_rate)
+        assert small.overall_delay == pytest.approx(large.overall_delay, rel=1e-2)
+        assert small.overall_blocking == pytest.approx(
+            large.overall_blocking, rel=1e-2
+        )

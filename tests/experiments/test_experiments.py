@@ -125,6 +125,7 @@ class TestRegistry:
             "pull-baselines",
             "push-baselines",
             "birth-death",
+            "n-ladder",
         ):
             assert expected in ids
 

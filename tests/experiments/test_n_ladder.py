@@ -1,0 +1,128 @@
+"""Tests for experiment E13 — the N-ladder scale validation.
+
+The quick three-rung ladder (the exact configuration the ``scale-smoke``
+CI job runs) must pass both gates deterministically: fluid-vs-DES
+agreement bounds on every rung, and monotone mean-field concentration of
+the satisfied-traffic mix.  The ladder is simulated once per session and
+shared across assertions — it is the expensive fixture here.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ladder_config, n_ladder
+from repro.experiments.n_ladder import LADDER_BANDWIDTH, PER_CLIENT_RATE
+
+
+@pytest.fixture(scope="module")
+def quick_ladder():
+    """The scale-smoke ladder: default rungs, pinned seeds."""
+    return n_ladder(num_runs=3, horizon=800.0, base_seed=0, n_jobs=2)
+
+
+class TestLadderConfig:
+    def test_aggregate_rate_scales_with_population(self):
+        config = ladder_config(30_000)
+        assert config.num_clients == 30_000
+        assert config.arrival_rate == pytest.approx(PER_CLIENT_RATE * 30_000)
+        assert config.total_bandwidth == LADDER_BANDWIDTH
+
+    def test_paper_anchor(self):
+        # N = 300 reproduces the paper's λ' = 5 nominal load.
+        assert ladder_config(300).arrival_rate == pytest.approx(5.0)
+
+    def test_overrides(self):
+        config = ladder_config(1_000, per_client_rate=0.01, total_bandwidth=20.0)
+        assert config.arrival_rate == pytest.approx(10.0)
+        assert config.total_bandwidth == 20.0
+
+    @pytest.mark.parametrize(
+        "populations", [(10_000, 1_000), (1_000, 1_000), (1_000, 500, 2_000)]
+    )
+    def test_non_ascending_populations_rejected(self, populations):
+        with pytest.raises(ValueError, match="ascending"):
+            n_ladder(populations=populations)
+
+
+class TestQuickLadderGates:
+    def test_agreement_bounds_hold_on_every_rung(self, quick_ladder):
+        assert quick_ladder.all_within_bounds, quick_ladder.render()
+        for rung in quick_ladder.rungs:
+            assert rung.delay_agrees and rung.blocking_agrees
+
+    def test_mean_field_concentration_is_monotone(self, quick_ladder):
+        assert quick_ladder.converged, f"mix errors: {quick_ladder.mix_errors}"
+
+    def test_ladder_operates_in_saturation(self, quick_ladder):
+        # LADDER_BANDWIDTH is picked so blocking is a frequent event —
+        # the agreement gate must grade a non-trivial operating point.
+        for rung in quick_ladder.rungs:
+            assert rung.regime == "saturated"
+            assert rung.blocking_sim > 0.02
+
+    def test_bounds_composition(self, quick_ladder):
+        for rung in quick_ladder.rungs:
+            assert rung.delay_bound == pytest.approx(
+                rung.delay_half + 0.2 * abs(rung.delay_fluid)
+            )
+            assert rung.blocking_bound == pytest.approx(rung.blocking_half + 0.06)
+
+    def test_rungs_record_their_plan(self, quick_ladder):
+        assert [r.num_clients for r in quick_ladder.rungs] == [
+            1_000,
+            10_000,
+            100_000,
+        ]
+        for rung in quick_ladder.rungs:
+            assert rung.num_runs == 3
+            assert rung.horizon == 800.0
+            assert rung.warmup == pytest.approx(80.0)
+            assert rung.elapsed_seconds > 0.0
+            assert rung.arrival_rate == pytest.approx(
+                PER_CLIENT_RATE * rung.num_clients
+            )
+
+
+class TestReporting:
+    def test_render_contains_verdicts(self, quick_ladder):
+        text = quick_ladder.render()
+        assert "agreement bounds: PASS" in text
+        assert "mean-field concentration" in text
+        assert "100,000" in text
+
+    def test_to_dict_roundtrips_through_json(self, quick_ladder):
+        payload = json.loads(json.dumps(quick_ladder.to_dict()))
+        assert payload["converged"] is True
+        assert payload["all_within_bounds"] is True
+        assert len(payload["rungs"]) == 3
+        first = payload["rungs"][0]
+        assert first["num_clients"] == 1_000
+        assert first["delay"]["agrees"] is True
+        assert first["blocking"]["agrees"] is True
+        assert set(first["per_class"]) == {"A", "B", "C"}
+
+    def test_save_json_writes_artifact(self, quick_ladder, tmp_path):
+        path = quick_ladder.save_json(tmp_path / "artifacts" / "scale-ladder.json")
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["mix_errors"] == quick_ladder.mix_errors
+
+
+class TestCheckpointedLadder:
+    def test_resume_reproduces_the_same_report(self, tmp_path):
+        kwargs = dict(
+            populations=(1_000, 5_000),
+            num_runs=2,
+            horizon=300.0,
+            checkpoint_dir=tmp_path / "ladder",
+        )
+        first = n_ladder(**kwargs)
+        resumed = n_ladder(resume=True, **kwargs)
+        for a, b in zip(first.rungs, resumed.rungs):
+            assert a.delay_sim == b.delay_sim
+            assert a.blocking_sim == b.blocking_sim
+            assert a.mix_error == b.mix_error
+        # Every rung checkpoints in its own subdirectory.
+        assert (tmp_path / "ladder" / "n1000").is_dir()
+        assert (tmp_path / "ladder" / "n5000").is_dir()

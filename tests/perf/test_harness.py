@@ -14,6 +14,7 @@ import pytest
 
 from repro.perf import (
     PARALLEL_FLOORS,
+    POPULATION_FLOORS,
     append_history,
     compare,
     history_chart,
@@ -29,6 +30,8 @@ def _report(
     fast_guard: bool = True,
     sweep_speedup: float = 2.1,
     sweep_cores: int = 8,
+    population_speedup: float = 5.5,
+    population_arrivals_per_s: float = 8e5,
 ) -> dict:
     return {
         "schema": 2,
@@ -44,8 +47,14 @@ def _report(
                 "cores": sweep_cores,
                 "guard": sweep_cores >= 4,
             },
+            "population_1e6": {
+                "speedup": population_speedup,
+                "arrivals_per_s": population_arrivals_per_s,
+                "guard": True,
+            },
         },
         "parallel_floors": dict(PARALLEL_FLOORS),
+        "population_floors": dict(POPULATION_FLOORS),
     }
 
 
@@ -150,6 +159,48 @@ class TestParallelFloorGating:
             _report(sweep_speedup=1.0, sweep_cores=8), baseline, tolerance=0.25
         )
         assert any("multi-core floor 1.50x" in f for f in failures)
+
+
+class TestPopulationGating:
+    def test_ratio_regression_fails(self):
+        current = _report(population_speedup=2.0)
+        baseline = _report(population_speedup=5.5)
+        failures = compare(current, baseline, tolerance=0.25)
+        assert any("population_1e6" in f for f in failures)
+
+    def test_throughput_below_profile_floor_fails_despite_good_ratio(self):
+        # Both engines crawling keeps the ratio intact — the absolute
+        # floor is what certifies the minutes-scale ladder budget.
+        current = _report(population_arrivals_per_s=20_000.0)
+        failures = compare(current, _report(), tolerance=0.25)
+        assert any("arrivals/s" in f and "multi-core floor" in f for f in failures)
+
+    def test_throughput_above_floor_passes(self):
+        current = _report(
+            population_arrivals_per_s=POPULATION_FLOORS["multi-core"] * 2
+        )
+        assert compare(current, _report(), tolerance=0.25) == []
+
+    def test_floor_keyed_on_current_host_profile(self):
+        current = _report(sweep_cores=1, population_arrivals_per_s=60_000.0)
+        # 60k/s clears the 1-core floor (50k) but not multi-core (100k).
+        assert compare(current, _report(), tolerance=0.25) == []
+
+    def test_floors_read_from_baseline_when_present(self):
+        baseline = _report()
+        baseline["population_floors"]["multi-core"] = 9e5
+        failures = compare(_report(), baseline, tolerance=0.25)
+        assert any("900,000" in f for f in failures)
+
+    def test_baseline_without_population_tables_uses_builtins(self):
+        baseline = _report()
+        del baseline["benchmarks"]["population_1e6"]
+        del baseline["population_floors"]
+        assert compare(_report(), baseline, tolerance=0.25) == []
+        failures = compare(
+            _report(population_arrivals_per_s=10_000.0), baseline, tolerance=0.25
+        )
+        assert any("population_1e6" in f for f in failures)
 
 
 class TestHistory:

@@ -36,8 +36,10 @@ def test_suppressions_stay_audited() -> None:
     """Every inline suppression is deliberate; additions must be reviewed.
 
     If this number grows, the new suppression needs the same scrutiny the
-    existing nine got (operator-facing timing, watchdog deadlines).  If it
-    shrinks, a suppression went stale — delete the comment too.
+    existing eleven got (operator-facing timing — including the N-ladder's
+    rung wall-clock, whose minutes-not-hours budget is part of the scale
+    acceptance — and watchdog deadlines).  If it shrinks, a suppression
+    went stale — delete the comment too.
     """
     paths = [
         REPO_ROOT / "src" / "repro",
@@ -48,11 +50,11 @@ def test_suppressions_stay_audited() -> None:
     ]
     result = lint_paths([p for p in paths if p.exists()], all_rules())
     suppressed = sorted({(Path(f.path).name, f.line, f.rule) for f in result.suppressed})
-    assert len(suppressed) == 9, suppressed
+    assert len(suppressed) == 11, suppressed
 
 
 def test_audited_exemptions_stay_pinned() -> None:
-    """The audited wall-clock budget: 2 reads in the service clock, 10 in benches.
+    """The audited wall-clock budget: 2 reads in the service clock, 12 in benches.
 
     ``repro.service`` runs against real time and ``repro.perf`` *measures*
     real time, so RL001 findings there are *exempted* rather than
@@ -67,7 +69,7 @@ def test_audited_exemptions_stay_pinned() -> None:
     exempted = sorted((Path(f.path).name, f.line, f.rule) for f in result.exempted)
     per_file = {name: sum(1 for n, _, _ in exempted if n == name) for name, _, _ in exempted}
     assert all(rule == "no-wallclock" for _, _, rule in exempted), exempted
-    assert per_file == {"clock.py": 2, "benches.py": 10}, (
+    assert per_file == {"clock.py": 2, "benches.py": 12}, (
         "wall-clock reads outside the audited budget "
         f"(service clock + perf benches): {exempted}"
     )
