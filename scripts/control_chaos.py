@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Control-plane chaos drill: kill the controller mid-soak, demand failsafe.
+
+The end-to-end check behind docs/control.md, run by the ``control-chaos``
+CI job:
+
+1. boot ``repro serve`` with an SLO spec (``--slo``) and an obs trace —
+   the closed-loop controller and the ``/control`` endpoints come up;
+2. drive a seeded workload with a flash-crowd surge and an uplink-loss
+   phase through ``repro loadgen`` while the controller observes windows;
+3. mid-soak, ``POST /control/kill`` — the chaos hook that trips the
+   stall watchdog exactly as a killed or hung controller task would —
+   and assert the failsafe fired: the controller is degraded with reason
+   ``stalled``, latched, and the last-known-good knobs are reinstalled;
+4. ``POST /control/reset`` — the operator re-arm — and assert the
+   controller resumes (an ``operator``-sourced change releases the
+   audit latch);
+5. SIGTERM the service and demand a clean drain with a balanced
+   conservation ledger;
+6. run ``repro trace validate`` over the emitted trace: the
+   reconfiguration audit proves the degrade → failsafe → operator
+   protocol from the recorded events alone.
+
+Exit code 0 means every check passed.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/control_chaos.py --workdir chaos/
+"""
+
+import argparse
+import json
+import shutil
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+#: Forcing targets: unattainable A/B delay ceilings (wall seconds) keep
+#: every window violating, so the controller demonstrably engages before
+#: the kill and re-engages after the reset.
+SLO_SPEC = {
+    "classes": {
+        "A": {"delay_mean": 0.001},
+        "B": {"delay_mean": 0.001},
+        "C": {},
+    }
+}
+
+SERVE_ARGS = [
+    "--items", "30",
+    "--cutoff", "8",
+    "--time-scale", "0.02",
+    "--deadlines", "3.0,2.0,1.5",
+    "--ingress-capacity", "6",
+    "--downlink-loss", "0.2",
+    "--brownout-window", "0.05",
+    "--seed", "11",
+    "--drain-timeout", "20",
+]
+
+LOADGEN_ARGS = [
+    "--rate", "150",
+    "--duration", "2.0",
+    "--concurrency", "32",
+    "--seed", "11",
+    "--max-retries", "2",
+    "--backoff-base", "0.02",
+    "--backoff-cap", "0.2",
+    "--surge", "0.3:0.9:3.0",
+    "--loss", "0.5:0.8:0.3",
+    "--items", "30",
+    "--cutoff", "8",
+]
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _http(port: int, method: str, path: str) -> dict:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", method=method
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def audit_trace_events(trace_path: Path) -> list:
+    """Check the degrade -> failsafe -> operator story is in the trace."""
+    problems = []
+    degraded, changes = [], []
+    with trace_path.open() as handle:
+        for line in handle:
+            record = json.loads(line)
+            if record.get("kind") == "controller_degraded":
+                degraded.append(record)
+            elif record.get("kind") == "config_change":
+                changes.append(record)
+    if not degraded:
+        problems.append("no controller_degraded event — the kill left no trace")
+    elif degraded[0]["reason"] != "stalled":
+        problems.append(f"degrade reason {degraded[0]['reason']!r}, not 'stalled'")
+    sources = [c["source"] for c in changes]
+    if "failsafe" not in sources:
+        problems.append(f"no failsafe config_change (sources: {sources})")
+    if "operator" not in sources:
+        problems.append(f"no operator config_change (sources: {sources})")
+    if "controller" not in sources:
+        problems.append(
+            f"controller never reconfigured under a forcing SLO (sources: {sources})"
+        )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir", default="control-chaos", help="scratch directory for artifacts"
+    )
+    args = parser.parse_args()
+    workdir = Path(args.workdir)
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    workdir.mkdir(parents=True)
+    trace_path = workdir / "chaos-trace.jsonl"
+    slo_path = workdir / "slo.json"
+    report_path = workdir / "loadgen-report.json"
+    slo_path.write_text(json.dumps(SLO_SPEC))
+
+    print("[1/6] booting the service with a closed-loop SLO controller...")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--trace", str(trace_path), "--slo", str(slo_path), *SERVE_ARGS],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        listening = json.loads(server.stdout.readline())
+        if listening.get("event") != "listening":
+            return fail(f"unexpected first server line: {listening}")
+        port = listening["port"]
+        status = _http(port, "GET", "/control")
+        if status["degraded"]:
+            return fail(f"controller degraded at boot: {status}")
+        print(f"service listening on port {port}, controller armed")
+
+        print("[2/6] fault-injected soak (surge + uplink loss)...")
+        loadgen = subprocess.Popen(
+            [sys.executable, "-m", "repro", "loadgen", "--port", str(port),
+             "--report", str(report_path), *LOADGEN_ARGS],
+            stdout=subprocess.DEVNULL,
+        )
+
+        # Let the controller observe some windows under load first.
+        deadline = time.monotonic() + 20.0  # reprolint: disable=no-wallclock
+        while time.monotonic() < deadline:  # reprolint: disable=no-wallclock
+            status = _http(port, "GET", "/control")
+            if status["windows"] >= 5:
+                break
+            time.sleep(0.1)
+        else:
+            return fail(f"controller never observed 5 windows: {status}")
+
+        print("[3/6] killing the controller mid-soak (POST /control/kill)...")
+        killed = _http(port, "POST", "/control/kill")
+        if not killed["degraded"]:
+            return fail(f"kill did not degrade the controller: {killed}")
+        status = _http(port, "GET", "/control")
+        if status["degraded_reason"] != "stalled":
+            return fail(f"expected degraded_reason 'stalled': {status}")
+        if status["knobs"] != status["last_good"]:
+            return fail(f"failsafe did not restore last-known-good: {status}")
+        seq_at_kill = status["seq"]
+        print(f"failsafe fired: reason={status['degraded_reason']} "
+              f"seq={seq_at_kill} knobs={status['knobs']}")
+
+        print("[4/6] operator re-arm (POST /control/reset)...")
+        rearmed = _http(port, "POST", "/control/reset")
+        if rearmed["degraded"]:
+            return fail(f"reset left the controller degraded: {rearmed}")
+        if rearmed["seq"] <= seq_at_kill:
+            return fail(f"reset emitted no operator change: {rearmed}")
+
+        if loadgen.wait(timeout=300) != 0:
+            return fail(f"loadgen exited {loadgen.returncode}")
+        report = json.loads(report_path.read_text())
+        if report["outcomes"].get("served", 0) == 0:
+            return fail("soak served nothing — the service did no real work")
+        final = _http(port, "GET", "/control")
+        print(f"soak done: served={report['outcomes'].get('served')} "
+              f"windows={final['windows']} changes={final['changes']} "
+              f"holds={final['holds']} seq={final['seq']}")
+
+        print("[5/6] SIGTERM, demanding a clean drain...")
+        server.send_signal(signal.SIGTERM)
+        out, _err = server.communicate(timeout=60)
+        if server.returncode != 0:
+            return fail(f"server exited {server.returncode} after SIGTERM")
+        drained = next(
+            json.loads(line) for line in out.splitlines()
+            if line.startswith("{") and json.loads(line).get("event") == "drained"
+        )
+        ledger = drained["ledger"]
+        if ledger["balance"] != 0 or ledger["queued"] or ledger["in_flight"]:
+            return fail(f"conservation violated at drain: {ledger}")
+        print(f"drained clean: {ledger}")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate()
+
+    print("[6/6] validating the emitted trace (incl. reconfiguration audit)...")
+    validate = subprocess.run(
+        [sys.executable, "-m", "repro", "trace", "validate", str(trace_path)],
+        timeout=120,
+    )
+    if validate.returncode != 0:
+        return fail("trace validation found violations")
+    problems = audit_trace_events(trace_path)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("OK: controller killed and re-armed under load with an audited "
+          "failsafe, a balanced ledger and a valid trace")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

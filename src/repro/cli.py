@@ -14,6 +14,10 @@ Usage::
 
     python -m repro sweep run --checkpoint ck/ --runs 20 --jobs 4
     python -m repro sweep run --checkpoint ck/ --resume   # finish a killed sweep
+    python -m repro sweep run --slo slo.json --runs 5     # closed-loop sweep
+
+    python -m repro control check slo.json                # validate an SLO spec
+    python -m repro control replay out.jsonl --slo slo.json
 
     python -m repro lint src/repro        # determinism static analysis
     python -m repro lint --list-rules
@@ -43,6 +47,8 @@ __all__ = [
     "trace_main",
     "build_sweep_parser",
     "sweep_main",
+    "build_control_parser",
+    "control_main",
 ]
 
 
@@ -273,14 +279,31 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--faults", action="store_true", help="arm the fault-injection layer"
     )
+    run.add_argument(
+        "--slo",
+        default=None,
+        metavar="PATH",
+        help=(
+            "per-class SLO spec (JSON); attaches the closed-loop controller "
+            "to every replication (see docs/control.md)"
+        ),
+    )
     return parser
 
 
 def _sweep_run(args: argparse.Namespace) -> int:
+    from .control import SLOError, load_slo
     from .core import FaultConfig, HybridConfig
     from .resilience import CheckpointMismatch, ResilienceConfig
     from .sim import run_replications
 
+    slo = None
+    if args.slo is not None:
+        try:
+            slo = load_slo(args.slo)
+        except (OSError, SLOError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     faults = FaultConfig()
     if args.faults:
         faults = FaultConfig(
@@ -314,6 +337,7 @@ def _sweep_run(args: argparse.Namespace) -> int:
             resume=args.resume,
             resilience=resilience,
             engine=args.engine,
+            slo=slo,
         )
     except (CheckpointMismatch, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -328,6 +352,144 @@ def sweep_main(argv: Sequence[str]) -> int:
     """Entry point of ``repro sweep <command>``; returns an exit code."""
     args = build_sweep_parser().parse_args(list(argv))
     handler = {"run": _sweep_run}[args.command]
+    return handler(args)
+
+
+def build_control_parser() -> argparse.ArgumentParser:
+    """Parser of the ``control`` subcommand family (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments control",
+        description=(
+            "Validate SLO specs and replay recorded traces through the "
+            "closed-loop controller (see docs/control.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="validate an SLO spec file")
+    check.add_argument("slo", help="SLO spec path (JSON)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a recorded trace through a fresh controller",
+        description=(
+            "Reconstruct windowed per-class QoS from a recorded trace and "
+            "feed it to an offline controller: the decision log shows what "
+            "the closed loop *would* have done on that run.  The trace does "
+            "not carry the knob baseline, so pass the recording's --items/"
+            "--cutoff/--alpha if they differed from the defaults."
+        ),
+    )
+    replay.add_argument("trace", help="trace path (JSONL)")
+    replay.add_argument("--slo", required=True, help="SLO spec path (JSON)")
+    replay.add_argument(
+        "--windows", type=int, default=24, help="observation windows over the trace"
+    )
+    replay.add_argument(
+        "--items", type=int, default=50, help="catalog size of the recorded run"
+    )
+    replay.add_argument(
+        "--cutoff", type=int, default=15, help="cutoff K of the recorded run"
+    )
+    replay.add_argument(
+        "--alpha", type=float, default=0.5, help="alpha of the recorded run"
+    )
+    replay.add_argument(
+        "--pull-mode", choices=("serial", "concurrent"), default="serial"
+    )
+    return parser
+
+
+def _control_check(args: argparse.Namespace) -> int:
+    from .control import SLOError, load_slo
+
+    try:
+        spec = load_slo(args.slo)
+    except SLOError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.slo}: valid SLO spec, {len(spec.class_names)} class(es)")
+    for name in spec.class_names:
+        target = spec.for_class(name)
+        if target.unbounded:
+            print(f"  class {name}: unconstrained (best effort)")
+            continue
+        parts = []
+        if target.delay_mean is not None:
+            parts.append(f"delay_mean <= {target.delay_mean:g}")
+        if target.delay_p95 is not None:
+            parts.append(f"delay_p95 <= {target.delay_p95:g}")
+        if target.blocking is not None:
+            parts.append(f"blocking <= {target.blocking:g}")
+        print(f"  class {name}: " + ", ".join(parts))
+    return 0
+
+
+def _control_replay(args: argparse.Namespace) -> int:
+    from .control import (
+        KnobState,
+        SLOController,
+        SLOError,
+        default_bounds,
+        load_slo,
+        observations_from_trace,
+    )
+    from .core import HybridConfig
+    from .obs import read_trace
+
+    try:
+        spec = load_slo(args.slo)
+    except SLOError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = HybridConfig(
+        num_items=args.items, cutoff=args.cutoff, alpha=args.alpha
+    )
+    trace = read_trace(args.trace)
+    observations = observations_from_trace(trace, num_windows=args.windows)
+    controller = SLOController(
+        spec=spec,
+        bounds=default_bounds(config, pull_mode=args.pull_mode),
+        baseline=KnobState(
+            cutoff=int(config.cutoff),
+            alpha=float(config.alpha),
+            shares=tuple(
+                float(s.bandwidth_share) for s in config.class_specs
+            ),
+        ),
+    )
+    print(f"replaying {len(observations)} window(s) from {args.trace}")
+    for obs in observations:
+        decision = controller.observe(obs)
+        marker = "!" if decision.degraded else ("*" if decision.applied else " ")
+        line = (
+            f" {marker} window {obs.window:3d}  t={obs.time:10.1f}  "
+            f"{decision.reason}"
+        )
+        if decision.violations:
+            line += "  [" + ", ".join(decision.violations) + "]"
+        if decision.applied is not None:
+            knobs = decision.applied
+            shares = "/".join(f"{s:.2f}" for s in knobs.shares)
+            line += f"  -> K={knobs.cutoff} alpha={knobs.alpha:.2f} shares={shares}"
+        print(line)
+    status = controller.status()
+    print()
+    print(
+        f"decisions: {status['windows']} window(s), {status['changes']} "
+        f"change(s) applied; final K={controller.knobs.cutoff} "
+        f"alpha={controller.knobs.alpha:.2f}"
+    )
+    if controller.degraded:
+        print(f"controller DEGRADED: {controller.degraded_reason}")
+        return 1
+    return 0
+
+
+def control_main(argv: Sequence[str]) -> int:
+    """Entry point of ``repro control <command>``; returns an exit code."""
+    args = build_control_parser().parse_args(list(argv))
+    handler = {"check": _control_check, "replay": _control_replay}[args.command]
     return handler(args)
 
 
@@ -419,6 +581,8 @@ def _dispatch(argv: list) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "control":
+        return control_main(argv[1:])
     if argv and argv[0] == "lint":
         from .qa.cli import main as lint_main
 

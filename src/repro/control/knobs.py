@@ -1,0 +1,191 @@
+"""Knob state, per-knob bounds/rate limits and the monotone share guardrail.
+
+The controller tunes three knobs: the push/pull cutoff ``K``, the Eq. 1
+importance weight ``α`` and the per-class bandwidth shares.  Every
+proposed move passes through this module, which enforces
+
+* **bounds** — each knob stays inside its configured interval;
+* **rate limits** — no knob moves more than one configured step per
+  reconfiguration (the anti-thrash half of hysteresis);
+* **the monotone guardrail** — applied shares are always non-increasing
+  in rank (``A ≥ B ≥ C``), each at least the configured floor, summing to
+  at most the budget.  :func:`project_shares` either returns a vector
+  satisfying all three properties or falls back to the current (already
+  valid) shares — so an invalid share vector is *unreachable*, which is
+  what the Hypothesis guardrail suite pins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["KnobState", "KnobBounds", "project_shares", "clamp_step"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class KnobState:
+    """One complete knob assignment: cutoff K, α and bandwidth shares."""
+
+    cutoff: int
+    alpha: float
+    shares: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.cutoff < 0:
+            raise ValueError(f"cutoff must be >= 0, got {self.cutoff}")
+        if math.isnan(self.alpha) or not 0 <= self.alpha <= 1:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if not self.shares:
+            raise ValueError("shares must be non-empty")
+        for share in self.shares:
+            if math.isnan(share) or share < 0:
+                raise ValueError(f"shares must be >= 0, got {self.shares}")
+
+    @property
+    def finite(self) -> bool:
+        """NaN/inf watchdog predicate over every knob value."""
+        values = (float(self.cutoff), self.alpha, *self.shares)
+        return all(math.isfinite(v) for v in values)
+
+    def monotone(self, tolerance: float = _EPS) -> bool:
+        """Whether shares are non-increasing in rank (A ≥ B ≥ C)."""
+        return all(
+            self.shares[i] >= self.shares[i + 1] - tolerance
+            for i in range(len(self.shares) - 1)
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form for status endpoints and trace metadata."""
+        return {
+            "cutoff": self.cutoff,
+            "alpha": self.alpha,
+            "shares": list(self.shares),
+        }
+
+
+@dataclass(frozen=True)
+class KnobBounds:
+    """Per-knob intervals, maximum step sizes and the share guardrail.
+
+    ``share_budget`` caps the sum of the applied shares (≤ 1 — the
+    remainder of the downlink is the push channel's, exactly as in
+    :class:`~repro.core.config.HybridConfig`).
+    """
+
+    cutoff_min: int = 0
+    cutoff_max: int = 100
+    cutoff_step: int = 5
+    alpha_min: float = 0.0
+    alpha_max: float = 1.0
+    alpha_step: float = 0.1
+    share_floor: float = 0.02
+    share_step: float = 0.05
+    share_budget: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cutoff_min <= self.cutoff_max:
+            raise ValueError(
+                f"need 0 <= cutoff_min <= cutoff_max, got "
+                f"[{self.cutoff_min}, {self.cutoff_max}]"
+            )
+        if self.cutoff_step < 1:
+            raise ValueError(f"cutoff_step must be >= 1, got {self.cutoff_step}")
+        if not 0 <= self.alpha_min <= self.alpha_max <= 1:
+            raise ValueError(
+                f"need 0 <= alpha_min <= alpha_max <= 1, got "
+                f"[{self.alpha_min}, {self.alpha_max}]"
+            )
+        if not 0 < self.alpha_step <= 1:
+            raise ValueError(f"alpha_step must be in (0, 1], got {self.alpha_step}")
+        if not 0 <= self.share_floor < 1:
+            raise ValueError(f"share_floor must be in [0, 1), got {self.share_floor}")
+        if not 0 < self.share_step <= 1:
+            raise ValueError(f"share_step must be in (0, 1], got {self.share_step}")
+        if not 0 < self.share_budget <= 1:
+            raise ValueError(f"share_budget must be in (0, 1], got {self.share_budget}")
+
+    def admits(self, knobs: KnobState) -> bool:
+        """Whether a knob state lies inside every bound and guardrail."""
+        if not knobs.finite:
+            return False
+        if not self.cutoff_min <= knobs.cutoff <= self.cutoff_max:
+            return False
+        if not self.alpha_min - _EPS <= knobs.alpha <= self.alpha_max + _EPS:
+            return False
+        if not knobs.monotone():
+            return False
+        if any(s < self.share_floor - _EPS for s in knobs.shares):
+            return False
+        return sum(knobs.shares) <= self.share_budget + _EPS
+
+
+def clamp_step(current: float, proposed: float, step: float, lo: float, hi: float) -> float:
+    """Bound one scalar move: at most ``step`` from ``current``, inside ``[lo, hi]``.
+
+    The rate limit applies first, the interval second, so a knob pinned
+    at a bound can still step back inside it.
+    """
+    limited = min(max(proposed, current - step), current + step)
+    return min(max(limited, lo), hi)
+
+
+def _isotonic_non_increasing(values: list[float]) -> list[float]:
+    """Project onto the non-increasing cone (pool-adjacent-violators).
+
+    Classic PAVA with equal weights: adjacent blocks that violate the
+    ordering merge into their mean, which is the Euclidean projection.
+    """
+    blocks: list[tuple[float, int]] = []  # (block mean, block size)
+    for value in values:
+        mean, size = value, 1
+        # A *smaller* predecessor violates non-increasing order: merge.
+        while blocks and blocks[-1][0] < mean - _EPS:
+            prev_mean, prev_size = blocks.pop()
+            mean = (mean * size + prev_mean * prev_size) / (size + prev_size)
+            size += prev_size
+        blocks.append((mean, size))
+    flat: list[float] = []
+    for mean, size in blocks:
+        flat.extend([mean] * size)
+    return flat
+
+
+def project_shares(
+    current: tuple[float, ...], proposed: tuple[float, ...], bounds: KnobBounds
+) -> tuple[float, ...]:
+    """The monotone guardrail: make a share proposal safe, or refuse it.
+
+    The pipeline — isotonic projection onto the non-increasing cone,
+    per-class rate limit (``median(current±step, proposed)``, which
+    preserves monotonicity because the median is monotone in its
+    arguments), floor lift, budget rescale — ends with an explicit
+    validity check.  If any step left the vector invalid the *current*
+    (valid by induction) shares are returned unchanged, so the guardrail
+    can never emit an inverted or over-budget vector.
+    """
+    if len(proposed) != len(current):
+        return current
+    if any(math.isnan(s) or math.isinf(s) for s in proposed):
+        return current
+    ordered = _isotonic_non_increasing(list(proposed))
+    step = bounds.share_step
+    limited = [
+        min(max(p, c - step), c + step) for p, c in zip(ordered, current)
+    ]
+    floored = [max(s, bounds.share_floor) for s in limited]
+    total = sum(floored)
+    if total > bounds.share_budget:
+        scale = bounds.share_budget / total
+        floored = [s * scale for s in floored]
+    candidate = tuple(floored)
+    probe = KnobState(cutoff=bounds.cutoff_min, alpha=bounds.alpha_min, shares=candidate)
+    if not probe.monotone():
+        return current
+    if any(s < bounds.share_floor - _EPS for s in candidate):
+        return current
+    if sum(candidate) > bounds.share_budget + _EPS:
+        return current
+    return candidate

@@ -1,0 +1,159 @@
+"""Declarative per-class SLO specifications for the closed-loop controller.
+
+An SLO spec names, for each service class, the ceilings the control plane
+must defend: windowed mean delay, windowed 95th-percentile delay and
+windowed blocking fraction.  Every ceiling is optional — an omitted (or
+infinite) target places no constraint, so a spec built by
+:meth:`SLOSpec.unbounded` makes the controller a provable no-op (pinned by
+the bit-identity property suite).
+
+Specs round-trip through plain JSON dictionaries::
+
+    {"classes": {"A": {"delay_p95": 30.0, "blocking": 0.02},
+                 "B": {"delay_p95": 60.0},
+                 "C": {"blocking": 0.10}}}
+
+so operators hand the same file to ``repro control``, ``repro sweep
+--slo`` and ``repro serve --slo``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+__all__ = ["SLOError", "ClassSLO", "SLOSpec", "load_slo"]
+
+
+class SLOError(ValueError):
+    """Raised for malformed SLO specifications."""
+
+
+def _check_ceiling(name: str, value: Optional[float]) -> Optional[float]:
+    if value is None:
+        return None
+    ceiling = float(value)
+    if math.isnan(ceiling) or ceiling <= 0:
+        raise SLOError(f"{name} ceiling must be > 0 (or omitted), got {value!r}")
+    if math.isinf(ceiling):
+        return None  # an infinite ceiling is no ceiling
+    return ceiling
+
+
+@dataclass(frozen=True)
+class ClassSLO:
+    """Ceilings for one service class; ``None`` means unconstrained.
+
+    ``delay_mean`` and ``delay_p95`` bound the windowed delay statistics
+    of satisfied requests; ``blocking`` bounds the windowed fraction of
+    arrivals refused at bandwidth admission.
+    """
+
+    delay_mean: Optional[float] = None
+    delay_p95: Optional[float] = None
+    blocking: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "delay_mean", _check_ceiling("delay_mean", self.delay_mean))
+        object.__setattr__(self, "delay_p95", _check_ceiling("delay_p95", self.delay_p95))
+        blocking = _check_ceiling("blocking", self.blocking)
+        if blocking is not None and blocking > 1:
+            raise SLOError(f"blocking ceiling is a fraction in (0, 1], got {blocking}")
+        object.__setattr__(self, "blocking", blocking)
+
+    @property
+    def unbounded(self) -> bool:
+        """True when this class carries no constraint at all."""
+        return self.delay_mean is None and self.delay_p95 is None and self.blocking is None
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready form; unconstrained dimensions are omitted."""
+        record: dict[str, float] = {}
+        if self.delay_mean is not None:
+            record["delay_mean"] = self.delay_mean
+        if self.delay_p95 is not None:
+            record["delay_p95"] = self.delay_p95
+        if self.blocking is not None:
+            record["blocking"] = self.blocking
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "ClassSLO":
+        """Build from a JSON dictionary; unknown keys fail loudly."""
+        unknown = set(record) - {"delay_mean", "delay_p95", "blocking"}
+        if unknown:
+            raise SLOError(
+                f"unknown SLO fields {sorted(unknown)}; "
+                "expected delay_mean / delay_p95 / blocking"
+            )
+        return cls(
+            delay_mean=record.get("delay_mean"),
+            delay_p95=record.get("delay_p95"),
+            blocking=record.get("blocking"),
+        )
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Per-class SLO targets, rank order (index 0 = most important class)."""
+
+    targets: tuple[tuple[str, ClassSLO], ...]
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise SLOError("an SLO spec needs at least one class")
+        names = [name for name, _ in self.targets]
+        if len(set(names)) != len(names):
+            raise SLOError(f"duplicate class names in SLO spec: {names}")
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        """Class labels in rank order."""
+        return tuple(name for name, _ in self.targets)
+
+    def for_class(self, name: str) -> ClassSLO:
+        """The targets of one class (:class:`SLOError` if unknown)."""
+        for label, slo in self.targets:
+            if label == name:
+                return slo
+        raise SLOError(f"class {name!r} not in SLO spec {list(self.class_names)}")
+
+    @property
+    def unbounded(self) -> bool:
+        """True when no class carries any constraint (controller no-op)."""
+        return all(slo.unbounded for _, slo in self.targets)
+
+    @classmethod
+    def unbounded_for(cls, class_names: tuple[str, ...] | list[str]) -> "SLOSpec":
+        """A spec with infinitely wide targets for every named class."""
+        return cls(targets=tuple((name, ClassSLO()) for name in class_names))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the format ``from_dict`` accepts)."""
+        return {"classes": {name: slo.to_dict() for name, slo in self.targets}}
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "SLOSpec":
+        """Build from a JSON dictionary; see the module docstring format."""
+        classes = record.get("classes")
+        if not isinstance(classes, Mapping) or not classes:
+            raise SLOError('an SLO spec needs a non-empty "classes" mapping')
+        targets = tuple(
+            (str(name), ClassSLO.from_dict(fields)) for name, fields in classes.items()
+        )
+        return cls(targets=targets)
+
+
+def load_slo(path: str | Path) -> SLOSpec:
+    """Read an SLO spec from a JSON file; errors carry the file name."""
+    try:
+        record = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SLOError(f"cannot read SLO spec {path}: {exc}") from exc
+    try:
+        return SLOSpec.from_dict(record)
+    except SLOError as exc:
+        raise SLOError(f"{path}: {exc}") from exc

@@ -23,6 +23,7 @@ from .ablations import (
     length_law_ablation,
     pull_mode_ablation,
 )
+from .adaptive_control import adaptive_control
 from .ascii_plot import ascii_plot
 from .degradation import degradation_under_loss
 from .delay import delay_vs_alpha, delay_vs_cutoff
@@ -318,6 +319,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Section 5 (scale extension)",
             "Population-aggregated DES vs fluid model on an N ladder up to 10^6 clients",
             n_ladder_report,
+        ),
+        Experiment(
+            "adaptive-control",
+            "Section 5 (SLO extension)",
+            "Closed-loop SLO retuning vs static-optimal and oracle under drift and surge",
+            adaptive_control,
         ),
     )
 }

@@ -18,6 +18,8 @@ simulator:
 from .diff import TraceDiff, diff_traces
 from .events import (
     EVENT_TYPES,
+    ConfigChange,
+    ControllerDegraded,
     CutoffChanged,
     GammaSnapshot,
     PullDropped,
@@ -57,6 +59,8 @@ from .validate import TraceInvariantError, TraceValidator, ValidationReport
 
 __all__ = [
     "EVENT_TYPES",
+    "ConfigChange",
+    "ControllerDegraded",
     "CutoffChanged",
     "GammaSnapshot",
     "PullDropped",

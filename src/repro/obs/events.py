@@ -37,6 +37,8 @@ __all__ = [
     "PullDropped",
     "QueueSampled",
     "CutoffChanged",
+    "ConfigChange",
+    "ControllerDegraded",
     "GammaSnapshot",
     "EVENT_TYPES",
     "event_to_dict",
@@ -195,6 +197,52 @@ class CutoffChanged:
 
 
 @dataclass(frozen=True, slots=True)
+class ConfigChange:
+    """The control plane installed a new knob state (K, α, shares).
+
+    ``seq`` numbers the changes of one run from 1 so the validator can
+    audit continuity: event ``n+1``'s ``old_*`` fields must equal event
+    ``n``'s ``new_*`` fields, and the shares must always satisfy the
+    monotone guardrail (non-increasing in rank, sum ≤ 1).  ``source``
+    is ``"controller"`` (a closed-loop decision), ``"failsafe"`` (the
+    watchdog reverting to last-known-good) or ``"operator"`` (a manual
+    reconfiguration); ``reason`` is the controller's decision label.
+    """
+
+    kind: ClassVar[str] = "config_change"
+    time: float
+    seq: int
+    source: str
+    reason: str
+    old_cutoff: int
+    new_cutoff: int
+    old_alpha: float
+    new_alpha: float
+    old_shares: tuple[float, ...]
+    new_shares: tuple[float, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ControllerDegraded:
+    """The controller watchdog latched into failsafe.
+
+    ``reason`` names the trip (``nan-observation:<class>``,
+    ``nan-knob``, ``oscillation``, ``stalled``); the ``fallback_*``
+    fields are the last-known-good knob state being restored.  The
+    first ``config_change`` at or after this instant must carry
+    ``source="failsafe"`` and install exactly that state — audited by
+    the trace validator.
+    """
+
+    kind: ClassVar[str] = "controller_degraded"
+    time: float
+    reason: str
+    fallback_cutoff: int
+    fallback_alpha: float
+    fallback_shares: tuple[float, ...]
+
+
+@dataclass(frozen=True, slots=True)
 class GammaSnapshot:
     """Scores of every queued entry at one pull selection.
 
@@ -225,6 +273,8 @@ EVENT_TYPES: dict[str, type] = {
         PullDropped,
         QueueSampled,
         CutoffChanged,
+        ConfigChange,
+        ControllerDegraded,
         GammaSnapshot,
     )
 }

@@ -16,6 +16,14 @@ three of them into proofs over any recorded trace:
   smaller item id (the deterministic order Eq. 1 induces).  Proven from
   the :class:`~repro.obs.events.GammaSnapshot` recorded at decision
   time, for any registered pull scheduler.
+* **Reconfiguration audit** — every ``config_change`` installs legal
+  knobs (α ∈ [0, 1], cutoff inside the catalog, shares monotone
+  non-increasing summing to ≤ 1), the old/new chain is continuous, and
+  after a ``controller_degraded`` the next change is the failsafe
+  installing exactly the advertised fallback; no controller-sourced
+  change may follow a degrade until an operator reset.  Conservation
+  and non-preemption are checked over the *whole* trace, so they hold
+  across every reconfiguration boundary by construction.
 
 Violations raise :class:`TraceInvariantError` (or are returned in a
 :class:`ValidationReport` under ``strict=False``).
@@ -57,6 +65,7 @@ class ValidationReport:
     shed: int = 0
     live: int = 0
     selections_checked: int = 0
+    reconfigs_checked: int = 0
     violations: list[str] = field(default_factory=list)
 
     @property
@@ -69,7 +78,8 @@ class ValidationReport:
         head = (
             f"arrived={self.arrived} satisfied={self.satisfied} "
             f"blocked={self.blocked} reneged={self.reneged} shed={self.shed} "
-            f"live={self.live}; gamma selections checked={self.selections_checked}"
+            f"live={self.live}; gamma selections checked={self.selections_checked}; "
+            f"reconfigurations audited={self.reconfigs_checked}"
         )
         if self.ok:
             return f"trace OK: {head}"
@@ -114,6 +124,7 @@ class TraceValidator:
         self._check_non_preemption(report)
         self._check_gamma_tiebreak(report)
         self._check_queue_lengths(report)
+        self._check_config_changes(report)
         if strict and not report.ok:
             raise TraceInvariantError(report.summary())
         return report
@@ -252,3 +263,105 @@ class TraceValidator:
                     report,
                     f"negative queue length {event.length} at t={event.time:g}",
                 )
+
+    def _check_config_changes(self, report: ValidationReport) -> None:
+        """The reconfiguration audit (see the module docstring)."""
+        num_items = self.trace.meta.get("num_items")
+        previous = None
+        # Failsafe protocol state: after a controller_degraded, the next
+        # config_change must be its failsafe; controller-sourced changes
+        # stay forbidden until an operator change re-arms the loop.
+        pending_fallback = None
+        latched = False
+        for event in self.trace.events:
+            if event.kind == "controller_degraded":
+                pending_fallback = event
+                latched = True
+                continue
+            if event.kind != "config_change":
+                continue
+            report.reconfigs_checked += 1
+            where = f"config_change seq={event.seq} at t={event.time:g}"
+            if event.source not in ("controller", "failsafe", "operator"):
+                self._note(
+                    report,
+                    f"{where}: unknown source {event.source!r} (expected "
+                    "controller/failsafe/operator)",
+                )
+            if previous is not None and event.seq != previous.seq + 1:
+                self._note(
+                    report,
+                    f"{where}: sequence gap after seq={previous.seq} — a "
+                    "reconfiguration is missing from the trace",
+                )
+            if not 0.0 <= event.new_alpha <= 1.0:
+                self._note(
+                    report,
+                    f"{where}: alpha {event.new_alpha:g} outside [0, 1]",
+                )
+            if event.new_cutoff < 0 or (
+                num_items is not None and event.new_cutoff > int(num_items)
+            ):
+                limit = num_items if num_items is not None else "catalog size"
+                self._note(
+                    report,
+                    f"{where}: cutoff {event.new_cutoff} outside [0, {limit}]",
+                )
+            shares = event.new_shares
+            if any(s < -1e-9 for s in shares):
+                self._note(report, f"{where}: negative bandwidth share in {shares}")
+            if any(
+                shares[i] < shares[i + 1] - 1e-9 for i in range(len(shares) - 1)
+            ):
+                self._note(
+                    report,
+                    f"{where}: shares {tuple(round(s, 6) for s in shares)} invert "
+                    "the A>B>C priority order (monotone guardrail breached)",
+                )
+            if sum(shares) > 1.0 + 1e-9:
+                self._note(
+                    report,
+                    f"{where}: shares sum to {sum(shares):g} > 1 "
+                    "(over-committed downlink)",
+                )
+            if previous is not None and (
+                event.old_cutoff != previous.new_cutoff
+                or event.old_alpha != previous.new_alpha
+                or tuple(event.old_shares) != tuple(previous.new_shares)
+            ):
+                self._note(
+                    report,
+                    f"{where}: old knobs do not chain from seq={previous.seq} "
+                    "(an unrecorded reconfiguration happened in between)",
+                )
+            if pending_fallback is not None:
+                fb = pending_fallback
+                if event.source != "failsafe":
+                    self._note(
+                        report,
+                        f"{where}: first change after controller_degraded "
+                        f"(t={fb.time:g}) must be the failsafe, got source "
+                        f"{event.source!r}",
+                    )
+                elif (
+                    event.new_cutoff != fb.fallback_cutoff
+                    or event.new_alpha != fb.fallback_alpha
+                    or tuple(event.new_shares) != tuple(fb.fallback_shares)
+                ):
+                    self._note(
+                        report,
+                        f"{where}: failsafe installed cutoff={event.new_cutoff} "
+                        f"alpha={event.new_alpha:g} shares={event.new_shares} "
+                        f"but the degrade advertised cutoff={fb.fallback_cutoff} "
+                        f"alpha={fb.fallback_alpha:g} shares={fb.fallback_shares}",
+                    )
+                pending_fallback = None
+            elif latched and event.source == "controller":
+                self._note(
+                    report,
+                    f"{where}: controller-sourced change after a degrade — the "
+                    "failsafe latch must hold until an operator reset",
+                )
+            if latched and event.source == "operator":
+                latched = False
+            previous = event

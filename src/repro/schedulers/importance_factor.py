@@ -58,6 +58,20 @@ class ImportanceFactorScheduler(PullScheduler):
         self._stretch_scale = 1.0
         self._priority_scale = 1.0
 
+    def set_alpha(self, alpha: float) -> None:
+        """Retune the stretch weight in place (control-plane knob).
+
+        Any heap index built over the old scores is stale afterwards —
+        callers must re-attach the scorer so
+        :meth:`~repro.schedulers.base.PullQueue.attach_scorer` rebuilds
+        every record (the servers' ``reconfigure_alpha`` does exactly
+        that).
+        """
+        if not 0 <= alpha <= 1:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self._one_minus_alpha = 1.0 - self.alpha
+
     def gamma(self, entry: PendingEntry) -> float:
         """The importance factor of one entry (Eq. 1)."""
         return (

@@ -30,6 +30,7 @@ from .app import BroadcastService
 from .brownout import BrownoutController
 from .clock import ServiceClock
 from .config import LoadGenConfig, LossPhase, ServiceConfig, SurgePhase
+from .control import ServiceControlBridge
 from .core import SchedulerCore
 from .health import HealthMonitor, HealthState
 from .ledger import LedgerViolation, ServiceLedger
@@ -47,6 +48,7 @@ __all__ = [
     "SchedulerCore",
     "ServiceClock",
     "ServiceConfig",
+    "ServiceControlBridge",
     "ServiceLedger",
     "SurgePhase",
     "build_plan",

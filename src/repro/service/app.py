@@ -157,6 +157,9 @@ class BroadcastService:
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/readyz"): self._handle_readyz,
             ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/control"): self._handle_control_status,
+            ("POST", "/control/reset"): self._handle_control_reset,
+            ("POST", "/control/kill"): self._handle_control_kill,
         }
         handler = handlers.get((request.method, request.path))
         if handler is None:
@@ -226,6 +229,35 @@ class BroadcastService:
 
     async def _handle_metrics(self, request: HttpRequest) -> HttpResponse:
         return HttpResponse(200, self.core.metrics())
+
+    # -- closed-loop control (docs/control.md) -----------------------------------
+    def _control(self):
+        if self.core.control is None:
+            raise HttpError(
+                404, "no SLO controller configured — start the service with --slo"
+            )
+        return self.core.control
+
+    async def _handle_control_status(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse(200, self._control().status())
+
+    async def _handle_control_reset(self, request: HttpRequest) -> HttpResponse:
+        """Operator re-arm of a degraded controller (audited as such)."""
+        control = self._control()
+        return HttpResponse(200, control.reset())
+
+    async def _handle_control_kill(self, request: HttpRequest) -> HttpResponse:
+        """Chaos hook: trip the stall watchdog as if the loop was killed."""
+        control = self._control()
+        decision = control.kill(self.core.clock.now())
+        return HttpResponse(
+            200,
+            {
+                "degraded": control.controller.degraded,
+                "reason": decision.reason,
+                "status": control.status(),
+            },
+        )
 
     async def _handle_stream(self, request: HttpRequest, reader, writer) -> None:
         """Upgrade to WebSocket and stream monitor windows until close."""

@@ -125,10 +125,20 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace", default=None, metavar="PATH", help="write the obs trace here"
     )
+    parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="PATH",
+        help=(
+            "per-class SLO targets (JSON, see docs/control.md); enables the "
+            "closed-loop controller and the /control endpoints"
+        ),
+    )
     return parser
 
 
 async def _serve(args: argparse.Namespace) -> int:
+    from ..control.slo import load_slo
     from ..core import HybridConfig
 
     config = ServiceConfig(
@@ -139,6 +149,7 @@ async def _serve(args: argparse.Namespace) -> int:
         brownout_window=args.brownout_window,
         downlink_loss=args.downlink_loss,
         drain_timeout=args.drain_timeout,
+        slo=load_slo(args.slo) if args.slo is not None else None,
         seed=args.seed,
     )
     service = BroadcastService(

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..control.slo import SLOSpec
 from ..core.config import HybridConfig
 
 __all__ = ["ServiceConfig", "LoadGenConfig", "SurgePhase", "LossPhase"]
@@ -76,6 +77,15 @@ class ServiceConfig:
         Upper bound in seconds on the graceful SIGTERM drain; pending
         requests still unserved at the bound are failed as timed out
         (never silently dropped — the ledger accounts for every one).
+    slo:
+        Optional per-class SLO targets.  When set, the service hosts a
+        closed-loop :class:`~repro.control.SLOController` that retunes
+        cutoff K, α and the bandwidth shares online, observed once per
+        ``brownout_window``.  Precedence: while the brownout level is
+        above zero the SLO controller is *frozen* — sustained-overload
+        shedding owns the overload response, and the windows it governs
+        are discarded rather than fed to the controller (see
+        docs/control.md).
     seed:
         Root seed of all service randomness (bandwidth demand draws,
         downlink corruption) via ``SeedSequence`` spawning.
@@ -93,6 +103,7 @@ class ServiceConfig:
     brownout_max_level: Optional[int] = None
     downlink_loss: float = 0.0
     drain_timeout: float = 30.0
+    slo: Optional[SLOSpec] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -151,6 +162,14 @@ class ServiceConfig:
             "drain_timeout", self.drain_timeout,
             "the SIGTERM drain needs a finite upper bound",
         )
+        if self.slo is not None:
+            known = set(self.hybrid.class_names())
+            unknown = [n for n in self.slo.class_names if n not in known]
+            if unknown:
+                raise ValueError(
+                    f"slo targets unknown classes {unknown}; the hybrid config "
+                    f"defines {sorted(known)}"
+                )
 
     @property
     def num_classes(self) -> int:

@@ -59,6 +59,7 @@ from ..workload.arrivals import Request
 from .brownout import BrownoutController
 from .clock import ServiceClock
 from .config import ServiceConfig
+from .control import ServiceControlBridge
 from .health import HealthMonitor, HealthState
 from .ledger import ServiceLedger
 
@@ -170,6 +171,9 @@ class SchedulerCore:
         self.brownout = BrownoutController.from_config(config)
         self.ledger = ServiceLedger(num_classes=config.num_classes)
         self.health = HealthMonitor()
+        self.control: Optional[ServiceControlBridge] = (
+            ServiceControlBridge(self) if config.slo is not None else None
+        )
         seq = np.random.SeedSequence(config.seed)
         bandwidth_seq, downlink_seq = seq.spawn(2)
         self._bandwidth_rng = np.random.default_rng(bandwidth_seq)
@@ -613,6 +617,8 @@ class SchedulerCore:
             return
         delay = now - request.time
         self.ledger.finish("served", request.class_rank, from_flight=from_flight)
+        if self.control is not None:
+            self.control.note_delay(request.class_rank, delay)
         if self.tracer is not None:
             self.tracer.emit(
                 RequestSatisfied(
@@ -634,6 +640,57 @@ class SchedulerCore:
             return False
         return bool(self._downlink_rng.random() < self.config.downlink_loss)
 
+    # -- live reconfiguration (closed-loop control) --------------------------------
+    # The wall-clock twins of HybridServer.reconfigure_* — called from the
+    # monitor loop between admission decisions, never mid-transmission
+    # (an on-air transfer holds its entry outside the queue already, so
+    # migrating the split cannot touch it).
+    def reconfigure_cutoff(self, new_cutoff: int) -> None:
+        """Move the push/pull split live, migrating queued work across it.
+
+        Requests for items that cross to the push side park as push
+        waiters; parked waiters whose items cross to the pull side join
+        the pull queue.  Both populations count as ``queued`` in the
+        ledger, so conservation holds through the migration.
+        """
+        if not 0 <= new_cutoff <= len(self.catalog):
+            raise ValueError(
+                f"new_cutoff {new_cutoff} outside [0, {len(self.catalog)}]"
+            )
+        if new_cutoff == self.cutoff:
+            return
+        old_cutoff = self.cutoff
+        self.cutoff = new_cutoff
+        self.push_scheduler = make_push_scheduler(
+            self.config.hybrid.push_scheduler, self.catalog, new_cutoff
+        )
+        if new_cutoff > old_cutoff:
+            for item_id in [e.item_id for e in self.queue if e.item_id < new_cutoff]:
+                entry = self.queue.pop(item_id)
+                self._push_waiters.setdefault(item_id, []).extend(entry.requests)
+        else:
+            for item_id in [i for i in self._push_waiters if i >= new_cutoff]:
+                for request in self._push_waiters.pop(item_id):
+                    self.queue.add(request)
+        self._emit_queue_length()
+        self._wake()
+
+    def reconfigure_alpha(self, new_alpha: float) -> None:
+        """Retune Eq. 1's α live and rebuild the queue's score index."""
+        set_alpha = getattr(self.pull_scheduler, "set_alpha", None)
+        if set_alpha is None:
+            raise ValueError(
+                f"pull scheduler {self.config.hybrid.pull_scheduler!r} "
+                "has no alpha knob"
+            )
+        set_alpha(new_alpha)
+        if self.queue.indexed_for(self.pull_scheduler):
+            self.queue.attach_scorer(self.pull_scheduler)
+
+    def reconfigure_bandwidth(self, capacities: list[float]) -> None:
+        """Swap the per-class bandwidth capacities (in-use ledger intact)."""
+        self.pool.reconfigure(capacities)
+
     # -- monitor / timelines --------------------------------------------------------
     async def _monitor(self) -> None:
         """Feed the brownout controller one occupancy window at a time."""
@@ -647,6 +704,10 @@ class SchedulerCore:
                 self.health.transition(HealthState.BROWNOUT, now)
             elif self.health.state is HealthState.BROWNOUT and level == 0:
                 self.health.transition(HealthState.READY, now)
+            if self.control is not None:
+                # Precedence: brownout > SLO controller (the bridge
+                # freezes itself while the level is above zero).
+                self.control.tick(now, brownout_level=level)
             totals = (
                 self.ledger.served,
                 self.ledger.shed,
@@ -709,5 +770,6 @@ class SchedulerCore:
             "queue_requests": self.queue.total_requests,
             "ingress_capacity": self.config.ingress_capacity,
             "pool": pool,
+            "control": self.control.status() if self.control is not None else None,
             "windows": [w.to_dict() for w in self.windows[-32:]],
         }

@@ -101,6 +101,7 @@ class ServiceLedger:
     in_flight: int = 0
     submitted_by_rank: list[int] = field(default_factory=list)
     served_by_rank: list[int] = field(default_factory=list)
+    blocked_by_rank: list[int] = field(default_factory=list)
     shed_by_rank: list[int] = field(default_factory=list)
     rejected_by_rank: list[int] = field(default_factory=list)
     timed_out_by_rank: list[int] = field(default_factory=list)
@@ -109,8 +110,8 @@ class ServiceLedger:
         if self.num_classes < 1:
             raise ValueError(f"num_classes must be >= 1, got {self.num_classes}")
         for name in (
-            "submitted_by_rank", "served_by_rank", "shed_by_rank",
-            "rejected_by_rank", "timed_out_by_rank",
+            "submitted_by_rank", "served_by_rank", "blocked_by_rank",
+            "shed_by_rank", "rejected_by_rank", "timed_out_by_rank",
         ):
             if not getattr(self, name):
                 setattr(self, name, [0] * self.num_classes)
@@ -148,6 +149,8 @@ class ServiceLedger:
         setattr(self, outcome, getattr(self, outcome) + 1)
         if outcome == "served":
             self.served_by_rank[class_rank] += 1
+        elif outcome == "blocked":
+            self.blocked_by_rank[class_rank] += 1
         elif outcome == "shed":
             self.shed_by_rank[class_rank] += 1
         elif outcome == "rejected":
@@ -199,6 +202,7 @@ class ServiceLedger:
         payload["by_rank"] = {
             "submitted": list(self.submitted_by_rank),
             "served": list(self.served_by_rank),
+            "blocked": list(self.blocked_by_rank),
             "shed": list(self.shed_by_rank),
             "rejected": list(self.rejected_by_rank),
             "timed_out": list(self.timed_out_by_rank),

@@ -84,6 +84,27 @@ class BandwidthPool:
             )
         self._in_use[rank] = max(0.0, self._in_use[rank] - demand)
 
+    def reconfigure(self, capacities: np.ndarray | list[float]) -> None:
+        """Install new per-class reservations atomically (control plane).
+
+        Only the capacity vector changes; the in-use ledger and the
+        admission counters are untouched, so transmissions already on
+        air keep their held bandwidth and release against the same
+        accounting — conservation holds across the boundary.  Shrinking
+        a class below its current in-use is legal: its availability goes
+        negative and it simply admits nothing until enough transmissions
+        drain, which is exactly the non-preemptive semantics the paper's
+        admission control implies.
+        """
+        arr = np.asarray(capacities, dtype=float)
+        if arr.shape != (len(self._capacity),):
+            raise ValueError(
+                f"expected {len(self._capacity)} capacities, got shape {arr.shape}"
+            )
+        if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+            raise ValueError(f"capacities must be finite and >= 0, got {arr}")
+        self._capacity = arr.tolist()
+
     # -- accounting -------------------------------------------------------------
     def admitted(self, rank: int) -> int:
         """Number of transmissions admitted for class ``rank``."""

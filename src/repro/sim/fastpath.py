@@ -601,6 +601,33 @@ class FastHybridServer:
                 self._admit_pull(request)
         self.metrics.record_queue_length(self.env.now, len(self.pull_queue))
 
+    def reconfigure_alpha(self, new_alpha: float) -> None:
+        """Retune the Eq. 1 importance weight α at runtime (control plane).
+
+        Buffered arrivals settle under the *old* α first (mirroring
+        :meth:`reconfigure_cutoff`), then the scheduler is retuned and
+        the queue's heap index rebuilt so no stale score survives.
+        """
+        setter = getattr(self.pull_scheduler, "set_alpha", None)
+        if setter is None:
+            raise ValueError(
+                f"pull scheduler {self.pull_scheduler.name!r} has no alpha knob"
+            )
+        if self._arr_next <= self.env.now:
+            self._drain_arrivals(self.env.now)
+        setter(new_alpha)
+        if self.pull_queue.indexed_for(self.pull_scheduler):
+            self.pull_queue.attach_scorer(self.pull_scheduler)
+
+    def reconfigure_bandwidth(self, capacities: list[float]) -> None:
+        """Install new per-class bandwidth reservations (control plane).
+
+        In-flight transmissions keep their held bandwidth (see
+        :meth:`~repro.sim.bandwidth_pool.BandwidthPool.reconfigure`), so
+        the change never breaks conservation or non-preemption.
+        """
+        self.pool.reconfigure(capacities)
+
     # -- diagnostics -----------------------------------------------------------
     @property
     def pending_push_requests(self) -> int:

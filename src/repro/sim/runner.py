@@ -64,6 +64,7 @@ def run_single(
     pull_mode: PullMode = "serial",
     trace_path: str | Path | None = None,
     engine: Engine = "reference",
+    slo=None,
 ) -> SimulationResult:
     """Run one replication of ``config``.
 
@@ -74,6 +75,11 @@ def run_single(
 
     ``engine="fast"`` selects the flat-calendar fast core (statistically
     equivalent, not bit-identical; incompatible with ``trace_path``).
+
+    ``slo`` (a :class:`~repro.control.SLOSpec`) attaches the closed-loop
+    controller (:func:`~repro.control.build_controlled_system`) with
+    default knob bounds and hysteresis, observing ``horizon / 40``-wide
+    windows; ``slo=None`` is the exact uncontrolled code path.
     """
     if warmup is None:
         warmup = 0.1 * horizon
@@ -84,10 +90,30 @@ def run_single(
         from ..obs import TraceRecorder
 
         tracer = TraceRecorder()
-    system = HybridSystem(
-        config, seed=seed, warmup=warmup, pull_mode=pull_mode, tracer=tracer,
-        engine=engine,
-    )
+    if slo is not None:
+        unknown = set(slo.class_names) - set(config.class_names())
+        if unknown:
+            raise ValueError(
+                f"SLO names classes {sorted(unknown)} not in the config's "
+                f"{list(config.class_names())}"
+            )
+        from ..control import build_controlled_system
+
+        system, _loop = build_controlled_system(
+            config,
+            slo,
+            seed=seed,
+            warmup=warmup,
+            pull_mode=pull_mode,
+            engine=engine,
+            window=horizon / 40.0,
+            tracer=tracer,
+        )
+    else:
+        system = HybridSystem(
+            config, seed=seed, warmup=warmup, pull_mode=pull_mode, tracer=tracer,
+            engine=engine,
+        )
     result = system.run(horizon)
     if tracer is not None:
         from ..obs import write_trace
@@ -130,8 +156,12 @@ def run_traced(
 
 
 def _replication_task(task: tuple) -> SimulationResult:
-    """Module-level worker payload: one replication (picklable for pools)."""
-    config, seed, horizon, warmup, pull_mode, trace_path, engine = task
+    """Module-level worker payload: one replication (picklable for pools).
+
+    The optional eighth element is an SLO spec (older checkpoint drivers
+    enqueue 7-tuples, so it stays optional).
+    """
+    config, seed, horizon, warmup, pull_mode, trace_path, engine, *rest = task
     return run_single(
         config,
         seed=seed,
@@ -140,6 +170,7 @@ def _replication_task(task: tuple) -> SimulationResult:
         pull_mode=pull_mode,
         trace_path=trace_path,
         engine=engine,
+        slo=rest[0] if rest else None,
     )
 
 
@@ -284,6 +315,7 @@ def run_replications(
     resume: bool = False,
     resilience=None,
     engine: Engine = "reference",
+    slo=None,
 ) -> ReplicatedResult:
     """Run ``num_runs`` independent replications of ``config``.
 
@@ -320,6 +352,12 @@ def run_replications(
     ``checkpoint_dir`` and ``resilience`` unset the driver takes the
     exact legacy code path, so default calls stay bit-identical to
     earlier releases.
+
+    ``slo`` attaches the closed-loop controller to every replication
+    (see :func:`run_single`); the spec is recorded in the checkpoint
+    manifest, but resume-mismatch detection keys on the config hash and
+    sweep geometry only — do not resume a controlled checkpoint with a
+    different spec.
     """
     if num_runs < 1:
         raise ValueError(f"num_runs must be >= 1, got {num_runs}")
@@ -345,6 +383,7 @@ def run_replications(
             resume=resume,
             resilience=resilience,
             engine=engine,
+            slo=slo,
         )
     seeds = spawn_seeds(base_seed, num_runs)
     trace_paths: Optional[list[Path]] = None
@@ -364,6 +403,7 @@ def run_replications(
             pull_mode,
             None if trace_paths is None else trace_paths[index],
             engine,
+            slo,
         )
         for index, seed in enumerate(seeds)
     ]
@@ -427,6 +467,7 @@ def _run_replications_resilient(
     resume: bool,
     resilience,
     engine: Engine = "reference",
+    slo=None,
 ) -> ReplicatedResult:
     """Checkpointed / fault-tolerant body of :func:`run_replications`."""
     from ..resilience import ResilienceConfig, ResilientExecutor
@@ -441,7 +482,12 @@ def _run_replications_resilient(
         warmup,
         pull_mode,
         resume,
-        extra={"num_runs": num_runs, "n_jobs": n_jobs, "engine": engine},
+        extra={
+            "num_runs": num_runs,
+            "n_jobs": n_jobs,
+            "engine": engine,
+            "slo": None if slo is None else slo.to_dict(),
+        },
     )
     by_seed: dict[int, SimulationResult] = {}
     if store is not None and resume:
@@ -459,7 +505,10 @@ def _run_replications_resilient(
         on_result = None if store is None else store.save
         outcome = executor.run(
             _replication_task,
-            [(config, seed, horizon, warmup, pull_mode, None, engine) for seed in todo],
+            [
+                (config, seed, horizon, warmup, pull_mode, None, engine, slo)
+                for seed in todo
+            ],
             keys=todo,
             on_result=on_result,
         )

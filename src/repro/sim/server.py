@@ -563,6 +563,33 @@ class HybridServer:
         if self.pull_queue:
             self._wake()
 
+    def reconfigure_alpha(self, new_alpha: float) -> None:
+        """Retune the Eq. 1 importance weight α at runtime (control plane).
+
+        Only pull schedulers exposing a ``set_alpha`` knob support this
+        (the importance-factor family).  When the queue keeps a heap
+        index over the scheduler's scores, the index is rebuilt so no
+        record priced under the old α survives — selections after this
+        call are exactly what a fresh scheduler would pick.
+        """
+        setter = getattr(self.pull_scheduler, "set_alpha", None)
+        if setter is None:
+            raise ValueError(
+                f"pull scheduler {self.pull_scheduler.name!r} has no alpha knob"
+            )
+        setter(new_alpha)
+        if self.pull_queue.indexed_for(self.pull_scheduler):
+            self.pull_queue.attach_scorer(self.pull_scheduler)
+
+    def reconfigure_bandwidth(self, capacities: list[float]) -> None:
+        """Install new per-class bandwidth reservations (control plane).
+
+        Delegates to :meth:`~repro.sim.bandwidth_pool.BandwidthPool.reconfigure`:
+        in-flight transmissions keep their held bandwidth, so the change
+        is atomic with respect to conservation and non-preemption.
+        """
+        self.pool.reconfigure(capacities)
+
     # -- diagnostics -----------------------------------------------------------------
     @property
     def pending_push_requests(self) -> int:

@@ -1,0 +1,269 @@
+"""SLOController hysteresis, guardrails and watchdog/failsafe behaviour.
+
+The Hypothesis property pins the PR's reconfiguration-rate invariant:
+for *any* sequence of violating/clean windows, consecutive knob
+applications are at least ``cooldown_windows + 1`` windows apart — i.e.
+the reconfiguration rate never exceeds ``1 / (cooldown + 1)`` per
+window — every applied state is admitted by the bounds, and a tighten
+only ever fires after ``engage_windows`` consecutive violations.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.control import (
+    ClassSLO,
+    ClassWindow,
+    ControlSettings,
+    KnobBounds,
+    KnobState,
+    SLOController,
+    SLOSpec,
+    WindowObservation,
+)
+
+SPEC = SLOSpec(
+    targets=(
+        ("A", ClassSLO(delay_mean=50.0, blocking=0.05)),
+        ("B", ClassSLO()),
+        ("C", ClassSLO()),
+    )
+)
+BASELINE = KnobState(cutoff=10, alpha=0.5, shares=(0.5, 0.3, 0.2))
+BOUNDS = KnobBounds(
+    cutoff_min=0,
+    cutoff_max=50,
+    cutoff_step=5,
+    alpha_min=0.0,
+    alpha_max=1.0,
+    alpha_step=0.1,
+    share_floor=0.02,
+    share_step=0.05,
+    share_budget=1.0,
+)
+
+
+def _cw(delay=10.0, blocking=0.0, arrivals=20, satisfied=15):
+    return ClassWindow(
+        arrivals=arrivals,
+        satisfied=satisfied,
+        blocked=int(round(blocking * arrivals)),
+        delay_mean=delay,
+        delay_p95=delay,
+        blocking=blocking,
+    )
+
+
+def _obs(window, a=None, b=None, c=None):
+    return WindowObservation(
+        window=window,
+        time=100.0 * (window + 1),
+        classes=(("A", a or _cw()), ("B", b or _cw()), ("C", c or _cw())),
+    )
+
+
+def _violating(window):
+    """Class A over its delay target."""
+    return _obs(window, a=_cw(delay=100.0))
+
+
+def _controller(**settings):
+    return SLOController(SPEC, BOUNDS, BASELINE, ControlSettings(**settings))
+
+
+# -- the hysteresis rate property ---------------------------------------------
+@given(
+    pattern=st.lists(st.booleans(), min_size=1, max_size=40),
+    engage=st.integers(min_value=1, max_value=3),
+    cooldown=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=150)
+def test_hysteresis_bounds_the_reconfiguration_rate(pattern, engage, cooldown):
+    controller = _controller(
+        engage_windows=engage, release_windows=2, cooldown_windows=cooldown
+    )
+    for i, violating in enumerate(pattern):
+        controller.observe(_violating(i) if violating else _obs(i))
+
+    decisions = controller.decisions
+    assert len(decisions) == len(pattern)
+    applied = [i for i, d in enumerate(decisions) if d.applied is not None]
+
+    # Rate limit: applications are >= cooldown + 1 windows apart, so the
+    # reconfiguration rate is <= 1 / (cooldown + 1).
+    for earlier, later in zip(applied, applied[1:]):
+        assert later - earlier >= cooldown + 1, (applied, pattern)
+    assert len(applied) <= math.ceil(len(pattern) / (cooldown + 1))
+
+    # Every installed state passed the bounds + monotone guardrail.
+    for i in applied:
+        state = decisions[i].applied
+        assert BOUNDS.admits(state), state
+
+    # A tighten only fires after `engage` consecutive violating windows.
+    for i in applied:
+        if decisions[i].reason.startswith("tighten"):
+            assert i + 1 >= engage
+            assert all(pattern[i - engage + 1 : i + 1]), (i, pattern)
+
+
+# -- deterministic hysteresis ---------------------------------------------------
+class TestHysteresis:
+    def test_no_apply_before_engage_windows(self):
+        controller = _controller(engage_windows=2, cooldown_windows=0)
+        first = controller.observe(_violating(0))
+        assert first.applied is None and first.reason == "hold"
+        assert first.violations == ("A:delay_mean",)
+        second = controller.observe(_violating(1))
+        assert second.applied is not None
+        assert second.reason == "tighten:A:delay_mean"
+        # Delay violation shrinks the push set by one bounded step.
+        assert second.applied.cutoff == BASELINE.cutoff - BOUNDS.cutoff_step
+
+    def test_cooldown_blocks_back_to_back_applies(self):
+        controller = _controller(engage_windows=1, cooldown_windows=2)
+        reasons = [controller.observe(_violating(i)).reason for i in range(4)]
+        assert reasons[0].startswith("tighten")
+        assert reasons[1] == reasons[2] == "cooldown"
+        assert reasons[3].startswith("tighten")
+
+    def test_relax_steps_back_toward_baseline(self):
+        controller = _controller(
+            engage_windows=1, release_windows=2, cooldown_windows=0
+        )
+        controller.observe(_violating(0))
+        assert controller.knobs.cutoff == BASELINE.cutoff - BOUNDS.cutoff_step
+        controller.observe(_obs(1))
+        relaxed = controller.observe(_obs(2))
+        assert relaxed.reason == "relax"
+        assert relaxed.applied.cutoff == BASELINE.cutoff
+
+    def test_steady_at_baseline(self):
+        controller = _controller(engage_windows=1, release_windows=1)
+        decision = controller.observe(_obs(0))
+        assert decision.applied is None
+        assert decision.reason == "steady"
+
+    def test_saturated_when_no_knob_can_move(self):
+        spec = SLOSpec(targets=(("A", ClassSLO(delay_mean=50.0)),))
+        baseline = KnobState(cutoff=0, alpha=0.5, shares=(0.5,))
+        bounds = KnobBounds(
+            cutoff_min=0,
+            cutoff_max=50,
+            cutoff_step=5,
+            alpha_min=0.5,
+            alpha_max=0.5,
+            share_floor=0.02,
+            share_step=0.05,
+            share_budget=0.5,
+        )
+        controller = SLOController(
+            spec, bounds, baseline, ControlSettings(engage_windows=1)
+        )
+        obs = WindowObservation(
+            window=0, time=100.0, classes=(("A", _cw(delay=100.0)),)
+        )
+        decision = controller.observe(obs)
+        assert decision.reason == "saturated"
+        assert decision.applied is None
+        assert not controller.degraded
+
+
+# -- watchdogs ------------------------------------------------------------------
+class TestWatchdogs:
+    def test_nan_observation_fails_safe_to_last_known_good(self):
+        controller = _controller(engage_windows=1, cooldown_windows=0)
+        controller.observe(_violating(0))
+        assert controller.knobs != BASELINE
+        # No clean window seen: last-known-good is still the baseline.
+        corrupt = _obs(1, a=_cw(delay=math.nan, satisfied=5))
+        decision = controller.observe(corrupt)
+        assert decision.degraded
+        assert decision.reason == "failsafe:nan-observation:A"
+        assert decision.applied == BASELINE
+        assert controller.degraded
+        assert controller.knobs == BASELINE
+
+    def test_latched_after_degrade(self):
+        controller = _controller(engage_windows=1)
+        controller.observe(_obs(0, a=_cw(delay=math.nan, satisfied=5)))
+        after = controller.observe(_violating(1))
+        assert after.degraded
+        assert after.applied is None
+        assert after.reason == "latched:nan-observation:A"
+
+    def test_empty_window_is_not_corruption(self):
+        # NaN delay with zero satisfied requests is absence of evidence.
+        controller = _controller(engage_windows=1)
+        quiet = _obs(0, a=_cw(delay=math.nan, satisfied=0, arrivals=0))
+        decision = controller.observe(quiet)
+        assert not decision.degraded
+        assert not controller.degraded
+
+    def test_clean_window_updates_last_known_good(self):
+        controller = _controller(engage_windows=1, cooldown_windows=0)
+        controller.observe(_violating(0))
+        tightened = controller.knobs
+        controller.observe(_obs(1))  # clean: proves the tightened state
+        decision = controller.observe(_obs(2, a=_cw(delay=math.nan, satisfied=5)))
+        assert decision.degraded
+        assert decision.applied is None  # already at the fallback state
+        assert controller.knobs == tightened
+
+    def test_oscillation_watchdog_trips_on_hunting(self):
+        controller = _controller(
+            engage_windows=1, cooldown_windows=0, flip_limit=3, flip_memory=8
+        )
+        blocked = lambda i: _obs(i, a=_cw(blocking=0.5))  # noqa: E731
+        slow = lambda i: _violating(i)  # noqa: E731
+        controller.observe(blocked(0))  # cutoff up
+        controller.observe(slow(1))  # cutoff down: flip 1
+        controller.observe(blocked(2))  # cutoff up: flip 2
+        decision = controller.observe(slow(3))  # would be flip 3
+        assert decision.degraded
+        assert decision.reason == "failsafe:oscillation"
+        assert controller.knobs == BASELINE
+
+    def test_note_stall_degrades(self):
+        controller = _controller()
+        decision = controller.note_stall(window=3, time=300.0)
+        assert decision.degraded
+        assert decision.reason == "failsafe:stalled"
+        assert controller.degraded_reason == "stalled"
+        latched = controller.observe(_obs(4))
+        assert latched.reason == "latched:stalled"
+
+    def test_reset_rearms_from_last_known_good(self):
+        controller = _controller(engage_windows=1)
+        controller.note_stall(window=0, time=100.0)
+        assert controller.degraded
+        controller.reset()
+        assert not controller.degraded
+        assert controller.degraded_reason is None
+        assert controller.knobs == BASELINE
+        decision = controller.observe(_violating(1))
+        assert decision.reason.startswith("tighten")
+
+
+class TestConstruction:
+    def test_baseline_must_align_with_spec(self):
+        with pytest.raises(ValueError, match="align"):
+            SLOController(SPEC, BOUNDS, KnobState(cutoff=10, alpha=0.5, shares=(1.0,)))
+
+    def test_baseline_must_be_admitted(self):
+        bad = KnobState(cutoff=49, alpha=0.5, shares=(0.2, 0.3, 0.5))
+        with pytest.raises(ValueError, match="bounds"):
+            SLOController(SPEC, BOUNDS, bad)
+
+    def test_status_is_json_ready(self):
+        import json
+
+        controller = _controller()
+        controller.observe(_violating(0))
+        record = controller.status()
+        assert json.dumps(record)
+        assert record["windows"] == 1
+        assert record["degraded"] is False

@@ -1,0 +1,142 @@
+"""Knob state validation, rate limiting and the share guardrail.
+
+The Hypothesis property here is one of the PR's pinned invariants: for
+*any* proposed share vector — including NaN, infinities and inverted
+orders — :func:`project_shares` emits a vector that keeps the monotone
+A ≥ B ≥ C priority order, respects the per-class floor and never
+over-commits the budget (falling back to the current vector when the
+projection cannot).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.control import KnobBounds, KnobState, clamp_step, project_shares
+
+_EPS = 1e-9
+
+BOUNDS = KnobBounds(
+    cutoff_min=0,
+    cutoff_max=50,
+    cutoff_step=5,
+    alpha_min=0.0,
+    alpha_max=1.0,
+    alpha_step=0.1,
+    share_floor=0.02,
+    share_step=0.05,
+    share_budget=1.0,
+)
+
+
+class TestClampStep:
+    def test_small_move_passes_through(self):
+        assert clamp_step(0.5, 0.55, 0.1, 0.0, 1.0) == pytest.approx(0.55)
+
+    def test_rate_limit_first(self):
+        assert clamp_step(0.5, 0.9, 0.1, 0.0, 1.0) == pytest.approx(0.6)
+        assert clamp_step(0.5, 0.1, 0.1, 0.0, 1.0) == pytest.approx(0.4)
+
+    def test_interval_clamp_second(self):
+        # Rate limit allows 0.4, but the interval floor is tighter.
+        assert clamp_step(0.5, 0.2, 0.1, 0.45, 1.0) == pytest.approx(0.45)
+
+
+class TestKnobState:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cutoff": -1, "alpha": 0.5, "shares": (0.5, 0.3, 0.2)},
+            {"cutoff": 10, "alpha": 1.5, "shares": (0.5, 0.3, 0.2)},
+            {"cutoff": 10, "alpha": math.nan, "shares": (0.5, 0.3, 0.2)},
+            {"cutoff": 10, "alpha": 0.5, "shares": ()},
+            {"cutoff": 10, "alpha": 0.5, "shares": (0.5, math.nan, 0.2)},
+            {"cutoff": 10, "alpha": 0.5, "shares": (0.5, -0.1, 0.2)},
+        ],
+    )
+    def test_constructor_rejects_malformed_states(self, kwargs):
+        with pytest.raises(ValueError):
+            KnobState(**kwargs)
+
+    def test_finite_rejects_infinite_share(self):
+        assert not KnobState(cutoff=10, alpha=0.5, shares=(math.inf, 0.3, 0.2)).finite
+        assert KnobState(cutoff=10, alpha=0.5, shares=(0.5, 0.3, 0.2)).finite
+
+    def test_monotone(self):
+        assert KnobState(cutoff=10, alpha=0.5, shares=(0.5, 0.3, 0.2)).monotone()
+        assert not KnobState(cutoff=10, alpha=0.5, shares=(0.2, 0.5, 0.3)).monotone()
+
+    def test_to_dict_round_trips_values(self):
+        state = KnobState(cutoff=10, alpha=0.5, shares=(0.5, 0.3, 0.2))
+        record = state.to_dict()
+        assert record["cutoff"] == 10
+        assert record["alpha"] == 0.5
+        assert tuple(record["shares"]) == (0.5, 0.3, 0.2)
+
+
+class TestKnobBounds:
+    def test_admits_baseline(self):
+        assert BOUNDS.admits(KnobState(cutoff=10, alpha=0.5, shares=(0.5, 0.3, 0.2)))
+
+    @pytest.mark.parametrize(
+        "state",
+        [
+            KnobState(cutoff=99, alpha=0.5, shares=(0.5, 0.3, 0.2)),  # cutoff high
+            KnobState(cutoff=10, alpha=0.5, shares=(0.2, 0.3, 0.5)),  # inverted
+            KnobState(cutoff=10, alpha=0.5, shares=(0.5, 0.3, 0.01)),  # below floor
+            KnobState(cutoff=10, alpha=0.5, shares=(0.6, 0.5, 0.4)),  # over budget
+            KnobState(cutoff=10, alpha=0.5, shares=(math.inf, 0.3, 0.2)),  # !finite
+        ],
+    )
+    def test_rejects_invalid_states(self, state):
+        assert not BOUNDS.admits(state)
+
+    def test_validation_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            KnobBounds(cutoff_min=10, cutoff_max=5)
+
+
+def _valid_current(raw: tuple[float, float, float]) -> tuple[float, ...]:
+    """Deterministically shape raw draws into an admissible share vector."""
+    ordered = sorted(raw, reverse=True)
+    total = sum(ordered)
+    # Spend 90% of the budget; raw values in [0.1, 1.0] keep every
+    # share >= 0.1/3.0 * 0.9 = 0.03 > floor.
+    return tuple(x / total * 0.9 * BOUNDS.share_budget for x in ordered)
+
+
+@given(
+    raw=st.tuples(*[st.floats(min_value=0.1, max_value=1.0)] * 3),
+    proposed=st.tuples(
+        *[st.floats(allow_nan=True, allow_infinity=True, width=32)] * 3
+    ),
+)
+@settings(max_examples=200)
+def test_project_shares_always_emits_admissible_vectors(raw, proposed):
+    current = _valid_current(raw)
+    result = project_shares(current, proposed, BOUNDS)
+    assert len(result) == 3
+    # Monotone guardrail: A >= B >= C within tolerance.
+    assert all(
+        result[i] >= result[i + 1] - _EPS for i in range(len(result) - 1)
+    ), result
+    # Floor and budget hold no matter what was proposed.
+    assert all(s >= BOUNDS.share_floor - _EPS for s in result), result
+    assert sum(result) <= BOUNDS.share_budget + _EPS, result
+    assert all(math.isfinite(s) for s in result), result
+
+
+@given(raw=st.tuples(*[st.floats(min_value=0.1, max_value=1.0)] * 3))
+@settings(max_examples=50)
+def test_project_shares_nan_proposal_falls_back_to_current(raw):
+    current = _valid_current(raw)
+    result = project_shares(current, (math.nan, math.nan, math.nan), BOUNDS)
+    assert result == pytest.approx(current)
+
+
+def test_project_shares_fixes_an_inverted_proposal():
+    current = (0.5, 0.3, 0.2)
+    result = project_shares(current, (0.2, 0.3, 0.5), BOUNDS)
+    assert all(result[i] >= result[i + 1] - _EPS for i in range(2))

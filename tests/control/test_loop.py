@@ -1,0 +1,219 @@
+"""ControlLoop on the engines: bit-identity, windower exactness, hooks.
+
+Pinned here:
+
+* **bit-identity** — a controller armed with an infinitely-wide SLO spec
+  is provably invisible: ``run_single(..., slo=unbounded)`` produces the
+  exact same :class:`SimulationResult` as the uncontrolled run, across
+  seeds × pull modes (so ``sweep --slo`` can never perturb a baseline);
+* **windower exactness** — the moment-delta windows partition the run:
+  per-class satisfied counts and request-weighted delay means summed
+  over windows equal the collector's totals;
+* **engine hooks** — a forcing SLO drives reconfigurations through all
+  three engines (reference, fast, population) and the run completes.
+"""
+
+import math
+
+import pytest
+
+from repro.control import (
+    ClassSLO,
+    ControlLoop,
+    ControlSettings,
+    KnobState,
+    SLOController,
+    SLOSpec,
+    WindowRecorder,
+    build_controlled_system,
+    default_bounds,
+    empirical_percentile,
+    observations_from_trace,
+)
+from repro.core import HybridConfig
+from repro.sim import HybridSystem, run_single, run_traced
+
+BASE = HybridConfig(num_items=24, cutoff=8, arrival_rate=2.0, num_clients=30)
+NAMES = tuple(BASE.class_names())
+HORIZON = 150.0
+WARMUP = 15.0
+
+#: A spec no finite system can meet: every window violates, so the
+#: controller must engage on any engine that wires the hooks correctly.
+FORCING = SLOSpec(
+    targets=(
+        ("A", ClassSLO(delay_mean=1e-6)),
+        ("B", ClassSLO(delay_mean=1e-6)),
+        ("C", ClassSLO()),
+    )
+)
+
+
+def _fingerprint(result):
+    return (
+        result.satisfied_requests,
+        result.blocked_requests,
+        result.shed_requests,
+        result.push_broadcasts,
+        result.pull_services,
+        result.overall_delay,
+        result.mean_queue_length,
+        dict(result.per_class_delay),
+        dict(result.per_class_blocking),
+        dict(result.per_class_cost),
+    )
+
+
+# -- bit-identity ---------------------------------------------------------------
+@pytest.mark.parametrize("pull_mode", ["serial", "concurrent"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_unbounded_slo_is_bit_identical_to_no_controller(pull_mode, seed):
+    plain = run_single(
+        BASE, seed=seed, horizon=HORIZON, warmup=WARMUP, pull_mode=pull_mode
+    )
+    controlled = run_single(
+        BASE,
+        seed=seed,
+        horizon=HORIZON,
+        warmup=WARMUP,
+        pull_mode=pull_mode,
+        slo=SLOSpec.unbounded_for(NAMES),
+    )
+    assert _fingerprint(controlled) == _fingerprint(plain)
+
+
+def test_unbounded_controller_never_reconfigures():
+    system, loop = build_controlled_system(
+        BASE, SLOSpec.unbounded_for(NAMES), seed=0, warmup=WARMUP, window=25.0
+    )
+    system.run(HORIZON)
+    assert loop.seq == 0
+    assert loop.controller.changes == 0
+    assert not loop.controller.degraded
+    assert all(d.applied is None for d in loop.controller.decisions)
+
+
+# -- windower exactness ---------------------------------------------------------
+def test_window_recorder_partitions_the_run():
+    system = HybridSystem(BASE, seed=7, warmup=0.0)
+    recorder = WindowRecorder(system, window=25.0)
+    result = system.run(HORIZON)
+    observations = recorder.observations
+    assert len(observations) == int(HORIZON / 25.0)
+    # Events landing exactly at the horizon can be processed after the
+    # final tick; one closing flush completes the partition.
+    closing = recorder._windower.observe()
+
+    for name in NAMES:
+        tally = system.metrics.delay_by_class[name]
+        windows = [obs.for_class(name) for obs in observations]
+        windows.append(closing.for_class(name))
+        assert sum(w.satisfied for w in windows) == tally.count
+        if tally.count:
+            pooled = sum(
+                w.delay_mean * w.satisfied for w in windows if w.satisfied
+            ) / tally.count
+            assert pooled == pytest.approx(tally.mean, rel=1e-9)
+        arrivals = system.metrics.arrivals_by_class[name].count
+        assert sum(w.arrivals for w in windows) == arrivals
+    assert result.satisfied_requests == sum(
+        obs.for_class(name).satisfied
+        for obs in [*observations, closing]
+        for name in NAMES
+    )
+
+
+def test_window_recorder_rejects_bad_window():
+    system = HybridSystem(BASE, seed=0)
+    with pytest.raises(ValueError, match="window"):
+        WindowRecorder(system, window=0.0)
+
+
+# -- engine hooks ---------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["reference", "fast", "population"])
+def test_forcing_slo_reconfigures_every_engine(engine):
+    system, loop = build_controlled_system(
+        BASE,
+        FORCING,
+        seed=3,
+        warmup=WARMUP,
+        engine=engine,
+        window=25.0,
+        settings=ControlSettings(engage_windows=1, cooldown_windows=0),
+    )
+    result = system.run(HORIZON)
+    assert loop.seq >= 1, f"{engine}: no reconfiguration reached the engine"
+    assert loop.applied != loop.controller.baseline
+    assert math.isfinite(result.overall_delay)
+    # The installed state is live engine state, not just bookkeeping.
+    assert system.server.cutoff == loop.applied.cutoff
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast", "population"])
+def test_direct_hooks_apply_knob_state(engine):
+    from repro.schedulers.registry import make_push_scheduler
+
+    system = HybridSystem(BASE, seed=0, warmup=WARMUP, engine=engine)
+    server = system.server
+    new_cutoff = 4
+    server.reconfigure_cutoff(
+        new_cutoff, make_push_scheduler(BASE.push_scheduler, system.catalog, new_cutoff)
+    )
+    server.reconfigure_alpha(0.8)
+    total = float(BASE.total_bandwidth)
+    server.reconfigure_bandwidth([0.4 * total, 0.35 * total, 0.25 * total])
+    assert server.cutoff == new_cutoff
+    result = system.run(HORIZON)
+    assert math.isfinite(result.overall_delay)
+
+
+# -- construction guards --------------------------------------------------------
+def test_control_loop_rejects_mismatched_baseline():
+    system = HybridSystem(BASE, seed=0)
+    bounds = default_bounds(BASE)
+    wrong = KnobState(
+        cutoff=BASE.cutoff + 1,
+        alpha=BASE.alpha,
+        shares=tuple(s.bandwidth_share for s in BASE.class_specs),
+    )
+    controller = SLOController(SLOSpec.unbounded_for(NAMES), bounds, wrong)
+    with pytest.raises(ValueError, match="baseline"):
+        ControlLoop(system, controller, window=25.0)
+
+
+def test_default_bounds_derive_from_config():
+    bounds = default_bounds(BASE)
+    assert bounds.cutoff_min == 0
+    assert bounds.cutoff_max == BASE.num_items
+    assert bounds.cutoff_step == max(1, BASE.num_items // 20)
+    assert bounds.share_budget == pytest.approx(
+        sum(s.bandwidth_share for s in BASE.class_specs)
+    )
+    # Concurrent pull mode needs a non-empty push set.
+    assert default_bounds(BASE, pull_mode="concurrent").cutoff_min == 1
+    # Alpha freezes when the pull scheduler has no alpha knob.
+    frozen = default_bounds(BASE, alpha_tunable=False)
+    assert frozen.alpha_min == frozen.alpha_max == BASE.alpha
+
+
+# -- trace replay ---------------------------------------------------------------
+def test_observations_from_trace_windows_a_recorded_run():
+    _, trace = run_traced(BASE, seed=5, horizon=HORIZON, warmup=WARMUP)
+    observations = observations_from_trace(trace, num_windows=6)
+    assert len(observations) == 6
+    names = {name for obs in observations for name, _ in obs.classes}
+    assert names == set(NAMES)
+    satisfied = sum(
+        stats.satisfied for obs in observations for _, stats in obs.classes
+    )
+    assert satisfied == sum(1 for e in trace.of_kind("request_satisfied"))
+    with pytest.raises(ValueError, match="num_windows"):
+        observations_from_trace(trace, num_windows=0)
+
+
+def test_empirical_percentile():
+    assert math.isnan(empirical_percentile([], 95))
+    assert empirical_percentile([3.0], 95) == 3.0
+    values = [float(v) for v in range(1, 101)]
+    assert empirical_percentile(values, 50) == pytest.approx(50.5)
+    assert empirical_percentile(values, 95) == pytest.approx(95.05)

@@ -1,0 +1,97 @@
+"""SLO spec validation, JSON round-trips and loader errors."""
+
+import math
+
+import pytest
+
+from repro.control import ClassSLO, SLOError, SLOSpec, load_slo
+
+
+class TestClassSLO:
+    def test_defaults_are_unconstrained(self):
+        slo = ClassSLO()
+        assert slo.unbounded
+        assert slo.to_dict() == {}
+
+    def test_infinite_ceiling_is_no_ceiling(self):
+        slo = ClassSLO(delay_mean=math.inf, delay_p95=math.inf, blocking=1.0)
+        assert slo.delay_mean is None
+        assert slo.delay_p95 is None
+        assert slo.blocking == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0, math.nan])
+    def test_nonpositive_or_nan_ceilings_rejected(self, bad):
+        with pytest.raises(SLOError):
+            ClassSLO(delay_mean=bad)
+
+    def test_blocking_is_a_fraction(self):
+        with pytest.raises(SLOError, match="fraction"):
+            ClassSLO(blocking=3.0)
+
+    def test_round_trip(self):
+        slo = ClassSLO(delay_mean=30.0, blocking=0.05)
+        assert ClassSLO.from_dict(slo.to_dict()) == slo
+
+    def test_unknown_field_fails_loudly(self):
+        with pytest.raises(SLOError, match="unknown"):
+            ClassSLO.from_dict({"delay_median": 30.0})
+
+
+class TestSLOSpec:
+    def test_round_trip(self):
+        spec = SLOSpec(
+            targets=(
+                ("A", ClassSLO(delay_mean=30.0, blocking=0.05)),
+                ("B", ClassSLO(delay_p95=90.0)),
+                ("C", ClassSLO()),
+            )
+        )
+        assert SLOSpec.from_dict(spec.to_dict()) == spec
+        assert spec.class_names == ("A", "B", "C")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SLOError):
+            SLOSpec(targets=())
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(SLOError, match="duplicate"):
+            SLOSpec(targets=(("A", ClassSLO()), ("A", ClassSLO())))
+
+    def test_for_class_unknown_raises(self):
+        spec = SLOSpec.unbounded_for(("A", "B"))
+        with pytest.raises(SLOError):
+            spec.for_class("Z")
+
+    def test_unbounded_for_is_a_noop_spec(self):
+        spec = SLOSpec.unbounded_for(("A", "B", "C"))
+        assert spec.unbounded
+        assert all(spec.for_class(n).unbounded for n in ("A", "B", "C"))
+
+
+class TestLoadSLO:
+    def test_loads_json_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            '{"classes": {"A": {"delay_mean": 30.0, "blocking": 0.05},'
+            ' "B": {"delay_mean": 60.0}, "C": {}}}'
+        )
+        spec = load_slo(path)
+        assert spec.class_names == ("A", "B", "C")
+        assert spec.for_class("A").delay_mean == 30.0
+        assert spec.for_class("C").unbounded
+
+    def test_missing_file_is_an_slo_error(self, tmp_path):
+        with pytest.raises(SLOError, match="cannot read"):
+            load_slo(tmp_path / "nope.json")
+
+    def test_malformed_json_is_an_slo_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SLOError, match="cannot read"):
+            load_slo(path)
+
+    def test_bad_ceiling_is_an_slo_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"classes": {"A": {"blocking": 3.0}}}')
+        with pytest.raises(SLOError, match="fraction"):
+            load_slo(path)

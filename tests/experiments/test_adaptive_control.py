@@ -1,0 +1,164 @@
+"""Tests for experiment E14 — the closed-loop control evaluation.
+
+Unit tests pin the phase-pooled scoring machinery (the drift scenario's
+yardstick); the smoke test runs the full experiment once at QUICK scale
+and checks the report's structural invariants — the headline verdicts
+are only statistically meaningful at FULL scale and are not asserted
+here beyond the reconfiguration audit, which must always pass.
+"""
+
+import math
+
+import pytest
+
+from repro.control import ClassSLO, ClassWindow, SLOSpec, WindowObservation
+from repro.experiments import run_experiment
+from repro.experiments.adaptive_control import (
+    _attainment,
+    _majority,
+    _phase_report,
+    _pool,
+    never_worse_attainment,
+)
+from repro.experiments.specs import ExperimentScale
+
+SPEC = SLOSpec(targets=(("A", ClassSLO(delay_mean=50.0)),))
+
+
+def _cw(delay, satisfied, arrivals=None, blocked=0):
+    arrivals = satisfied + blocked if arrivals is None else arrivals
+    return ClassWindow(
+        arrivals=arrivals,
+        satisfied=satisfied,
+        blocked=blocked,
+        delay_mean=delay,
+        delay_p95=delay,
+        blocking=blocked / arrivals if arrivals else math.nan,
+    )
+
+
+def _obs(window, time, delay, satisfied, blocked=0):
+    return WindowObservation(
+        window=window, time=time, classes=(("A", _cw(delay, satisfied, blocked=blocked)),)
+    )
+
+
+class TestPool:
+    def test_pooled_mean_is_request_weighted(self):
+        observations = [
+            _obs(0, 100.0, delay=10.0, satisfied=30),
+            _obs(1, 200.0, delay=40.0, satisfied=10),
+        ]
+        pooled = _pool(observations, start=0.0)
+        cell = pooled.for_class("A")
+        assert cell.satisfied == 40
+        # (10*30 + 40*10) / 40 = 17.5, not the unweighted 25.
+        assert cell.delay_mean == pytest.approx(17.5)
+
+    def test_interval_is_half_open(self):
+        observations = [
+            _obs(0, 100.0, delay=10.0, satisfied=5),
+            _obs(1, 200.0, delay=20.0, satisfied=5),
+            _obs(2, 300.0, delay=30.0, satisfied=5),
+        ]
+        pooled = _pool(observations, start=100.0, end=300.0)
+        # start is exclusive, end inclusive: windows at 200 and 300.
+        assert pooled.for_class("A").satisfied == 10
+        assert pooled.for_class("A").delay_mean == pytest.approx(25.0)
+
+    def test_empty_interval_pools_to_none(self):
+        assert _pool([_obs(0, 100.0, delay=10.0, satisfied=5)], start=500.0) is None
+
+    def test_empty_windows_carry_no_delay_weight(self):
+        observations = [
+            _obs(0, 100.0, delay=10.0, satisfied=20),
+            _obs(1, 200.0, delay=math.nan, satisfied=0),
+        ]
+        cell = _pool(observations, start=0.0).for_class("A")
+        assert cell.delay_mean == pytest.approx(10.0)
+
+    def test_pooled_blocking_aggregates_arrivals(self):
+        observations = [
+            _obs(0, 100.0, delay=10.0, satisfied=8, blocked=2),
+            _obs(1, 200.0, delay=10.0, satisfied=10, blocked=0),
+        ]
+        cell = _pool(observations, start=0.0).for_class("A")
+        assert cell.blocking == pytest.approx(2 / 20)
+
+
+class TestPhaseReport:
+    def test_meets_on_pooled_not_per_window(self):
+        # One bad window, outweighed: pooled 17.5 <= 50 meets even though
+        # a per-window check would flag window 1 at delay 60.
+        observations = [
+            _obs(0, 100.0, delay=10.0, satisfied=30),
+            _obs(1, 200.0, delay=60.0, satisfied=3),
+        ]
+        meets, delays = _phase_report(observations, SPEC, start=0.0)
+        assert meets
+        assert delays["A"] == pytest.approx((10.0 * 30 + 60.0 * 3) / 33)
+
+    def test_empty_phase_never_meets(self):
+        meets, delays = _phase_report([], SPEC, start=0.0)
+        assert not meets and delays == {}
+
+
+class TestAttainment:
+    def test_fraction_of_clean_windows(self):
+        observations = [
+            _obs(0, 100.0, delay=10.0, satisfied=5),
+            _obs(1, 200.0, delay=90.0, satisfied=5),
+            _obs(2, 300.0, delay=20.0, satisfied=5),
+        ]
+        assert _attainment(observations, SPEC, start=0.0) == pytest.approx(2 / 3)
+
+    def test_empty_interval_is_nan(self):
+        assert math.isnan(_attainment([], SPEC, start=0.0))
+
+
+class TestMajority:
+    @pytest.mark.parametrize(
+        "count,total,expected",
+        [(0, 0, False), (1, 1, True), (0, 1, False), (2, 3, True), (1, 3, False), (2, 4, True)],
+    )
+    def test_at_least_half(self, count, total, expected):
+        assert _majority(count, total) is expected
+
+
+class TestNeverWorse:
+    def test_within_combined_ci_is_never_worse(self):
+        summary = {
+            "static": {"attain": (0.70, 0.05)},
+            "closed-loop": {"attain": (0.68, 0.04)},
+        }
+        assert never_worse_attainment(summary)
+
+    def test_clearly_below_ci_is_worse(self):
+        summary = {
+            "static": {"attain": (0.70, 0.01)},
+            "closed-loop": {"attain": (0.50, 0.01)},
+        }
+        assert not never_worse_attainment(summary)
+
+    def test_nan_halfwidths_collapse_to_point_comparison(self):
+        summary = {
+            "static": {"attain": (0.70, math.nan)},
+            "closed-loop": {"attain": (0.71, math.nan)},
+        }
+        assert never_worse_attainment(summary)
+
+
+@pytest.mark.slow
+def test_quick_scale_smoke():
+    """E14 end to end at a reduced QUICK scale: structure + audit."""
+    report = run_experiment(
+        "adaptive-control", ExperimentScale(horizon=1_000.0, num_seeds=1)
+    )
+    assert "Drift scenario" in report
+    assert "Flash-crowd + loss scenario" in report
+    assert "static-optimal" in report and "closed-loop" in report
+    # The reconfiguration audit must pass unconditionally: every trace
+    # of every controlled run validates, at any scale.
+    audits = [line for line in report.splitlines() if "reconfiguration audit" in line]
+    assert len(audits) == 2
+    assert all(line.endswith("yes") for line in audits)

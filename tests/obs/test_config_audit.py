@@ -1,0 +1,189 @@
+"""The reconfiguration audit: golden controlled trace + corrupted twin.
+
+``tests/control/goldens/controlled_run.jsonl`` is a recorded
+closed-loop run (forcing SLO, six ``config_change`` events); the
+``_corrupt`` variant inverts one change's share order, which must fail
+validation with an actionable monotone-guardrail message.  The
+synthetic cases pin each audit rule in isolation.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    ConfigChange,
+    ControllerDegraded,
+    Trace,
+    TraceInvariantError,
+    TraceValidator,
+    read_trace,
+)
+
+GOLDENS = Path(__file__).parent.parent / "control" / "goldens"
+
+
+class TestGoldenTrace:
+    def test_golden_controlled_trace_validates(self):
+        trace = read_trace(GOLDENS / "controlled_run.jsonl")
+        report = TraceValidator(trace).validate(strict=False)
+        assert report.ok, report.violations
+        assert report.reconfigs_checked == 6
+
+    def test_corrupted_trace_fails_with_actionable_message(self):
+        trace = read_trace(GOLDENS / "controlled_run_corrupt.jsonl")
+        report = TraceValidator(trace).validate(strict=False)
+        assert not report.ok
+        message = "\n".join(report.violations)
+        assert "monotone guardrail breached" in message
+        assert "seq=2" in message
+        with pytest.raises(TraceInvariantError):
+            TraceValidator(trace).validate(strict=True)
+
+
+def _change(seq, time, source="controller", old=None, new=None, **overrides):
+    old = old or {"cutoff": 8, "alpha": 0.75, "shares": (0.5, 0.3, 0.2)}
+    new = new or {"cutoff": 7, "alpha": 0.65, "shares": (0.5, 0.3, 0.2)}
+    fields = dict(
+        time=time,
+        seq=seq,
+        source=source,
+        reason="tighten:A:delay_mean",
+        old_cutoff=old["cutoff"],
+        new_cutoff=new["cutoff"],
+        old_alpha=old["alpha"],
+        new_alpha=new["alpha"],
+        old_shares=tuple(old["shares"]),
+        new_shares=tuple(new["shares"]),
+    )
+    fields.update(overrides)
+    return ConfigChange(**fields)
+
+
+def _validate(events):
+    trace = Trace(meta={"num_items": 24}, events=list(events))
+    return TraceValidator(trace).validate(strict=False)
+
+
+class TestAuditRules:
+    def test_sequence_gap_is_flagged(self):
+        second = _change(
+            3,
+            100.0,
+            old={"cutoff": 7, "alpha": 0.65, "shares": (0.5, 0.3, 0.2)},
+            new={"cutoff": 6, "alpha": 0.65, "shares": (0.5, 0.3, 0.2)},
+        )
+        report = _validate([_change(1, 50.0), second])
+        assert any("sequence gap" in v for v in report.violations)
+
+    def test_unchained_old_knobs_are_flagged(self):
+        second = _change(
+            2,
+            100.0,
+            old={"cutoff": 99, "alpha": 0.65, "shares": (0.5, 0.3, 0.2)},
+            new={"cutoff": 6, "alpha": 0.65, "shares": (0.5, 0.3, 0.2)},
+        )
+        report = _validate([_change(1, 50.0), second])
+        assert any("do not chain" in v for v in report.violations)
+
+    def test_unknown_source_is_flagged(self):
+        report = _validate([_change(1, 50.0, source="gremlin")])
+        assert any("unknown source" in v for v in report.violations)
+
+    def test_cutoff_outside_catalog_is_flagged(self):
+        bad = _change(
+            1, 50.0, new={"cutoff": 99, "alpha": 0.65, "shares": (0.5, 0.3, 0.2)}
+        )
+        report = _validate([bad])
+        assert any("cutoff 99" in v for v in report.violations)
+
+    def test_overcommitted_shares_are_flagged(self):
+        bad = _change(
+            1, 50.0, new={"cutoff": 7, "alpha": 0.65, "shares": (0.6, 0.5, 0.4)}
+        )
+        report = _validate([bad])
+        assert any("over-committed" in v for v in report.violations)
+
+    def test_degrade_must_be_followed_by_its_failsafe(self):
+        degraded = ControllerDegraded(
+            time=50.0,
+            reason="stalled",
+            fallback_cutoff=8,
+            fallback_alpha=0.75,
+            fallback_shares=(0.5, 0.3, 0.2),
+        )
+        # A controller-sourced change right after the degrade: forbidden.
+        report = _validate([degraded, _change(1, 60.0, source="controller")])
+        assert any("must be the failsafe" in v for v in report.violations)
+
+    def test_failsafe_must_install_the_advertised_state(self):
+        degraded = ControllerDegraded(
+            time=50.0,
+            reason="oscillation",
+            fallback_cutoff=8,
+            fallback_alpha=0.75,
+            fallback_shares=(0.5, 0.3, 0.2),
+        )
+        wrong = _change(
+            1,
+            60.0,
+            source="failsafe",
+            new={"cutoff": 3, "alpha": 0.2, "shares": (0.5, 0.3, 0.2)},
+        )
+        report = _validate([degraded, wrong])
+        assert any("advertised" in v for v in report.violations)
+
+    def test_controller_changes_stay_latched_until_operator_reset(self):
+        degraded = ControllerDegraded(
+            time=50.0,
+            reason="stalled",
+            fallback_cutoff=8,
+            fallback_alpha=0.75,
+            fallback_shares=(0.5, 0.3, 0.2),
+        )
+        failsafe = _change(
+            1,
+            60.0,
+            source="failsafe",
+            new={"cutoff": 8, "alpha": 0.75, "shares": (0.5, 0.3, 0.2)},
+        )
+        relapse = _change(
+            2,
+            70.0,
+            source="controller",
+            old={"cutoff": 8, "alpha": 0.75, "shares": (0.5, 0.3, 0.2)},
+            new={"cutoff": 7, "alpha": 0.75, "shares": (0.5, 0.3, 0.2)},
+        )
+        report = _validate([degraded, failsafe, relapse])
+        assert any("failsafe latch" in v for v in report.violations)
+
+    def test_operator_change_rearms_the_latch(self):
+        degraded = ControllerDegraded(
+            time=50.0,
+            reason="stalled",
+            fallback_cutoff=8,
+            fallback_alpha=0.75,
+            fallback_shares=(0.5, 0.3, 0.2),
+        )
+        failsafe = _change(
+            1,
+            60.0,
+            source="failsafe",
+            new={"cutoff": 8, "alpha": 0.75, "shares": (0.5, 0.3, 0.2)},
+        )
+        operator = _change(
+            2,
+            70.0,
+            source="operator",
+            old={"cutoff": 8, "alpha": 0.75, "shares": (0.5, 0.3, 0.2)},
+            new={"cutoff": 9, "alpha": 0.75, "shares": (0.5, 0.3, 0.2)},
+        )
+        resumed = _change(
+            3,
+            80.0,
+            source="controller",
+            old={"cutoff": 9, "alpha": 0.75, "shares": (0.5, 0.3, 0.2)},
+            new={"cutoff": 8, "alpha": 0.75, "shares": (0.5, 0.3, 0.2)},
+        )
+        report = _validate([degraded, failsafe, operator, resumed])
+        assert report.ok, report.violations

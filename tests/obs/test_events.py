@@ -7,6 +7,8 @@ import pytest
 
 from repro.obs import (
     EVENT_TYPES,
+    ConfigChange,
+    ControllerDegraded,
     CutoffChanged,
     GammaSnapshot,
     PullDropped,
@@ -47,13 +49,32 @@ SAMPLES = [
     PullDropped(time=2.5, item_id=21, class_rank=2, demand=4.0, requests=(7,)),
     QueueSampled(time=2.5, length=4),
     CutoffChanged(time=100.0, old_cutoff=15, new_cutoff=18),
+    ConfigChange(
+        time=200.0,
+        seq=1,
+        source="controller",
+        reason="tighten:A:blocking",
+        old_cutoff=15,
+        new_cutoff=20,
+        old_alpha=0.5,
+        new_alpha=0.4,
+        old_shares=(0.5, 0.3, 0.2),
+        new_shares=(0.55, 0.25, 0.2),
+    ),
+    ControllerDegraded(
+        time=300.0,
+        reason="oscillation",
+        fallback_cutoff=15,
+        fallback_alpha=0.5,
+        fallback_shares=(0.5, 0.3, 0.2),
+    ),
     GammaSnapshot(time=1.0, served_item=20, scores=((20, 0.5), (21, 0.3))),
 ]
 
 
 class TestRegistry:
     def test_every_event_type_is_registered(self):
-        assert len(EVENT_TYPES) == 12
+        assert len(EVENT_TYPES) == 14
         for event in SAMPLES:
             assert EVENT_TYPES[event.kind] is type(event)
 

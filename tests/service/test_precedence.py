@@ -1,0 +1,200 @@
+"""Precedence between the overload defenses and the SLO control plane.
+
+Three layers gate a request / reconfigure the service, in fixed priority
+(documented in docs/control.md):
+
+1. **backpressure** — a queue at ``ingress_capacity`` answers 429 for
+   *every* class, before any shedding policy is consulted;
+2. **brownout + trunk reservation** — below capacity, the sustained
+   brownout level and the instantaneous per-class
+   :func:`~repro.core.overload.admission_limits` compose (both monotone
+   in rank) and refuse with 503;
+3. **SLO controller** — frozen (no observations consumed, no knob moves)
+   while the brownout level is above zero; windows governed by a
+   brownout are discarded, not queued.
+
+These are regression tests for that ordering — in particular the
+simultaneous brownout + trunk-reservation case and the
+controller-freeze rule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.control import ClassSLO, SLOSpec
+from repro.core import HybridConfig
+from repro.service import SchedulerCore, ServiceConfig
+from repro.workload.arrivals import Request
+
+
+def make_core(slo: SLOSpec | None = None, capacity: int = 8) -> SchedulerCore:
+    config = ServiceConfig(
+        hybrid=HybridConfig(num_items=60, cutoff=8),
+        ingress_capacity=capacity,
+        slo=slo,
+        seed=1,
+    )
+    return SchedulerCore(config)
+
+
+def fill_queue(core: SchedulerCore, entries: int) -> None:
+    """Open ``entries`` distinct pull-queue entries (rank C filler)."""
+    for index in range(entries):
+        item_id = core.cutoff + index
+        core.queue.add(
+            Request(time=0.0, item_id=item_id, client_id=0, class_rank=2, priority=1.0)
+        )
+
+
+def pull_request(core: SchedulerCore, class_rank: int) -> Request:
+    """A pull-side request for an item not yet queued."""
+    return Request(
+        time=0.0,
+        item_id=len(core.catalog) - 1,
+        client_id=9,
+        class_rank=class_rank,
+        priority=1.0,
+    )
+
+
+class TestSimultaneousBrownoutAndTrunkReservation:
+    """Level-1 brownout and a trunk-limit breach firing in one window."""
+
+    def test_both_gates_refuse_while_class_a_still_admits(self) -> None:
+        core = make_core(capacity=40)
+        core.brownout.level = 1  # sustained overload shed C
+        limits = core.brownout.limits
+        # Occupancy at B's trunk limit but below capacity and A's limit.
+        occupancy = limits[1]
+        assert occupancy < core.config.ingress_capacity
+        fill_queue(core, occupancy)
+
+        shed_c = core._admission_refusal(pull_request(core, class_rank=2))
+        assert shed_c is not None and shed_c.status == "shed" and shed_c.http == 503
+
+        shed_b = core._admission_refusal(pull_request(core, class_rank=1))
+        assert shed_b is not None and shed_b.status == "shed" and shed_b.http == 503
+
+        # Class A's trunk limit is the full capacity by construction, and
+        # level 1 never sheds it: admitted.
+        assert core._admission_refusal(pull_request(core, class_rank=0)) is None
+        assert core.ledger.shed_by_rank == [0, 1, 1]
+
+    def test_folding_requests_bypass_both_gates(self) -> None:
+        core = make_core(capacity=4)
+        core.brownout.level = 2  # shed B and C
+        fill_queue(core, 4)  # and the queue is at capacity
+        # A request folding into an existing entry opens no new slot —
+        # admitted regardless of class, level or occupancy.
+        queued_item = core.cutoff  # first filler entry
+        folding = Request(
+            time=0.0, item_id=queued_item, client_id=9, class_rank=2, priority=1.0
+        )
+        assert core._admission_refusal(folding) is None
+
+
+class TestCapacityBeforeBrownout:
+    """An at-capacity refusal is backpressure (429), never a shed (503)."""
+
+    def test_full_queue_rejects_even_the_shed_class(self) -> None:
+        core = make_core(capacity=4)
+        core.brownout.level = 1
+        fill_queue(core, 4)
+        for rank in (0, 1, 2):
+            outcome = core._admission_refusal(pull_request(core, class_rank=rank))
+            assert outcome is not None
+            assert outcome.status == "rejected" and outcome.http == 429
+            assert outcome.retry_after is not None
+        assert core.ledger.rejected == 3 and core.ledger.shed == 0
+
+
+SLO = SLOSpec(
+    targets=(
+        ("A", ClassSLO(blocking=0.4)),
+        ("B", ClassSLO()),
+        ("C", ClassSLO()),
+    )
+)
+
+
+class TestControllerFrozenUnderBrownout:
+    """Brownout precedence: the SLO controller holds and discards."""
+
+    def test_held_windows_consume_no_controller_windows(self) -> None:
+        core = make_core(slo=SLO)
+        bridge = core.control
+        assert bridge is not None
+        assert bridge.tick(1.0, brownout_level=1) is None
+        assert bridge.tick(2.0, brownout_level=2) is None
+        assert bridge.controller.windows == 0
+        assert bridge.holds == 2
+        assert bridge.seq == 0  # no reconfiguration was issued
+
+    def test_discarded_window_does_not_pollute_the_next_observation(self) -> None:
+        core = make_core(slo=SLO)
+        bridge = core.control
+        assert bridge is not None
+        # Brownout-governed window: Class A 100% blocking — far over SLO.
+        core.ledger.submitted_by_rank[0] += 10
+        core.ledger.blocked_by_rank[0] += 10
+        assert bridge.tick(1.0, brownout_level=1) is None
+        # Brownout cleared; a clean window follows.  Were the held
+        # window's deltas queued instead of discarded, blocking would be
+        # 10/20 = 0.5 > 0.4 and this window would count as violating.
+        core.ledger.submitted_by_rank[0] += 10
+        decision = bridge.tick(2.0, brownout_level=0)
+        assert decision is not None
+        assert decision.violations == ()
+
+    def test_controller_resumes_when_the_level_drops(self) -> None:
+        core = make_core(slo=SLO)
+        bridge = core.control
+        assert bridge is not None
+        bridge.tick(1.0, brownout_level=1)
+        for window in range(2):
+            core.ledger.submitted_by_rank[0] += 10
+            core.ledger.blocked_by_rank[0] += 10
+            bridge.tick(2.0 + window, brownout_level=0)
+        # Two consecutive violating windows: the controller engaged.
+        assert bridge.controller.changes == 1
+        assert bridge.seq == 1
+
+    def test_live_monitor_applies_the_precedence(self) -> None:
+        """End-to-end: the monitor loop freezes the bridge while browned out."""
+
+        async def run() -> None:
+            config = ServiceConfig(
+                # Zero bandwidth demand: every pull transmission is
+                # admitted and spends real air time (length ·
+                # time_scale ≈ seconds), so the pre-filled queue stays
+                # saturated for the whole observation.
+                hybrid=HybridConfig(
+                    num_items=30, cutoff=8, bandwidth_demand_mean=0.0
+                ),
+                time_scale=1.0,
+                ingress_capacity=4,
+                brownout_window=0.02,
+                brownout_engage=1,
+                slo=SLO,
+                seed=1,
+            )
+            core = SchedulerCore(config)
+            fill_queue(core, 8)  # twice capacity: hot from the first window
+            await core.start()
+            try:
+                await asyncio.sleep(0.1)
+                assert core.brownout.level > 0
+                assert core.control is not None
+                assert core.control.holds > 0
+                assert core.control.seq == 0
+            finally:
+                for task in core._tasks:
+                    task.cancel()
+                for task in core._tasks:
+                    with pytest.raises(asyncio.CancelledError):
+                        await task
+
+        asyncio.run(run())
