@@ -39,11 +39,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Literal, Mapping
+from typing import Literal, Mapping, Optional
 
 import numpy as np
 
 from ..core.config import HybridConfig
+from ..workload.items import ItemCatalog
+from ..workload.clients import ClientPopulation
 from .mg1 import mg1_priority_waits, pull_service_moments
 from .priority_mm1 import cobham_waiting_times
 
@@ -78,7 +80,11 @@ class AnalyticalResult:
         return self.per_class_delay[class_name]
 
 
-def _paper_mode(config: HybridConfig, catalog=None, population=None) -> AnalyticalResult:
+def _paper_mode(
+    config: HybridConfig,
+    catalog: Optional[ItemCatalog] = None,
+    population: Optional[ClientPopulation] = None,
+) -> AnalyticalResult:
     """Eq. 19 verbatim (see module docstring for caveats)."""
     catalog = catalog if catalog is not None else config.build_catalog()
     population = population if population is not None else config.build_population()
@@ -124,8 +130,8 @@ def _corrected_mode(
     config: HybridConfig,
     max_iter: int = 200,
     tol: float = 1e-10,
-    catalog=None,
-    population=None,
+    catalog: Optional[ItemCatalog] = None,
+    population: Optional[ClientPopulation] = None,
     service_model: str = "mm1",
 ) -> AnalyticalResult:
     """Rate-consistent, alternation- and batching-corrected model."""
@@ -294,8 +300,8 @@ def _corrected_mode(
 def analyze_hybrid(
     config: HybridConfig,
     mode: AnalysisMode = "corrected",
-    catalog=None,
-    population=None,
+    catalog: Optional[ItemCatalog] = None,
+    population: Optional[ClientPopulation] = None,
     service_model: str = "mm1",
 ) -> AnalyticalResult:
     """Analytical per-class delay/cost prediction for ``config``.

@@ -30,6 +30,26 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle with repro.sim
 
 __all__ = ["TraceTimelines", "build_timelines", "render_timelines"]
 
+#: Registered event kinds the timelines deliberately ignore (RL017).
+#: The windowed series need exactly three inputs: queue length samples,
+#: pull selections (for γ and bandwidth occupancy) and satisfactions
+#: (for delay percentiles).  Arrival/terminal lifecycle events, push
+#: slots and control-plane events carry no per-window signal these
+#: series plot; a new series must remove its kind from this list.
+EVENT_KINDS_PASSED: tuple[str, ...] = (
+    "config_change",
+    "controller_degraded",
+    "cutoff_changed",
+    "gamma_snapshot",
+    "pull_dropped",
+    "push_broadcast",
+    "request_arrived",
+    "request_blocked",
+    "request_reneged",
+    "request_retried",
+    "request_shed",
+)
+
 
 @dataclass
 class TraceTimelines:

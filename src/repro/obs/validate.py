@@ -37,6 +37,20 @@ from .recorder import Trace
 
 __all__ = ["TraceInvariantError", "ValidationReport", "TraceValidator"]
 
+#: Registered event kinds this validator deliberately does not examine
+#: (trace-exhaustiveness contract, RL017).  ``request_retried`` is a
+#: client-side uplink note emitted *before* the request ever arrives at
+#: the server, so it predates the conservation ledger; ``pull_dropped``
+#: is the item-level annotation of a bandwidth refusal whose per-request
+#: consequences are separately recorded as terminal ``request_blocked``
+#: events (which conservation does count); ``cutoff_changed`` is the
+#: scheduler-local echo of a ``config_change``, which *is* audited.
+EVENT_KINDS_PASSED: tuple[str, ...] = (
+    "cutoff_changed",
+    "pull_dropped",
+    "request_retried",
+)
+
 _TERMINAL_KINDS = {
     "request_satisfied": "satisfied",
     "request_blocked": "blocked",

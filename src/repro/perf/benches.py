@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable
+from typing import Any, Callable
 
 from ..core import HybridConfig
 from ..schedulers import PullQueue, make_pull_scheduler
@@ -43,7 +43,7 @@ REPEATS = 5
 
 # -- configurations -------------------------------------------------------------
 
-def _hot_queue_config(quick: bool) -> dict:
+def _hot_queue_config(quick: bool) -> dict[str, int]:
     return {
         "queue_len": 250,
         "cycles": 2_000 if quick else 10_000,
@@ -75,7 +75,7 @@ def _sweep_config(quick: bool) -> tuple[HybridConfig, float, int]:
 
 # -- benchmarks -----------------------------------------------------------------
 
-def bench_select_hot_loop(quick: bool) -> dict:
+def bench_select_hot_loop(quick: bool) -> dict[str, Any]:
     """Micro-benchmark of select+pop+refill cycles at queue length >= 200."""
     params = _hot_queue_config(quick)
     queue_len, cycles = params["queue_len"], params["cycles"]
@@ -91,7 +91,7 @@ def bench_select_hot_loop(quick: bool) -> dict:
                               class_rank=item % 3, priority=float(1 + item % 3)))
         return queue, scheduler
 
-    def drive(queue, scheduler) -> float:
+    def drive(queue: PullQueue, scheduler: Any) -> float:
         # Steady state: every served item is immediately re-requested, so
         # the queue holds `queue_len` entries throughout.
         clock = 1.0
@@ -117,11 +117,11 @@ def bench_select_hot_loop(quick: bool) -> dict:
     }
 
 
-def bench_single_run(quick: bool) -> dict:
+def bench_single_run(quick: bool) -> dict[str, Any]:
     """End-to-end run_single wall-clock, heap vs scan, queue length >= 200."""
     config, horizon = single_run_config(quick)
 
-    def run(detach: bool):
+    def run(detach: bool) -> tuple[Any, float]:
         system = HybridSystem(config, seed=1, warmup=0.0)
         if detach:
             system.server.pull_queue.detach_scorer()
@@ -147,7 +147,7 @@ def bench_single_run(quick: bool) -> dict:
     }
 
 
-def bench_fast_engine(quick: bool) -> dict:
+def bench_fast_engine(quick: bool) -> dict[str, Any]:
     """Flat-calendar fast engine vs the generator-process reference engine.
 
     Same workload class as ``single_run_q200`` (pure pull, sustained
@@ -161,7 +161,7 @@ def bench_fast_engine(quick: bool) -> dict:
     """
     config, horizon = single_run_config(quick)
 
-    def run(engine: str):
+    def run(engine: str) -> tuple[Any, float]:
         system = HybridSystem(config, seed=1, warmup=0.0, engine=engine)
         started = time.perf_counter()
         result = system.run(horizon)
@@ -191,7 +191,7 @@ def bench_fast_engine(quick: bool) -> dict:
     }
 
 
-def bench_sweep_parallel(quick: bool, n_jobs: int) -> dict:
+def bench_sweep_parallel(quick: bool, n_jobs: int) -> dict[str, Any]:
     """Replication-sweep throughput, serial vs n_jobs worker processes."""
     config, horizon, num_runs = _sweep_config(quick)
     cores = os.cpu_count() or 1
@@ -223,7 +223,7 @@ def bench_sweep_parallel(quick: bool, n_jobs: int) -> dict:
     }
 
 
-def bench_population_scale(quick: bool) -> dict:
+def bench_population_scale(quick: bool) -> dict[str, Any]:
     """Population-aggregated engine at N = 10⁶ clients vs the fast engine.
 
     The million-client workload of the ``n-ladder`` experiment: both
@@ -241,7 +241,7 @@ def bench_population_scale(quick: bool) -> dict:
     horizon = 20.0 if quick else 60.0
     arrivals = config.arrival_rate * horizon
 
-    def run(engine: str):
+    def run(engine: str) -> tuple[Any, float]:
         system = HybridSystem(config, seed=1, warmup=0.0, engine=engine)
         started = time.perf_counter()
         result = system.run(horizon)
@@ -274,7 +274,7 @@ def bench_population_scale(quick: bool) -> dict:
 
 
 #: Name → callable(quick, n_jobs) for the harness; order is report order.
-BENCHMARKS: dict[str, Callable[[bool, int], dict]] = {
+BENCHMARKS: dict[str, Callable[[bool, int], dict[str, Any]]] = {
     "select_hot_loop": lambda quick, n_jobs: bench_select_hot_loop(quick),
     "single_run_q200": lambda quick, n_jobs: bench_single_run(quick),
     "fast_engine": lambda quick, n_jobs: bench_fast_engine(quick),

@@ -18,7 +18,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from .harness import append_history, compare, history_chart, load_history, run_suite
 
@@ -36,13 +36,13 @@ def _add_measure_args(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for the parallel sweep (default 4)")
 
 
-def _write_report(report: dict, out: Optional[str]) -> None:
+def _write_report(report: dict[str, Any], out: Optional[str]) -> None:
     if out:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {out}")
 
 
-def _gate(report: dict, baseline_path: str, tolerance: float) -> int:
+def _gate(report: dict[str, Any], baseline_path: str, tolerance: float) -> int:
     baseline = json.loads(Path(baseline_path).read_text())
     failures = compare(report, baseline, tolerance)
     if failures:

@@ -41,7 +41,7 @@ import json
 import os
 import platform
 from pathlib import Path
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from .benches import BENCHMARKS
 
@@ -108,7 +108,7 @@ def machine_profile(cores: Optional[int] = None) -> str:
     return "multi-core"
 
 
-def host_info() -> dict:
+def host_info() -> dict[str, Any]:
     """The host descriptor stamped on every report and history record."""
     cores = os.cpu_count() or 1
     return {
@@ -119,10 +119,12 @@ def host_info() -> dict:
     }
 
 
-def run_suite(quick: bool, n_jobs: int, echo=print) -> dict:
+def run_suite(
+    quick: bool, n_jobs: int, echo: Callable[[str], None] = print
+) -> dict[str, Any]:
     """Run every benchmark and assemble the schema-2 report."""
     echo(f"running perf harness ({'quick' if quick else 'full'} mode, jobs={n_jobs})")
-    benches = {}
+    benches: dict[str, Any] = {}
     for name, fn in BENCHMARKS.items():
         benches[name] = fn(quick, n_jobs)
         flag = "" if benches[name]["guard"] else "  (informational: unguarded ratio)"
@@ -137,7 +139,9 @@ def run_suite(quick: bool, n_jobs: int, echo=print) -> dict:
     }
 
 
-def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
+def compare(
+    current: dict[str, Any], baseline: dict[str, Any], tolerance: float
+) -> list[str]:
     """Regression messages; empty when every gate passes.
 
     Ratio benchmarks gate when guarded on both sides and the modes
@@ -193,7 +197,9 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
 
 # -- history ---------------------------------------------------------------------
 
-def history_record(report: dict, label: Optional[str] = None) -> dict:
+def history_record(
+    report: dict[str, Any], label: Optional[str] = None
+) -> dict[str, Any]:
     """One ``BENCH_history.jsonl`` line summarising a report."""
     return {
         "label": label,
@@ -209,7 +215,9 @@ def history_record(report: dict, label: Optional[str] = None) -> dict:
     }
 
 
-def append_history(path: str | Path, report: dict, label: Optional[str] = None) -> dict:
+def append_history(
+    path: str | Path, report: dict[str, Any], label: Optional[str] = None
+) -> dict[str, Any]:
     """Append one history line for ``report``; returns the record."""
     record = history_record(report, label=label)
     path = Path(path)
@@ -218,12 +226,12 @@ def append_history(path: str | Path, report: dict, label: Optional[str] = None) 
     return record
 
 
-def load_history(path: str | Path) -> list[dict]:
+def load_history(path: str | Path) -> list[dict[str, Any]]:
     """All history records, oldest first (missing file → empty)."""
     path = Path(path)
     if not path.exists():
         return []
-    records = []
+    records: list[dict[str, Any]] = []
     for line in path.read_text().splitlines():
         line = line.strip()
         if line:
@@ -247,7 +255,9 @@ def _bar(value: float, peak: float, width: int = 24) -> str:
     return bar.ljust(width)
 
 
-def history_chart(records: list[dict], mode: Optional[str] = None, last: int = 12) -> str:
+def history_chart(
+    records: list[dict[str, Any]], mode: Optional[str] = None, last: int = 12
+) -> str:
     """ASCII chart of speedup trajectories across history records.
 
     One row per (benchmark, record) with a bar scaled to the benchmark's

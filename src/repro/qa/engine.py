@@ -33,18 +33,25 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 __all__ = [
     "FileContext",
     "Finding",
     "LintError",
     "LintResult",
+    "ProjectRule",
     "Rule",
+    "analyze_paths",
+    "analyze_sources",
     "lint_paths",
     "lint_source",
     "module_name_for",
 ]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .cache import AnalysisCache
+    from .callgraph import ModuleSummary, ProjectIndex
 
 #: Matches one suppression comment.  ``disable=`` applies to the physical
 #: line carrying the comment; ``disable-file=`` applies to the whole file.
@@ -155,6 +162,29 @@ class Rule(abc.ABC):
     @abc.abstractmethod
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for one parsed module."""
+
+
+class ProjectRule(Rule):
+    """A whole-program check: sees every module of the run at once.
+
+    Project rules form the flow-aware tier.  They never re-walk ASTs;
+    they consume the :class:`~repro.qa.callgraph.ProjectIndex` built from
+    the per-module summaries (which is what makes them cacheable — a
+    summary restored from the content-hash cache is indistinguishable
+    from a freshly extracted one).  Scoping, audited exemptions and
+    inline suppressions are applied by the engine per *finding*, using
+    the module that the finding's path belongs to — exactly the
+    semantics file rules get, so ``# reprolint: disable=`` comments and
+    ``audited_scopes`` budgets work unchanged across both tiers.
+    """
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules do not participate in the per-file pass."""
+        return iter(())
+
+    @abc.abstractmethod
+    def check_project(self, project: "ProjectIndex") -> Iterator[Finding]:
+        """Yield findings across the whole project."""
 
 
 def _prefixed(module: str, prefixes: Sequence[str]) -> bool:
@@ -311,4 +341,131 @@ def lint_paths(paths: Sequence[Path], rules: Sequence[Rule]) -> LintResult:
         )
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     result.exempted.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return result
+
+
+# --------------------------------------------------------------------------
+# The flow-aware tier: per-file lint + summary extraction + project rules
+# --------------------------------------------------------------------------
+
+
+def _summarize(source: str, path: str, module: str) -> "ModuleSummary":
+    """Extract the flow summary of one module (empty on syntax errors)."""
+    from .callgraph import ModuleSummary, build_summary
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        # lint_source already reported RL000 for this file.
+        return ModuleSummary(module=module, path=path)
+    ctx = FileContext(
+        path=path, module=module, source_lines=tuple(source.splitlines())
+    )
+    return build_summary(tree, ctx)
+
+
+def _apply_project_rules(
+    project: "ProjectIndex",
+    project_rules: Sequence[ProjectRule],
+    result: LintResult,
+) -> None:
+    """Run the flow tier and triage its findings into ``result``.
+
+    Scoping/audit/suppression are resolved per finding against the module
+    that owns the finding's path, so both rule tiers share one policy.
+    """
+    by_path = {summary.path: summary for summary in project}
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            summary = by_path.get(finding.path)
+            if summary is None:  # pragma: no cover - rules anchor to known paths
+                result.findings.append(finding)
+                continue
+            ctx = summary.context()
+            if not rule.applies_to(ctx):
+                continue
+            per_line = {
+                line: set(names) for line, names in summary.suppress_lines.items()
+            }
+            per_file = set(summary.suppress_file)
+            if rule.audits(ctx):
+                result.exempted.append(finding)
+            elif _is_suppressed(finding, per_line, per_file):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    result.exempted.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    project_rules: Sequence[ProjectRule],
+    *,
+    cache: "AnalysisCache | None" = None,
+) -> LintResult:
+    """Whole-program analysis: per-file rules plus the flow-aware tier.
+
+    Each file contributes (a) its per-file lint result and (b) its
+    :class:`~repro.qa.callgraph.ModuleSummary`; both are served from the
+    content-hash ``cache`` when the file is unchanged, which is what makes
+    warm-cache repeat runs near-instant — only the project rules (which
+    operate on summaries, never source) re-run every time.
+    """
+    from .callgraph import ModuleSummary, ProjectIndex
+
+    result = LintResult()
+    summaries: dict[str, ModuleSummary] = {}
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:  # pragma: no cover - racy filesystem only
+            raise LintError(f"cannot read {file_path}: {exc}") from exc
+        path = str(file_path)
+        module = module_name_for(file_path)
+        cached = cache.lookup(path, source) if cache is not None else None
+        if cached is not None:
+            file_result, summary = cached
+        else:
+            file_result = lint_source(source, rules, path=path, module=module)
+            summary = _summarize(source, path, module)
+            if cache is not None:
+                cache.store(path, source, file_result, summary)
+        result.extend(file_result)
+        # Bare-stem modules outside any package can collide (several
+        # conftest.py files); disambiguate the index key, the summary
+        # itself keeps its true module name for rule scoping.
+        key = summary.module
+        serial = 1
+        while key in summaries:
+            serial += 1
+            key = f"{summary.module}#{serial}"
+        summaries[key] = summary
+    project = ProjectIndex(summaries)
+    _apply_project_rules(project, project_rules, result)
+    return result
+
+
+def analyze_sources(
+    sources: Mapping[str, str],
+    rules: Sequence[Rule],
+    project_rules: Sequence[ProjectRule],
+) -> LintResult:
+    """Analyse in-memory sources (module name → source): the test harness.
+
+    Paths are synthesised from the module names, so findings for module
+    ``pkg.mod`` anchor at ``pkg/mod.py``.
+    """
+    from .callgraph import ModuleSummary, ProjectIndex
+
+    result = LintResult()
+    summaries: dict[str, ModuleSummary] = {}
+    for module, source in sources.items():
+        path = module.replace(".", "/") + ".py"
+        result.extend(lint_source(source, rules, path=path, module=module))
+        summaries[module] = _summarize(source, path, module)
+    project = ProjectIndex(summaries)
+    _apply_project_rules(project, project_rules, result)
     return result

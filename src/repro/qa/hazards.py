@@ -1,0 +1,139 @@
+"""Async-hazard rules for the live service layer (RL013–RL015).
+
+``repro.service`` runs a single-threaded asyncio event loop whose tail
+latencies *are* the product (the brownout controller keys off them), so
+the classic asyncio bug classes are correctness bugs here:
+
+* a blocking call inside a coroutine stalls every in-flight request
+  (RL013);
+* a coroutine called but never awaited silently does nothing — Python
+  only warns at garbage-collection time, and only sometimes (RL014);
+* state read before an ``await`` and written after it acts on a world
+  that other tasks may have changed during the suspension — the async
+  flavour of a check-then-act race (RL015).
+
+RL013/RL014 need the project-wide async function table (a coroutine
+defined in ``service.core`` and dropped on the floor in ``service.app``
+is one cross-module fact); RL015 consumes the per-coroutine stale-write
+facts extracted in :mod:`repro.qa.callgraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .callgraph import ProjectIndex
+from .engine import Finding, ProjectRule
+from .rules import _register_project
+
+__all__ = ["NoBlockingInAsync", "NoUnawaitedCoroutine", "NoStaleAsyncWrite"]
+
+
+@_register_project
+class NoBlockingInAsync(ProjectRule):
+    """Known-blocking calls must not run on the event loop."""
+
+    name = "no-blocking-in-async"
+    code = "RL013"
+    summary = "blocking call inside an async def"
+    rationale = (
+        "One blocking call inside a coroutine freezes the whole event "
+        "loop: every request in flight waits, deadlines fire, and the "
+        "brownout controller reacts to a stall the scheduler caused "
+        "itself. Use asyncio.sleep, asyncio.to_thread or the loop's "
+        "executor instead."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for summary in project:
+            for call in summary.blocking_calls:
+                hint = (
+                    "asyncio.sleep"
+                    if call.target == "time.sleep"
+                    else "asyncio.to_thread (or the loop executor)"
+                )
+                yield Finding(
+                    rule=self.name,
+                    code=self.code,
+                    path=summary.path,
+                    line=call.line,
+                    col=call.col,
+                    message=(
+                        f"blocking call {call.target}() inside async def "
+                        f"{call.function}; use {hint} so the event loop "
+                        "keeps serving"
+                    ),
+                )
+
+
+@_register_project
+class NoUnawaitedCoroutine(ProjectRule):
+    """A coroutine called as a bare statement never runs."""
+
+    name = "no-unawaited-coroutine"
+    code = "RL014"
+    summary = "coroutine called but neither awaited nor scheduled"
+    rationale = (
+        "Calling an async def returns a coroutine object; discarding it "
+        "means the body never executes. The runtime warning is "
+        "best-effort and fires at GC time, far from the bug. Await it, "
+        "or hand it to asyncio.create_task/gather."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for summary in project:
+            for fn in summary.functions.values():
+                for call in fn.calls:
+                    if not call.discarded or call.awaited or call.wrapped:
+                        continue
+                    if call.target.startswith("~"):
+                        continue
+                    if not project.is_async(call.target):
+                        continue
+                    yield Finding(
+                        rule=self.name,
+                        code=self.code,
+                        path=summary.path,
+                        line=call.line,
+                        col=call.col,
+                        message=(
+                            f"coroutine {call.target}() is never awaited — "
+                            "the call creates the coroutine object and "
+                            "drops it; await it or schedule it with "
+                            "asyncio.create_task"
+                        ),
+                    )
+
+
+@_register_project
+class NoStaleAsyncWrite(ProjectRule):
+    """No write based on state read before an ``await`` suspension."""
+
+    name = "no-stale-async-write"
+    code = "RL015"
+    summary = "instance state read before an await, written after it"
+    rationale = (
+        "An await is a scheduling point: the monitor loop, the control "
+        "bridge or another request may run and move the state under you. "
+        "Writing a value derived from the pre-await read reintroduces a "
+        "check-then-act race the single-threaded loop was supposed to "
+        "prevent; re-read after the suspension or mutate before awaiting."
+    )
+    scopes = ("repro.service", "repro.control")
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for summary in project:
+            for write in summary.stale_writes:
+                yield Finding(
+                    rule=self.name,
+                    code=self.code,
+                    path=summary.path,
+                    line=write.line,
+                    col=write.col,
+                    message=(
+                        f"self.{write.attr} written in {write.function} from "
+                        f"state read before an await (read at line "
+                        f"{write.read_line}); re-read after the suspension "
+                        "or mutate before awaiting"
+                    ),
+                )

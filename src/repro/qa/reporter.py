@@ -1,21 +1,35 @@
-"""Text and JSON reporters for lint results.
+"""Text, JSON and SARIF reporters for lint results.
 
 The JSON schema is versioned and stable (tests pin it): tooling that
 consumes ``repro lint --format json`` can rely on the top-level keys
 ``schema``, ``clean``, ``files_scanned``, ``findings``, ``suppressed``
 and (since schema 2) ``exempted`` — findings covered by an audited
 scoped exemption (:attr:`repro.qa.engine.Rule.audited_scopes`).
+
+``render_sarif`` emits SARIF 2.1.0 (the GitHub code-scanning ingestion
+format): one run, driver ``reprolint``, every active rule in the
+driver's rule table, findings as ``error``-level results, suppressed
+findings carried with an ``inSource`` suppression object (code scanning
+hides them but keeps the audit trail), and audited exemptions as
+``note``-level results.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Sequence
 
-from .engine import LintResult
+from .engine import Finding, LintResult, Rule
 
-__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+__all__ = ["render_text", "render_json", "render_sarif", "JSON_SCHEMA_VERSION"]
 
 JSON_SCHEMA_VERSION = 2
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult) -> str:
@@ -41,5 +55,76 @@ def render_json(result: LintResult) -> str:
         "findings": [finding.as_dict() for finding in result.findings],
         "suppressed": [finding.as_dict() for finding in result.suppressed],
         "exempted": [finding.as_dict() for finding in result.exempted],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_result(finding: Finding, level: str) -> dict[str, object]:
+    return {
+        "ruleId": finding.code,
+        "level": level,
+        "message": {"text": f"({finding.rule}) {finding.message}"},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult, rules: Sequence[Rule]) -> str:
+    """SARIF 2.1.0 report for GitHub code scanning (deterministic)."""
+    rule_table = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary or rule.name},
+            "fullDescription": {"text": rule.rationale or rule.summary or rule.name},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in sorted(rules, key=lambda r: r.code)
+    ]
+    results: list[dict[str, object]] = [
+        _sarif_result(finding, "error") for finding in result.findings
+    ]
+    for finding in result.suppressed:
+        entry = _sarif_result(finding, "error")
+        entry["suppressions"] = [
+            {"kind": "inSource", "justification": "reprolint: disable comment"}
+        ]
+        results.append(entry)
+    for finding in result.exempted:
+        entry = _sarif_result(finding, "note")
+        entry["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "audited scoped exemption (count pinned by tests)",
+            }
+        ]
+        results.append(entry)
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rule_table,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -13,24 +13,59 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from .engine import FileContext, Finding, Rule
+from .engine import FileContext, Finding, ProjectRule, Rule
 
-__all__ = ["REGISTRY", "all_rules", "resolve_call_target", "import_table"]
+__all__ = [
+    "PROJECT_REGISTRY",
+    "REGISTRY",
+    "all_project_rules",
+    "all_rules",
+    "import_table",
+    "resolve_call_target",
+]
 
 REGISTRY: dict[str, Rule] = {}
+
+#: The flow-aware tier (RL010+): rules that see the whole project at
+#: once.  Kept separate from ``REGISTRY`` so ``lint_paths`` (per-file
+#: mode) and ``analyze_paths`` (``--analyze``) stay distinct surfaces.
+PROJECT_REGISTRY: dict[str, ProjectRule] = {}
+
+
+def _codes() -> set[str]:
+    return {r.code for r in REGISTRY.values()} | {
+        r.code for r in PROJECT_REGISTRY.values()
+    }
 
 
 def _register(cls: type[Rule]) -> type[Rule]:
     rule = cls()
-    if rule.name in REGISTRY or any(r.code == rule.code for r in REGISTRY.values()):
+    if rule.name in REGISTRY or rule.name in PROJECT_REGISTRY or rule.code in _codes():
         raise ValueError(f"duplicate rule registration: {rule.name}/{rule.code}")
     REGISTRY[rule.name] = rule
     return cls
 
 
+def _register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
+    rule = cls()
+    if rule.name in REGISTRY or rule.name in PROJECT_REGISTRY or rule.code in _codes():
+        raise ValueError(f"duplicate rule registration: {rule.name}/{rule.code}")
+    PROJECT_REGISTRY[rule.name] = rule
+    return cls
+
+
 def all_rules() -> list[Rule]:
-    """Every registered rule, in code order."""
+    """Every registered per-file rule, in code order."""
     return sorted(REGISTRY.values(), key=lambda r: r.code)
+
+
+def all_project_rules() -> list[ProjectRule]:
+    """Every registered whole-program rule, in code order."""
+    # The rule modules self-register on import; importing here keeps the
+    # registry lazy without forcing every lint consumer to know them.
+    from . import contracts, hazards, taint  # noqa: F401
+
+    return sorted(PROJECT_REGISTRY.values(), key=lambda r: r.code)
 
 
 def import_table(tree: ast.Module) -> dict[str, str]:

@@ -1,0 +1,196 @@
+"""RNG seed-provenance taint rules (RL010–RL012).
+
+The repo's replication discipline (PR 2) is that every random stream in
+a simulation derives from one root ``SeedSequence`` via ``spawn()``,
+threaded through the public entry points — never rebuilt from seed
+arithmetic (the pre-PR2 ``base_seed + i`` bug class), never created as a
+module-level ambient stream shared across runs, and never hard-wired to
+a literal inside library code where no caller can re-seed it.
+
+The per-file rules RL002/RL003 already ban *global* and *unseeded*
+generators; this tier adds the provenance checks that need the call
+graph: a generator constructed in ``repro.sim.runner`` and consumed in
+``repro.workload`` is one flow, and a literal seed passed through two
+helper layers into a constructor is still a literal seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .callgraph import ProjectIndex, RngSite
+from .engine import Finding, ProjectRule
+from .rules import _register_project
+
+__all__ = [
+    "NoSeedArithmetic",
+    "NoAmbientStream",
+    "NoLiteralSeedFlow",
+    "TAINT_SCOPES",
+]
+
+#: Library scopes where seed provenance is enforced.  Entry-point scopes
+#: (``repro.experiments``, ``repro.cli``, examples, scripts, tests) stay
+#: out: choosing a concrete seed is exactly their job.
+TAINT_SCOPES = (
+    "repro.sim",
+    "repro.des",
+    "repro.schedulers",
+    "repro.core",
+    "repro.workload",
+    "repro.scale",
+    "repro.service",
+)
+
+
+def _all_rng_sites(project: ProjectIndex) -> Iterator[tuple[str, RngSite]]:
+    """Every RNG-constructor site in the project: ``(path, site)``."""
+    for summary in project:
+        for site in summary.module_rng:
+            yield summary.path, site
+        for fn in summary.functions.values():
+            for site in fn.rng_sites:
+                yield summary.path, site
+
+
+@_register_project
+class NoSeedArithmetic(ProjectRule):
+    """Child streams come from ``SeedSequence.spawn``, never seed math."""
+
+    name = "no-seed-arithmetic"
+    code = "RL010"
+    summary = "RNG constructed from arithmetic over a base seed"
+    rationale = (
+        "`base_seed + i` style derivation produces overlapping or "
+        "correlated streams (PCG64 neighbouring seeds are not independent) "
+        "and silently couples replications; derive child streams with "
+        "SeedSequence.spawn(), which guarantees independence."
+    )
+    scopes = TAINT_SCOPES
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for path, site in _all_rng_sites(project):
+            if site.seed != "arith":
+                continue
+            yield Finding(
+                rule=self.name,
+                code=self.code,
+                path=path,
+                line=site.line,
+                col=site.col,
+                message=(
+                    f"seed arithmetic feeding {site.ctor}; derive child "
+                    "streams via SeedSequence.spawn() instead of arithmetic "
+                    "on a base seed"
+                ),
+            )
+
+
+@_register_project
+class NoAmbientStream(ProjectRule):
+    """No module-level (or class-body) RNG streams in library code."""
+
+    name = "no-ambient-stream"
+    code = "RL011"
+    summary = "module-level RNG stream shared across all callers"
+    rationale = (
+        "A generator created at import time is shared ambient state: every "
+        "run, replication and test that touches the module advances the "
+        "same stream, so results depend on import order and call history. "
+        "Construct generators inside the run that owns them, from a "
+        "spawned SeedSequence."
+    )
+    scopes = TAINT_SCOPES
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for summary in project:
+            for site in summary.module_rng:
+                yield Finding(
+                    rule=self.name,
+                    code=self.code,
+                    path=summary.path,
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        f"module-level {site.ctor} creates an ambient shared "
+                        "stream; construct generators inside the run that "
+                        "owns them"
+                    ),
+                )
+
+
+@_register_project
+class NoLiteralSeedFlow(ProjectRule):
+    """No literal seeds inside library scopes — thread them from entry points.
+
+    Flags (a) RNG constructors seeded with an integer literal and (b)
+    call sites passing an integer literal into a *seed parameter* — a
+    parameter that reaches an RNG constructor in the callee, directly or
+    forwarded through further calls (the transitive fixpoint over the
+    project call graph).  Entry-point scopes are exempt by construction:
+    they are where concrete seeds legitimately enter.
+    """
+
+    name = "no-literal-seed-flow"
+    code = "RL012"
+    summary = "integer literal flows into an RNG seed inside library code"
+    rationale = (
+        "A seed hard-wired below the public entry points cannot be varied "
+        "by replication tooling, so every caller silently shares one "
+        "stream; accept a SeedSequence (or seed) parameter and thread it "
+        "from the entry point."
+    )
+    scopes = TAINT_SCOPES
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for path, site in _all_rng_sites(project):
+            if not site.seed.startswith("int:"):
+                continue
+            yield Finding(
+                rule=self.name,
+                code=self.code,
+                path=path,
+                line=site.line,
+                col=site.col,
+                message=(
+                    f"literal seed {site.seed[4:]} hard-wired into "
+                    f"{site.ctor}; accept a seed/SeedSequence parameter and "
+                    "thread it from the entry point"
+                ),
+            )
+        for summary in project:
+            for fn in summary.functions.values():
+                for call in fn.calls:
+                    if call.target.startswith("~"):
+                        continue
+                    positions = project.seed_param_positions(call.target)
+                    if not positions:
+                        continue
+                    for index, tag in enumerate(call.arg_tags):
+                        if str(index) in positions and tag.startswith("int:"):
+                            yield self._flow_finding(
+                                summary.path, call.line, call.col,
+                                tag[4:], call.target,
+                            )
+                    for kw, tag in call.kwarg_tags:
+                        if f"kw:{kw}" in positions and tag.startswith("int:"):
+                            yield self._flow_finding(
+                                summary.path, call.line, call.col,
+                                tag[4:], call.target,
+                            )
+
+    def _flow_finding(
+        self, path: str, line: int, col: int, value: str, target: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            code=self.code,
+            path=path,
+            line=line,
+            col=col,
+            message=(
+                f"literal seed {value} flows into RNG via seed parameter of "
+                f"{target}; thread a spawned SeedSequence from the entry "
+                "point instead"
+            ),
+        )

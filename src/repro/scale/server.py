@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 from heapq import heappush
+from typing import Any, Optional
 
 import numpy as np
 
@@ -39,7 +40,7 @@ from ..des import URGENT, RandomStreams
 from ..des.fastengine import FastEnvironment
 from ..schedulers.base import PullQueue, PullScheduler, PushScheduler
 from ..sim.bandwidth_pool import BandwidthPool
-from ..sim.faults import select_shed_victim
+from ..sim.faults import FaultInjector, select_shed_victim
 from ..sim.metrics import MetricsCollector
 from ..sim.overload import OverloadController
 from ..sim.server import PullMode
@@ -63,6 +64,21 @@ class PopulationHybridServer:
     carried as :class:`FoldedEntry` per-class counters.
     """
 
+    # Engine-parity contract (reprolint RL016): must match the reference
+    # and fast-path engines exactly; population-only surfaces
+    # (attach_arrivals/finalize) stay outside the shared contract.
+    __parity_group__ = "hybrid-engine"
+    __parity_surface__ = (
+        "submit",
+        "renege",
+        "reconfigure_cutoff",
+        "reconfigure_alpha",
+        "reconfigure_bandwidth",
+        "pending_push_requests",
+        "pending_pull_requests",
+        "in_flight_pull_requests",
+    )
+
     def __init__(
         self,
         env: FastEnvironment,
@@ -74,9 +90,9 @@ class PopulationHybridServer:
         metrics: MetricsCollector,
         streams: RandomStreams,
         pull_mode: PullMode = "serial",
-        faults=None,
-        tracer=None,
-        profiler=None,
+        faults: Optional[FaultInjector] = None,
+        tracer: Optional[object] = None,
+        profiler: Optional[object] = None,
     ) -> None:
         if pull_mode not in ("serial", "concurrent"):
             raise ValueError(f"unknown pull mode {pull_mode!r}")
@@ -138,7 +154,7 @@ class PopulationHybridServer:
         #: Group sealed at push start (decodable waiters) while its slot
         #: is on air; at most one exists because pushes are serial.
         self._push_sealed: FoldedEntry | None = None
-        self.observers: list = []
+        self.observers: list[object] = []
         self._in_flight_requests = 0
         self.pull_tx_started = 0
         self.pull_tx_completed = 0
@@ -473,7 +489,7 @@ class PopulationHybridServer:
                 metrics.record_blocked_folded(rank, n, n + u)
 
     # -- server cycle --------------------------------------------------------
-    def _on_wake(self, _arg=None) -> None:
+    def _on_wake(self, _arg: object = None) -> None:
         if not self._sleeping:
             return
         self._sleeping = False
@@ -504,7 +520,7 @@ class PopulationHybridServer:
             if not self._pull_step(pushed=False):
                 return
 
-    def _on_push_done(self, payload) -> None:
+    def _on_push_done(self, payload: Any) -> None:
         """One push slot's air time elapsed: decode (or corrupt), continue."""
         item_id, _started = payload
         env = self.env
@@ -590,11 +606,11 @@ class PopulationHybridServer:
         env.schedule_call(entry.length, self._on_pull_done, (entry, rank, demand))
         return True
 
-    def _on_pull_done_serial(self, payload) -> None:
+    def _on_pull_done_serial(self, payload: Any) -> None:
         self._complete_pull(*payload)
         self._advance()
 
-    def _on_pull_done(self, payload) -> None:
+    def _on_pull_done(self, payload: Any) -> None:
         self._complete_pull(*payload)
 
     def _complete_pull(self, entry: FoldedEntry, rank: int, demand: float) -> None:

@@ -229,14 +229,18 @@ class SchedulerCore:
             await asyncio.sleep(min(0.02, self.config.drain_timeout / 10))
         for pending in list(self._pending.values()):
             self._force_fail(pending)
-        for task in self._tasks:
+        # Take ownership of the task list before the first await: a task
+        # registered while we await one of these would be wiped from
+        # tracking (never cancelled, never awaited) by a post-await
+        # `self._tasks = []`.
+        stopping, self._tasks = self._tasks, []
+        for task in stopping:
             task.cancel()
-        for task in self._tasks:
+        for task in stopping:
             try:
                 await task
             except asyncio.CancelledError:
                 pass
-        self._tasks = []
         now = self.clock.now()
         self.health.transition(HealthState.STOPPED, now)
         if self.tracer is not None:

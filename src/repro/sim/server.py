@@ -96,6 +96,22 @@ class HybridServer:
         scheduler-decision hot spots (``push.select``, ``pull.select``).
     """
 
+    # Engine-parity contract (reprolint RL016): the control surface every
+    # interchangeable engine must expose identically.  The checker diffs
+    # these declarations project-wide — add a hook here and lint fails
+    # until the fast-path and population engines ship it too.
+    __parity_group__ = "hybrid-engine"
+    __parity_surface__ = (
+        "submit",
+        "renege",
+        "reconfigure_cutoff",
+        "reconfigure_alpha",
+        "reconfigure_bandwidth",
+        "pending_push_requests",
+        "pending_pull_requests",
+        "in_flight_pull_requests",
+    )
+
     def __init__(
         self,
         env: Environment,

@@ -22,9 +22,22 @@ from scipy import optimize
 
 from .zipf import zipf_probabilities
 
-__all__ = ["Item", "ItemCatalog", "truncated_geometric_pmf", "calibrate_geometric"]
+__all__ = [
+    "DEFAULT_CATALOG_SEED",
+    "Item",
+    "ItemCatalog",
+    "truncated_geometric_pmf",
+    "calibrate_geometric",
+]
 
 LengthLaw = Literal["truncated_geometric", "uniform", "constant"]
+
+#: Seed of the default catalog length draw.  This is *not* a simulation
+#: stream: the catalog is a fixture shared by every run (the paper's
+#: fixed 100-item database), so its seed is part of the public API —
+#: golden traces pin the lengths it produces.  Simulation streams must
+#: instead come from a spawned SeedSequence (see ``repro.sim.runner``).
+DEFAULT_CATALOG_SEED = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -158,10 +171,14 @@ class ItemCatalog:
             ``mean_length`` (homogeneous ablation).
         rng:
             Source of randomness for the lengths (default: fresh PCG64
-            seeded 0 for determinism).
+            seeded with :data:`DEFAULT_CATALOG_SEED` — the catalog is a
+            shared fixture, not a simulation stream, so a fixed
+            API-level seed is the contract here).
         """
         if rng is None:
-            rng = np.random.Generator(np.random.PCG64(0))
+            rng = np.random.Generator(
+                np.random.PCG64(np.random.SeedSequence(DEFAULT_CATALOG_SEED))
+            )
         probabilities = zipf_probabilities(num_items, theta)
         support = list(range(min_length, max_length + 1))
         if length_law == "constant":

@@ -1,0 +1,68 @@
+"""Regression tests for the consumers' ``EVENT_KINDS_PASSED`` pass lists.
+
+The trace-exhaustiveness lint (RL017) forces every consumer to either
+handle each registered event kind by name or list it in a module-level
+``EVENT_KINDS_PASSED`` tuple.  These tests pin the *semantics* of those
+declarations against the live registry: no stale entries, full coverage
+when combined with the kinds each module actually names, and no
+pass-listing of kinds the module also handles (an entry that masks real
+handling is a lie waiting to go stale).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+
+import pytest
+
+from repro.obs import diff, timeline, validate
+from repro.obs.events import EVENT_TYPES
+
+CONSUMERS = (validate, diff, timeline)
+
+
+def _string_literals(module) -> set[str]:
+    tree = ast.parse(inspect.getsource(module))
+    return {
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+@pytest.mark.parametrize("module", CONSUMERS, ids=lambda m: m.__name__)
+def test_pass_list_declared_and_well_formed(module) -> None:
+    passed = module.EVENT_KINDS_PASSED
+    assert isinstance(passed, tuple)
+    assert len(set(passed)) == len(passed), "duplicate pass-list entries"
+
+
+@pytest.mark.parametrize("module", CONSUMERS, ids=lambda m: m.__name__)
+def test_pass_list_has_no_stale_entries(module) -> None:
+    stale = set(module.EVENT_KINDS_PASSED) - set(EVENT_TYPES)
+    assert not stale, f"pass-listed kinds not in the registry: {sorted(stale)}"
+
+
+@pytest.mark.parametrize("module", CONSUMERS, ids=lambda m: m.__name__)
+def test_every_registered_kind_is_handled_or_passed(module) -> None:
+    handled = _string_literals(module) & set(EVENT_TYPES)
+    covered = handled | set(module.EVENT_KINDS_PASSED)
+    missing = set(EVENT_TYPES) - covered
+    assert not missing, (
+        f"{module.__name__} silently ignores registered kinds: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_diff_passes_everything_by_design() -> None:
+    # The diff walks events structurally and never dispatches on kind;
+    # its pass list is therefore the full registry, and adding a kind
+    # must force an edit here and there.
+    assert set(diff.EVENT_KINDS_PASSED) == set(EVENT_TYPES)
+
+
+def test_validator_handles_the_conservation_kinds() -> None:
+    handled = _string_literals(validate) & set(EVENT_TYPES)
+    # The conservation ledger cannot work without the terminal kinds.
+    assert {"request_arrived", "request_satisfied", "request_blocked"} <= handled

@@ -1,0 +1,172 @@
+"""Unit and soundness tests for the incremental analysis cache.
+
+The cache is an accelerator, never a source of truth: every test here is
+ultimately about the invariant *cold results == warm results*, plus the
+invalidation rules (content hash, rule fingerprint, analyzer version,
+corruption) that keep the invariant safe to rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.qa import all_project_rules, all_rules, analyze_paths
+from repro.qa.cache import ANALYZER_VERSION, AnalysisCache, fingerprint_of
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Warm-cache budget for whole-``src`` analysis, in seconds.  Deliberately
+#: generous (CI machines are slow and shared) — the regression this pins
+#: is *accidental cache bypass*, where warm time reverts to cold time.
+WARM_BUDGET_SECONDS = 15.0
+
+_GOOD = "def f(x):\n    return x + 1\n"
+_BAD = "import time\n\ndef now():\n    return time.perf_counter()\n"
+
+
+def _now() -> float:
+    # Measuring the analyzer itself, never a simulated path.
+    return time.perf_counter()  # reprolint: disable=no-wallclock
+
+
+def _file_rules():
+    return all_rules()
+
+
+def _cache(tmp_path: Path) -> AnalysisCache:
+    return AnalysisCache(
+        tmp_path / "cache.json", fingerprint=fingerprint_of(_file_rules())
+    )
+
+
+def _analyze_dir(tree: Path, cache: AnalysisCache | None):
+    return analyze_paths([tree], _file_rules(), all_project_rules(), cache=cache)
+
+
+def test_miss_then_hit(tmp_path: Path) -> None:
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "mod.py").write_text(_GOOD, encoding="utf-8")
+
+    cache = _cache(tmp_path)
+    cold = _analyze_dir(tree, cache)
+    assert (cache.hits, cache.misses) == (0, 1)
+    cache.save()
+
+    warm_cache = _cache(tmp_path)
+    warm = _analyze_dir(tree, warm_cache)
+    assert (warm_cache.hits, warm_cache.misses) == (1, 0)
+    assert warm.findings == cold.findings
+
+
+def test_content_change_invalidates_one_file(tmp_path: Path) -> None:
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "a.py").write_text(_GOOD, encoding="utf-8")
+    (tree / "b.py").write_text(_GOOD, encoding="utf-8")
+
+    cache = _cache(tmp_path)
+    _analyze_dir(tree, cache)
+    cache.save()
+
+    (tree / "b.py").write_text(_BAD, encoding="utf-8")
+    warm_cache = _cache(tmp_path)
+    result = _analyze_dir(tree, warm_cache)
+    assert (warm_cache.hits, warm_cache.misses) == (1, 1)
+    assert [(Path(f.path).name, f.rule) for f in result.findings] == [
+        ("b.py", "no-wallclock")
+    ]
+
+
+def test_cached_findings_are_replayed_not_dropped(tmp_path: Path) -> None:
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "mod.py").write_text(_BAD, encoding="utf-8")
+
+    cache = _cache(tmp_path)
+    cold = _analyze_dir(tree, cache)
+    cache.save()
+    warm = _analyze_dir(tree, _cache(tmp_path))
+    assert cold.findings and warm.findings == cold.findings
+
+
+def test_fingerprint_mismatch_discards(tmp_path: Path) -> None:
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "mod.py").write_text(_GOOD, encoding="utf-8")
+
+    cache = _cache(tmp_path)
+    _analyze_dir(tree, cache)
+    cache.save()
+
+    other = AnalysisCache(tmp_path / "cache.json", fingerprint="0" * 16)
+    _analyze_dir(tree, other)
+    assert (other.hits, other.misses) == (0, 1)
+
+
+def test_version_mismatch_discards(tmp_path: Path) -> None:
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "mod.py").write_text(_GOOD, encoding="utf-8")
+
+    cache = _cache(tmp_path)
+    _analyze_dir(tree, cache)
+    cache.save()
+
+    payload = json.loads((tmp_path / "cache.json").read_text(encoding="utf-8"))
+    payload["version"] = ANALYZER_VERSION + 1
+    (tmp_path / "cache.json").write_text(json.dumps(payload), encoding="utf-8")
+
+    reloaded = _cache(tmp_path)
+    _analyze_dir(tree, reloaded)
+    assert (reloaded.hits, reloaded.misses) == (0, 1)
+
+
+def test_corrupt_cache_is_an_empty_cache(tmp_path: Path) -> None:
+    (tmp_path / "cache.json").write_text("{not json", encoding="utf-8")
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "mod.py").write_text(_GOOD, encoding="utf-8")
+
+    cache = _cache(tmp_path)
+    result = _analyze_dir(tree, cache)
+    assert result.findings == []
+    assert (cache.hits, cache.misses) == (0, 1)
+    cache.save()  # must overwrite the corrupt file without raising
+    assert json.loads((tmp_path / "cache.json").read_text(encoding="utf-8"))
+
+
+def test_save_is_a_noop_until_dirty(tmp_path: Path) -> None:
+    cache = _cache(tmp_path)
+    cache.save()
+    assert not (tmp_path / "cache.json").exists()
+
+
+def test_whole_src_cold_equals_warm_within_budget(tmp_path: Path) -> None:
+    """Soundness and the perf pin, on the real tree.
+
+    A warm run must (a) reproduce the cold run's findings exactly, (b)
+    actually hit the cache for every file, and (c) finish inside the
+    pinned budget — the guard CI relies on to notice cache bypass.
+    """
+    tree = REPO_ROOT / "src" / "repro"
+    cache = _cache(tmp_path)
+    cold = _analyze_dir(tree, cache)
+    cache.save()
+
+    warm_cache = _cache(tmp_path)
+    start = _now()
+    warm = _analyze_dir(tree, warm_cache)
+    elapsed = _now() - start
+
+    assert warm.findings == cold.findings
+    assert warm.suppressed == cold.suppressed
+    assert warm.exempted == cold.exempted
+    assert warm_cache.misses == 0
+    assert warm_cache.hits == warm.files_scanned > 0
+    assert elapsed < WARM_BUDGET_SECONDS, (
+        f"warm-cache analysis took {elapsed:.1f}s (budget "
+        f"{WARM_BUDGET_SECONDS:.0f}s) — is the cache being bypassed?"
+    )

@@ -1,0 +1,219 @@
+"""Unit tests for the structural contract rules (RL016/RL017).
+
+The centrepiece is the seeded-mutation test: take the *real* engine
+sources, silently rename a ``reconfigure_*`` hook in one of them, and
+prove the parity checker fails loudly.  That is the scenario this rule
+exists for — a knob added or renamed in one engine but not the others.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.qa import all_project_rules, all_rules, analyze_sources
+
+SRC = Path(__file__).parents[2] / "src"
+
+#: The three interchangeable engines under the "hybrid-engine" contract.
+ENGINE_MODULES = {
+    "repro.sim.server": SRC / "repro" / "sim" / "server.py",
+    "repro.sim.fastpath": SRC / "repro" / "sim" / "fastpath.py",
+    "repro.scale.server": SRC / "repro" / "scale" / "server.py",
+}
+
+
+def _engine_sources() -> dict[str, str]:
+    return {
+        module: path.read_text(encoding="utf-8")
+        for module, path in ENGINE_MODULES.items()
+    }
+
+
+def _analyze(sources):
+    return analyze_sources(sources, all_rules(), all_project_rules())
+
+
+def test_real_engines_satisfy_parity() -> None:
+    result = _analyze(_engine_sources())
+    assert [f for f in result.findings if f.rule == "engine-parity"] == []
+
+
+def test_seeded_mutation_removing_a_hook_fails_loudly() -> None:
+    sources = _engine_sources()
+    mutated = sources["repro.scale.server"].replace(
+        "def reconfigure_alpha", "def reconfigure_alpha_v2"
+    )
+    assert mutated != sources["repro.scale.server"], "mutation did not apply"
+    sources["repro.scale.server"] = mutated
+    result = _analyze(sources)
+    parity = [f for f in result.findings if f.rule == "engine-parity"]
+    assert parity, "parity checker missed a renamed hook"
+    # The mutated engine is called out by name for the missing hook...
+    assert any(
+        "lacks hook reconfigure_alpha()" in f.message
+        and f.path == "repro/scale/server.py"
+        for f in parity
+    )
+    # ...and the undeclared replacement hook is flagged too.
+    assert any("reconfigure_alpha_v2" in f.message for f in parity)
+
+
+def test_seeded_mutation_shrinking_a_surface_fails_loudly() -> None:
+    sources = _engine_sources()
+    mutated = sources["repro.sim.fastpath"].replace('"reconfigure_bandwidth",', "")
+    assert mutated != sources["repro.sim.fastpath"], "mutation did not apply"
+    sources["repro.sim.fastpath"] = mutated
+    result = _analyze(sources)
+    parity = [f for f in result.findings if f.rule == "engine-parity"]
+    assert any(
+        "diverges" in f.message and f.path == "repro/sim/fastpath.py"
+        for f in parity
+    )
+
+
+def test_parity_group_without_surface_is_flagged() -> None:
+    result = _analyze(
+        {
+            "repro.sim.engines": (
+                "class EngineA:\n"
+                '    __parity_group__ = "g"\n'
+                "\n"
+                "    def submit(self, item):\n"
+                "        return item\n"
+            ),
+        }
+    )
+    assert [f.rule for f in result.findings] == ["engine-parity"]
+    assert "no __parity_surface__" in result.findings[0].message
+
+
+def test_param_rename_across_engines_is_flagged() -> None:
+    result = _analyze(
+        {
+            "repro.sim.engines": (
+                "class EngineA:\n"
+                '    __parity_group__ = "g"\n'
+                '    __parity_surface__ = ("submit",)\n'
+                "\n"
+                "    def submit(self, request):\n"
+                "        return request\n"
+                "\n"
+                "\n"
+                "class EngineB:\n"
+                '    __parity_group__ = "g"\n'
+                '    __parity_surface__ = ("submit",)\n'
+                "\n"
+                "    def submit(self, req):\n"
+                "        return req\n"
+            ),
+        }
+    )
+    assert [(f.rule, f.line) for f in result.findings] == [("engine-parity", 13)]
+    assert "diverges from EngineA.submit" in result.findings[0].message
+
+
+_REGISTRY = (
+    "from typing import ClassVar\n"
+    "\n"
+    "\n"
+    "class Arrived:\n"
+    '    kind: ClassVar[str] = "arrived"\n'
+    "\n"
+    "\n"
+    "class Served:\n"
+    '    kind: ClassVar[str] = "served"\n'
+)
+
+
+def test_trace_consumer_missing_kind_flagged() -> None:
+    result = _analyze(
+        {
+            "repro.obs.events": _REGISTRY,
+            "repro.obs.sink": (
+                "EVENT_KINDS_PASSED: tuple[str, ...] = ()\n"
+                "\n"
+                "\n"
+                "def consume(event):\n"
+                '    return event.kind == "arrived"\n'
+            ),
+        }
+    )
+    assert [(f.rule, f.line) for f in result.findings] == [
+        ("trace-exhaustiveness", 1)
+    ]
+    assert "'served'" in result.findings[0].message
+
+
+def test_trace_consumer_stale_pass_entry_flagged() -> None:
+    result = _analyze(
+        {
+            "repro.obs.events": _REGISTRY,
+            "repro.obs.sink": (
+                'EVENT_KINDS_PASSED: tuple[str, ...] = ("served", "retired_kind")\n'
+                "\n"
+                "\n"
+                "def consume(event):\n"
+                '    return event.kind == "arrived"\n'
+            ),
+        }
+    )
+    assert [(f.rule, f.line) for f in result.findings] == [
+        ("trace-exhaustiveness", 1)
+    ]
+    assert "stale" in result.findings[0].message
+
+
+def test_required_consumer_must_declare_pass_list() -> None:
+    result = _analyze(
+        {
+            "repro.obs.events": _REGISTRY,
+            "repro.obs.diff": (
+                "def diff(events):\n"
+                '    return [e for e in events if e.kind == "arrived" or e.kind == "served"]\n'
+            ),
+        }
+    )
+    assert [(f.rule, f.path, f.line) for f in result.findings] == [
+        ("trace-exhaustiveness", "repro/obs/diff.py", 1)
+    ]
+    assert "EVENT_KINDS_PASSED" in result.findings[0].message
+
+
+def test_non_required_module_without_declaration_is_clean() -> None:
+    result = _analyze(
+        {
+            "repro.obs.events": _REGISTRY,
+            "repro.analysis.report": (
+                "def summarize(events):\n"
+                "    return len(events)\n"
+            ),
+        }
+    )
+    assert result.findings == []
+
+
+def test_no_registry_in_partial_tree_disables_check() -> None:
+    result = _analyze(
+        {
+            "repro.obs.sink": (
+                "EVENT_KINDS_PASSED: tuple[str, ...] = ()\n"
+                "\n"
+                "\n"
+                "def consume(event):\n"
+                "    return event.kind\n"
+            ),
+        }
+    )
+    assert result.findings == []
+
+
+def test_real_obs_consumers_are_exhaustive() -> None:
+    obs = SRC / "repro" / "obs"
+    sources = {
+        f"repro.obs.{path.stem}": path.read_text(encoding="utf-8")
+        for path in sorted(obs.glob("*.py"))
+        if path.stem != "__init__"
+    }
+    sources["repro.obs"] = (obs / "__init__.py").read_text(encoding="utf-8")
+    result = _analyze(sources)
+    assert [f for f in result.findings if f.rule == "trace-exhaustiveness"] == []

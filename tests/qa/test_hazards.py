@@ -1,0 +1,180 @@
+"""Unit tests for the async-hazard rules (RL013–RL015).
+
+Pins cross-module coroutine resolution, the builtin-``open`` special
+case, and — most importantly — the no-false-positive regressions for the
+two real-code shapes that shook out while bringing the repo to zero
+findings: the early-return guard and the drain ownership swap.
+"""
+
+from __future__ import annotations
+
+from repro.qa import all_project_rules, all_rules, analyze_sources
+
+
+def _analyze(sources):
+    return analyze_sources(sources, all_rules(), all_project_rules())
+
+
+def test_unawaited_coroutine_resolved_across_modules() -> None:
+    result = _analyze(
+        {
+            "repro.service.tasks": (
+                "import asyncio\n"
+                "\n"
+                "\n"
+                "async def pump():\n"
+                "    await asyncio.sleep(0)\n"
+            ),
+            "repro.service.caller": (
+                "from repro.service.tasks import pump\n"
+                "\n"
+                "\n"
+                "async def tick():\n"
+                "    pump()\n"
+            ),
+        }
+    )
+    assert [(f.rule, f.path, f.line) for f in result.findings] == [
+        ("no-unawaited-coroutine", "repro/service/caller.py", 5)
+    ]
+
+
+def test_discarded_sync_function_is_clean() -> None:
+    result = _analyze(
+        {
+            "repro.service.tasks": "def pump():\n    return 1\n",
+            "repro.service.caller": (
+                "from repro.service.tasks import pump\n"
+                "\n"
+                "\n"
+                "async def tick():\n"
+                "    pump()\n"
+            ),
+        }
+    )
+    assert result.findings == []
+
+
+def test_blocking_open_flagged_without_import() -> None:
+    result = _analyze(
+        {
+            "repro.service.loader": (
+                "async def load(path):\n"
+                "    with open(path) as handle:\n"
+                "        return handle.read()\n"
+            ),
+        }
+    )
+    assert [f.rule for f in result.findings] == ["no-blocking-in-async"]
+
+
+def test_blocking_rule_scoped_to_async_service_code() -> None:
+    # Blocking calls in *sync* functions, and in modules outside the
+    # async scopes, are not this rule's business.
+    result = _analyze(
+        {
+            "repro.cli.main": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def wait():\n"
+                "    time.sleep(0.1)\n"
+            ),
+        }
+    )
+    assert result.findings == []
+
+
+def test_stale_write_early_return_guard_not_flagged() -> None:
+    # Regression: the guard branch *returns*, so its read of the cached
+    # attribute can never reach the post-await write.  This is the
+    # BroadcastService.shutdown shape that false-positived during
+    # development.
+    result = _analyze(
+        {
+            "repro.service.app2": (
+                "import asyncio\n"
+                "\n"
+                "\n"
+                "class Cache:\n"
+                "    async def get(self):\n"
+                "        if self.ready:\n"
+                "            return self.value\n"
+                "        await asyncio.sleep(0)\n"
+                "        self.value = 42\n"
+                "        return self.value\n"
+            ),
+        }
+    )
+    assert result.findings == []
+
+
+def test_stale_write_through_branch_still_flagged() -> None:
+    # Same shape but the guard branch falls through: the pre-await read
+    # can reach the write, so the race is real.
+    result = _analyze(
+        {
+            "repro.service.app2": (
+                "import asyncio\n"
+                "\n"
+                "\n"
+                "class Cache:\n"
+                "    async def get(self):\n"
+                "        if self.ready:\n"
+                "            staged = self.value\n"
+                "        else:\n"
+                "            staged = 0\n"
+                "        await asyncio.sleep(0)\n"
+                "        self.value = staged\n"
+                "        return staged\n"
+            ),
+        }
+    )
+    assert [(f.rule, f.line) for f in result.findings] == [
+        ("no-stale-async-write", 11)
+    ]
+
+
+def test_drain_ownership_swap_not_flagged() -> None:
+    # Regression: ServiceCore.drain takes ownership of the task list
+    # *before* the first await; the post-swap loop never writes the
+    # attribute again, so there is no stale write to report.
+    result = _analyze(
+        {
+            "repro.service.core2": (
+                "import asyncio\n"
+                "\n"
+                "\n"
+                "class Core:\n"
+                "    async def drain(self):\n"
+                "        stopping, self._tasks = self._tasks, []\n"
+                "        for task in stopping:\n"
+                "            task.cancel()\n"
+                "        for task in stopping:\n"
+                "            await task\n"
+            ),
+        }
+    )
+    assert result.findings == []
+
+
+def test_post_await_list_reset_flagged() -> None:
+    # The pre-fix drain shape: await the tracked tasks, then wipe the
+    # attribute — losing any task registered during the awaits.
+    result = _analyze(
+        {
+            "repro.service.core2": (
+                "import asyncio\n"
+                "\n"
+                "\n"
+                "class Core:\n"
+                "    async def drain(self):\n"
+                "        for task in self._tasks:\n"
+                "            await task\n"
+                "        self._tasks = []\n"
+            ),
+        }
+    )
+    assert [(f.rule, f.line) for f in result.findings] == [
+        ("no-stale-async-write", 8)
+    ]

@@ -15,7 +15,14 @@ from pathlib import Path
 
 import pytest
 
-from repro.qa import REGISTRY, all_rules, lint_source
+from repro.qa import (
+    PROJECT_REGISTRY,
+    REGISTRY,
+    all_project_rules,
+    all_rules,
+    analyze_sources,
+    lint_source,
+)
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -28,6 +35,42 @@ FIXTURE_MODULES = {
     "RL005_no_float_equality": "repro.sim.fixture",
     "RL006_no_mutable_default": "repro.sim.fixture",
     "RL007_no_bare_dataclass_eq": "repro.des.monitor",
+}
+
+#: Project-tier fixtures run through :func:`analyze_sources` so the
+#: flow-aware rules see a real (if tiny) project index.
+PROJECT_FIXTURE_MODULES = {
+    "RL010_no_seed_arithmetic": "repro.sim.fixture",
+    "RL011_no_ambient_stream": "repro.workload.fixture",
+    "RL012_no_literal_seed_flow": "repro.des.fixture",
+    "RL013_no_blocking_in_async": "repro.service.fixture",
+    "RL014_no_unawaited_coroutine": "repro.service.fixture",
+    "RL015_no_stale_async_write": "repro.service.fixture",
+    "RL016_engine_parity": "repro.sim.fixture",
+    "RL017_trace_exhaustiveness": "repro.obs.fixture_consumer",
+}
+
+_EVENTS_COMPANION = '''\
+"""Companion registry for the RL017 fixture (three event kinds)."""
+
+from typing import ClassVar
+
+
+class FixtureArrived:
+    kind: ClassVar[str] = "fixture_arrived"
+
+
+class FixtureServed:
+    kind: ClassVar[str] = "fixture_served"
+
+
+class FixtureDropped:
+    kind: ClassVar[str] = "fixture_dropped"
+'''
+
+#: Extra modules a project fixture needs in its index (module -> source).
+COMPANION_SOURCES: dict[str, dict[str, str]] = {
+    "RL017_trace_exhaustiveness": {"repro.obs.events": _EVENTS_COMPANION},
 }
 
 _EXPECT_RE = re.compile(r"#\s*EXPECT\[(?P<rule>[a-z\-]+)\]")
@@ -58,14 +101,37 @@ def test_fixture_fires_exactly_where_tagged(stem: str) -> None:
     assert result.suppressed, f"fixture {stem} should demonstrate a suppression"
 
 
+@pytest.mark.parametrize("stem", sorted(PROJECT_FIXTURE_MODULES))
+def test_project_fixture_fires_exactly_where_tagged(stem: str) -> None:
+    source = (FIXTURES / f"{stem}.py.txt").read_text(encoding="utf-8")
+    expected = _expected_findings(source)
+    assert expected, f"fixture {stem} has no EXPECT tags"
+    module = PROJECT_FIXTURE_MODULES[stem]
+    result = analyze_sources(
+        {module: source, **COMPANION_SOURCES.get(stem, {})},
+        all_rules(),
+        all_project_rules(),
+    )
+    fixture_path = module.replace(".", "/") + ".py"
+    # Companion modules exist only to feed the index; they must be clean.
+    assert all(f.path == fixture_path for f in result.findings), result.findings
+    actual = {(f.rule, f.line) for f in result.findings}
+    assert actual == expected
+    # Each fixture also exercises one inline suppression.
+    assert result.suppressed, f"fixture {stem} should demonstrate a suppression"
+
+
 def test_every_registered_rule_has_a_fixture() -> None:
     covered = {stem.split("_", 1)[0] for stem in FIXTURE_MODULES}
     assert covered == {rule.code for rule in REGISTRY.values()}
     assert len(REGISTRY) >= 6
+    project_covered = {stem.split("_", 1)[0] for stem in PROJECT_FIXTURE_MODULES}
+    assert project_covered == {rule.code for rule in PROJECT_REGISTRY.values()}
+    assert len(PROJECT_REGISTRY) >= 8
 
 
 def test_rules_carry_documentation() -> None:
-    for rule in all_rules():
+    for rule in list(all_rules()) + list(all_project_rules()):
         assert rule.name and rule.code and rule.summary and rule.rationale
 
 

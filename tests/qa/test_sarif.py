@@ -1,0 +1,112 @@
+"""Structural validation of the SARIF 2.1.0 reporter.
+
+No SARIF library ships in this environment, so validation is structural:
+the invariants GitHub code scanning actually rejects uploads over —
+version/schema, driver rule table, result shape, rule-id referential
+integrity — are each pinned directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.qa import all_project_rules, all_rules, analyze_sources
+from repro.qa.reporter import SARIF_SCHEMA_URI, SARIF_VERSION, render_sarif
+
+
+def _active_rules():
+    return list(all_rules()) + list(all_project_rules())
+
+
+def _report(sources) -> dict:
+    result = analyze_sources(sources, all_rules(), all_project_rules())
+    return json.loads(render_sarif(result, _active_rules()))
+
+
+_FINDING_SOURCE = {
+    "repro.sim.clockmod": (
+        "import time\n"
+        "\n"
+        "\n"
+        "def now():\n"
+        "    return time.perf_counter()\n"
+    ),
+}
+
+_SUPPRESSED_SOURCE = {
+    "repro.sim.clockmod": (
+        "import time\n"
+        "\n"
+        "\n"
+        "def now():\n"
+        "    return time.perf_counter()  # reprolint: disable=no-wallclock\n"
+    ),
+}
+
+
+def test_envelope_pins_version_and_schema() -> None:
+    report = _report(_FINDING_SOURCE)
+    assert report["version"] == SARIF_VERSION == "2.1.0"
+    assert report["$schema"] == SARIF_SCHEMA_URI
+    assert "sarif-schema-2.1.0.json" in report["$schema"]
+    assert len(report["runs"]) == 1
+
+
+def test_driver_declares_every_active_rule() -> None:
+    report = _report(_FINDING_SOURCE)
+    driver = report["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    declared = {rule["id"] for rule in driver["rules"]}
+    assert declared == {rule.code for rule in _active_rules()}
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["fullDescription"]["text"]
+        assert rule["defaultConfiguration"] == {"level": "error"}
+
+
+def test_result_shape_and_rule_id_integrity() -> None:
+    report = _report(_FINDING_SOURCE)
+    run = report["runs"][0]
+    assert run["columnKind"] == "utf16CodeUnits"
+    declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert run["results"], "expected at least one finding"
+    for entry in run["results"]:
+        assert entry["ruleId"] in declared
+        assert entry["level"] in ("error", "note")
+        assert entry["message"]["text"]
+        location = entry["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+        assert "\\" not in location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+
+def test_finding_reported_as_error_result() -> None:
+    report = _report(_FINDING_SOURCE)
+    results = report["runs"][0]["results"]
+    assert [r["level"] for r in results] == ["error"]
+    assert results[0]["ruleId"] == "RL001"
+    assert "suppressions" not in results[0]
+
+
+def test_suppressed_findings_carry_in_source_suppression() -> None:
+    report = _report(_SUPPRESSED_SOURCE)
+    results = report["runs"][0]["results"]
+    assert len(results) == 1
+    assert results[0]["suppressions"][0]["kind"] == "inSource"
+    assert results[0]["suppressions"][0]["justification"]
+
+
+def test_clean_tree_emits_empty_results_not_invalid_sarif() -> None:
+    report = _report({"repro.sim.ok": "def f(x):\n    return x\n"})
+    assert report["runs"][0]["results"] == []
+    assert report["runs"][0]["tool"]["driver"]["rules"]
+
+
+def test_output_is_deterministic() -> None:
+    result = analyze_sources(
+        _FINDING_SOURCE, all_rules(), all_project_rules()
+    )
+    first = render_sarif(result, _active_rules())
+    second = render_sarif(result, list(reversed(_active_rules())))
+    assert first == second

@@ -1,0 +1,142 @@
+"""Unit tests for the seed-provenance taint rules (RL010–RL012).
+
+The golden fixtures cover the single-module shapes; these tests pin the
+*cross-module* behaviour — a literal seed handed to a helper defined in
+another module must still be flagged at the call site.
+"""
+
+from __future__ import annotations
+
+from repro.qa import all_project_rules, all_rules, analyze_sources
+
+_RNG_MOD = """\
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def run_replication(replication_seed, horizon):
+    rng = make_rng(replication_seed)
+    return rng.random() * horizon
+"""
+
+
+def _analyze(sources):
+    return analyze_sources(sources, all_rules(), all_project_rules())
+
+
+def test_literal_seed_flagged_across_modules() -> None:
+    result = _analyze(
+        {
+            "repro.des.rngmod": _RNG_MOD,
+            "repro.sim.driver": (
+                "from repro.des.rngmod import make_rng\n"
+                "\n"
+                "\n"
+                "def run():\n"
+                "    return make_rng(7)\n"
+            ),
+        }
+    )
+    flows = [f for f in result.findings if f.rule == "no-literal-seed-flow"]
+    assert [(f.path, f.line) for f in flows] == [("repro/sim/driver.py", 5)]
+
+
+def test_literal_seed_flagged_two_hops_away() -> None:
+    result = _analyze(
+        {
+            "repro.des.rngmod": _RNG_MOD,
+            "repro.sim.driver": (
+                "from repro.des.rngmod import run_replication\n"
+                "\n"
+                "\n"
+                "def run():\n"
+                "    return run_replication(1234, 10.0)\n"
+            ),
+        }
+    )
+    flows = [f for f in result.findings if f.rule == "no-literal-seed-flow"]
+    assert [(f.path, f.line) for f in flows] == [("repro/sim/driver.py", 5)]
+
+
+def test_threaded_seed_sequence_is_clean() -> None:
+    result = _analyze(
+        {
+            "repro.des.rngmod": _RNG_MOD,
+            "repro.sim.driver": (
+                "from repro.des.rngmod import run_replication\n"
+                "\n"
+                "\n"
+                "def run(seed_sequence):\n"
+                "    child = seed_sequence.spawn(1)[0]\n"
+                "    return run_replication(child, 10.0)\n"
+            ),
+        }
+    )
+    assert result.findings == []
+
+
+def test_literal_on_non_seed_position_is_clean() -> None:
+    result = _analyze(
+        {
+            "repro.des.rngmod": _RNG_MOD,
+            "repro.sim.driver": (
+                "from repro.des.rngmod import run_replication\n"
+                "\n"
+                "\n"
+                "def run(replication_seed):\n"
+                "    return run_replication(replication_seed, 250.0)\n"
+            ),
+        }
+    )
+    assert result.findings == []
+
+
+def test_out_of_scope_module_not_flagged() -> None:
+    # The taint rules are scoped: analysis/plotting code may pin seeds.
+    result = _analyze(
+        {
+            "repro.des.rngmod": _RNG_MOD,
+            "repro.analysis.plots": (
+                "from repro.des.rngmod import make_rng\n"
+                "\n"
+                "\n"
+                "def jitter():\n"
+                "    return make_rng(0)\n"
+            ),
+        }
+    )
+    assert result.findings == []
+
+
+def test_seed_arithmetic_flagged_in_scope() -> None:
+    result = _analyze(
+        {
+            "repro.sim.worker": (
+                "import numpy as np\n"
+                "\n"
+                "\n"
+                "def per_worker(base_seed, index):\n"
+                "    return np.random.default_rng(base_seed + index)\n"
+            ),
+        }
+    )
+    assert [f.rule for f in result.findings] == ["no-seed-arithmetic"]
+    assert result.findings[0].line == 5
+
+
+def test_module_level_stream_flagged_once() -> None:
+    result = _analyze(
+        {
+            "repro.workload.tables": (
+                "import numpy as np\n"
+                "\n"
+                "BASE = 11\n"
+                "_RNG = np.random.default_rng(BASE)\n"
+            ),
+        }
+    )
+    assert [f.rule for f in result.findings] == ["no-ambient-stream"]
+    assert result.findings[0].line == 4

@@ -1,0 +1,65 @@
+"""Regression tests for the drain task-ownership swap in SchedulerCore.
+
+``drain()`` used to iterate ``self._tasks`` awaiting each cancelled
+task and only *afterwards* reset ``self._tasks = []`` — so a task
+registered while drain was suspended at one of those awaits was wiped
+from tracking without ever being cancelled or awaited (the stale-write
+shape the flow lint flags as RL015).  The fix takes ownership of the
+list *before* the first await; these tests pin both halves of the
+contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core import HybridConfig
+from repro.service import SchedulerCore, ServiceConfig
+
+
+def make_core() -> SchedulerCore:
+    return SchedulerCore(
+        ServiceConfig(hybrid=HybridConfig(num_items=20, cutoff=4), seed=1)
+    )
+
+
+def test_drain_awaits_every_tracked_task() -> None:
+    async def scenario() -> None:
+        core = make_core()
+        await core.start()
+        tracked = list(core._tasks)
+        assert tracked, "start() should register the service loops"
+        await core.drain()
+        assert all(task.done() for task in tracked)
+
+    asyncio.run(scenario())
+
+
+def test_task_registered_mid_drain_is_not_lost() -> None:
+    async def scenario() -> None:
+        core = make_core()
+        await core.start()
+        late: list[asyncio.Task] = []
+
+        async def stubborn() -> None:
+            # Mimics a handler that schedules follow-up work while being
+            # torn down: the follow-up lands in core._tasks *after* drain
+            # has started awaiting the old task list.
+            try:
+                await asyncio.Event().wait()
+            except asyncio.CancelledError:
+                follow_up = asyncio.get_running_loop().create_task(asyncio.sleep(0))
+                late.append(follow_up)
+                core._tasks.append(follow_up)
+                raise
+
+        core._tasks.append(asyncio.get_running_loop().create_task(stubborn()))
+        await asyncio.sleep(0)  # let stubborn() reach its wait point
+        await core.drain()
+
+        # The follow-up task must still be tracked — the pre-fix
+        # post-await `self._tasks = []` silently discarded it.
+        assert late and core._tasks == late
+        await asyncio.gather(*late)
+
+    asyncio.run(scenario())
